@@ -1,0 +1,230 @@
+//! Call graph construction over an object implementation.
+//!
+//! Paper §4 assumes: all called methods are final, and no recursion.
+//! §4.4 relaxes finality through the repository approach — a virtual call
+//! site declares its candidate implementations, and the analysis treats
+//! the call as possibly reaching any of them. Recursion stays a hard
+//! stop: a method from which recursion is reachable is reported
+//! unanalysable and "steps back to the simpler algorithm" (the paper's
+//! favoured fallback), which our lock table encodes as `None`.
+
+use dmt_lang::ast::{ObjectImpl, Stmt};
+use dmt_lang::MethodIdx;
+
+/// The call structure of one object.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// `callees[m]` = methods `m` can invoke (static targets and all
+    /// virtual candidates), deduplicated, in first-occurrence order.
+    callees: Vec<Vec<MethodIdx>>,
+    /// Total number of call *sites* naming each method (virtual sites
+    /// count once per candidacy), plus ∞-marking for call-in-loop.
+    call_sites: Vec<u32>,
+    /// True if the method is named by a call site inside a loop.
+    called_in_loop: Vec<bool>,
+    /// Methods from which a cycle (recursion) is reachable.
+    recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    pub fn build(obj: &ObjectImpl) -> Self {
+        let n = obj.methods.len();
+        let mut callees: Vec<Vec<MethodIdx>> = vec![Vec::new(); n];
+        let mut call_sites = vec![0u32; n];
+        let mut called_in_loop = vec![false; n];
+
+        for (mi, m) in obj.methods.iter().enumerate() {
+            collect_calls(&m.body, false, &mut |target, in_loop| {
+                if !callees[mi].contains(&target) {
+                    callees[mi].push(target);
+                }
+                call_sites[target.index()] = call_sites[target.index()].saturating_add(1);
+                if in_loop {
+                    called_in_loop[target.index()] = true;
+                }
+            });
+        }
+
+        // A method is "recursive" when it can reach itself through the
+        // call relation. Compute reachability per method (n is small).
+        let mut recursive = vec![false; n];
+        for start in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = callees[start].iter().map(|c| c.index()).collect();
+            while let Some(v) = stack.pop() {
+                if v == start {
+                    recursive[start] = true;
+                    break;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.extend(callees[v].iter().map(|c| c.index()));
+                }
+            }
+        }
+
+        CallGraph { callees, call_sites, called_in_loop, recursive }
+    }
+
+    pub fn callees(&self, m: MethodIdx) -> &[MethodIdx] {
+        &self.callees[m.index()]
+    }
+
+    /// Every method transitively reachable from `m`, including `m`.
+    pub fn reachable(&self, m: MethodIdx) -> Vec<MethodIdx> {
+        let mut seen = vec![false; self.callees.len()];
+        let mut order = Vec::new();
+        let mut stack = vec![m];
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            order.push(v);
+            for &c in &self.callees[v.index()] {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Can a cycle be reached from `m` (directly recursive or calling into
+    /// recursion)? Such start methods are unanalysable (paper §4.4).
+    pub fn reaches_recursion(&self, m: MethodIdx) -> bool {
+        self.reachable(m).iter().any(|v| self.recursive[v.index()])
+    }
+
+    /// Is the method invoked from more than one call site, or from inside
+    /// a loop? Its sync blocks can then be entered repeatedly per request,
+    /// so their table entries must stay pinned until the thread ends.
+    pub fn multi_called(&self, m: MethodIdx) -> bool {
+        self.call_sites[m.index()] > 1 || self.called_in_loop[m.index()]
+    }
+
+    pub fn call_sites(&self, m: MethodIdx) -> u32 {
+        self.call_sites[m.index()]
+    }
+}
+
+fn collect_calls(stmts: &[Stmt], in_loop: bool, f: &mut impl FnMut(MethodIdx, bool)) {
+    for s in stmts {
+        match s {
+            Stmt::Call { method, .. } => f(*method, in_loop),
+            Stmt::VirtualCall { candidates, .. } => {
+                for &c in candidates {
+                    f(c, in_loop);
+                }
+            }
+            Stmt::Sync { body, .. } => collect_calls(body, in_loop, f),
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_calls(then_branch, in_loop, f);
+                collect_calls(else_branch, in_loop, f);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => collect_calls(body, true, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::ast::{ArgExpr, CountExpr, IntExpr};
+    use dmt_lang::ObjectBuilder;
+
+    #[test]
+    fn straight_call_chain() {
+        let mut ob = ObjectBuilder::new("O");
+        let leaf = ob.method("leaf", 0).private();
+        let leaf_idx = leaf.done();
+        let mut mid = ob.method("mid", 0).private();
+        mid.call(leaf_idx, vec![]);
+        let mid_idx = mid.done();
+        let mut start = ob.method("start", 0);
+        start.call(mid_idx, vec![]);
+        let start_idx = start.done();
+        let g = CallGraph::build(&ob.build());
+        assert_eq!(g.callees(start_idx), &[mid_idx]);
+        let reach = g.reachable(start_idx);
+        assert!(reach.contains(&leaf_idx) && reach.contains(&mid_idx) && reach.contains(&start_idx));
+        assert!(!g.reaches_recursion(start_idx));
+        assert!(!g.multi_called(leaf_idx));
+    }
+
+    #[test]
+    fn detects_self_recursion() {
+        let mut ob = ObjectBuilder::new("O");
+        let self_idx = ob.next_method_idx();
+        let mut m = ob.method("rec", 0);
+        m.call(self_idx, vec![]);
+        m.done();
+        let g = CallGraph::build(&ob.build());
+        assert!(g.reaches_recursion(self_idx));
+    }
+
+    #[test]
+    fn detects_mutual_recursion_reachable_from_start() {
+        let mut ob = ObjectBuilder::new("O");
+        let a_idx = ob.next_method_idx();
+        let b_idx = MethodIdx::new(a_idx.0 + 1);
+        let start_idx = MethodIdx::new(a_idx.0 + 2);
+        let mut a = ob.method("a", 0).private();
+        a.call(b_idx, vec![]);
+        assert_eq!(a.done(), a_idx);
+        let mut b = ob.method("b", 0).private();
+        b.call(a_idx, vec![]);
+        assert_eq!(b.done(), b_idx);
+        let mut s = ob.method("start", 0);
+        s.call(a_idx, vec![]);
+        assert_eq!(s.done(), start_idx);
+        // Also a clean method to show the flag is per start method.
+        let clean = ob.method("clean", 0);
+        let clean_idx = clean.done();
+        let g = CallGraph::build(&ob.build());
+        assert!(g.reaches_recursion(start_idx));
+        assert!(!g.reaches_recursion(clean_idx));
+    }
+
+    #[test]
+    fn multi_call_by_two_sites() {
+        let mut ob = ObjectBuilder::new("O");
+        let leaf = ob.method("leaf", 0).private();
+        let leaf_idx = leaf.done();
+        let mut s = ob.method("start", 0);
+        s.call(leaf_idx, vec![]);
+        s.call(leaf_idx, vec![]);
+        s.done();
+        let g = CallGraph::build(&ob.build());
+        assert!(g.multi_called(leaf_idx));
+        assert_eq!(g.call_sites(leaf_idx), 2);
+    }
+
+    #[test]
+    fn call_in_loop_is_multi() {
+        let mut ob = ObjectBuilder::new("O");
+        let leaf = ob.method("leaf", 0).private();
+        let leaf_idx = leaf.done();
+        let mut s = ob.method("start", 0);
+        s.for_loop(CountExpr::Lit(3), |b| {
+            b.call(leaf_idx, vec![]);
+        });
+        s.done();
+        let g = CallGraph::build(&ob.build());
+        assert!(g.multi_called(leaf_idx));
+    }
+
+    #[test]
+    fn virtual_candidates_all_count() {
+        let mut ob = ObjectBuilder::new("O");
+        let a = ob.method("implA", 0).private().non_final();
+        let a_idx = a.done();
+        let b = ob.method("implB", 0).private().non_final();
+        let b_idx = b.done();
+        let mut s = ob.method("start", 1);
+        s.virtual_call(vec![a_idx, b_idx], IntExpr::Arg(0), vec![]);
+        let s_idx = s.done();
+        let g = CallGraph::build(&ob.build());
+        assert_eq!(g.callees(s_idx), &[a_idx, b_idx]);
+        let _ = ArgExpr::CallerArg(0); // keep import used in this module
+    }
+}

@@ -1,0 +1,82 @@
+//! Lock-parameter classification (paper §4.2).
+//!
+//! "In order to determine which objects will be locked during method
+//! execution, we need to inspect the synchronized parameter and find out
+//! when this parameter is assigned the last time." Parameters fall into
+//! three classes:
+//!
+//! * announceable **at method entry** — `this`, a constant monitor, a
+//!   method parameter, or a pool slot indexed by a method parameter;
+//! * announceable **after the last assignment** — a method-local
+//!   variable;
+//! * **spontaneous** — instance variables, pool slots indexed by mutable
+//!   state, and method-call results: "the parameter is unknown until the
+//!   locking happens".
+
+use dmt_lang::ast::MutexExpr;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamClass {
+    /// The value is fixed by the request arguments: announce right after
+    /// method start.
+    AtEntry,
+    /// A local variable: announce right after its last assignment.
+    AfterAssign,
+    /// Unknown until the lock executes; the lock itself doubles as the
+    /// announcement (`lockInfo` + `lock`, §4.2).
+    Spontaneous,
+}
+
+impl ParamClass {
+    pub fn is_spontaneous(self) -> bool {
+        self == ParamClass::Spontaneous
+    }
+}
+
+/// Classifies a synchronisation parameter expression.
+pub fn classify(e: &MutexExpr) -> ParamClass {
+    match e {
+        MutexExpr::This | MutexExpr::Konst(_) | MutexExpr::Arg(_) | MutexExpr::Pool { .. } => {
+            ParamClass::AtEntry
+        }
+        MutexExpr::Local(_) => ParamClass::AfterAssign,
+        MutexExpr::Field(_) | MutexExpr::PoolByCell { .. } | MutexExpr::CallResult { .. } => {
+            ParamClass::Spontaneous
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::ids::{CallSiteId, CellId, FieldId, LocalId, MutexId};
+
+    #[test]
+    fn entry_class() {
+        assert_eq!(classify(&MutexExpr::This), ParamClass::AtEntry);
+        assert_eq!(classify(&MutexExpr::Konst(MutexId::new(1))), ParamClass::AtEntry);
+        assert_eq!(classify(&MutexExpr::Arg(0)), ParamClass::AtEntry);
+        assert_eq!(
+            classify(&MutexExpr::Pool { base: 0, len: 100, index_arg: 2 }),
+            ParamClass::AtEntry
+        );
+    }
+
+    #[test]
+    fn local_class() {
+        assert_eq!(classify(&MutexExpr::Local(LocalId::new(0))), ParamClass::AfterAssign);
+        assert!(!classify(&MutexExpr::Local(LocalId::new(0))).is_spontaneous());
+    }
+
+    #[test]
+    fn spontaneous_class() {
+        assert!(classify(&MutexExpr::Field(FieldId::new(0))).is_spontaneous());
+        assert!(classify(&MutexExpr::PoolByCell { base: 0, len: 4, cell: CellId::new(0) })
+            .is_spontaneous());
+        assert!(classify(&MutexExpr::CallResult {
+            site: CallSiteId::new(0),
+            resolves_to: FieldId::new(0)
+        })
+        .is_spontaneous());
+    }
+}

@@ -1,0 +1,295 @@
+//! Execution-path enumeration (paper §4.1).
+//!
+//! "By code analysis, we can figure out all execution paths for all start
+//! methods and the syncids of the synchronized blocks on the paths." The
+//! summary computed here records, for one start method, every syncid its
+//! flow can pass (transitively through calls), each with its parameter
+//! class and whether it can be entered repeatedly — plus the path count
+//! the paper's "limited number of paths" restriction refers to.
+
+use crate::callgraph::CallGraph;
+use crate::lockparam::{classify, ParamClass};
+use dmt_lang::ast::{MutexExpr, ObjectImpl, Stmt};
+use dmt_lang::{MethodIdx, SyncId};
+
+/// One synchronized block reachable from a start method.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyncInfo {
+    pub sync_id: SyncId,
+    /// Method whose body contains the block.
+    pub in_method: MethodIdx,
+    pub param: MutexExpr,
+    pub class: ParamClass,
+    /// Entered under a loop in its own method, or reachable via a method
+    /// invoked more than once per request — the lock can recur, so the
+    /// table entry must stay pinned until an explicit ignore (§4.4).
+    pub repeatable: bool,
+}
+
+/// Static summary of one start method.
+#[derive(Clone, Debug)]
+pub struct MethodSummary {
+    pub method: MethodIdx,
+    pub name: String,
+    /// False when recursion is reachable: the analysis steps back to the
+    /// unpredicted algorithm for this method (paper §4.4).
+    pub analyzable: bool,
+    /// All reachable synchronized blocks, ordered by syncid.
+    pub syncs: Vec<SyncInfo>,
+    /// Number of distinct execution paths (branches multiply, loops count
+    /// as take-or-skip, virtual calls sum over candidates). Saturating.
+    pub path_count: u64,
+}
+
+impl MethodSummary {
+    pub fn spontaneous_count(&self) -> usize {
+        self.syncs.iter().filter(|s| s.class.is_spontaneous()).count()
+    }
+
+    pub fn at_entry_count(&self) -> usize {
+        self.syncs.iter().filter(|s| s.class == ParamClass::AtEntry).count()
+    }
+
+    /// Can the thread be predicted the moment the method starts (every
+    /// lock parameter known at entry and nothing repeatable-unbounded)?
+    pub fn predictable_at_entry(&self) -> bool {
+        self.analyzable && self.syncs.iter().all(|s| s.class == ParamClass::AtEntry)
+    }
+}
+
+/// Summarises `start` (usually a public method) of `obj`.
+pub fn summarize(obj: &ObjectImpl, graph: &CallGraph, start: MethodIdx) -> MethodSummary {
+    let name = obj.method(start).name.clone();
+    if graph.reaches_recursion(start) {
+        return MethodSummary { method: start, name, analyzable: false, syncs: Vec::new(), path_count: 0 };
+    }
+    let mut syncs = Vec::new();
+    for m in graph.reachable(start) {
+        let repeat_via_calls = m != start && graph.multi_called(m);
+        collect_syncs(&obj.method(m).body, m, false, repeat_via_calls, &mut syncs);
+    }
+    syncs.sort_by_key(|s| s.sync_id);
+    let path_count = count_paths(obj, graph, start);
+    MethodSummary { method: start, name, analyzable: true, syncs, path_count }
+}
+
+fn collect_syncs(
+    stmts: &[Stmt],
+    in_method: MethodIdx,
+    in_loop: bool,
+    repeat_via_calls: bool,
+    out: &mut Vec<SyncInfo>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Sync { sync_id, param, body } => {
+                out.push(SyncInfo {
+                    sync_id: *sync_id,
+                    in_method,
+                    param: param.clone(),
+                    class: classify(param),
+                    repeatable: in_loop || repeat_via_calls,
+                });
+                collect_syncs(body, in_method, in_loop, repeat_via_calls, out);
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_syncs(then_branch, in_method, in_loop, repeat_via_calls, out);
+                collect_syncs(else_branch, in_method, in_loop, repeat_via_calls, out);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                collect_syncs(body, in_method, true, repeat_via_calls, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Path count with memoised per-method results. Recursion was excluded
+/// before calling.
+fn count_paths(obj: &ObjectImpl, graph: &CallGraph, start: MethodIdx) -> u64 {
+    fn of_method(
+        obj: &ObjectImpl,
+        m: MethodIdx,
+        memo: &mut Vec<Option<u64>>,
+    ) -> u64 {
+        if let Some(v) = memo[m.index()] {
+            return v;
+        }
+        // Mark with 1 to guard against unexpected cycles (validated
+        // acyclic by the caller).
+        memo[m.index()] = Some(1);
+        let v = of_block(obj, &obj.method(m).body, memo);
+        memo[m.index()] = Some(v);
+        v
+    }
+
+    fn of_block(obj: &ObjectImpl, stmts: &[Stmt], memo: &mut Vec<Option<u64>>) -> u64 {
+        let mut paths: u64 = 1;
+        for s in stmts {
+            let f = match s {
+                Stmt::If { then_branch, else_branch, .. } => {
+                    of_block(obj, then_branch, memo).saturating_add(of_block(obj, else_branch, memo))
+                }
+                Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                    // Take-or-skip abstraction for counting purposes.
+                    of_block(obj, body, memo).saturating_add(1)
+                }
+                Stmt::Sync { body, .. } => of_block(obj, body, memo),
+                Stmt::Call { method, .. } => of_method(obj, *method, memo),
+                Stmt::VirtualCall { candidates, .. } => candidates
+                    .iter()
+                    .map(|c| of_method(obj, *c, memo))
+                    .fold(0u64, u64::saturating_add),
+                _ => 1,
+            };
+            paths = paths.saturating_mul(f.max(1));
+        }
+        paths
+    }
+
+    let _ = graph;
+    let mut memo = vec![None; obj.methods.len()];
+    of_method(obj, start, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::ast::{CondExpr, CountExpr, IntExpr};
+    use dmt_lang::ObjectBuilder;
+
+    fn summarize_obj(obj: &ObjectImpl, name: &str) -> MethodSummary {
+        let graph = CallGraph::build(obj);
+        summarize(obj, &graph, obj.method_by_name(name).unwrap())
+    }
+
+    #[test]
+    fn straight_line_single_sync() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut m = ob.method("m", 1);
+        m.sync(MutexExpr::Arg(0), |_| {});
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "m");
+        assert!(s.analyzable);
+        assert_eq!(s.syncs.len(), 1);
+        assert_eq!(s.syncs[0].class, ParamClass::AtEntry);
+        assert!(!s.syncs[0].repeatable);
+        assert_eq!(s.path_count, 1);
+        assert!(s.predictable_at_entry());
+    }
+
+    #[test]
+    fn figure4_shape_counts_two_paths() {
+        // if (myo.equals(o)) sync(o) {} else sync(myo) {}
+        let mut ob = ObjectBuilder::new("O");
+        let myo = ob.field();
+        let mut m = ob.method("foo", 1);
+        m.if_else(
+            CondExpr::ParamEqField(0, myo),
+            |b| {
+                b.sync(MutexExpr::Arg(0), |_| {});
+            },
+            |b| {
+                b.sync(MutexExpr::Field(myo), |_| {});
+            },
+        );
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "foo");
+        assert_eq!(s.path_count, 2);
+        assert_eq!(s.syncs.len(), 2);
+        assert_eq!(s.at_entry_count(), 1);
+        assert_eq!(s.spontaneous_count(), 1);
+        assert!(!s.predictable_at_entry());
+    }
+
+    #[test]
+    fn loops_mark_repeatable() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut m = ob.method("m", 1);
+        m.for_loop(CountExpr::Lit(10), |b| {
+            b.sync(MutexExpr::Arg(0), |_| {});
+        });
+        m.sync(MutexExpr::This, |_| {});
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "m");
+        let rep: Vec<bool> = s.syncs.iter().map(|x| x.repeatable).collect();
+        assert_eq!(rep, vec![true, false]);
+    }
+
+    #[test]
+    fn callee_syncs_are_included() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut helper = ob.method("helper", 1).private();
+        helper.sync(MutexExpr::Arg(0), |_| {});
+        let helper_idx = helper.done();
+        let mut m = ob.method("m", 1);
+        m.call(helper_idx, vec![dmt_lang::ast::ArgExpr::CallerArg(0)]);
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "m");
+        assert_eq!(s.syncs.len(), 1);
+        assert_eq!(s.syncs[0].in_method, helper_idx);
+        assert!(!s.syncs[0].repeatable, "singly-called callee is not repeatable");
+    }
+
+    #[test]
+    fn multi_called_callee_marks_repeatable() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut helper = ob.method("helper", 0).private();
+        helper.sync(MutexExpr::This, |_| {});
+        let helper_idx = helper.done();
+        let mut m = ob.method("m", 0);
+        m.call(helper_idx, vec![]);
+        m.call(helper_idx, vec![]);
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "m");
+        assert_eq!(s.syncs.len(), 1);
+        assert!(s.syncs[0].repeatable);
+    }
+
+    #[test]
+    fn recursion_is_unanalyzable() {
+        let mut ob = ObjectBuilder::new("O");
+        let self_idx = ob.next_method_idx();
+        let mut m = ob.method("rec", 0);
+        m.call(self_idx, vec![]);
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "rec");
+        assert!(!s.analyzable);
+        assert!(s.syncs.is_empty());
+    }
+
+    #[test]
+    fn virtual_call_paths_sum() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut a = ob.method("a", 0).private().non_final();
+        a.if_else(CondExpr::Konst(true), |_| {}, |_| {});
+        let a_idx = a.done();
+        let b = ob.method("b", 0).private().non_final();
+        let b_idx = b.done();
+        let mut m = ob.method("m", 1);
+        m.virtual_call(vec![a_idx, b_idx], IntExpr::Arg(0), vec![]);
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "m");
+        assert_eq!(s.path_count, 3); // a has 2 paths + b has 1
+    }
+
+    #[test]
+    fn path_count_multiplies_sequential_branches() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut m = ob.method("m", 2);
+        for i in 0..2 {
+            m.if_else(CondExpr::ArgFlag(i), |_| {}, |_| {});
+        }
+        m.done();
+        let obj = ob.build();
+        let s = summarize_obj(&obj, "m");
+        assert_eq!(s.path_count, 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! A Java-flavoured pretty-printer for `dmt-lang` objects.
+//!
+//! Renders original and transformed methods side by side in the style of
+//! the paper's Figure 4 (synchronized blocks become explicit
+//! `scheduler.lock`/`unlock` pairs, injections show as
+//! `scheduler.lockInfo`/`scheduler.ignore`). Used by the Figure 4 golden
+//! test and the `analysis_transform` example.
+
+use dmt_lang::ast::{
+    ArgExpr, CondExpr, CountExpr, DurExpr, IntExpr, Method, MutexExpr, ObjectImpl, Stmt,
+};
+
+/// Renders a whole object.
+pub fn print_object(obj: &ObjectImpl) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("class {} {{\n", obj.name));
+    for m in &obj.methods {
+        out.push_str(&print_method(m, 1));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one method at the given indent level.
+pub fn print_method(m: &Method, indent: usize) -> String {
+    let pad = "    ".repeat(indent);
+    let vis = if m.public { "public" } else { "private" };
+    let fin = if m.is_final { " final" } else { "" };
+    let params: Vec<String> = (0..m.arity).map(|i| format!("Object a{i}")).collect();
+    let mut out = format!("{pad}{vis}{fin} void {}({}) {{\n", m.name, params.join(", "));
+    print_block(&m.body, indent + 1, &mut out);
+    out.push_str(&format!("{pad}}}\n"));
+    out
+}
+
+fn print_block(stmts: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Compute(d) => out.push_str(&format!("{pad}compute({});\n", dur(d))),
+            Stmt::Sync { sync_id, param, body } => {
+                out.push_str(&format!("{pad}scheduler.lock({}, {});\n", sync_id.0, mutex(param)));
+                print_block(body, indent, out);
+                out.push_str(&format!("{pad}scheduler.unlock({}, {});\n", sync_id.0, mutex(param)));
+            }
+            Stmt::Wait(p) => out.push_str(&format!("{pad}{}.wait();\n", mutex(p))),
+            Stmt::Notify { param, all } => {
+                let call = if *all { "notifyAll" } else { "notify" };
+                out.push_str(&format!("{pad}{}.{call}();\n", mutex(param)));
+            }
+            Stmt::Nested { service, dur: d } => {
+                out.push_str(&format!("{pad}svc{}.invoke(); // nested, {}\n", service.0, dur(d)))
+            }
+            Stmt::Update { cell, delta } => {
+                out.push_str(&format!("{pad}state[{}] += {};\n", cell.0, int(delta)))
+            }
+            Stmt::UpdateIndexed { base, len, index_arg, delta } => out.push_str(&format!(
+                "{pad}state[{base} + a{index_arg} % {len}] += {};\n",
+                int(delta)
+            )),
+            Stmt::SetCell { cell, value } => {
+                out.push_str(&format!("{pad}state[{}] = {};\n", cell.0, int(value)))
+            }
+            Stmt::Assign { local, expr } => {
+                out.push_str(&format!("{pad}v{} = {};\n", local.0, mutex(expr)))
+            }
+            Stmt::If { cond: c, then_branch, else_branch } => {
+                out.push_str(&format!("{pad}if ({}) {{\n", cond(c)));
+                print_block(then_branch, indent + 1, out);
+                if else_branch.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    print_block(else_branch, indent + 1, out);
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            Stmt::For { count, body } => {
+                out.push_str(&format!("{pad}for (int i = 0; i < {}; i++) {{\n", countx(count)));
+                print_block(body, indent + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::While { cond: c, body } => {
+                out.push_str(&format!("{pad}while ({}) {{\n", cond(c)));
+                print_block(body, indent + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Call { method, args } => {
+                let a: Vec<String> = args.iter().map(arg).collect();
+                out.push_str(&format!("{pad}this.fn{}({});\n", method.0, a.join(", ")));
+            }
+            Stmt::VirtualCall { candidates, args, .. } => {
+                let a: Vec<String> = args.iter().map(arg).collect();
+                let c: Vec<String> = candidates.iter().map(|m| format!("fn{}", m.0)).collect();
+                out.push_str(&format!("{pad}iface.dispatch[{}]({});\n", c.join("|"), a.join(", ")));
+            }
+            Stmt::LockInfo { sync_id, param } => out.push_str(&format!(
+                "{pad}scheduler.lockInfo({}, {});\n",
+                sync_id.0,
+                mutex(param)
+            )),
+            Stmt::IgnoreSync { sync_id } => {
+                out.push_str(&format!("{pad}scheduler.ignore({});\n", sync_id.0))
+            }
+            Stmt::Return => out.push_str(&format!("{pad}return;\n")),
+        }
+    }
+}
+
+fn mutex(e: &MutexExpr) -> String {
+    match e {
+        MutexExpr::This => "this".into(),
+        MutexExpr::Konst(m) => format!("GLOBAL_{}", m.0),
+        MutexExpr::Arg(i) => format!("a{i}"),
+        MutexExpr::Local(l) => format!("v{}", l.0),
+        MutexExpr::Field(f) => format!("this.f{}", f.0),
+        MutexExpr::Pool { base, len, index_arg } => {
+            format!("pool{base}[a{index_arg} % {len}]")
+        }
+        MutexExpr::PoolByCell { base, len, cell } => {
+            format!("pool{base}[state[{}] % {len}]", cell.0)
+        }
+        MutexExpr::CallResult { site, .. } => format!("lookup{}()", site.0),
+    }
+}
+
+fn cond(c: &CondExpr) -> String {
+    match c {
+        CondExpr::Konst(b) => b.to_string(),
+        CondExpr::ArgFlag(i) => format!("a{i}"),
+        CondExpr::ArgIntLt(i, k) => format!("a{i} < {k}"),
+        CondExpr::CellEq(cl, k) => format!("state[{}] == {k}", cl.0),
+        CondExpr::CellLt(cl, k) => format!("state[{}] < {k}", cl.0),
+        CondExpr::CellGe(cl, k) => format!("state[{}] >= {k}", cl.0),
+        CondExpr::ParamEqField(i, f) => format!("this.f{}.equals(a{i})", f.0),
+        CondExpr::Not(inner) => format!("!({})", cond(inner)),
+    }
+}
+
+fn int(e: &IntExpr) -> String {
+    match e {
+        IntExpr::Lit(v) => v.to_string(),
+        IntExpr::Arg(i) => format!("a{i}"),
+        IntExpr::Cell(c) => format!("state[{}]", c.0),
+    }
+}
+
+fn dur(e: &DurExpr) -> String {
+    match e {
+        DurExpr::Nanos(n) => format!("{:.3}ms", *n as f64 / 1e6),
+        DurExpr::Arg(i) => format!("a{i} ns"),
+    }
+}
+
+fn countx(e: &CountExpr) -> String {
+    match e {
+        CountExpr::Lit(n) => n.to_string(),
+        CountExpr::Arg(i) => format!("a{i}"),
+    }
+}
+
+fn arg(e: &ArgExpr) -> String {
+    match e {
+        ArgExpr::Const(v) => format!("{v:?}"),
+        ArgExpr::CallerArg(i) => format!("a{i}"),
+        ArgExpr::Local(l) => format!("v{}", l.0),
+        ArgExpr::Field(f) => format!("this.f{}", f.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::ObjectBuilder;
+
+    #[test]
+    fn renders_sync_as_scheduler_calls() {
+        let mut ob = ObjectBuilder::new("T");
+        let mut m = ob.method("foo", 1);
+        m.sync(MutexExpr::Arg(0), |b| {
+            b.compute_ms(1);
+        });
+        m.done();
+        let text = print_object(&ob.build());
+        assert!(text.contains("scheduler.lock(0, a0);"));
+        assert!(text.contains("scheduler.unlock(0, a0);"));
+        assert!(text.contains("compute(1.000ms);"));
+        assert!(text.contains("class T {"));
+    }
+
+    #[test]
+    fn renders_injections() {
+        let mut ob = ObjectBuilder::new("T");
+        let mut m = ob.method("foo", 1);
+        m.sync(MutexExpr::Arg(0), |_| {});
+        m.done();
+        let transformed = crate::transform::transform(&ob.build());
+        let text = print_object(&transformed);
+        assert!(text.contains("scheduler.lockInfo(0, a0);"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Analysis statistics — the data behind the `tab-analysis` experiment
+//! (how much of a workload the static analysis can actually predict).
+
+use crate::callgraph::CallGraph;
+use crate::lockparam::ParamClass;
+use crate::paths::{summarize, MethodSummary};
+use dmt_lang::ast::ObjectImpl;
+use dmt_lang::MethodIdx;
+use std::fmt;
+
+/// Per-start-method analysis statistics.
+#[derive(Clone, Debug)]
+pub struct MethodReport {
+    pub name: String,
+    pub analyzable: bool,
+    pub path_count: u64,
+    pub n_syncs: usize,
+    pub n_at_entry: usize,
+    pub n_after_assign: usize,
+    pub n_spontaneous: usize,
+    pub n_repeatable: usize,
+    /// Every lock parameter known the moment the request starts —
+    /// the best case for PMAT (Figure 3(b)).
+    pub predictable_at_entry: bool,
+}
+
+/// Whole-object analysis report.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    pub object: String,
+    pub methods: Vec<MethodReport>,
+}
+
+impl AnalysisReport {
+    pub fn analyzable_fraction(&self) -> f64 {
+        if self.methods.is_empty() {
+            return 1.0;
+        }
+        self.methods.iter().filter(|m| m.analyzable).count() as f64 / self.methods.len() as f64
+    }
+
+    pub fn spontaneous_fraction(&self) -> f64 {
+        let total: usize = self.methods.iter().map(|m| m.n_syncs).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let spont: usize = self.methods.iter().map(|m| m.n_spontaneous).sum();
+        spont as f64 / total as f64
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "analysis report for object `{}`", self.object)?;
+        writeln!(
+            f,
+            "{:<18} {:>6} {:>6} {:>8} {:>8} {:>6} {:>6} {:>9}",
+            "method", "paths", "syncs", "entry", "assign", "spont", "loop", "predict@0"
+        )?;
+        for m in &self.methods {
+            if !m.analyzable {
+                writeln!(f, "{:<18} (unanalysable: recursion reachable)", m.name)?;
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<18} {:>6} {:>6} {:>8} {:>8} {:>6} {:>6} {:>9}",
+                m.name,
+                m.path_count,
+                m.n_syncs,
+                m.n_at_entry,
+                m.n_after_assign,
+                m.n_spontaneous,
+                m.n_repeatable,
+                if m.predictable_at_entry { "yes" } else { "no" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyses every start (public) method of `obj`.
+pub fn analyze(obj: &ObjectImpl) -> AnalysisReport {
+    let graph = CallGraph::build(obj);
+    let methods = obj
+        .start_methods()
+        .into_iter()
+        .map(|mi| method_report(obj, &graph, mi))
+        .collect();
+    AnalysisReport { object: obj.name.clone(), methods }
+}
+
+fn method_report(obj: &ObjectImpl, graph: &CallGraph, mi: MethodIdx) -> MethodReport {
+    let s: MethodSummary = summarize(obj, graph, mi);
+    MethodReport {
+        name: s.name.clone(),
+        analyzable: s.analyzable,
+        path_count: s.path_count,
+        n_syncs: s.syncs.len(),
+        n_at_entry: s.syncs.iter().filter(|x| x.class == ParamClass::AtEntry).count(),
+        n_after_assign: s.syncs.iter().filter(|x| x.class == ParamClass::AfterAssign).count(),
+        n_spontaneous: s.spontaneous_count(),
+        n_repeatable: s.syncs.iter().filter(|x| x.repeatable).count(),
+        predictable_at_entry: s.predictable_at_entry(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::ast::{CondExpr, MutexExpr};
+    use dmt_lang::ObjectBuilder;
+
+    #[test]
+    fn report_counts_classes() {
+        let mut ob = ObjectBuilder::new("O");
+        let f = ob.field();
+        let mut m = ob.method("m", 1);
+        m.sync(MutexExpr::Arg(0), |_| {});
+        m.if_else(
+            CondExpr::ArgFlag(0),
+            |b| {
+                b.sync(MutexExpr::Field(f), |_| {});
+            },
+            |_| {},
+        );
+        m.done();
+        let report = analyze(&ob.build());
+        assert_eq!(report.methods.len(), 1);
+        let r = &report.methods[0];
+        assert!(r.analyzable);
+        assert_eq!(r.n_syncs, 2);
+        assert_eq!(r.n_at_entry, 1);
+        assert_eq!(r.n_spontaneous, 1);
+        assert_eq!(r.path_count, 2);
+        assert!(!r.predictable_at_entry);
+        assert!((report.spontaneous_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(report.analyzable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn display_renders_every_method() {
+        let mut ob = ObjectBuilder::new("O");
+        let m = ob.method("alpha", 0);
+        m.done();
+        let self_idx = ob.next_method_idx();
+        let mut rec = ob.method("beta", 0);
+        rec.call(self_idx, vec![]);
+        rec.done();
+        let report = analyze(&ob.build());
+        let text = report.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("unanalysable"));
+        assert_eq!(report.analyzable_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,104 @@
+//! Assembly of the static lock table (paper §4.1): "we get a list of
+//! syncids for each start method and with it all the static information
+//! the scheduler needs. The scheduler is initialised with that
+//! information at start-up."
+
+use crate::callgraph::CallGraph;
+use crate::paths::{summarize, MethodSummary};
+use dmt_core::{LockTable, StaticSyncEntry};
+use dmt_lang::ast::ObjectImpl;
+use dmt_lang::MethodIdx;
+use std::sync::Arc;
+
+/// Builds the lock table for every method of `obj`. Rows for non-public
+/// methods and for methods from which recursion is reachable are `None`
+/// (unanalysed — the scheduler falls back to pessimism for them).
+pub fn build_lock_table(obj: &ObjectImpl) -> Arc<LockTable> {
+    let graph = CallGraph::build(obj);
+    let rows = (0..obj.methods.len())
+        .map(|i| {
+            let mi = MethodIdx::new(i as u32);
+            if !obj.methods[i].public {
+                return None;
+            }
+            let summary = summarize(obj, &graph, mi);
+            summary_to_row(&summary)
+        })
+        .collect();
+    Arc::new(LockTable::new(rows))
+}
+
+fn summary_to_row(s: &MethodSummary) -> Option<Vec<StaticSyncEntry>> {
+    if !s.analyzable {
+        return None;
+    }
+    Some(
+        s.syncs
+            .iter()
+            .map(|info| StaticSyncEntry { sync_id: info.sync_id, repeatable: info.repeatable })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::ast::{CountExpr, MutexExpr};
+    use dmt_lang::{ObjectBuilder, SyncId};
+
+    #[test]
+    fn public_methods_get_rows() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut pubm = ob.method("p", 1);
+        pubm.sync(MutexExpr::Arg(0), |_| {});
+        pubm.done();
+        let mut privm = ob.method("q", 0).private();
+        privm.sync(MutexExpr::This, |_| {});
+        privm.done();
+        let table = build_lock_table(&ob.build());
+        let row = table.entries(MethodIdx::new(0)).unwrap();
+        assert_eq!(row.len(), 1);
+        assert_eq!(row[0].sync_id, SyncId::new(0));
+        assert!(!row[0].repeatable);
+        assert!(table.entries(MethodIdx::new(1)).is_none(), "private: no row");
+    }
+
+    #[test]
+    fn callee_syncs_appear_in_start_row() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut h = ob.method("h", 0).private();
+        h.sync(MutexExpr::This, |_| {});
+        let h_idx = h.done();
+        let mut m = ob.method("m", 0);
+        m.sync(MutexExpr::This, |_| {});
+        m.call(h_idx, vec![]);
+        m.done();
+        let table = build_lock_table(&ob.build());
+        let row = table.entries(MethodIdx::new(1)).unwrap();
+        assert_eq!(row.len(), 2, "own block + callee block");
+    }
+
+    #[test]
+    fn loop_blocks_marked_repeatable() {
+        let mut ob = ObjectBuilder::new("O");
+        let mut m = ob.method("m", 1);
+        m.for_loop(CountExpr::Lit(2), |b| {
+            b.sync(MutexExpr::Arg(0), |_| {});
+        });
+        m.done();
+        let table = build_lock_table(&ob.build());
+        let row = table.entries(MethodIdx::new(0)).unwrap();
+        assert!(row[0].repeatable);
+    }
+
+    #[test]
+    fn recursive_start_method_row_is_none() {
+        let mut ob = ObjectBuilder::new("O");
+        let self_idx = ob.next_method_idx();
+        let mut m = ob.method("rec", 0);
+        m.call(self_idx, vec![]);
+        m.done();
+        let table = build_lock_table(&ob.build());
+        assert!(table.entries(MethodIdx::new(0)).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench for the Figure-3 experiment (lock prediction on
+//! disjoint mutex sets): MAT vs MAT-LL vs PMAT. Asserts the virtual-time
+//! win before timing the simulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt_core::SchedulerKind;
+use dmt_replica::{Engine, EngineConfig};
+use dmt_workload::fig3;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let params = fig3::Fig3Params { n_clients: 6, requests_per_client: 2, ..Default::default() };
+    let pair = fig3::scenario(&params);
+
+    let mean = |kind: SchedulerKind| {
+        let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
+        assert!(!res.deadlocked);
+        res.response_times.mean()
+    };
+    assert!(mean(SchedulerKind::Pmat) < mean(SchedulerKind::Mat));
+
+    let mut group = c.benchmark_group("fig3_prediction");
+    for kind in [SchedulerKind::Mat, SchedulerKind::MatLL, SchedulerKind::Pmat] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let scenario = pair.for_kind(kind);
+            b.iter(|| {
+                let cfg = EngineConfig::new(kind).with_seed(3);
+                black_box(Engine::new(black_box(scenario.clone()), cfg).run().makespan)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

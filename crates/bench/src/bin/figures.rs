@@ -1,0 +1,62 @@
+//! Regenerates every table and figure of the paper (and the ablations).
+//!
+//! ```text
+//! cargo run -p dmt-bench --release --bin figures -- all
+//! cargo run -p dmt-bench --release --bin figures -- fig1 [--quick] [--csv]
+//! ```
+
+use dmt_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+
+    let client_counts: Vec<usize> =
+        if quick { vec![1, 2, 4, 8] } else { vec![1, 2, 4, 8, 16, 24, 32] };
+    let requests = if quick { 2 } else { 4 };
+
+    let emit = |t: &Table| {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+    };
+
+    let run_one = |name: &str| match name {
+        "fig1" => emit(&fig1_experiment(&client_counts, requests, false)),
+        "fig1x" => emit(&fig1_experiment(&client_counts, requests, true)),
+        "fig2" => emit(&fig2_experiment(&[0.0, 1.0, 2.0, 5.0, 10.0])),
+        "fig3" => emit(&fig3_experiment(&client_counts)),
+        "fig4" => println!("{}", fig4_experiment()),
+        "analysis" => println!("{}", analysis_experiment()),
+        "abl-mutexes" => emit(&abl_mutexes_experiment(&[1, 10, 100, 1000])),
+        "abl-overhead" => emit(&abl_overhead_experiment()),
+        "abl-wan" => emit(&abl_wan_experiment(&[0, 2, 10, 50])),
+        "abl-passive" => emit(&abl_passive_experiment()),
+        "determinism" => emit(&determinism_experiment()),
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!(
+                "known: fig1 fig1x fig2 fig3 fig4 analysis abl-mutexes \
+                 abl-overhead abl-wan abl-passive determinism all"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if what == "all" {
+        for name in [
+            "fig1", "fig1x", "fig2", "fig3", "fig4", "analysis", "abl-mutexes", "abl-overhead",
+            "abl-wan", "abl-passive", "determinism",
+        ] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(what);
+    }
+}

@@ -1,0 +1,355 @@
+//! The experiments of EXPERIMENTS.md, one function per table/figure.
+
+use crate::table::Table;
+use dmt_core::SchedulerKind;
+use dmt_groupcomm::NetConfig;
+use dmt_replica::{check_determinism, Engine, EngineConfig};
+use dmt_sim::SimDuration;
+use dmt_workload::{bank, buffer, fig1, fig2, fig3};
+use std::time::Instant;
+
+/// The five algorithms of the paper's Figure 1.
+pub const FIG1_KINDS: [SchedulerKind; 5] = [
+    SchedulerKind::Seq,
+    SchedulerKind::Sat,
+    SchedulerKind::Lsa,
+    SchedulerKind::Pds,
+    SchedulerKind::Mat,
+];
+
+/// The paper's algorithms plus our predicted extensions.
+pub const ALL_KINDS: [SchedulerKind; 7] = [
+    SchedulerKind::Seq,
+    SchedulerKind::Sat,
+    SchedulerKind::Lsa,
+    SchedulerKind::Pds,
+    SchedulerKind::Mat,
+    SchedulerKind::MatLL,
+    SchedulerKind::Pmat,
+];
+
+fn ms(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// **fig1** — mean response time vs. number of clients, per scheduler
+/// (paper Figure 1). `extended` adds the MAT-LL and PMAT series.
+pub fn fig1_experiment(client_counts: &[usize], requests_per_client: usize, extended: bool) -> Table {
+    let kinds: Vec<SchedulerKind> = if extended {
+        ALL_KINDS.to_vec()
+    } else {
+        FIG1_KINDS.to_vec()
+    };
+    let mut cols: Vec<String> = vec!["clients".into()];
+    cols.extend(kinds.iter().map(|k| format!("{k} (ms)")));
+    let mut t = Table::new(
+        "Figure 1: mean response time vs clients (3 replicas, LAN)",
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    for &n in client_counts {
+        let params = fig1::Fig1Params::default()
+            .with_clients(n)
+            .with_seed(1000 + n as u64);
+        let params = fig1::Fig1Params { requests_per_client, ..params };
+        let pair = fig1::scenario(&params);
+        let mut row = vec![n.to_string()];
+        for &kind in &kinds {
+            let cfg = EngineConfig::new(kind).with_seed(7).with_cpu_jitter(0.05);
+            let res = Engine::new(pair.for_kind(kind), cfg).run();
+            assert!(!res.deadlocked, "{kind} stalled at {n} clients");
+            row.push(ms(res.response_times.mean()));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// **fig2** — MAT vs MAT-LL as the post-last-lock computation grows
+/// (paper Figure 2: hand-off before thread termination).
+pub fn fig2_experiment(final_ms_values: &[f64]) -> Table {
+    let mut t = Table::new(
+        "Figure 2: last-lock analysis — response time vs final computation",
+        &["final_ms", "MAT (ms)", "MAT-LL (ms)", "speedup"],
+    );
+    for &f in final_ms_values {
+        let p = fig2::Fig2Params { final_ms: f, ..fig2::Fig2Params::default() };
+        let pair = fig2::scenario(&p);
+        let run = |kind: SchedulerKind| {
+            let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
+            assert!(!res.deadlocked);
+            res.response_times.mean()
+        };
+        let mat = run(SchedulerKind::Mat);
+        let ll = run(SchedulerKind::MatLL);
+        t.push_row(vec![ms(f), ms(mat), ms(ll), format!("{:.2}x", mat / ll)]);
+    }
+    t
+}
+
+/// **fig3** — MAT vs MAT-LL vs PMAT on disjoint lock sets (paper
+/// Figure 3: prediction enables non-conflicting concurrency).
+pub fn fig3_experiment(client_counts: &[usize]) -> Table {
+    let mut t = Table::new(
+        "Figure 3: lock prediction — response time on disjoint mutexes",
+        &["clients", "MAT (ms)", "MAT-LL (ms)", "PMAT (ms)", "ideal (ms)"],
+    );
+    for &n in client_counts {
+        let p = fig3::Fig3Params { n_clients: n, ..fig3::Fig3Params::default() };
+        let pair = fig3::scenario(&p);
+        let run = |kind: SchedulerKind| {
+            let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
+            assert!(!res.deadlocked);
+            res.response_times.mean()
+        };
+        // Ideal: full overlap — a request costs its own work plus wire.
+        let ideal = p.pre_ms + p.cs_ms + 4.0 * NetConfig::lan().one_way.as_millis_f64();
+        t.push_row(vec![
+            n.to_string(),
+            ms(run(SchedulerKind::Mat)),
+            ms(run(SchedulerKind::MatLL)),
+            ms(run(SchedulerKind::Pmat)),
+            ms(ideal),
+        ]);
+    }
+    t
+}
+
+/// **fig4** — the code transformation example (paper Figure 4), rendered.
+pub fn fig4_experiment() -> String {
+    use dmt_lang::ast::{CondExpr, MutexExpr};
+    use dmt_lang::ObjectBuilder;
+    let mut ob = ObjectBuilder::new("Fig4");
+    let myo = ob.field();
+    let mut m = ob.method("foo", 1);
+    m.if_else(
+        CondExpr::ParamEqField(0, myo),
+        |b| {
+            b.sync(MutexExpr::Arg(0), |_| {});
+        },
+        |b| {
+            b.sync(MutexExpr::Field(myo), |_| {});
+        },
+    );
+    m.done();
+    let obj = ob.build();
+    let transformed = dmt_analysis::transform(&obj);
+    format!(
+        "=== original ===\n{}\n=== after analysis & injection ===\n{}",
+        dmt_analysis::pretty::print_object(&obj),
+        dmt_analysis::pretty::print_object(&transformed),
+    )
+}
+
+/// **tab-analysis** — static-analysis statistics over the workload suite.
+pub fn analysis_experiment() -> String {
+    let objects = [
+        fig1::build_object(&fig1::Fig1Params::default()),
+        fig2::build_object(&fig2::Fig2Params::default()),
+        fig3::build_object(&fig3::Fig3Params::default()),
+        bank::build_object(&bank::BankParams::default()),
+        buffer::build_object(&buffer::BufferParams::default()),
+    ];
+    let mut out = String::new();
+    for obj in &objects {
+        out.push_str(&dmt_analysis::analyze(obj).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// **abl-mutexes** — locking granularity sweep: the paper's §4 claim that
+/// pessimism hurts most with fine-grained locking.
+pub fn abl_mutexes_experiment(mutex_counts: &[u32]) -> Table {
+    let mut t = Table::new(
+        "Ablation: locking granularity (8 clients) — MAT vs PMAT",
+        &["mutexes", "MAT (ms)", "PMAT (ms)", "gain"],
+    );
+    for &m in mutex_counts {
+        let p = fig1::Fig1Params::default().with_mutexes(m).with_clients(8);
+        let pair = fig1::scenario(&p);
+        let run = |kind: SchedulerKind| {
+            let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(5)).run();
+            assert!(!res.deadlocked);
+            res.response_times.mean()
+        };
+        let mat = run(SchedulerKind::Mat);
+        let pmat = run(SchedulerKind::Pmat);
+        t.push_row(vec![m.to_string(), ms(mat), ms(pmat), format!("{:.2}x", mat / pmat)]);
+    }
+    t
+}
+
+/// **abl-overhead** — what the instrumentation costs. Virtual time can't
+/// see bookkeeping cost (injected calls take zero simulated time), so the
+/// measure is host wall-clock per simulated request: plain vs analysed
+/// object under the same pessimistic scheduler, plus PMAT on a workload
+/// where prediction cannot help (one global mutex).
+pub fn abl_overhead_experiment() -> Table {
+    let mut t = Table::new(
+        "Ablation: instrumentation & bookkeeping overhead (1 mutex, 8 clients)",
+        &["configuration", "resp (ms)", "host µs/request"],
+    );
+    let p = fig1::Fig1Params::default().with_mutexes(1).with_clients(8);
+    let pair = fig1::scenario(&p);
+    let mut run = |label: &str, kind: SchedulerKind, analysed: bool| {
+        let scenario = if analysed { pair.analysed.clone() } else { pair.plain.clone() };
+        let total = (p.n_clients * p.requests_per_client) as f64;
+        let start = Instant::now();
+        let res = Engine::new(scenario, EngineConfig::new(kind).with_seed(5)).run();
+        let wall = start.elapsed().as_micros() as f64 / total;
+        assert!(!res.deadlocked);
+        t.push_row(vec![label.to_string(), ms(res.response_times.mean()), format!("{wall:.1}")]);
+    };
+    run("MAT plain", SchedulerKind::Mat, false);
+    run("MAT analysed", SchedulerKind::Mat, true);
+    run("MAT-LL analysed", SchedulerKind::MatLL, true);
+    run("PMAT analysed (no disjointness to exploit)", SchedulerKind::Pmat, true);
+    t
+}
+
+/// **abl-wan** — network sensitivity and LSA failover cost (paper §3.5).
+pub fn abl_wan_experiment(one_way_ms: &[u64]) -> Table {
+    let mut t = Table::new(
+        "Ablation: WAN latency — LSA vs MAT, and LSA leader takeover",
+        &["one-way (ms)", "LSA (ms)", "MAT (ms)", "LSA ctrl msgs", "LSA takeover (ms)"],
+    );
+    for &w in one_way_ms {
+        let p = fig1::Fig1Params::default().with_clients(6);
+        let pair = fig1::scenario(&p);
+        let net = if w == 0 { NetConfig::lan() } else { NetConfig::wan(w) };
+        let run = |kind: SchedulerKind| {
+            let cfg = EngineConfig::new(kind).with_seed(5).with_net(net);
+            let res = Engine::new(pair.for_kind(kind), cfg).run();
+            assert!(!res.deadlocked, "{kind} under {w}ms WAN");
+            res
+        };
+        let lsa = run(SchedulerKind::Lsa);
+        let mat = run(SchedulerKind::Mat);
+        // Failover run: kill the leader mid-experiment.
+        let cfg = EngineConfig::new(SchedulerKind::Lsa)
+            .with_seed(5)
+            .with_net(net)
+            .with_kill(0, SimDuration::from_millis(20));
+        let fo = Engine::new(pair.for_kind(SchedulerKind::Lsa), cfg).run();
+        let takeover = fo
+            .takeover_gap
+            .map(|g| ms(g.as_millis_f64()))
+            .unwrap_or_else(|| "-".into());
+        t.push_row(vec![
+            if w == 0 { "0.25 (LAN)".into() } else { w.to_string() },
+            ms(lsa.response_times.mean()),
+            ms(mat.response_times.mean()),
+            lsa.ctrl_messages.to_string(),
+            takeover,
+        ]);
+    }
+    t
+}
+
+/// **abl-passive** — passive replication: log replay equivalence per
+/// scheduler (paper §1's motivation for determinism beyond active
+/// replication).
+pub fn abl_passive_experiment() -> Table {
+    use dmt_lang::compile::compile;
+    use dmt_replica::{record_primary, replay_on_backup};
+    let mut t = Table::new(
+        "Ablation: passive replication — primary log replay",
+        &["scheduler", "requests", "grants", "replay matches"],
+    );
+    let p = fig1::Fig1Params { n_clients: 4, requests_per_client: 3, ..fig1::Fig1Params::default() };
+    let obj = fig1::build_object(&p);
+    let program = compile(&obj);
+    let requests: Vec<_> = fig1::client_scripts(&p)
+        .into_iter()
+        .flat_map(|c| c.requests)
+        .collect();
+    let dummy = program.method_by_name("noop");
+    for kind in dmt_core::SchedulerKind::ALL {
+        let log = record_primary(program.clone(), kind, requests.clone(), dummy);
+        let replayed = replay_on_backup(program.clone(), &log);
+        t.push_row(vec![
+            kind.to_string(),
+            log.requests.len().to_string(),
+            log.grants.len().to_string(),
+            if replayed == log.state_hash { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+/// **determinism** — the checker verdict per scheduler under jitter.
+pub fn determinism_experiment() -> Table {
+    let mut t = Table::new(
+        "Determinism check: 3 jittered replicas, contended Figure-1 load",
+        &["scheduler", "verdict", "match level"],
+    );
+    let p = fig1::Fig1Params {
+        n_clients: 6,
+        requests_per_client: 3,
+        n_mutexes: 5,
+        ..fig1::Fig1Params::default()
+    };
+    let pair = fig1::scenario(&p);
+    for kind in dmt_core::SchedulerKind::ALL {
+        let (_, outcome) = check_determinism(pair.for_kind(kind), kind, 77, 0.3);
+        let level = format!("{:?}", dmt_replica::checker::match_level(kind));
+        let verdict = match outcome {
+            dmt_replica::CheckOutcome::Converged => "converged".to_string(),
+            dmt_replica::CheckOutcome::Diverged { pair, .. } => {
+                format!("DIVERGED {pair:?}")
+            }
+            dmt_replica::CheckOutcome::Stalled => "stalled".to_string(),
+        };
+        t.push_row(vec![kind.to_string(), verdict, level]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_table_shows_growing_speedup() {
+        let t = fig2_experiment(&[0.0, 5.0]);
+        assert_eq!(t.rows.len(), 2);
+        let s0: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
+        let s5: f64 = t.rows[1][3].trim_end_matches('x').parse().unwrap();
+        assert!(s5 > s0, "speedup must grow with the final computation");
+        assert!(s5 > 1.2);
+    }
+
+    #[test]
+    fn fig4_output_contains_injections() {
+        let s = fig4_experiment();
+        assert!(s.contains("scheduler.lockInfo(0, a0);"));
+        assert!(s.contains("scheduler.ignore(1);"));
+        assert!(s.contains("scheduler.ignore(0);"));
+    }
+
+    #[test]
+    fn analysis_table_covers_suite() {
+        let s = analysis_experiment();
+        assert!(s.contains("Fig1Bench"));
+        assert!(s.contains("Bank"));
+        assert!(s.contains("BoundedBuffer"));
+    }
+
+    #[test]
+    fn passive_table_all_yes() {
+        let t = abl_passive_experiment();
+        for row in &t.rows {
+            assert_eq!(row[3], "yes", "{} replay failed", row[0]);
+        }
+    }
+
+    #[test]
+    fn small_fig1_runs() {
+        let t = fig1_experiment(&[1, 2], 2, false);
+        assert_eq!(t.rows.len(), 2);
+        // SEQ must be the slowest at 2 clients.
+        let seq: f64 = t.rows[1][1].parse().unwrap();
+        let mat: f64 = t.rows[1][5].parse().unwrap();
+        assert!(seq >= mat, "SEQ {seq} should not beat MAT {mat}");
+    }
+}

@@ -1,0 +1,11 @@
+//! # dmt-bench — experiment harness
+//!
+//! One function per experiment in EXPERIMENTS.md; the `figures` binary
+//! and the criterion benches are thin wrappers. Every function returns
+//! structured rows so results can be printed, asserted on, or serialised.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

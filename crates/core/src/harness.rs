@@ -1,0 +1,481 @@
+//! A logical-step harness: drives real `dmt-lang` programs through a
+//! scheduler without virtual time.
+//!
+//! Used by unit, integration and property tests of the decision modules
+//! (the full virtual-time, multi-replica engine lives in `dmt-replica`).
+//! Execution is purely logical: runnable threads are stepped in a
+//! deterministic FIFO discipline, compute actions take zero steps, and
+//! external events (request arrivals beyond the initial burst, nested
+//! replies) are delivered one at a time whenever the replica is locally
+//! quiescent — a simple stand-in for the totally ordered message stream.
+
+use crate::event::{SchedAction, SchedEvent};
+use crate::ids::ThreadId;
+use crate::scheduler::Scheduler;
+use dmt_lang::{
+    Action, CompiledObject, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm,
+};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Why a thread is currently not stepping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Blocked {
+    /// Awaiting `Admit`.
+    Admission,
+    /// Awaiting a monitor grant for `MutexId`.
+    Lock(MutexId),
+    /// In a wait set (re-acquisition of `MutexId` pending).
+    Wait(MutexId),
+    /// Awaiting its nested-invocation reply.
+    Nested,
+}
+
+/// Outcome of a harness run.
+#[derive(Debug)]
+pub struct HarnessResult {
+    pub state: ObjectState,
+    /// Monitor acquisition order: every grant (fresh or re-acquisition)
+    /// in the order the scheduler issued them.
+    pub lock_trace: Vec<(ThreadId, MutexId)>,
+    /// The delivered request stream in order (method, args, dummy) —
+    /// thread `n` ran entry `n`. This is the "request log" a passive
+    /// primary would persist.
+    pub request_log: Vec<(MethodIdx, RequestArgs, bool)>,
+    pub finished_threads: usize,
+    pub dummy_threads: usize,
+    /// True when unfinished threads remained with nothing deliverable —
+    /// a deadlock (e.g. `wait` under SEQ).
+    pub deadlocked: bool,
+}
+
+struct PendingRequest {
+    method: MethodIdx,
+    args: RequestArgs,
+    dummy: bool,
+}
+
+/// Drives one object replica under one scheduler, in logical steps.
+pub struct Harness {
+    program: Arc<CompiledObject>,
+    state: ObjectState,
+    scheduler: Box<dyn Scheduler>,
+    /// Method used for PDS dummy requests (no-op, zero-arg).
+    dummy_method: Option<MethodIdx>,
+    vms: HashMap<ThreadId, ThreadVm>,
+    request_info: HashMap<ThreadId, PendingRequest>,
+    blocked: HashMap<ThreadId, Blocked>,
+    runnable: VecDeque<ThreadId>,
+    /// Submitted but undelivered requests (the client queue).
+    inbox: VecDeque<PendingRequest>,
+    /// Nested invocations awaiting replies (FIFO = total order).
+    nested: VecDeque<ThreadId>,
+    next_tid: u32,
+    next_seq: u64,
+    lock_trace: Vec<(ThreadId, MutexId)>,
+    request_log: Vec<(MethodIdx, RequestArgs, bool)>,
+    finished: usize,
+    dummies: usize,
+}
+
+impl Harness {
+    pub fn new(
+        program: Arc<CompiledObject>,
+        this_mutex: MutexId,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Self {
+        let state = ObjectState::for_object(&program, this_mutex);
+        Harness {
+            program,
+            state,
+            scheduler,
+            dummy_method: None,
+            vms: HashMap::new(),
+            request_info: HashMap::new(),
+            blocked: HashMap::new(),
+            runnable: VecDeque::new(),
+            inbox: VecDeque::new(),
+            nested: VecDeque::new(),
+            next_tid: 0,
+            next_seq: 0,
+            lock_trace: Vec::new(),
+            request_log: Vec::new(),
+            finished: 0,
+            dummies: 0,
+        }
+    }
+
+    /// Declares the zero-arg no-op method PDS dummies should run.
+    pub fn with_dummy_method(mut self, m: MethodIdx) -> Self {
+        assert_eq!(self.program.methods[m.index()].arity, 0, "dummy method must be zero-arg");
+        self.dummy_method = Some(m);
+        self
+    }
+
+    /// Queues a client request (delivered in submission order).
+    pub fn submit(&mut self, method: MethodIdx, args: RequestArgs) {
+        self.inbox.push_back(PendingRequest { method, args, dummy: false });
+    }
+
+    pub fn submit_by_name(&mut self, name: &str, args: RequestArgs) {
+        let m = self
+            .program
+            .method_by_name(name)
+            .unwrap_or_else(|| panic!("no method named {name}"));
+        self.submit(m, args);
+    }
+
+    /// Runs to completion (or deadlock) and reports. Panics after an
+    /// implausible number of deliveries — a livelocked scheduler (e.g. an
+    /// endless dummy loop) should fail loudly, not hang the suite.
+    pub fn run(mut self) -> HarnessResult {
+        let mut deliveries: u64 = 0;
+        let delivery_cap = 10_000 + 1_000 * (self.next_tid as u64 + self.inbox.len() as u64 + 10);
+        loop {
+            deliveries += 1;
+            assert!(
+                deliveries < delivery_cap,
+                "livelock: {} deliveries under {:?} (finished {}/{}, inbox {}, nested {})",
+                deliveries,
+                self.scheduler.kind(),
+                self.finished,
+                self.next_tid,
+                self.inbox.len(),
+                self.nested.len(),
+            );
+            while let Some(tid) = self.runnable.pop_front() {
+                self.step_thread(tid);
+            }
+            // Locally quiescent: deliver the next external event.
+            if let Some(req) = self.inbox.pop_front() {
+                self.deliver_request(req);
+                continue;
+            }
+            if let Some(tid) = self.nested.pop_front() {
+                self.dispatch(SchedEvent::NestedCompleted { tid });
+                continue;
+            }
+            break;
+        }
+        let deadlocked = self.vms.len() != self.finished || !self.request_info.is_empty();
+        HarnessResult {
+            state: self.state,
+            lock_trace: self.lock_trace,
+            request_log: self.request_log,
+            finished_threads: self.finished,
+            dummy_threads: self.dummies,
+            deadlocked,
+        }
+    }
+
+    fn deliver_request(&mut self, req: PendingRequest) {
+        let tid = ThreadId::new(self.next_tid);
+        self.next_tid += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let method = req.method;
+        let dummy = req.dummy;
+        if dummy {
+            self.dummies += 1;
+        }
+        self.request_log.push((method, req.args.clone(), dummy));
+        self.request_info.insert(tid, req);
+        self.blocked.insert(tid, Blocked::Admission);
+        self.dispatch(SchedEvent::RequestArrived { tid, method, request_seq: seq, dummy });
+    }
+
+    /// Feeds one event to the scheduler and applies its actions.
+    fn dispatch(&mut self, ev: SchedEvent) {
+        let mut actions = Vec::new();
+        self.scheduler.on_event(&ev, &mut actions);
+        for a in actions {
+            match a {
+                SchedAction::Admit(tid) => {
+                    let req = self
+                        .request_info
+                        .remove(&tid)
+                        .expect("admit for unknown request");
+                    let was = self.blocked.remove(&tid);
+                    debug_assert_eq!(was, Some(Blocked::Admission));
+                    let vm = ThreadVm::new(self.program.clone(), req.method, req.args);
+                    self.vms.insert(tid, vm);
+                    self.runnable.push_back(tid);
+                }
+                SchedAction::Resume(tid) => {
+                    match self.blocked.remove(&tid) {
+                        Some(Blocked::Lock(m)) | Some(Blocked::Wait(m)) => {
+                            self.lock_trace.push((tid, m));
+                        }
+                        Some(Blocked::Nested) => {}
+                        Some(Blocked::Admission) => panic!("Resume for unadmitted {tid}"),
+                        None => panic!("Resume for running thread {tid}"),
+                    }
+                    self.runnable.push_back(tid);
+                }
+                SchedAction::Broadcast(_) => {
+                    // Single-replica harness: the leader's own decisions
+                    // need no echo (the engine filters self-deliveries).
+                }
+                SchedAction::RequestDummy => {
+                    let method = self
+                        .dummy_method
+                        .expect("scheduler requested a dummy but no dummy method configured");
+                    self.inbox.push_back(PendingRequest {
+                        method,
+                        args: RequestArgs::empty(),
+                        dummy: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Steps `tid` until it blocks or finishes.
+    fn step_thread(&mut self, tid: ThreadId) {
+        loop {
+            if self.blocked.contains_key(&tid) {
+                return; // blocked by the event just dispatched
+            }
+            let vm = self.vms.get_mut(&tid).expect("runnable thread has a VM");
+            match vm.step(&mut self.state) {
+                StepOutcome::Finished => {
+                    self.finished += 1;
+                    self.dispatch(SchedEvent::ThreadFinished { tid });
+                    return;
+                }
+                StepOutcome::Action(action) => match action {
+                    Action::Compute { .. } => {
+                        // Zero logical cost.
+                    }
+                    Action::Lock { sync_id, mutex } => {
+                        self.blocked.insert(tid, Blocked::Lock(mutex));
+                        self.dispatch(SchedEvent::LockRequested { tid, sync_id, mutex });
+                        // If granted synchronously, the Resume already
+                        // removed the block marker and re-queued the
+                        // thread; avoid double-queueing by returning.
+                        if !self.blocked.contains_key(&tid) {
+                            self.dequeue_duplicate(tid);
+                            continue;
+                        }
+                        return;
+                    }
+                    Action::Unlock { sync_id, mutex } => {
+                        self.dispatch(SchedEvent::Unlocked { tid, sync_id, mutex });
+                    }
+                    Action::Wait { mutex } => {
+                        assert!(
+                            self.scheduler.sync_core().holds(tid, mutex),
+                            "{tid} called wait without holding {mutex}"
+                        );
+                        self.blocked.insert(tid, Blocked::Wait(mutex));
+                        self.dispatch(SchedEvent::WaitCalled { tid, mutex });
+                        if !self.blocked.contains_key(&tid) {
+                            self.dequeue_duplicate(tid);
+                            continue;
+                        }
+                        return;
+                    }
+                    Action::Notify { mutex, all } => {
+                        assert!(
+                            self.scheduler.sync_core().holds(tid, mutex),
+                            "{tid} called notify without holding {mutex}"
+                        );
+                        self.dispatch(SchedEvent::NotifyCalled { tid, mutex, all });
+                    }
+                    Action::Nested { .. } => {
+                        self.blocked.insert(tid, Blocked::Nested);
+                        self.nested.push_back(tid);
+                        self.dispatch(SchedEvent::NestedStarted { tid });
+                        if !self.blocked.contains_key(&tid) {
+                            self.dequeue_duplicate(tid);
+                            continue;
+                        }
+                        return;
+                    }
+                    Action::LockInfo { sync_id, mutex } => {
+                        self.dispatch(SchedEvent::LockInfo { tid, sync_id, mutex });
+                    }
+                    Action::Ignore { sync_id } => {
+                        self.dispatch(SchedEvent::SyncIgnored { tid, sync_id });
+                    }
+                },
+            }
+        }
+    }
+
+    /// A synchronous Resume re-queued a thread that is already being
+    /// stepped; drop the duplicate queue entry.
+    fn dequeue_duplicate(&mut self, tid: ThreadId) {
+        if let Some(pos) = self.runnable.iter().position(|&t| t == tid) {
+            self.runnable.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{make_scheduler, SchedConfig, SchedulerKind};
+    use crate::ids::ReplicaId;
+    use dmt_lang::ast::{CondExpr, IntExpr, MutexExpr};
+    use dmt_lang::{compile, ObjectBuilder, Value};
+
+    /// Counter object: `inc(delta)` adds under `this`; `noop()` for dummies.
+    fn counter() -> Arc<CompiledObject> {
+        let mut ob = ObjectBuilder::new("Counter");
+        let c = ob.cell();
+        let mut m = ob.method("inc", 1);
+        m.sync(MutexExpr::This, |b| {
+            b.update(c, IntExpr::Arg(0));
+        });
+        m.done();
+        let noop = ob.method("noop", 0);
+        noop.done();
+        compile::compile(&ob.build())
+    }
+
+    fn run_counter(kind: SchedulerKind, n: usize) -> HarnessResult {
+        let program = counter();
+        let cfg = SchedConfig::new(kind, ReplicaId::new(0));
+        let mut h = Harness::new(program.clone(), MutexId::new(0), make_scheduler(&cfg))
+            .with_dummy_method(program.method_by_name("noop").unwrap());
+        for i in 0..n {
+            h.submit_by_name("inc", RequestArgs::new(vec![Value::Int(i as i64 + 1)]));
+        }
+        h.run()
+    }
+
+    #[test]
+    fn every_scheduler_completes_the_counter_workload() {
+        for kind in SchedulerKind::ALL {
+            let res = run_counter(kind, 10);
+            assert!(!res.deadlocked, "{kind} deadlocked");
+            assert!(res.finished_threads >= 10, "{kind} finished {}", res.finished_threads);
+            // Sum 1..=10 regardless of scheduler.
+            assert_eq!(res.state.cells()[0], 55, "{kind} corrupted state");
+            // Every real thread took exactly one lock.
+            let real_locks = res.lock_trace.len();
+            assert_eq!(real_locks, 10, "{kind} lock count {real_locks}");
+        }
+    }
+
+    #[test]
+    fn seq_and_sat_lock_in_arrival_order() {
+        for kind in [SchedulerKind::Seq, SchedulerKind::Sat] {
+            let res = run_counter(kind, 5);
+            let tids: Vec<u32> = res.lock_trace.iter().map(|&(t, _)| t.0).collect();
+            assert_eq!(tids, vec![0, 1, 2, 3, 4], "{kind}");
+        }
+    }
+
+    #[test]
+    fn pds_dummy_requests_fill_the_pool() {
+        // batch_size 4 with only 2 real requests → dummies must appear.
+        let program = counter();
+        let cfg = SchedConfig::new(SchedulerKind::Pds, ReplicaId::new(0));
+        let mut h = Harness::new(program.clone(), MutexId::new(0), make_scheduler(&cfg))
+            .with_dummy_method(program.method_by_name("noop").unwrap());
+        h.submit_by_name("inc", RequestArgs::new(vec![Value::Int(1)]));
+        h.submit_by_name("inc", RequestArgs::new(vec![Value::Int(2)]));
+        let res = h.run();
+        assert!(!res.deadlocked);
+        assert_eq!(res.state.cells()[0], 3);
+        assert!(res.dummy_threads >= 2, "expected dummies, got {}", res.dummy_threads);
+    }
+
+    /// Bounded-buffer object exercising condition variables.
+    fn buffer(capacity: i64) -> Arc<CompiledObject> {
+        let mut ob = ObjectBuilder::new("Buffer");
+        let count = ob.cell();
+        let mut put = ob.method("put", 0);
+        put.sync_wait_until(MutexExpr::This, CondExpr::CellLt(count, capacity), |b| {
+            b.add(count, 1);
+            b.notify_all(MutexExpr::This);
+        });
+        put.done();
+        let mut take = ob.method("take", 0);
+        take.sync_wait_until(MutexExpr::This, CondExpr::CellGe(count, 1), |b| {
+            b.add(count, -1);
+            b.notify_all(MutexExpr::This);
+        });
+        take.done();
+        compile::compile(&ob.build())
+    }
+
+    #[test]
+    fn condition_variables_work_under_concurrent_schedulers() {
+        // Take arrives before put: the taker must wait and be woken.
+        for kind in [
+            SchedulerKind::Sat,
+            SchedulerKind::Mat,
+            SchedulerKind::MatLL,
+            SchedulerKind::Pmat,
+            SchedulerKind::Lsa,
+            SchedulerKind::Free,
+        ] {
+            let program = buffer(2);
+            let cfg = SchedConfig::new(kind, ReplicaId::new(0));
+            let mut h = Harness::new(program, MutexId::new(0), make_scheduler(&cfg));
+            h.submit_by_name("take", RequestArgs::empty());
+            h.submit_by_name("put", RequestArgs::empty());
+            let res = h.run();
+            assert!(!res.deadlocked, "{kind} deadlocked on CV handoff");
+            assert_eq!(res.state.cells()[0], 0, "{kind}");
+            assert_eq!(res.finished_threads, 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn seq_deadlocks_on_wait_as_the_paper_warns() {
+        let program = buffer(2);
+        let cfg = SchedConfig::new(SchedulerKind::Seq, ReplicaId::new(0));
+        let mut h = Harness::new(program, MutexId::new(0), make_scheduler(&cfg));
+        h.submit_by_name("take", RequestArgs::empty());
+        h.submit_by_name("put", RequestArgs::empty());
+        let res = h.run();
+        assert!(res.deadlocked, "SEQ must deadlock: nothing can notify the waiting taker");
+    }
+
+    /// Object whose method computes, nests, and locks — exercises nested
+    /// invocation handling.
+    fn nester() -> Arc<CompiledObject> {
+        let mut ob = ObjectBuilder::new("Nester");
+        let c = ob.cell();
+        let mut m = ob.method("work", 0);
+        m.compute_ms(1);
+        m.nested(dmt_lang::ServiceId::new(0), dmt_lang::DurExpr::millis(12));
+        m.sync(MutexExpr::This, |b| {
+            b.add(c, 1);
+        });
+        m.done();
+        let noop = ob.method("noop", 0);
+        noop.done();
+        compile::compile(&ob.build())
+    }
+
+    #[test]
+    fn nested_invocations_complete_under_all_schedulers() {
+        for kind in SchedulerKind::ALL {
+            let program = nester();
+            let cfg = SchedConfig::new(kind, ReplicaId::new(0));
+            let mut h = Harness::new(program.clone(), MutexId::new(0), make_scheduler(&cfg))
+                .with_dummy_method(program.method_by_name("noop").unwrap());
+            for _ in 0..4 {
+                h.submit_by_name("work", RequestArgs::empty());
+            }
+            let res = h.run();
+            assert!(!res.deadlocked, "{kind}");
+            assert_eq!(res.state.cells()[0], 4, "{kind}");
+        }
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_traces() {
+        for kind in SchedulerKind::ALL {
+            let a = run_counter(kind, 8);
+            let b = run_counter(kind, 8);
+            assert_eq!(a.lock_trace, b.lock_trace, "{kind} not replay-stable");
+            assert_eq!(a.state.state_hash(), b.state.state_hash());
+        }
+    }
+}

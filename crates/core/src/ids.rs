@@ -1,0 +1,72 @@
+//! Scheduler-level identifiers.
+
+use std::fmt;
+
+/// Identity of a logical thread within one replica. Threads are numbered
+/// in request-arrival (= total) order, so `ThreadId` order *is* the
+/// admission order every algorithm's "oldest thread" rule refers to, and
+/// the numbering is identical on every replica.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    #[inline]
+    pub const fn new(v: u32) -> Self {
+        ThreadId(v)
+    }
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identity of a replica in the group.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReplicaId(pub u32);
+
+impl ReplicaId {
+    #[inline]
+    pub const fn new(v: u32) -> Self {
+        ReplicaId(v)
+    }
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_order_is_admission_order() {
+        assert!(ThreadId::new(0) < ThreadId::new(1));
+        assert_eq!(format!("{}", ThreadId::new(4)), "t4");
+        assert_eq!(format!("{:?}", ReplicaId::new(2)), "r2");
+    }
+}

@@ -1,0 +1,43 @@
+//! # dmt-core — deterministic multithreading schedulers
+//!
+//! The paper's subject matter: application-level scheduling algorithms
+//! that make multithreaded execution of replicated-object methods
+//! deterministic, so active and passive replication stay consistent
+//! without sequentializing everything.
+//!
+//! The crate follows the two-module architecture of paper §4.3:
+//!
+//! * the **bookkeeping module** ([`bookkeeping`]) holds the static lock
+//!   tables produced by `dmt-analysis` and each thread's dynamic syncid
+//!   table, and answers `is_predicted` / `may_lock` / `no_more_locks`;
+//! * the **decision modules** implement the [`scheduler::Scheduler`]
+//!   trait: the surveyed algorithms [`seq`] (§1), [`sat`] (§3.1),
+//!   [`lsa`] (§3.2), [`pds`] (§3.3), [`mat`] (§3.4) and the paper's
+//!   proposals [`mat`]`::MatMode::LastLock` (§4.1) and [`pmat`] (§4.3),
+//!   plus [`free`], the nondeterministic negative control.
+//!
+//! Shared monitor mechanics (reentrant Java-style mutexes with 1:1
+//! condition variables) live in [`sync_core`]. A lightweight logical
+//! harness ([`harness`]) drives real `dmt-lang` programs through a
+//! scheduler for unit and property testing; the full virtual-time replica
+//! engine lives in `dmt-replica`.
+
+pub mod bookkeeping;
+pub mod event;
+pub mod free;
+pub mod harness;
+pub mod ids;
+pub mod lsa;
+pub mod mat;
+pub mod pds;
+pub mod pmat;
+pub mod sat;
+pub mod scheduler;
+pub mod seq;
+pub mod sync_core;
+
+pub use bookkeeping::{Bookkeeping, EntryState, LockTable, StaticSyncEntry};
+pub use event::{CtrlMsg, SchedAction, SchedEvent};
+pub use ids::{ReplicaId, ThreadId};
+pub use scheduler::{make_scheduler, PdsConfig, SchedConfig, Scheduler, SchedulerKind};
+pub use sync_core::{Grant, LockOutcome, SyncCore};

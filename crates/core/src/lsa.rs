@@ -1,0 +1,439 @@
+//! LSA — loose synchronisation algorithm (paper §3.2, after Basile et
+//! al., SRDS'02).
+//!
+//! A leader-follower scheme and the only algorithm needing frequent
+//! inter-replica communication. The leader replica schedules without
+//! restrictions (plain monitor mechanics, like [`crate::free`]) and
+//! broadcasts every monitor acquisition as an `LsaGrant{mutex, tid,
+//! order}` control message. Followers never decide: a follower forwards a
+//! thread's lock request only when that thread is the next grantee in the
+//! leader's per-mutex order. Condition variables (the FTflex addition)
+//! come for free: a `wait` re-acquisition is an acquisition like any
+//! other and appears in the leader's order; wait-set and notify mechanics
+//! are deterministic given the per-mutex acquisition order.
+//!
+//! Fail-over: when the membership layer announces a new leader, the
+//! promoted replica first honours every grant the dead leader had
+//! announced (those were delivered in total order, so they are a
+//! consistent prefix on all survivors), then starts deciding itself,
+//! continuing each mutex's order counter. The takeover cost the paper
+//! attributes to LSA (§3.5) is measured in the `abl-wan` experiment.
+
+use crate::event::{CtrlMsg, SchedAction, SchedEvent};
+use crate::ids::{ReplicaId, ThreadId};
+use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::sync_core::{LockOutcome, SyncCore};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+pub struct LsaScheduler {
+    replica: ReplicaId,
+    leader: ReplicaId,
+    sync: SyncCore,
+    /// Announced grants not yet applied, per mutex (leader order).
+    expected: BTreeMap<dmt_lang::MutexId, VecDeque<ThreadId>>,
+    /// Fresh lock requests waiting to be matched with an announcement
+    /// (follower) or decided after the announced backlog drains (a
+    /// just-promoted leader).
+    pending: HashMap<ThreadId, dmt_lang::MutexId>,
+    /// Per-mutex acquisition counters (followers track them from the
+    /// announcements so a promoted leader continues the numbering).
+    order: BTreeMap<dmt_lang::MutexId, u64>,
+    grants_issued: u64,
+}
+
+impl LsaScheduler {
+    pub fn new(replica: ReplicaId, leader: ReplicaId) -> Self {
+        LsaScheduler {
+            replica,
+            leader,
+            sync: SyncCore::new(false),
+            expected: BTreeMap::new(),
+            pending: HashMap::new(),
+            order: BTreeMap::new(),
+            grants_issued: 0,
+        }
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.replica == self.leader
+    }
+
+    /// Total grants this scheduler has applied (overhead metric).
+    pub fn grants_issued(&self) -> u64 {
+        self.grants_issued
+    }
+
+    fn has_backlog(&self, mutex: dmt_lang::MutexId) -> bool {
+        self.expected.get(&mutex).is_some_and(|q| !q.is_empty())
+    }
+
+    /// Leader: record + broadcast an acquisition by `tid` of `mutex`.
+    fn announce(&mut self, tid: ThreadId, mutex: dmt_lang::MutexId, out: &mut Vec<SchedAction>) {
+        let order = self.order.entry(mutex).or_insert(0);
+        let msg = CtrlMsg::LsaGrant { mutex, tid, order: *order };
+        *order += 1;
+        self.grants_issued += 1;
+        out.push(SchedAction::Broadcast(msg));
+    }
+
+    /// Applies announced grants for `mutex` as far as possible, then (on
+    /// the leader) decides freely once the announced backlog is empty.
+    fn drain(&mut self, mutex: dmt_lang::MutexId, out: &mut Vec<SchedAction>) {
+        // Phase 1: replay announcements (follower behaviour; a promoted
+        // leader also honours the old leader's prefix this way).
+        loop {
+            if !self.sync.is_free(mutex) {
+                return;
+            }
+            let Some(&next) = self.expected.get(&mutex).and_then(|q| q.front()) else { break };
+            if self.pending.get(&next) == Some(&mutex) {
+                self.expected.get_mut(&mutex).expect("checked").pop_front();
+                self.pending.remove(&next);
+                let outcome = self.sync.lock(next, mutex);
+                debug_assert_eq!(outcome, LockOutcome::Acquired);
+                self.grants_issued += 1;
+                out.push(SchedAction::Resume(next));
+            } else if self.sync.is_queued(next, mutex) {
+                // A notified re-acquirer sitting in the monitor queue.
+                self.expected.get_mut(&mutex).expect("checked").pop_front();
+                let g = self.sync.grant_to(next, mutex).expect("free + queued");
+                self.grants_issued += 1;
+                let _ = g;
+                out.push(SchedAction::Resume(next));
+            } else {
+                // Grantee has not reached its request yet; hold.
+                return;
+            }
+        }
+        // Phase 2: leader decides.
+        if !self.is_leader() {
+            return;
+        }
+        // Fold pending fresh requests for this mutex into the monitor
+        // queue in thread-age order (only relevant right after failover).
+        let mut folded: Vec<ThreadId> = self
+            .pending
+            .iter()
+            .filter(|&(_, &m)| m == mutex)
+            .map(|(&tid, _)| tid)
+            .collect();
+        folded.sort_unstable();
+        for tid in folded {
+            self.pending.remove(&tid);
+            match self.sync.lock(tid, mutex) {
+                LockOutcome::Acquired => {
+                    self.announce(tid, mutex, out);
+                    out.push(SchedAction::Resume(tid));
+                }
+                LockOutcome::Queued => {}
+            }
+        }
+        if self.sync.is_free(mutex) {
+            if let Some(g) = self.sync.grant_next(mutex) {
+                self.announce(g.tid, mutex, out);
+                out.push(SchedAction::Resume(g.tid));
+            }
+        }
+    }
+}
+
+impl Scheduler for LsaScheduler {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Lsa
+    }
+
+    fn sync_core(&self) -> &SyncCore {
+        &self.sync
+    }
+
+    /// Followers enforce the leader's order *per mutex*; grants on
+    /// different mutexes are applied as local threads reach their
+    /// requests, so the global interleaving is replica-local (properly
+    /// synchronised state is unaffected, exactly as for PMAT).
+    fn global_order_deterministic(&self) -> bool {
+        false
+    }
+
+    fn on_leader_change(&mut self, new_leader: ReplicaId) {
+        self.leader = new_leader;
+        // Announced-but-unapplied grants stay: they are a consistent
+        // prefix on every survivor and will be applied as the grantees
+        // reach their requests. A promoted leader starts deciding in
+        // `drain` once each mutex's backlog empties; the engine calls
+        // `kick` right after this notification to force that first drain.
+    }
+
+    fn kick(&mut self, out: &mut Vec<SchedAction>) {
+        let mutexes: Vec<dmt_lang::MutexId> = self
+            .pending
+            .values()
+            .copied()
+            .chain(self.expected.keys().copied())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for m in mutexes {
+            self.drain(m, out);
+        }
+    }
+
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+        match *ev {
+            SchedEvent::RequestArrived { tid, .. } => out.push(SchedAction::Admit(tid)),
+            SchedEvent::LockRequested { tid, mutex, .. } => {
+                if self.sync.holds(tid, mutex) {
+                    // Reentrant: forced, not announced.
+                    let outcome = self.sync.lock(tid, mutex);
+                    debug_assert_eq!(outcome, LockOutcome::Acquired);
+                    out.push(SchedAction::Resume(tid));
+                } else if self.is_leader() && !self.has_backlog(mutex) {
+                    match self.sync.lock(tid, mutex) {
+                        LockOutcome::Acquired => {
+                            self.announce(tid, mutex, out);
+                            out.push(SchedAction::Resume(tid));
+                        }
+                        LockOutcome::Queued => {}
+                    }
+                } else {
+                    self.pending.insert(tid, mutex);
+                    self.drain(mutex, out);
+                }
+            }
+            SchedEvent::Unlocked { tid, mutex, .. } => {
+                self.sync.unlock(tid, mutex);
+                self.drain(mutex, out);
+            }
+            SchedEvent::WaitCalled { tid, mutex } => {
+                self.sync.wait(tid, mutex);
+                self.drain(mutex, out);
+            }
+            SchedEvent::NotifyCalled { tid, mutex, all } => {
+                self.sync.notify(tid, mutex, all);
+                // On the leader a queued re-acquirer may be grantable as
+                // soon as the notifier unlocks; nothing to do before then.
+            }
+            SchedEvent::NestedStarted { .. } => {}
+            SchedEvent::NestedCompleted { tid } => out.push(SchedAction::Resume(tid)),
+            SchedEvent::ThreadFinished { tid } => {
+                debug_assert!(self.sync.held_by(tid).is_empty());
+                debug_assert!(!self.pending.contains_key(&tid));
+            }
+            SchedEvent::Control(CtrlMsg::LsaGrant { mutex, tid, order }) => {
+                // Own echoes are filtered by the engine; anything arriving
+                // here is from the (possibly previous) leader.
+                let next_order = self.order.entry(mutex).or_insert(0);
+                debug_assert_eq!(*next_order, order, "gap in leader announcements");
+                *next_order = order + 1;
+                self.expected.entry(mutex).or_default().push_back(tid);
+                self.drain(mutex, out);
+            }
+            SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::{MethodIdx, MutexId, SyncId};
+
+    fn t(v: u32) -> ThreadId {
+        ThreadId::new(v)
+    }
+    fn m(v: u32) -> MutexId {
+        MutexId::new(v)
+    }
+    fn arrive(tid: u32) -> SchedEvent {
+        SchedEvent::RequestArrived {
+            tid: t(tid),
+            method: MethodIdx::new(0),
+            request_seq: tid as u64,
+            dummy: false,
+        }
+    }
+    fn lock(tid: u32, mx: u32) -> SchedEvent {
+        SchedEvent::LockRequested { tid: t(tid), sync_id: SyncId::new(0), mutex: m(mx) }
+    }
+    fn unlock(tid: u32, mx: u32) -> SchedEvent {
+        SchedEvent::Unlocked { tid: t(tid), sync_id: SyncId::new(0), mutex: m(mx) }
+    }
+    fn grant_msg(tid: u32, mx: u32, order: u64) -> SchedEvent {
+        SchedEvent::Control(CtrlMsg::LsaGrant { mutex: m(mx), tid: t(tid), order })
+    }
+
+    fn leader() -> LsaScheduler {
+        LsaScheduler::new(ReplicaId::new(0), ReplicaId::new(0))
+    }
+    fn follower() -> LsaScheduler {
+        LsaScheduler::new(ReplicaId::new(1), ReplicaId::new(0))
+    }
+
+    #[test]
+    fn leader_grants_immediately_and_broadcasts() {
+        let mut s = leader();
+        let mut out = Vec::new();
+        s.on_event(&arrive(0), &mut out);
+        out.clear();
+        s.on_event(&lock(0, 5), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(0), order: 0 }),
+                SchedAction::Resume(t(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn leader_broadcasts_contended_grants_on_release() {
+        let mut s = leader();
+        let mut out = Vec::new();
+        s.on_event(&arrive(0), &mut out);
+        s.on_event(&arrive(1), &mut out);
+        out.clear();
+        s.on_event(&lock(0, 5), &mut out);
+        out.clear();
+        s.on_event(&lock(1, 5), &mut out);
+        assert!(out.is_empty());
+        s.on_event(&unlock(0, 5), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(1), order: 1 }),
+                SchedAction::Resume(t(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn follower_waits_for_announcement() {
+        let mut s = follower();
+        let mut out = Vec::new();
+        s.on_event(&arrive(0), &mut out);
+        out.clear();
+        s.on_event(&lock(0, 5), &mut out);
+        assert!(out.is_empty(), "follower never decides alone");
+        s.on_event(&grant_msg(0, 5, 0), &mut out);
+        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(s.sync_core().owner(m(5)), Some(t(0)));
+    }
+
+    #[test]
+    fn follower_applies_announcement_arriving_first() {
+        let mut s = follower();
+        let mut out = Vec::new();
+        s.on_event(&arrive(0), &mut out);
+        out.clear();
+        s.on_event(&grant_msg(0, 5, 0), &mut out);
+        assert!(out.is_empty(), "grantee has not asked yet");
+        s.on_event(&lock(0, 5), &mut out);
+        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+    }
+
+    #[test]
+    fn follower_enforces_leader_order_not_arrival_order() {
+        let mut s = follower();
+        let mut out = Vec::new();
+        s.on_event(&arrive(0), &mut out);
+        s.on_event(&arrive(1), &mut out);
+        out.clear();
+        // Locally t0 asks first, but the leader granted t1 first.
+        s.on_event(&lock(0, 5), &mut out);
+        s.on_event(&grant_msg(1, 5, 0), &mut out);
+        assert!(out.is_empty());
+        s.on_event(&lock(1, 5), &mut out);
+        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        out.clear();
+        s.on_event(&grant_msg(0, 5, 1), &mut out);
+        assert!(out.is_empty(), "mutex still held by t1");
+        s.on_event(&unlock(1, 5), &mut out);
+        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+    }
+
+    #[test]
+    fn wait_reacquisition_follows_leader_order() {
+        // Leader side: t0 waits on m3; t1 locks, notifies, unlocks.
+        let mut lead = leader();
+        let mut out = Vec::new();
+        lead.on_event(&arrive(0), &mut out);
+        lead.on_event(&arrive(1), &mut out);
+        out.clear();
+        lead.on_event(&lock(0, 3), &mut out);
+        out.clear();
+        lead.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: m(3) }, &mut out);
+        lead.on_event(&lock(1, 3), &mut out);
+        out.clear();
+        lead.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut out);
+        lead.on_event(&unlock(1, 3), &mut out);
+        // Re-acquisition grant broadcast for t0.
+        assert!(out.contains(&SchedAction::Broadcast(CtrlMsg::LsaGrant {
+            mutex: m(3),
+            tid: t(0),
+            order: 2
+        })));
+        assert!(out.contains(&SchedAction::Resume(t(0))));
+
+        // Follower replays the same sequence of announcements.
+        let mut fol = follower();
+        let mut fout = Vec::new();
+        fol.on_event(&arrive(0), &mut fout);
+        fol.on_event(&arrive(1), &mut fout);
+        fout.clear();
+        fol.on_event(&lock(0, 3), &mut fout);
+        fol.on_event(&grant_msg(0, 3, 0), &mut fout);
+        assert_eq!(fout, vec![SchedAction::Resume(t(0))]);
+        fout.clear();
+        fol.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: m(3) }, &mut fout);
+        fol.on_event(&lock(1, 3), &mut fout);
+        fol.on_event(&grant_msg(1, 3, 1), &mut fout);
+        assert_eq!(fout, vec![SchedAction::Resume(t(1))]);
+        fout.clear();
+        fol.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut fout);
+        fol.on_event(&grant_msg(0, 3, 2), &mut fout);
+        assert!(fout.is_empty(), "t1 still holds m3");
+        fol.on_event(&unlock(1, 3), &mut fout);
+        assert_eq!(fout, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(fol.sync_core().owner(m(3)), Some(t(0)));
+    }
+
+    #[test]
+    fn promoted_leader_decides_pending_after_backlog() {
+        let mut s = follower();
+        let mut out = Vec::new();
+        s.on_event(&arrive(0), &mut out);
+        s.on_event(&arrive(1), &mut out);
+        out.clear();
+        // Old leader announced t1 first, then died. t0 and t1 both ask.
+        s.on_event(&grant_msg(1, 5, 0), &mut out);
+        s.on_event(&lock(0, 5), &mut out);
+        assert!(out.is_empty());
+        s.on_leader_change(ReplicaId::new(1));
+        assert!(s.is_leader());
+        // t1 asks: the old leader's announcement still wins first...
+        s.on_event(&lock(1, 5), &mut out);
+        // ...t1 resumes per backlog, then the new leader decides t0 when
+        // t1 releases, continuing the order counter at 1.
+        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        out.clear();
+        s.on_event(&unlock(1, 5), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(0), order: 1 }),
+                SchedAction::Resume(t(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn reentrant_lock_not_broadcast() {
+        let mut s = leader();
+        let mut out = Vec::new();
+        s.on_event(&arrive(0), &mut out);
+        out.clear();
+        s.on_event(&lock(0, 5), &mut out);
+        out.clear();
+        s.on_event(&lock(0, 5), &mut out);
+        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+    }
+}

@@ -1,0 +1,252 @@
+//! The `Scheduler` trait and factory.
+//!
+//! Decision modules are deterministic state machines; the replica engine
+//! owns one per replica and feeds it the event stream defined in
+//! [`crate::event`]. The contract:
+//!
+//! * **Blocking events** — `RequestArrived`, `LockRequested`,
+//!   `WaitCalled`, `NestedStarted` — suspend the thread. The engine will
+//!   not step the thread again until the scheduler emits
+//!   `Admit(tid)`/`Resume(tid)` for it (possibly within the same
+//!   `on_event` call, possibly at a later event).
+//! * **Non-blocking events** — `Unlocked`, `NotifyCalled`, `LockInfo`,
+//!   `SyncIgnored`, `ThreadFinished`, `Control` — inform the scheduler;
+//!   the reporting thread (if any) keeps running. The scheduler may still
+//!   release *other* threads in response.
+//! * A scheduler must never emit `Resume` for a thread that is not
+//!   suspended, and must leave its `SyncCore` quiescent once every thread
+//!   has finished.
+
+use crate::bookkeeping::LockTable;
+use crate::event::{SchedAction, SchedEvent};
+use crate::ids::ReplicaId;
+use crate::sync_core::SyncCore;
+use std::sync::Arc;
+
+/// Which algorithm a scheduler implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// No gating beyond plain mutex mechanics — the *nondeterministic*
+    /// baseline every replication paper warns about. Negative control.
+    Free,
+    /// Sequential request execution in total order (paper's SEQ).
+    Seq,
+    /// Single active thread (Jiménez-Peris et al. / Zhao et al., §3.1).
+    Sat,
+    /// Loose synchronisation algorithm: leader decides, followers replay
+    /// (Basile et al., §3.2).
+    Lsa,
+    /// Preemptive deterministic scheduling: round-based batches (Basile
+    /// et al., §3.3).
+    Pds,
+    /// Multiple active threads with a single lock-granting primary
+    /// (Reiser et al., §3.4).
+    Mat,
+    /// MAT + last-lock analysis: primacy is released as soon as the
+    /// bookkeeping proves the primary will take no further lock (§4.1,
+    /// Figure 2(b)).
+    MatLL,
+    /// The predicted-MAT sketched in §4.3: an age-ordered active queue;
+    /// a thread may lock when every older thread is predicted and
+    /// conflict-free with the requested mutex (Figure 3(b)).
+    Pmat,
+}
+
+impl SchedulerKind {
+    pub const ALL: [SchedulerKind; 8] = [
+        SchedulerKind::Free,
+        SchedulerKind::Seq,
+        SchedulerKind::Sat,
+        SchedulerKind::Lsa,
+        SchedulerKind::Pds,
+        SchedulerKind::Mat,
+        SchedulerKind::MatLL,
+        SchedulerKind::Pmat,
+    ];
+
+    /// The deterministic algorithms (everything but the negative control).
+    pub const DETERMINISTIC: [SchedulerKind; 7] = [
+        SchedulerKind::Seq,
+        SchedulerKind::Sat,
+        SchedulerKind::Lsa,
+        SchedulerKind::Pds,
+        SchedulerKind::Mat,
+        SchedulerKind::MatLL,
+        SchedulerKind::Pmat,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Free => "FREE",
+            SchedulerKind::Seq => "SEQ",
+            SchedulerKind::Sat => "SAT",
+            SchedulerKind::Lsa => "LSA",
+            SchedulerKind::Pds => "PDS",
+            SchedulerKind::Mat => "MAT",
+            SchedulerKind::MatLL => "MAT-LL",
+            SchedulerKind::Pmat => "PMAT",
+        }
+    }
+
+    /// Does the algorithm exploit the static-analysis lock tables?
+    pub fn uses_prediction(self) -> bool {
+        matches!(self, SchedulerKind::MatLL | SchedulerKind::Pmat)
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "FREE" => Ok(SchedulerKind::Free),
+            "SEQ" => Ok(SchedulerKind::Seq),
+            "SAT" => Ok(SchedulerKind::Sat),
+            "LSA" => Ok(SchedulerKind::Lsa),
+            "PDS" => Ok(SchedulerKind::Pds),
+            "MAT" => Ok(SchedulerKind::Mat),
+            "MAT-LL" | "MATLL" => Ok(SchedulerKind::MatLL),
+            "PMAT" => Ok(SchedulerKind::Pmat),
+            other => Err(format!("unknown scheduler kind: {other}")),
+        }
+    }
+}
+
+/// PDS tuning knobs (paper §3.3).
+#[derive(Clone, Copy, Debug)]
+pub struct PdsConfig {
+    /// Threads per round ("a pool with a fixed number of threads").
+    pub batch_size: usize,
+    /// Locks each thread may take per round (1, or 2 in the paper's
+    /// optimised variant).
+    pub locks_per_round: u32,
+}
+
+impl Default for PdsConfig {
+    fn default() -> Self {
+        PdsConfig { batch_size: 4, locks_per_round: 1 }
+    }
+}
+
+/// Everything needed to instantiate a scheduler for one replica.
+#[derive(Clone)]
+pub struct SchedConfig {
+    pub kind: SchedulerKind,
+    pub replica: ReplicaId,
+    pub leader: ReplicaId,
+    pub lock_table: Arc<LockTable>,
+    pub pds: PdsConfig,
+}
+
+impl SchedConfig {
+    pub fn new(kind: SchedulerKind, replica: ReplicaId) -> Self {
+        SchedConfig {
+            kind,
+            replica,
+            leader: ReplicaId::new(0),
+            lock_table: Arc::new(LockTable::unanalyzed(0)),
+            pds: PdsConfig::default(),
+        }
+    }
+
+    pub fn with_lock_table(mut self, table: Arc<LockTable>) -> Self {
+        self.lock_table = table;
+        self
+    }
+
+    pub fn with_pds(mut self, pds: PdsConfig) -> Self {
+        self.pds = pds;
+        self
+    }
+
+    pub fn with_leader(mut self, leader: ReplicaId) -> Self {
+        self.leader = leader;
+        self
+    }
+}
+
+/// A deterministic multithreading scheduler (decision module).
+///
+/// `Send` so a runtime can drive real threads through one scheduler
+/// behind a lock (`dmt-rt`).
+pub trait Scheduler: Send {
+    fn kind(&self) -> SchedulerKind;
+
+    /// Feed one event; actions are appended to `out` in decision order.
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>);
+
+    /// The underlying monitor table, for engine invariant checks.
+    fn sync_core(&self) -> &SyncCore;
+
+    /// Whether the *global* lock-grant order is replica-independent.
+    /// Only single-active-thread algorithms (SEQ, SAT) can promise that;
+    /// every concurrent algorithm guarantees the per-mutex acquisition
+    /// orders instead. The determinism checker compares accordingly.
+    fn global_order_deterministic(&self) -> bool {
+        true
+    }
+
+    /// Leadership change notification (LSA failover). Default: ignored.
+    fn on_leader_change(&mut self, _new_leader: ReplicaId) {}
+
+    /// Re-evaluate pending decisions outside any event (the engine calls
+    /// this after a leadership change so a just-promoted LSA leader
+    /// decides requests that were waiting for announcements that will
+    /// never come). Default: nothing pending.
+    fn kick(&mut self, _out: &mut Vec<SchedAction>) {}
+}
+
+/// Instantiates the decision module selected by `cfg`.
+pub fn make_scheduler(cfg: &SchedConfig) -> Box<dyn Scheduler> {
+    match cfg.kind {
+        SchedulerKind::Free => Box::new(crate::free::FreeScheduler::new()),
+        SchedulerKind::Seq => Box::new(crate::seq::SeqScheduler::new()),
+        SchedulerKind::Sat => Box::new(crate::sat::SatScheduler::new()),
+        SchedulerKind::Lsa => Box::new(crate::lsa::LsaScheduler::new(cfg.replica, cfg.leader)),
+        SchedulerKind::Pds => Box::new(crate::pds::PdsScheduler::new(cfg.pds)),
+        SchedulerKind::Mat => Box::new(crate::mat::MatScheduler::new(crate::mat::MatMode::Plain, cfg.lock_table.clone())),
+        SchedulerKind::MatLL => Box::new(crate::mat::MatScheduler::new(crate::mat::MatMode::LastLock, cfg.lock_table.clone())),
+        SchedulerKind::Pmat => Box::new(crate::pmat::PmatScheduler::new(cfg.lock_table.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in SchedulerKind::ALL {
+            let parsed: SchedulerKind = k.name().parse().unwrap();
+            assert_eq!(parsed, k);
+        }
+        assert!("bogus".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn deterministic_set_excludes_free() {
+        assert!(!SchedulerKind::DETERMINISTIC.contains(&SchedulerKind::Free));
+        assert_eq!(SchedulerKind::DETERMINISTIC.len(), SchedulerKind::ALL.len() - 1);
+    }
+
+    #[test]
+    fn prediction_flags() {
+        assert!(SchedulerKind::MatLL.uses_prediction());
+        assert!(SchedulerKind::Pmat.uses_prediction());
+        assert!(!SchedulerKind::Mat.uses_prediction());
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for k in SchedulerKind::ALL {
+            let cfg = SchedConfig::new(k, ReplicaId::new(0));
+            let s = make_scheduler(&cfg);
+            assert_eq!(s.kind(), k);
+        }
+    }
+}

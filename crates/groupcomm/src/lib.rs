@@ -1,0 +1,23 @@
+//! # dmt-groupcomm — simulated total-order group communication
+//!
+//! The paper's system model requires that "each replica receives all
+//! messages in a total order" through a group communication system
+//! (FTflex used the consensus-based GCS of Reiser et al. [10]). We model
+//! that service as a *reliable sequencer*: every submission travels to
+//! the sequencer (one-way latency + jitter), receives the next sequence
+//! number, and is broadcast to every live node (per-link latency +
+//! jitter). Each node holds back out-of-order arrivals and delivers
+//! strictly by sequence number, so all nodes see the same stream — the
+//! property every deterministic scheduler in `dmt-core` builds on.
+//!
+//! The consensus protocol itself is abstracted away (the sequencer never
+//! fails); *replica* failures — what the LSA failover experiment needs —
+//! are modelled by [`GroupComm::kill`], which stops deliveries to the
+//! dead node. Latency draws are deterministic per seed, so experiments
+//! replay bit-exactly.
+
+pub mod net;
+pub mod stats;
+
+pub use net::{Delivery, GroupComm, NetConfig, NodeId, Sequenced};
+pub use stats::NetStats;

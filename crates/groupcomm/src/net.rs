@@ -1,0 +1,317 @@
+//! The sequencer-based atomic broadcast model.
+
+use crate::stats::NetStats;
+use dmt_sim::{SimDuration, SplitMix64};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A node of the group (a replica host).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub const fn new(v: u32) -> Self {
+        NodeId(v)
+    }
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Latency model of the (local or wide area) network.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Base one-way latency of any hop (node↔sequencer, sequencer↔node).
+    pub one_way: SimDuration,
+    /// Multiplicative jitter: the actual latency is
+    /// `one_way * (1 + jitter * u)` with `u` uniform in `[0, 1)`.
+    pub jitter: f64,
+}
+
+impl NetConfig {
+    /// The paper's evaluation setting: clients and replicas in one LAN.
+    pub fn lan() -> Self {
+        NetConfig { one_way: SimDuration::from_micros(250), jitter: 0.4 }
+    }
+
+    /// A WAN profile for the §3.5 claim that LSA's chatter hurts there.
+    pub fn wan(one_way_ms: u64) -> Self {
+        NetConfig { one_way: SimDuration::from_millis(one_way_ms), jitter: 0.2 }
+    }
+}
+
+/// A message stamped with its position in the total order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sequenced<M> {
+    pub seq: u64,
+    pub msg: M,
+}
+
+/// An in-order delivery at a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    pub node: NodeId,
+    pub seq: u64,
+    pub msg: M,
+}
+
+struct NodeState<M> {
+    alive: bool,
+    next_deliver: u64,
+    /// Out-of-order arrivals held back until their predecessors arrive.
+    reorder: BTreeMap<u64, M>,
+}
+
+/// The group communication service. The caller (the simulation engine)
+/// owns the clock: methods return *delays*, the caller schedules events.
+pub struct GroupComm<M> {
+    cfg: NetConfig,
+    rng: SplitMix64,
+    next_seq: u64,
+    nodes: Vec<NodeState<M>>,
+    stats: NetStats,
+    /// Latest sequencer-arrival instant per FIFO source.
+    fifo_horizon: BTreeMap<u64, dmt_sim::SimTime>,
+}
+
+impl<M: Clone> GroupComm<M> {
+    pub fn new(n_nodes: usize, cfg: NetConfig, seed: u64) -> Self {
+        GroupComm {
+            cfg,
+            rng: SplitMix64::new(seed),
+            next_seq: 0,
+            nodes: (0..n_nodes)
+                .map(|_| NodeState { alive: true, next_deliver: 0, reorder: BTreeMap::new() })
+                .collect(),
+            stats: NetStats::default(),
+            fifo_horizon: BTreeMap::new(),
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].alive
+    }
+
+    /// Marks a node failed: no further deliveries reach it.
+    pub fn kill(&mut self, node: NodeId) {
+        self.nodes[node.index()].alive = false;
+        self.nodes[node.index()].reorder.clear();
+    }
+
+    fn hop_latency(&mut self) -> SimDuration {
+        let u = self.rng.next_f64();
+        let ns = self.cfg.one_way.as_nanos() as f64 * (1.0 + self.cfg.jitter * u);
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    /// A submission leaves a node (or an external client) for the
+    /// sequencer. Returns the transit delay; the caller schedules
+    /// [`GroupComm::sequence`] after it.
+    pub fn submit_delay(&mut self) -> SimDuration {
+        self.stats.submissions += 1;
+        self.hop_latency()
+    }
+
+    /// Like [`GroupComm::submit_delay`] but with per-source FIFO: two
+    /// submissions from the same `source` never overtake each other on
+    /// the way to the sequencer (the FIFO-total order real group
+    /// communication systems provide — LSA's numbered announcements
+    /// depend on it).
+    pub fn submit_delay_fifo(&mut self, source: u64, now: dmt_sim::SimTime) -> SimDuration {
+        self.stats.submissions += 1;
+        let mut arrival = now + self.hop_latency();
+        if let Some(&last) = self.fifo_horizon.get(&source) {
+            if arrival <= last {
+                arrival = last + SimDuration::from_nanos(1);
+            }
+        }
+        self.fifo_horizon.insert(source, arrival);
+        arrival - now
+    }
+
+    /// The sequencer stamps `msg` and broadcasts it: returns the stamped
+    /// message and per-node arrival delays (dead nodes excluded). The
+    /// caller schedules an [`GroupComm::arrive`] per entry.
+    pub fn sequence(&mut self, msg: M) -> (Sequenced<M>, Vec<(NodeId, SimDuration)>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut hops = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].alive {
+                let d = self.hop_latency();
+                self.stats.broadcast_legs += 1;
+                hops.push((NodeId::new(i as u32), d));
+            }
+        }
+        (Sequenced { seq, msg }, hops)
+    }
+
+    /// A stamped message physically arrives at `node`. Returns the batch
+    /// of messages now deliverable *in order* (possibly empty while a
+    /// predecessor is still in flight, possibly several if this arrival
+    /// plugged a gap). Arrivals at dead nodes are dropped.
+    pub fn arrive(&mut self, node: NodeId, sm: Sequenced<M>) -> Vec<Delivery<M>> {
+        let st = &mut self.nodes[node.index()];
+        if !st.alive {
+            return Vec::new();
+        }
+        assert!(
+            sm.seq >= st.next_deliver,
+            "duplicate sequence {} at {node:?}",
+            sm.seq
+        );
+        st.reorder.insert(sm.seq, sm.msg);
+        let mut out = Vec::new();
+        while let Some(msg) = st.reorder.remove(&st.next_deliver) {
+            out.push(Delivery { node, seq: st.next_deliver, msg });
+            st.next_deliver += 1;
+            self.stats.deliveries += 1;
+        }
+        out
+    }
+
+    /// How many messages `node` has delivered so far.
+    pub fn delivered_count(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].next_deliver
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Total messages sequenced so far.
+    pub fn sequenced_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gc(n: usize, seed: u64) -> GroupComm<&'static str> {
+        GroupComm::new(n, NetConfig::lan(), seed)
+    }
+
+    #[test]
+    fn sequence_numbers_are_consecutive() {
+        let mut g = gc(3, 1);
+        let (a, hops) = g.sequence("a");
+        let (b, _) = g.sequence("b");
+        assert_eq!(a.seq, 0);
+        assert_eq!(b.seq, 1);
+        assert_eq!(hops.len(), 3);
+    }
+
+    #[test]
+    fn in_order_arrival_delivers_immediately() {
+        let mut g = gc(2, 1);
+        let (a, _) = g.sequence("a");
+        let out = g.arrive(NodeId::new(0), a);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg, "a");
+        assert_eq!(out[0].seq, 0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_held_back() {
+        let mut g = gc(1, 1);
+        let (a, _) = g.sequence("a");
+        let (b, _) = g.sequence("b");
+        let n = NodeId::new(0);
+        assert!(g.arrive(n, b).is_empty(), "seq 1 must wait for seq 0");
+        let out = g.arrive(n, a);
+        let msgs: Vec<_> = out.iter().map(|d| d.msg).collect();
+        assert_eq!(msgs, vec!["a", "b"], "gap plugged: both deliver in order");
+        assert_eq!(g.delivered_count(n), 2);
+    }
+
+    #[test]
+    fn long_gap_release() {
+        let mut g = gc(1, 1);
+        let stamped: Vec<_> = (0..5).map(|i| g.sequence(["a", "b", "c", "d", "e"][i]).0).collect();
+        let n = NodeId::new(0);
+        for sm in stamped.iter().skip(1).rev() {
+            assert!(g.arrive(n, sm.clone()).is_empty());
+        }
+        let out = g.arrive(n, stamped[0].clone());
+        assert_eq!(out.len(), 5);
+        let seqs: Vec<u64> = out.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dead_node_gets_nothing() {
+        let mut g = gc(2, 1);
+        g.kill(NodeId::new(1));
+        let (a, hops) = g.sequence("a");
+        assert_eq!(hops.len(), 1, "broadcast skips dead nodes");
+        assert_eq!(hops[0].0, NodeId::new(0));
+        assert!(g.arrive(NodeId::new(1), a).is_empty());
+        assert!(!g.is_alive(NodeId::new(1)));
+    }
+
+    #[test]
+    fn latency_is_positive_and_jittered() {
+        let mut g = gc(1, 7);
+        let base = NetConfig::lan().one_way;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let d = g.submit_delay();
+            assert!(d >= base);
+            assert!(d <= base + SimDuration::from_nanos((base.as_nanos() as f64 * 0.4) as u64 + 1));
+            distinct.insert(d.as_nanos());
+        }
+        assert!(distinct.len() > 10, "jitter should vary latencies");
+    }
+
+    #[test]
+    fn same_seed_same_latencies() {
+        let mut a = gc(3, 42);
+        let mut b = gc(3, 42);
+        for _ in 0..20 {
+            assert_eq!(a.submit_delay(), b.submit_delay());
+            let (_, ha) = a.sequence("x");
+            let (_, hb) = b.sequence("x");
+            assert_eq!(ha, hb);
+        }
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut g = gc(3, 1);
+        g.submit_delay();
+        let (a, _) = g.sequence("a");
+        g.arrive(NodeId::new(0), a);
+        assert_eq!(g.stats().submissions, 1);
+        assert_eq!(g.stats().broadcast_legs, 3);
+        assert_eq!(g.stats().deliveries, 1);
+        assert_eq!(g.sequenced_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sequence")]
+    fn duplicate_delivery_is_detected() {
+        let mut g = gc(1, 1);
+        let (a, _) = g.sequence("a");
+        g.arrive(NodeId::new(0), a.clone());
+        g.arrive(NodeId::new(0), a);
+    }
+
+    #[test]
+    fn wan_profile_is_slower() {
+        let mut lan: GroupComm<&str> = GroupComm::new(1, NetConfig::lan(), 1);
+        let mut wan: GroupComm<&str> = GroupComm::new(1, NetConfig::wan(20), 1);
+        assert!(wan.submit_delay() > lan.submit_delay() * 10);
+    }
+}

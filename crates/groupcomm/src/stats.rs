@@ -1,0 +1,32 @@
+//! Traffic accounting — the raw material for the paper's §3.5 remark
+//! that LSA "poses a high load on the network caused by the need for
+//! frequent broadcast communication".
+
+/// Message counters for one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages submitted for ordering (requests, replies, control).
+    pub submissions: u64,
+    /// Point-to-point legs of sequencer broadcasts.
+    pub broadcast_legs: u64,
+    /// In-order deliveries performed at nodes.
+    pub deliveries: u64,
+}
+
+impl NetStats {
+    /// Total simulated message transmissions.
+    pub fn total_legs(&self) -> u64 {
+        self.submissions + self.broadcast_legs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_legs_adds_up() {
+        let s = NetStats { submissions: 3, broadcast_legs: 9, deliveries: 9 };
+        assert_eq!(s.total_legs(), 12);
+    }
+}

@@ -1,0 +1,571 @@
+//! The abstract syntax of object methods.
+//!
+//! The statement set is exactly what the paper's schedulers and analyses
+//! care about: synchronised blocks (with a classified lock parameter),
+//! condition-variable operations, nested remote invocations, local
+//! computation, replicated-state updates, control flow, and local/virtual
+//! calls. Everything else about Java is irrelevant to deterministic
+//! scheduling and deliberately absent.
+
+use crate::ids::{CallSiteId, CellId, FieldId, LocalId, MethodIdx, MutexId, ServiceId, SyncId};
+
+/// How a synchronisation parameter (the object of a `synchronized` block,
+/// `wait`, or `notify`) is produced. The variants map onto the paper's
+/// §4.2 classification:
+///
+/// * statically announceable at (or soon after) method entry — [`This`],
+///   [`Konst`], [`Arg`], [`Pool`] (an argument-indexed mutex array, the
+///   Figure-1 "100 mutexes" pattern), and [`Local`] up to its last
+///   assignment;
+/// * *spontaneous* (unknown until the lock happens) — [`Field`] (instance
+///   variable), [`PoolByCell`] (selected from mutable state), and
+///   [`CallResult`] (return value of a method call).
+///
+/// [`This`]: MutexExpr::This
+/// [`Konst`]: MutexExpr::Konst
+/// [`Arg`]: MutexExpr::Arg
+/// [`Pool`]: MutexExpr::Pool
+/// [`Local`]: MutexExpr::Local
+/// [`Field`]: MutexExpr::Field
+/// [`PoolByCell`]: MutexExpr::PoolByCell
+/// [`CallResult`]: MutexExpr::CallResult
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutexExpr {
+    /// The object's own monitor (`synchronized(this)` / synchronized method).
+    This,
+    /// A fixed, globally known monitor object (e.g. a static final lock).
+    Konst(MutexId),
+    /// A method parameter carrying a mutex reference.
+    Arg(usize),
+    /// Read of a method-local variable (see [`Stmt::Assign`]).
+    Local(LocalId),
+    /// An instance variable — spontaneous.
+    Field(FieldId),
+    /// `pool[args[index_arg] % len]`: a mutex selected from a contiguous
+    /// pool by a client-supplied index. Announceable at method entry.
+    Pool { base: u32, len: u32, index_arg: usize },
+    /// `pool[state[cell] % len]`: selected from mutable object state —
+    /// spontaneous, and loop-variant if the cell changes.
+    PoolByCell { base: u32, len: u32, cell: CellId },
+    /// Return value of a method call — spontaneous. At runtime the call is
+    /// modelled as deterministically resolving to an instance variable.
+    CallResult { site: CallSiteId, resolves_to: FieldId },
+}
+
+/// Type alias documenting intent where an expression is used as the
+/// parameter of a synchronisation operation.
+pub type LockParam = MutexExpr;
+
+/// Integer expressions (state updates, virtual-dispatch selectors).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntExpr {
+    Lit(i64),
+    /// `args[i]` interpreted as an integer.
+    Arg(usize),
+    /// Read of a state cell.
+    Cell(CellId),
+}
+
+/// Duration expressions for compute segments and nested invocations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DurExpr {
+    Nanos(u64),
+    /// Client-supplied duration: `args[i]`.
+    Arg(usize),
+}
+
+impl DurExpr {
+    pub const fn micros(us: u64) -> Self {
+        DurExpr::Nanos(us * 1_000)
+    }
+    pub const fn millis(ms: u64) -> Self {
+        DurExpr::Nanos(ms * 1_000_000)
+    }
+}
+
+/// Loop trip counts for bounded (`for`) loops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CountExpr {
+    Lit(u32),
+    /// `args[i]` interpreted as a count (clamped at 0).
+    Arg(usize),
+}
+
+/// Branch and `while` conditions. Deterministic functions of the request
+/// arguments and the replicated state — never of wall-clock time or
+/// uncontrolled randomness (paper §2: such sources are outlawed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CondExpr {
+    Konst(bool),
+    /// Boolean request argument (clients pass their random decisions as
+    /// parameters — the paper's benchmark design).
+    ArgFlag(usize),
+    /// `args[i] < k`.
+    ArgIntLt(usize, i64),
+    /// `state[cell] == k`.
+    CellEq(CellId, i64),
+    /// `state[cell] < k`.
+    CellLt(CellId, i64),
+    /// `state[cell] >= k`.
+    CellGe(CellId, i64),
+    /// `args[i].equals(fields[f])` — the Figure-4 `myo.equals(o)` test.
+    ParamEqField(usize, FieldId),
+    Not(Box<CondExpr>),
+}
+
+impl CondExpr {
+    pub fn negate(self) -> CondExpr {
+        match self {
+            CondExpr::Not(inner) => *inner,
+            other => CondExpr::Not(Box::new(other)),
+        }
+    }
+}
+
+/// Argument expressions for local and virtual calls, evaluated in the
+/// caller's frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgExpr {
+    Const(crate::value::Value),
+    /// Forward the caller's argument `i`.
+    CallerArg(usize),
+    /// Pass the current value of a caller-local variable.
+    Local(LocalId),
+    /// Pass the monitor held in an instance variable.
+    Field(FieldId),
+}
+
+/// One statement of a method body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Pure local computation for the given (virtual) duration.
+    Compute(DurExpr),
+    /// `synchronized (param) { body }`. The `sync_id` is the globally
+    /// unique static identity of this block (paper §4.1); the builder
+    /// assigns ids in source order and the analysis relies on them.
+    Sync { sync_id: SyncId, param: LockParam, body: Vec<Stmt> },
+    /// `param.wait()`. Must be executed while holding `param`'s monitor.
+    Wait(LockParam),
+    /// `param.notify()` / `param.notifyAll()`.
+    Notify { param: LockParam, all: bool },
+    /// Nested remote invocation of an external service (paper §2). The
+    /// duration models the round-trip the paper simulates (~12 ms).
+    Nested { service: ServiceId, dur: DurExpr },
+    /// `state[cell] += delta` — a critical write to replicated state.
+    Update { cell: CellId, delta: IntExpr },
+    /// `state[base + args[index_arg] % len] += delta` — a critical write
+    /// to a cell selected by a client argument (the Figure-1 pattern:
+    /// each pool mutex guards the equally-indexed cell).
+    UpdateIndexed { base: u32, len: u32, index_arg: usize, delta: IntExpr },
+    /// `state[cell] = value`.
+    SetCell { cell: CellId, value: IntExpr },
+    /// Assignment to a lock-parameter local variable; tracked by the
+    /// lock-parameter analysis ("find out when this parameter is assigned
+    /// the last time", §4.2).
+    Assign { local: LocalId, expr: MutexExpr },
+    /// Two-armed branch.
+    If { cond: CondExpr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    /// Bounded loop (`for`). Trip count known at entry from a literal or a
+    /// request argument.
+    For { count: CountExpr, body: Vec<Stmt> },
+    /// Condition loop (`while`) — the shape of CV wait loops.
+    While { cond: CondExpr, body: Vec<Stmt> },
+    /// Call of another method on the same object, statically bound
+    /// (`final` in the paper's restriction set).
+    Call { method: MethodIdx, args: Vec<ArgExpr> },
+    /// Dynamically dispatched call. `candidates` is the repository of
+    /// possible implementations (§4.4); `selector` picks one
+    /// deterministically at runtime.
+    VirtualCall {
+        site: CallSiteId,
+        candidates: Vec<MethodIdx>,
+        selector: IntExpr,
+        args: Vec<ArgExpr>,
+    },
+    /// Injected by the analysis: announce the future lock of `sync_id`
+    /// (paper's `scheduler.lockInfo(syncid, mutex)`).
+    LockInfo { sync_id: SyncId, param: LockParam },
+    /// Injected by the analysis: the path taken bypasses `sync_id`
+    /// (paper's `scheduler.ignore(syncid)`).
+    IgnoreSync { sync_id: SyncId },
+    /// Early return. Releases monitors of enclosing `Sync` blocks, like a
+    /// `return` inside Java `synchronized`.
+    Return,
+}
+
+/// A method of the replicated object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Method {
+    pub name: String,
+    /// Number of request arguments the method expects.
+    pub arity: usize,
+    /// Number of local (mutex-reference) variables.
+    pub n_locals: u32,
+    /// Public methods are *start methods*: a remote request may begin here
+    /// (paper §2). Non-public methods are only reachable via calls.
+    pub public: bool,
+    /// Whether the method is `final` (the paper's analysis restriction;
+    /// virtual call sites model the relaxation).
+    pub is_final: bool,
+    pub body: Vec<Stmt>,
+}
+
+/// A replicated object implementation: a set of methods plus the shape of
+/// its state (cells and monitor-holding fields).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectImpl {
+    pub name: String,
+    pub methods: Vec<Method>,
+    pub n_cells: u32,
+    pub n_fields: u32,
+}
+
+impl ObjectImpl {
+    pub fn method(&self, idx: MethodIdx) -> &Method {
+        &self.methods[idx.index()]
+    }
+
+    pub fn method_by_name(&self, name: &str) -> Option<MethodIdx> {
+        self.methods
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| MethodIdx::new(i as u32))
+    }
+
+    /// Indices of all start methods.
+    pub fn start_methods(&self) -> Vec<MethodIdx> {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.public)
+            .map(|(i, _)| MethodIdx::new(i as u32))
+            .collect()
+    }
+
+    /// Structural validation: call targets in range, locals in range,
+    /// syncids unique, loop/branch nesting well-formed. Returns a list of
+    /// human-readable problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen_sync = std::collections::HashSet::new();
+        for (mi, m) in self.methods.iter().enumerate() {
+            let ctx = format!("{}::{}", self.name, m.name);
+            validate_block(
+                &m.body,
+                m,
+                self,
+                &ctx,
+                &mut seen_sync,
+                &mut problems,
+            );
+            let _ = mi;
+        }
+        problems
+    }
+
+    /// Walks every statement of every method, depth-first, source order.
+    pub fn visit_stmts<'a>(&'a self, mut f: impl FnMut(MethodIdx, &'a Stmt)) {
+        fn walk<'a>(
+            stmts: &'a [Stmt],
+            mi: MethodIdx,
+            f: &mut impl FnMut(MethodIdx, &'a Stmt),
+        ) {
+            for s in stmts {
+                f(mi, s);
+                match s {
+                    Stmt::Sync { body, .. }
+                    | Stmt::For { body, .. }
+                    | Stmt::While { body, .. } => walk(body, mi, f),
+                    Stmt::If { then_branch, else_branch, .. } => {
+                        walk(then_branch, mi, f);
+                        walk(else_branch, mi, f);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (i, m) in self.methods.iter().enumerate() {
+            walk(&m.body, MethodIdx::new(i as u32), &mut f);
+        }
+    }
+
+    /// All syncids appearing in the object, in deterministic source order.
+    pub fn all_sync_ids(&self) -> Vec<SyncId> {
+        let mut ids = Vec::new();
+        self.visit_stmts(|_, s| {
+            if let Stmt::Sync { sync_id, .. } = s {
+                ids.push(*sync_id);
+            }
+        });
+        ids
+    }
+}
+
+fn validate_mutex_expr(
+    e: &MutexExpr,
+    m: &Method,
+    obj: &ObjectImpl,
+    ctx: &str,
+    problems: &mut Vec<String>,
+) {
+    match e {
+        MutexExpr::Arg(i) => {
+            if *i >= m.arity {
+                problems.push(format!("{ctx}: lock parameter uses arg {i} but arity is {}", m.arity));
+            }
+        }
+        MutexExpr::Local(l) => {
+            if l.0 >= m.n_locals {
+                problems.push(format!("{ctx}: lock parameter uses local {l} but method has {} locals", m.n_locals));
+            }
+        }
+        MutexExpr::Field(f) | MutexExpr::CallResult { resolves_to: f, .. } => {
+            if f.0 >= obj.n_fields {
+                problems.push(format!("{ctx}: lock parameter uses field {f} but object has {} fields", obj.n_fields));
+            }
+        }
+        MutexExpr::Pool { len, index_arg, .. } => {
+            if *len == 0 {
+                problems.push(format!("{ctx}: empty mutex pool"));
+            }
+            if *index_arg >= m.arity {
+                problems.push(format!("{ctx}: pool index arg {index_arg} out of range"));
+            }
+        }
+        MutexExpr::PoolByCell { len, cell, .. } => {
+            if *len == 0 {
+                problems.push(format!("{ctx}: empty mutex pool"));
+            }
+            if cell.0 >= obj.n_cells {
+                problems.push(format!("{ctx}: pool cell {cell} out of range"));
+            }
+        }
+        MutexExpr::This | MutexExpr::Konst(_) => {}
+    }
+}
+
+fn validate_block(
+    stmts: &[Stmt],
+    m: &Method,
+    obj: &ObjectImpl,
+    ctx: &str,
+    seen_sync: &mut std::collections::HashSet<SyncId>,
+    problems: &mut Vec<String>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Sync { sync_id, param, body } => {
+                if !seen_sync.insert(*sync_id) {
+                    problems.push(format!("{ctx}: duplicate sync id {sync_id}"));
+                }
+                validate_mutex_expr(param, m, obj, ctx, problems);
+                validate_block(body, m, obj, ctx, seen_sync, problems);
+            }
+            Stmt::Wait(p) | Stmt::Notify { param: p, .. } => {
+                validate_mutex_expr(p, m, obj, ctx, problems);
+            }
+            Stmt::Assign { local, expr } => {
+                if local.0 >= m.n_locals {
+                    problems.push(format!("{ctx}: assignment to out-of-range local {local}"));
+                }
+                validate_mutex_expr(expr, m, obj, ctx, problems);
+            }
+            Stmt::Update { cell, .. } | Stmt::SetCell { cell, .. } => {
+                if cell.0 >= obj.n_cells {
+                    problems.push(format!("{ctx}: state cell {cell} out of range"));
+                }
+            }
+            Stmt::UpdateIndexed { base, len, index_arg, .. } => {
+                if *len == 0 || base + len > obj.n_cells {
+                    problems.push(format!("{ctx}: indexed cell range out of bounds"));
+                }
+                if *index_arg >= m.arity {
+                    problems.push(format!("{ctx}: indexed cell arg {index_arg} out of range"));
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                validate_block(then_branch, m, obj, ctx, seen_sync, problems);
+                validate_block(else_branch, m, obj, ctx, seen_sync, problems);
+            }
+            Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                validate_block(body, m, obj, ctx, seen_sync, problems);
+            }
+            Stmt::Call { method, args } => {
+                if method.index() >= obj.methods.len() {
+                    problems.push(format!("{ctx}: call to unknown method {method}"));
+                } else {
+                    let callee = &obj.methods[method.index()];
+                    if args.len() != callee.arity {
+                        problems.push(format!(
+                            "{ctx}: call to {} passes {} args, arity is {}",
+                            callee.name,
+                            args.len(),
+                            callee.arity
+                        ));
+                    }
+                }
+            }
+            Stmt::VirtualCall { candidates, args, .. } => {
+                if candidates.is_empty() {
+                    problems.push(format!("{ctx}: virtual call with empty candidate set"));
+                }
+                for c in candidates {
+                    if c.index() >= obj.methods.len() {
+                        problems.push(format!("{ctx}: virtual candidate {c} unknown"));
+                    } else if obj.methods[c.index()].arity != args.len() {
+                        problems.push(format!(
+                            "{ctx}: virtual candidate {} arity mismatch",
+                            obj.methods[c.index()].name
+                        ));
+                    }
+                }
+            }
+            Stmt::LockInfo { param, .. } => {
+                validate_mutex_expr(param, m, obj, ctx, problems);
+            }
+            Stmt::Compute(_) | Stmt::Nested { .. } | Stmt::IgnoreSync { .. } | Stmt::Return => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf_method(name: &str, body: Vec<Stmt>) -> Method {
+        Method { name: name.into(), arity: 1, n_locals: 1, public: true, is_final: true, body }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let obj = ObjectImpl {
+            name: "O".into(),
+            n_cells: 1,
+            n_fields: 1,
+            methods: vec![leaf_method(
+                "m",
+                vec![Stmt::Sync {
+                    sync_id: SyncId::new(0),
+                    param: MutexExpr::Arg(0),
+                    body: vec![Stmt::Update { cell: CellId::new(0), delta: IntExpr::Lit(1) }],
+                }],
+            )],
+        };
+        assert!(obj.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_bad_arg_index() {
+        let obj = ObjectImpl {
+            name: "O".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![leaf_method(
+                "m",
+                vec![Stmt::Sync {
+                    sync_id: SyncId::new(0),
+                    param: MutexExpr::Arg(5),
+                    body: vec![],
+                }],
+            )],
+        };
+        let problems = obj.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("arg 5"));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_syncid() {
+        let mk = |sid| Stmt::Sync { sync_id: SyncId::new(sid), param: MutexExpr::This, body: vec![] };
+        let obj = ObjectImpl {
+            name: "O".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![leaf_method("m", vec![mk(1), mk(1)])],
+        };
+        assert!(obj.validate().iter().any(|p| p.contains("duplicate sync id")));
+    }
+
+    #[test]
+    fn validate_catches_cell_out_of_range() {
+        let obj = ObjectImpl {
+            name: "O".into(),
+            n_cells: 1,
+            n_fields: 0,
+            methods: vec![leaf_method(
+                "m",
+                vec![Stmt::Update { cell: CellId::new(3), delta: IntExpr::Lit(1) }],
+            )],
+        };
+        assert!(obj.validate().iter().any(|p| p.contains("cell c3")));
+    }
+
+    #[test]
+    fn validate_catches_call_arity_mismatch() {
+        let callee = Method {
+            name: "callee".into(),
+            arity: 2,
+            n_locals: 0,
+            public: false,
+            is_final: true,
+            body: vec![],
+        };
+        let caller = leaf_method("caller", vec![Stmt::Call { method: MethodIdx::new(1), args: vec![] }]);
+        let obj = ObjectImpl {
+            name: "O".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![caller, callee],
+        };
+        assert!(obj.validate().iter().any(|p| p.contains("arity")));
+    }
+
+    #[test]
+    fn start_methods_filters_public() {
+        let mut pub_m = leaf_method("a", vec![]);
+        pub_m.public = true;
+        let mut priv_m = leaf_method("b", vec![]);
+        priv_m.public = false;
+        let obj = ObjectImpl { name: "O".into(), n_cells: 0, n_fields: 0, methods: vec![pub_m, priv_m] };
+        assert_eq!(obj.start_methods(), vec![MethodIdx::new(0)]);
+        assert_eq!(obj.method_by_name("b"), Some(MethodIdx::new(1)));
+        assert_eq!(obj.method_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn visit_stmts_sees_nested() {
+        let obj = ObjectImpl {
+            name: "O".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![leaf_method(
+                "m",
+                vec![Stmt::If {
+                    cond: CondExpr::Konst(true),
+                    then_branch: vec![Stmt::Sync {
+                        sync_id: SyncId::new(7),
+                        param: MutexExpr::This,
+                        body: vec![Stmt::Return],
+                    }],
+                    else_branch: vec![Stmt::Compute(DurExpr::millis(1))],
+                }],
+            )],
+        };
+        let mut count = 0;
+        obj.visit_stmts(|_, _| count += 1);
+        assert_eq!(count, 4); // If, Sync, Return, Compute
+        assert_eq!(obj.all_sync_ids(), vec![SyncId::new(7)]);
+    }
+
+    #[test]
+    fn cond_negate_collapses_double_not() {
+        let c = CondExpr::ArgFlag(0).negate().negate();
+        assert_eq!(c, CondExpr::ArgFlag(0));
+    }
+
+    #[test]
+    fn dur_expr_helpers() {
+        assert_eq!(DurExpr::micros(2), DurExpr::Nanos(2_000));
+        assert_eq!(DurExpr::millis(2), DurExpr::Nanos(2_000_000));
+    }
+}

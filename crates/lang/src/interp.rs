@@ -1,0 +1,754 @@
+//! The deterministic interpreter.
+//!
+//! Each logical thread (one per remote request) is a [`ThreadVm`]. The
+//! replica engine steps a VM only when the scheduler allows it; the VM
+//! runs internal instructions (state updates, branches, assignments)
+//! silently and returns at the next *synchronisation-relevant* point with
+//! an [`Action`] for the engine to arbitrate. Everything the VM does is a
+//! pure function of (program, request arguments, object state), never of
+//! wall-clock time — the paper's precondition for determinism.
+
+use crate::ast::{ArgExpr, CondExpr, CountExpr, DurExpr, IntExpr, MutexExpr};
+use crate::compile::{CompiledObject, Instr};
+use crate::ids::{CellId, FieldId, MethodIdx, MutexId, ServiceId, SyncId};
+use crate::value::{RequestArgs, Value};
+use std::sync::Arc;
+
+/// The shared state of one object replica: replicated integer cells plus
+/// the monitor-reference fields used as spontaneous lock parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectState {
+    /// The monitor of the object itself (`this`).
+    pub this_mutex: MutexId,
+    cells: Vec<i64>,
+    fields: Vec<MutexId>,
+}
+
+impl ObjectState {
+    pub fn new(this_mutex: MutexId, n_cells: u32, fields: Vec<MutexId>) -> Self {
+        ObjectState { this_mutex, cells: vec![0; n_cells as usize], fields }
+    }
+
+    /// Builds the state shape an object implementation expects, with all
+    /// fields pointing at `this`.
+    pub fn for_object(obj: &CompiledObject, this_mutex: MutexId) -> Self {
+        ObjectState::new(this_mutex, obj.n_cells, vec![this_mutex; obj.n_fields as usize])
+    }
+
+    pub fn cell(&self, c: CellId) -> i64 {
+        self.cells[c.index()]
+    }
+
+    pub fn set_cell(&mut self, c: CellId, v: i64) {
+        self.cells[c.index()] = v;
+    }
+
+    pub fn field(&self, f: FieldId) -> MutexId {
+        self.fields[f.index()]
+    }
+
+    pub fn set_field(&mut self, f: FieldId, m: MutexId) {
+        self.fields[f.index()] = m;
+    }
+
+    pub fn cells(&self) -> &[i64] {
+        &self.cells
+    }
+
+    /// FNV-1a hash over the full replicated state; replicas compare these
+    /// to detect divergence.
+    pub fn state_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+        };
+        eat(self.this_mutex.0 as u64);
+        for &c in &self.cells {
+            eat(c as u64);
+        }
+        for &f in &self.fields {
+            eat(f.0 as u64);
+        }
+        h
+    }
+}
+
+/// A synchronisation-relevant step the engine must arbitrate or perform.
+/// Timing payloads are nanoseconds of *virtual* time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Occupy a CPU for the given duration.
+    Compute { dur_ns: u64 },
+    /// Request the monitor `mutex` for synchronized block `sync_id`.
+    Lock { sync_id: SyncId, mutex: MutexId },
+    /// Release the monitor taken at `sync_id`.
+    Unlock { sync_id: SyncId, mutex: MutexId },
+    /// `mutex.wait()` — caller must hold `mutex`.
+    Wait { mutex: MutexId },
+    /// `mutex.notify()` / `notifyAll()` — caller must hold `mutex`.
+    Notify { mutex: MutexId, all: bool },
+    /// Nested remote invocation with the given simulated round-trip.
+    Nested { service: ServiceId, dur_ns: u64 },
+    /// Announcement injected by the analysis: this thread will lock
+    /// `mutex` at `sync_id` (paper `scheduler.lockInfo`).
+    LockInfo { sync_id: SyncId, mutex: MutexId },
+    /// Announcement injected by the analysis: `sync_id` is bypassed on the
+    /// taken path (paper `scheduler.ignore`).
+    Ignore { sync_id: SyncId },
+}
+
+/// Result of stepping a VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The VM paused at an action; resume by calling `step` again after
+    /// the engine has performed/granted it.
+    Action(Action),
+    /// The root method returned; the thread is done.
+    Finished,
+}
+
+struct Frame {
+    method: MethodIdx,
+    pc: usize,
+    args: RequestArgs,
+    locals: Vec<Value>,
+    loop_slots: Vec<u32>,
+    /// Monitors taken by `Lock` in this frame, with their syncids, in
+    /// acquisition order (so `Unlock` releases what was actually locked
+    /// even if the parameter expression was reassigned in between).
+    sync_stack: Vec<(SyncId, MutexId)>,
+}
+
+/// The interpreter state of one logical thread.
+pub struct ThreadVm {
+    program: Arc<CompiledObject>,
+    frames: Vec<Frame>,
+    /// Count of `step` calls, exposed for tests and runaway detection.
+    steps: u64,
+}
+
+/// Hard bound on internal (non-action) instructions executed per `step`
+/// call. A purely internal infinite loop is a programme bug; failing fast
+/// beats hanging the simulation.
+const INTERNAL_STEP_LIMIT: usize = 1_000_000;
+
+impl ThreadVm {
+    /// Creates a VM poised at the first instruction of `method`.
+    pub fn new(program: Arc<CompiledObject>, method: MethodIdx, args: RequestArgs) -> Self {
+        let m = &program.methods[method.index()];
+        assert_eq!(
+            args.len(),
+            m.arity,
+            "method {} expects {} args, got {}",
+            m.name,
+            m.arity,
+            args.len()
+        );
+        let frame = Frame {
+            method,
+            pc: 0,
+            locals: vec![Value::Int(0); m.n_locals as usize],
+            loop_slots: vec![0; m.n_loop_slots as usize],
+            args,
+            sync_stack: Vec::new(),
+        };
+        ThreadVm { program, frames: vec![frame], steps: 0 }
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Monitors currently held by this thread across all frames, in
+    /// acquisition order (outermost first). Reentrant acquisitions appear
+    /// once per `Lock`.
+    pub fn held_monitors(&self) -> Vec<MutexId> {
+        self.frames
+            .iter()
+            .flat_map(|f| f.sync_stack.iter().map(|&(_, m)| m))
+            .collect()
+    }
+
+    /// Advances the thread to its next synchronisation-relevant action.
+    /// Internal instructions mutate `state` immediately (the engine only
+    /// steps one VM at a time, so these writes are race-free by
+    /// construction — the simulation analogue of "all access is properly
+    /// synchronised").
+    pub fn step(&mut self, state: &mut ObjectState) -> StepOutcome {
+        self.steps += 1;
+        for _ in 0..INTERNAL_STEP_LIMIT {
+            let Some(frame) = self.frames.last_mut() else {
+                return StepOutcome::Finished;
+            };
+            let code = &self.program.methods[frame.method.index()].code;
+            debug_assert!(frame.pc < code.len(), "pc ran off method end");
+            let instr = &code[frame.pc];
+            match instr {
+                Instr::Compute(d) => {
+                    let dur_ns = eval_dur(d, &frame.args);
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::Compute { dur_ns });
+                }
+                Instr::Lock { sync_id, param } => {
+                    let mutex = eval_mutex(param, frame, state);
+                    frame.sync_stack.push((*sync_id, mutex));
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::Lock { sync_id: *sync_id, mutex });
+                }
+                Instr::Unlock { sync_id } => {
+                    let (sid, mutex) = frame
+                        .sync_stack
+                        .pop()
+                        .expect("unlock without matching lock");
+                    debug_assert_eq!(sid, *sync_id, "unbalanced sync stack");
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::Unlock { sync_id: sid, mutex });
+                }
+                Instr::Wait(param) => {
+                    let mutex = eval_mutex(param, frame, state);
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::Wait { mutex });
+                }
+                Instr::Notify { param, all } => {
+                    let mutex = eval_mutex(param, frame, state);
+                    let all = *all;
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::Notify { mutex, all });
+                }
+                Instr::Nested { service, dur } => {
+                    let dur_ns = eval_dur(dur, &frame.args);
+                    let service = *service;
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::Nested { service, dur_ns });
+                }
+                Instr::LockInfo { sync_id, param } => {
+                    let mutex = eval_mutex(param, frame, state);
+                    let sync_id = *sync_id;
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::LockInfo { sync_id, mutex });
+                }
+                Instr::IgnoreSync { sync_id } => {
+                    let sync_id = *sync_id;
+                    frame.pc += 1;
+                    return StepOutcome::Action(Action::Ignore { sync_id });
+                }
+                // ---- internal instructions: no scheduler involvement ----
+                Instr::Update { cell, delta } => {
+                    let d = eval_int(delta, &frame.args, state);
+                    state.set_cell(*cell, state.cell(*cell).wrapping_add(d));
+                    frame.pc += 1;
+                }
+                Instr::UpdateIndexed { base, len, index_arg, delta } => {
+                    let idx = frame.args.get(*index_arg).as_int().rem_euclid(*len as i64) as u32;
+                    let cell = CellId::new(base + idx);
+                    let d = eval_int(delta, &frame.args, state);
+                    state.set_cell(cell, state.cell(cell).wrapping_add(d));
+                    frame.pc += 1;
+                }
+                Instr::SetCell { cell, value } => {
+                    let v = eval_int(value, &frame.args, state);
+                    state.set_cell(*cell, v);
+                    frame.pc += 1;
+                }
+                Instr::Assign { local, expr } => {
+                    let m = eval_mutex(expr, frame, state);
+                    frame.locals[local.index()] = Value::Mutex(m);
+                    frame.pc += 1;
+                }
+                Instr::BranchIfFalse { cond, target } => {
+                    if eval_cond(cond, frame, state) {
+                        frame.pc += 1;
+                    } else {
+                        frame.pc = *target;
+                    }
+                }
+                Instr::Jump(target) => frame.pc = *target,
+                Instr::LoopInit { slot, count } => {
+                    let n = match count {
+                        CountExpr::Lit(n) => *n,
+                        CountExpr::Arg(i) => frame.args.get(*i).as_int().max(0) as u32,
+                    };
+                    frame.loop_slots[*slot as usize] = n;
+                    frame.pc += 1;
+                }
+                Instr::LoopTest { slot, exit } => {
+                    let c = &mut frame.loop_slots[*slot as usize];
+                    if *c == 0 {
+                        frame.pc = *exit;
+                    } else {
+                        *c -= 1;
+                        frame.pc += 1;
+                    }
+                }
+                Instr::Call { method, args } => {
+                    let callee_args = eval_call_args(args, frame, state);
+                    let method = *method;
+                    frame.pc += 1;
+                    self.push_frame(method, callee_args);
+                }
+                Instr::CallVirtual { candidates, selector, args, .. } => {
+                    let sel = eval_int(selector, &frame.args, state);
+                    let idx = (sel.rem_euclid(candidates.len() as i64)) as usize;
+                    let target = candidates[idx];
+                    let callee_args = eval_call_args(args, frame, state);
+                    frame.pc += 1;
+                    self.push_frame(target, callee_args);
+                }
+                Instr::Ret => {
+                    let frame = self.frames.pop().expect("ret without frame");
+                    assert!(
+                        frame.sync_stack.is_empty(),
+                        "returning while holding monitors {:?}",
+                        frame.sync_stack
+                    );
+                    if self.frames.is_empty() {
+                        return StepOutcome::Finished;
+                    }
+                }
+            }
+        }
+        panic!("thread exceeded {INTERNAL_STEP_LIMIT} internal steps: non-terminating internal loop");
+    }
+
+    fn push_frame(&mut self, method: MethodIdx, args: RequestArgs) {
+        let m = &self.program.methods[method.index()];
+        assert_eq!(args.len(), m.arity, "call arity mismatch for {}", m.name);
+        self.frames.push(Frame {
+            method,
+            pc: 0,
+            locals: vec![Value::Int(0); m.n_locals as usize],
+            loop_slots: vec![0; m.n_loop_slots as usize],
+            args,
+            sync_stack: Vec::new(),
+        });
+    }
+}
+
+fn eval_dur(d: &DurExpr, args: &RequestArgs) -> u64 {
+    match d {
+        DurExpr::Nanos(n) => *n,
+        DurExpr::Arg(i) => args.get(*i).as_dur_nanos(),
+    }
+}
+
+fn eval_int(e: &IntExpr, args: &RequestArgs, state: &ObjectState) -> i64 {
+    match e {
+        IntExpr::Lit(v) => *v,
+        IntExpr::Arg(i) => args.get(*i).as_int(),
+        IntExpr::Cell(c) => state.cell(*c),
+    }
+}
+
+fn eval_mutex(e: &MutexExpr, frame: &Frame, state: &ObjectState) -> MutexId {
+    match e {
+        MutexExpr::This => state.this_mutex,
+        MutexExpr::Konst(m) => *m,
+        MutexExpr::Arg(i) => frame.args.get(*i).as_mutex(),
+        MutexExpr::Local(l) => frame.locals[l.index()].as_mutex(),
+        MutexExpr::Field(f) => state.field(*f),
+        MutexExpr::Pool { base, len, index_arg } => {
+            let idx = frame.args.get(*index_arg).as_int().rem_euclid(*len as i64) as u32;
+            MutexId::new(base + idx)
+        }
+        MutexExpr::PoolByCell { base, len, cell } => {
+            let idx = state.cell(*cell).rem_euclid(*len as i64) as u32;
+            MutexId::new(base + idx)
+        }
+        MutexExpr::CallResult { resolves_to, .. } => state.field(*resolves_to),
+    }
+}
+
+fn eval_cond(c: &CondExpr, frame: &Frame, state: &ObjectState) -> bool {
+    match c {
+        CondExpr::Konst(b) => *b,
+        CondExpr::ArgFlag(i) => frame.args.get(*i).as_bool(),
+        CondExpr::ArgIntLt(i, k) => frame.args.get(*i).as_int() < *k,
+        CondExpr::CellEq(cell, k) => state.cell(*cell) == *k,
+        CondExpr::CellLt(cell, k) => state.cell(*cell) < *k,
+        CondExpr::CellGe(cell, k) => state.cell(*cell) >= *k,
+        CondExpr::ParamEqField(i, f) => frame.args.get(*i).as_mutex() == state.field(*f),
+        CondExpr::Not(inner) => !eval_cond(inner, frame, state),
+    }
+}
+
+fn eval_call_args(args: &[ArgExpr], frame: &Frame, state: &ObjectState) -> RequestArgs {
+    args.iter()
+        .map(|a| match a {
+            ArgExpr::Const(v) => *v,
+            ArgExpr::CallerArg(i) => frame.args.get(*i),
+            ArgExpr::Local(l) => frame.locals[l.index()],
+            ArgExpr::Field(f) => Value::Mutex(state.field(*f)),
+        })
+        .collect()
+}
+
+/// Runs a VM to completion with every action auto-granted, returning the
+/// emitted action trace. Only meaningful for single-threaded execution —
+/// used by tests, the analysis oracle, and the transformation-equivalence
+/// property checks.
+pub fn run_to_completion(vm: &mut ThreadVm, state: &mut ObjectState) -> Vec<Action> {
+    let mut trace = Vec::new();
+    loop {
+        match vm.step(state) {
+            StepOutcome::Action(a) => trace.push(a),
+            StepOutcome::Finished => return trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Method, ObjectImpl, Stmt};
+    use crate::compile::compile;
+    use crate::ids::LocalId;
+
+    fn make(body: Vec<Stmt>, arity: usize, n_locals: u32) -> Arc<CompiledObject> {
+        compile(&ObjectImpl {
+            name: "T".into(),
+            n_cells: 4,
+            n_fields: 2,
+            methods: vec![Method {
+                name: "m".into(),
+                arity,
+                n_locals,
+                public: true,
+                is_final: true,
+                body,
+            }],
+        })
+    }
+
+    fn run(obj: Arc<CompiledObject>, args: Vec<Value>) -> (Vec<Action>, ObjectState) {
+        let mut state = ObjectState::for_object(&obj, MutexId::new(1000));
+        let mut vm = ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::new(args));
+        let trace = run_to_completion(&mut vm, &mut state);
+        (trace, state)
+    }
+
+    #[test]
+    fn straight_line_trace() {
+        let obj = make(
+            vec![
+                Stmt::Compute(DurExpr::millis(2)),
+                Stmt::Sync {
+                    sync_id: SyncId::new(0),
+                    param: MutexExpr::This,
+                    body: vec![Stmt::Update { cell: CellId::new(0), delta: IntExpr::Lit(5) }],
+                },
+            ],
+            0,
+            0,
+        );
+        let (trace, state) = run(obj, vec![]);
+        assert_eq!(
+            trace,
+            vec![
+                Action::Compute { dur_ns: 2_000_000 },
+                Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(1000) },
+                Action::Unlock { sync_id: SyncId::new(0), mutex: MutexId::new(1000) },
+            ]
+        );
+        assert_eq!(state.cell(CellId::new(0)), 5);
+    }
+
+    #[test]
+    fn branch_on_client_flag() {
+        let body = vec![Stmt::If {
+            cond: CondExpr::ArgFlag(0),
+            then_branch: vec![Stmt::Compute(DurExpr::millis(1))],
+            else_branch: vec![Stmt::Nested { service: ServiceId::new(0), dur: DurExpr::millis(12) }],
+        }];
+        let obj = make(body, 1, 0);
+        let (t_true, _) = run(obj.clone(), vec![Value::Bool(true)]);
+        assert_eq!(t_true, vec![Action::Compute { dur_ns: 1_000_000 }]);
+        let (t_false, _) = run(obj, vec![Value::Bool(false)]);
+        assert_eq!(
+            t_false,
+            vec![Action::Nested { service: ServiceId::new(0), dur_ns: 12_000_000 }]
+        );
+    }
+
+    #[test]
+    fn for_loop_repeats_body() {
+        let obj = make(
+            vec![Stmt::For {
+                count: CountExpr::Lit(3),
+                body: vec![Stmt::Update { cell: CellId::new(1), delta: IntExpr::Lit(2) }],
+            }],
+            0,
+            0,
+        );
+        let (trace, state) = run(obj, vec![]);
+        assert!(trace.is_empty()); // pure internal work
+        assert_eq!(state.cell(CellId::new(1)), 6);
+    }
+
+    #[test]
+    fn for_loop_count_from_arg_and_zero() {
+        let obj = make(
+            vec![Stmt::For {
+                count: CountExpr::Arg(0),
+                body: vec![Stmt::Compute(DurExpr::millis(1))],
+            }],
+            1,
+            0,
+        );
+        let (trace, _) = run(obj.clone(), vec![Value::Int(2)]);
+        assert_eq!(trace.len(), 2);
+        let (trace, _) = run(obj.clone(), vec![Value::Int(0)]);
+        assert!(trace.is_empty());
+        // Negative counts clamp to zero.
+        let (trace, _) = run(obj, vec![Value::Int(-5)]);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn pool_mutex_selected_by_client_index() {
+        let obj = make(
+            vec![Stmt::Sync {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::Pool { base: 100, len: 10, index_arg: 0 },
+                body: vec![],
+            }],
+            1,
+            0,
+        );
+        let (trace, _) = run(obj.clone(), vec![Value::Int(7)]);
+        assert_eq!(
+            trace[0],
+            Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(107) }
+        );
+        // Index wraps modulo pool size.
+        let (trace, _) = run(obj, vec![Value::Int(13)]);
+        assert_eq!(
+            trace[0],
+            Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(103) }
+        );
+    }
+
+    #[test]
+    fn local_assignment_tracks_lock_object() {
+        // local = args[0]; sync(local) { ... } — unlock releases what was
+        // locked even though nothing reassigns here.
+        let obj = make(
+            vec![
+                Stmt::Assign { local: LocalId::new(0), expr: MutexExpr::Arg(0) },
+                Stmt::Sync {
+                    sync_id: SyncId::new(0),
+                    param: MutexExpr::Local(LocalId::new(0)),
+                    body: vec![Stmt::Assign { local: LocalId::new(0), expr: MutexExpr::This }],
+                },
+            ],
+            1,
+            1,
+        );
+        let (trace, _) = run(obj, vec![Value::Mutex(MutexId::new(55))]);
+        assert_eq!(
+            trace,
+            vec![
+                Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(55) },
+                // Reassignment inside the block must not change what is unlocked.
+                Action::Unlock { sync_id: SyncId::new(0), mutex: MutexId::new(55) },
+            ]
+        );
+    }
+
+    #[test]
+    fn early_return_unlocks_monitors() {
+        let obj = make(
+            vec![Stmt::Sync {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::This,
+                body: vec![Stmt::If {
+                    cond: CondExpr::ArgFlag(0),
+                    then_branch: vec![Stmt::Return],
+                    else_branch: vec![],
+                }, Stmt::Compute(DurExpr::millis(1))],
+            }],
+            1,
+            0,
+        );
+        let (trace, _) = run(obj.clone(), vec![Value::Bool(true)]);
+        assert_eq!(trace.len(), 2); // lock + unlock, no compute
+        assert!(matches!(trace[1], Action::Unlock { .. }));
+        let (trace, _) = run(obj, vec![Value::Bool(false)]);
+        assert_eq!(trace.len(), 3); // lock + compute + unlock
+    }
+
+    #[test]
+    fn local_call_pushes_frame() {
+        let callee = Method {
+            name: "callee".into(),
+            arity: 1,
+            n_locals: 0,
+            public: false,
+            is_final: true,
+            body: vec![Stmt::Sync {
+                sync_id: SyncId::new(1),
+                param: MutexExpr::Arg(0),
+                body: vec![],
+            }],
+        };
+        let caller = Method {
+            name: "caller".into(),
+            arity: 1,
+            n_locals: 0,
+            public: true,
+            is_final: true,
+            body: vec![Stmt::Call { method: MethodIdx::new(1), args: vec![ArgExpr::CallerArg(0)] }],
+        };
+        let obj = compile(&ObjectImpl {
+            name: "T".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![caller, callee],
+        });
+        let mut state = ObjectState::for_object(&obj, MutexId::new(1));
+        let mut vm = ThreadVm::new(
+            obj,
+            MethodIdx::new(0),
+            RequestArgs::new(vec![Value::Mutex(MutexId::new(42))]),
+        );
+        let trace = run_to_completion(&mut vm, &mut state);
+        assert_eq!(
+            trace,
+            vec![
+                Action::Lock { sync_id: SyncId::new(1), mutex: MutexId::new(42) },
+                Action::Unlock { sync_id: SyncId::new(1), mutex: MutexId::new(42) },
+            ]
+        );
+    }
+
+    #[test]
+    fn virtual_call_dispatches_by_selector() {
+        let mk_leaf = |name: &str, ms: u64| Method {
+            name: name.into(),
+            arity: 0,
+            n_locals: 0,
+            public: false,
+            is_final: false,
+            body: vec![Stmt::Compute(DurExpr::millis(ms))],
+        };
+        let caller = Method {
+            name: "caller".into(),
+            arity: 1,
+            n_locals: 0,
+            public: true,
+            is_final: true,
+            body: vec![Stmt::VirtualCall {
+                site: crate::ids::CallSiteId::new(0),
+                candidates: vec![MethodIdx::new(1), MethodIdx::new(2)],
+                selector: IntExpr::Arg(0),
+                args: vec![],
+            }],
+        };
+        let obj = compile(&ObjectImpl {
+            name: "T".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![caller, mk_leaf("a", 1), mk_leaf("b", 2)],
+        });
+        let run_sel = |sel: i64| {
+            let mut state = ObjectState::for_object(&obj, MutexId::new(1));
+            let mut vm =
+                ThreadVm::new(obj.clone(), MethodIdx::new(0), RequestArgs::new(vec![Value::Int(sel)]));
+            run_to_completion(&mut vm, &mut state)
+        };
+        assert_eq!(run_sel(0), vec![Action::Compute { dur_ns: 1_000_000 }]);
+        assert_eq!(run_sel(1), vec![Action::Compute { dur_ns: 2_000_000 }]);
+        assert_eq!(run_sel(2), vec![Action::Compute { dur_ns: 1_000_000 }]);
+        // Negative selectors use euclidean remainder (stay in range).
+        assert_eq!(run_sel(-1), vec![Action::Compute { dur_ns: 2_000_000 }]);
+    }
+
+    #[test]
+    fn wait_loop_reevaluates_condition() {
+        // while (cell0 < 1) wait(this); — after the engine sets the cell
+        // and resumes, the loop must exit.
+        let obj = make(
+            vec![Stmt::Sync {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::This,
+                body: vec![Stmt::While {
+                    cond: CondExpr::CellLt(CellId::new(0), 1),
+                    body: vec![Stmt::Wait(MutexExpr::This)],
+                }],
+            }],
+            0,
+            0,
+        );
+        let mut state = ObjectState::for_object(&obj, MutexId::new(9));
+        let mut vm = ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
+        assert_eq!(
+            vm.step(&mut state),
+            StepOutcome::Action(Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(9) })
+        );
+        assert_eq!(
+            vm.step(&mut state),
+            StepOutcome::Action(Action::Wait { mutex: MutexId::new(9) })
+        );
+        // Engine: another thread sets the cell, notifies, VM resumes.
+        state.set_cell(CellId::new(0), 1);
+        assert_eq!(
+            vm.step(&mut state),
+            StepOutcome::Action(Action::Unlock { sync_id: SyncId::new(0), mutex: MutexId::new(9) })
+        );
+        assert_eq!(vm.step(&mut state), StepOutcome::Finished);
+    }
+
+    #[test]
+    fn held_monitors_reported_in_order() {
+        let obj = make(
+            vec![Stmt::Sync {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::Konst(MutexId::new(1)),
+                body: vec![Stmt::Sync {
+                    sync_id: SyncId::new(1),
+                    param: MutexExpr::Konst(MutexId::new(2)),
+                    body: vec![Stmt::Compute(DurExpr::millis(1))],
+                }],
+            }],
+            0,
+            0,
+        );
+        let mut state = ObjectState::for_object(&obj, MutexId::new(0));
+        let mut vm = ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
+        vm.step(&mut state); // lock m1
+        vm.step(&mut state); // lock m2
+        assert_eq!(vm.held_monitors(), vec![MutexId::new(1), MutexId::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-terminating internal loop")]
+    fn internal_infinite_loop_detected() {
+        let obj = make(
+            vec![Stmt::While { cond: CondExpr::Konst(true), body: vec![] }],
+            0,
+            0,
+        );
+        let mut state = ObjectState::for_object(&obj, MutexId::new(0));
+        let mut vm = ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
+        vm.step(&mut state);
+    }
+
+    #[test]
+    fn state_hash_changes_with_state() {
+        let obj = make(vec![], 0, 0);
+        let a = ObjectState::for_object(&obj, MutexId::new(1));
+        let mut b = ObjectState::for_object(&obj, MutexId::new(1));
+        assert_eq!(a.state_hash(), b.state_hash());
+        b.set_cell(CellId::new(0), 1);
+        assert_ne!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 args")]
+    fn arity_mismatch_panics() {
+        let obj = make(vec![], 1, 0);
+        ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
+    }
+}

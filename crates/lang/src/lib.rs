@@ -1,0 +1,40 @@
+//! # dmt-lang — the object-method mini-language
+//!
+//! The paper instruments *Java* method bodies: every `synchronized` block,
+//! `wait`/`notify`, and nested remote invocation is rewritten into calls to
+//! the FTflex scheduler. Reproducing that in Rust needs a stand-in for Java
+//! source that (a) exposes exactly the events the schedulers arbitrate and
+//! (b) is amenable to the paper's static analyses (path enumeration,
+//! last-lock detection, lock-parameter classification).
+//!
+//! This crate provides that stand-in:
+//!
+//! * [`ast`] — method bodies as trees of statements (`sync` blocks, `wait`,
+//!   `notify`, nested invocations, computation, state updates, branches,
+//!   bounded loops, condition loops, local and virtual calls, assignments
+//!   to lock-parameter variables),
+//! * [`compile`] — a linearizer from the AST to a small bytecode with
+//!   explicit jumps, so interpretation is an O(1)-step state machine,
+//! * [`interp`] — a deterministic interpreter: each logical thread is a
+//!   [`interp::ThreadVm`] that, when stepped, yields the next
+//!   synchronisation-relevant [`interp::Action`] for the scheduler,
+//! * [`builder`] — an ergonomic program-construction DSL used by the
+//!   workload generators, tests and examples.
+//!
+//! Nothing here decides *scheduling*; the interpreter emits actions and the
+//! replica engine (dmt-replica) asks a scheduler (dmt-core) whether the
+//! thread may proceed.
+
+pub mod ast;
+pub mod builder;
+pub mod compile;
+pub mod ids;
+pub mod interp;
+pub mod value;
+
+pub use ast::{CondExpr, CountExpr, DurExpr, LockParam, Method, MutexExpr, ObjectImpl, Stmt};
+pub use builder::{MethodBuilder, ObjectBuilder};
+pub use compile::{CompiledObject, Instr};
+pub use ids::{CellId, FieldId, MethodIdx, MutexId, ServiceId, SyncId};
+pub use interp::{Action, ObjectState, StepOutcome, ThreadVm};
+pub use value::{RequestArgs, Value};

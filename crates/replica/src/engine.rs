@@ -1,0 +1,803 @@
+//! The virtual-time cluster engine.
+//!
+//! Simulates the paper's evaluation setting end to end: closed-loop
+//! clients submit requests through the total-order layer; every replica
+//! runs the same object under the same deterministic scheduler; nested
+//! invocations are performed by a single designated invoker replica that
+//! spreads the reply through the group (paper §2); the first replica to
+//! finish a request answers the client. Per-replica CPU jitter and
+//! per-link network jitter make the replicas' *physical* timelines
+//! differ, which is exactly what the determinism checker needs: a
+//! deterministic scheduler must produce identical traces anyway.
+
+use crate::msg::{ClientScript, GcMsg, RequestId, Scenario};
+use crate::trace::ExecutionTrace;
+use dmt_core::{ReplicaId, SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, ThreadId};
+use dmt_groupcomm::{GroupComm, NetConfig, NodeId, Sequenced};
+use dmt_lang::{Action, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm};
+use dmt_sim::{EventQueue, Histogram, SimDuration, SimTime, SplitMix64};
+use std::collections::{BTreeSet, HashMap};
+
+/// Cluster-level configuration of one run.
+#[derive(Clone)]
+pub struct EngineConfig {
+    pub scheduler: SchedulerKind,
+    pub n_replicas: usize,
+    pub net: NetConfig,
+    pub seed: u64,
+    /// Per-compute-segment CPU speed jitter (0.0 = identical replicas).
+    pub cpu_jitter: f64,
+    pub pds: dmt_core::PdsConfig,
+    /// Safety cap on virtual time.
+    pub max_time: SimDuration,
+    /// Kill this replica at the given instant (failure injection).
+    pub kill_at: Option<(usize, SimDuration)>,
+    /// Leader-failure detection delay for LSA failover.
+    pub detect_delay: SimDuration,
+    /// Deliver nested-invocation *wake-ups* only while the replica has no
+    /// runnable thread — an experimentation knob kept from the
+    /// development of the MAT promotion rule. It is no longer needed for
+    /// correctness (MAT's token now parks on suspended candidates instead
+    /// of consulting the replica-dependent "is it awake" predicate), so
+    /// it defaults to off; flipping it on measures what logical-time
+    /// event gating costs.
+    pub quiescent_delivery: bool,
+}
+
+impl EngineConfig {
+    pub fn new(scheduler: SchedulerKind) -> Self {
+        EngineConfig {
+            scheduler,
+            n_replicas: 3,
+            net: NetConfig::lan(),
+            seed: 1,
+            cpu_jitter: 0.0,
+            pds: dmt_core::PdsConfig::default(),
+            max_time: SimDuration::from_secs(3600),
+            kill_at: None,
+            detect_delay: SimDuration::from_millis(5),
+            quiescent_delivery: false,
+        }
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_replicas(mut self, n: usize) -> Self {
+        self.n_replicas = n;
+        self
+    }
+
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    pub fn with_cpu_jitter(mut self, j: f64) -> Self {
+        self.cpu_jitter = j;
+        self
+    }
+
+    pub fn with_pds(mut self, pds: dmt_core::PdsConfig) -> Self {
+        self.pds = pds;
+        self
+    }
+
+    pub fn with_kill(mut self, replica: usize, at: SimDuration) -> Self {
+        self.kill_at = Some((replica, at));
+        self
+    }
+}
+
+/// Aggregated outcome of one run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Per-replica traces (dead replicas keep their pre-kill trace).
+    pub traces: Vec<ExecutionTrace>,
+    /// Client-observed response times (ms).
+    pub response_times: Histogram,
+    /// Completed real requests (first-reply semantics).
+    pub completed_requests: u64,
+    /// Virtual time at which everything finished.
+    pub makespan: SimTime,
+    pub net_stats: dmt_groupcomm::NetStats,
+    /// PDS filler traffic.
+    pub dummy_requests: u64,
+    /// LSA announcement traffic.
+    pub ctrl_messages: u64,
+    /// True if the run stalled (deadlock) or hit the time cap.
+    pub deadlocked: bool,
+    /// Gap between a replica kill and the next completed request.
+    pub takeover_gap: Option<SimDuration>,
+    /// Threads still blocked when the run ended: (replica, thread,
+    /// reason). Empty on a clean run.
+    pub stuck_threads: Vec<(usize, u32, String)>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Blocked {
+    Admission,
+    Lock(MutexId),
+    Wait(MutexId),
+    Nested,
+}
+
+struct PendingRequest {
+    method: MethodIdx,
+    args: RequestArgs,
+    id: Option<RequestId>,
+}
+
+struct Rep {
+    sched: Box<dyn Scheduler>,
+    state: ObjectState,
+    vms: HashMap<ThreadId, ThreadVm>,
+    request_info: HashMap<ThreadId, PendingRequest>,
+    blocked: HashMap<ThreadId, Blocked>,
+    trace: ExecutionTrace,
+    /// Per-thread count of nested calls issued locally.
+    nested_issued: HashMap<ThreadId, u32>,
+    /// Replies delivered before the local thread issued the call.
+    reply_buffer: HashMap<ThreadId, BTreeSet<u32>>,
+    /// The call number each suspended thread is waiting on, plus the
+    /// virtual duration (for failover re-issue by a new invoker).
+    awaiting: HashMap<ThreadId, (u32, u64)>,
+    alive: bool,
+    jitter: SplitMix64,
+    next_tid: u32,
+    /// Threads currently runnable (admitted/resumed/computing).
+    running: std::collections::BTreeSet<ThreadId>,
+    /// Held-back total-order deliveries (quiescent-delivery mode).
+    buffered: std::collections::VecDeque<(u64, GcMsg)>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    SeqArrive(GcMsg),
+    NodeArrive { node: usize, sm: Sequenced<GcMsg> },
+    Step { replica: usize, tid: ThreadId },
+    NestedDone { tid: ThreadId, call_no: u32, dur_ns: u64 },
+    ClientReply { client: u32 },
+    Kill { replica: usize },
+    LeaderDetect { new_leader: usize },
+}
+
+/// FIFO-source id space offset for clients (replicas use their index).
+const CLIENT_SRC: u64 = 1_000_000;
+
+struct ReqState {
+    submitted: SimTime,
+    first_finish: Option<SimTime>,
+}
+
+/// One full simulation. Construct, then [`Engine::run`].
+pub struct Engine {
+    cfg: EngineConfig,
+    scenario: Scenario,
+    queue: EventQueue<Ev>,
+    gc: GroupComm<GcMsg>,
+    reps: Vec<Rep>,
+    req_state: HashMap<RequestId, ReqState>,
+    client_pos: Vec<usize>,
+    completed_requests: u64,
+    response_times: Histogram,
+    dummy_requests: u64,
+    dummy_counter: u32,
+    ctrl_messages: u64,
+    /// Replies already broadcast, to dedup failover re-issues.
+    replied: BTreeSet<(ThreadId, u32)>,
+    leader: usize,
+    kill_time: Option<SimTime>,
+    takeover_gap: Option<SimDuration>,
+    rng: SplitMix64,
+}
+
+impl Engine {
+    pub fn new(scenario: Scenario, cfg: EngineConfig) -> Self {
+        let mut rng = SplitMix64::new(cfg.seed);
+        let gc = GroupComm::new(cfg.n_replicas, cfg.net, rng.split(0).next_u64());
+        let reps = (0..cfg.n_replicas)
+            .map(|i| {
+                let sc = SchedConfig::new(cfg.scheduler, ReplicaId::new(i as u32))
+                    .with_lock_table(scenario.lock_table.clone())
+                    .with_pds(cfg.pds)
+                    .with_leader(ReplicaId::new(0));
+                Rep {
+                    sched: dmt_core::make_scheduler(&sc),
+                    state: ObjectState::for_object(&scenario.program, MutexId::new(1_000_000)),
+                    vms: HashMap::new(),
+                    request_info: HashMap::new(),
+                    blocked: HashMap::new(),
+                    trace: ExecutionTrace::default(),
+                    nested_issued: HashMap::new(),
+                    reply_buffer: HashMap::new(),
+                    awaiting: HashMap::new(),
+                    alive: true,
+                    jitter: rng.split(100 + i as u64),
+                    next_tid: 0,
+                    running: std::collections::BTreeSet::new(),
+                    buffered: std::collections::VecDeque::new(),
+                }
+            })
+            .collect();
+        Engine {
+            cfg,
+            scenario,
+            queue: EventQueue::new(),
+            gc,
+            reps,
+            req_state: HashMap::new(),
+            client_pos: Vec::new(),
+            completed_requests: 0,
+            response_times: Histogram::new(),
+            dummy_requests: 0,
+            dummy_counter: 0,
+            ctrl_messages: 0,
+            replied: BTreeSet::new(),
+            leader: 0,
+            kill_time: None,
+            takeover_gap: None,
+            rng,
+        }
+    }
+
+    /// The lowest-numbered live replica: designated nested-invocation
+    /// invoker and dummy submitter.
+    fn designated(&self) -> usize {
+        self.reps.iter().position(|r| r.alive).expect("no replica left alive")
+    }
+
+    /// Submits through the group communication system with per-source
+    /// FIFO (clients and replicas each keep their submissions in order).
+    fn submit_to_gc(&mut self, source: u64, msg: GcMsg) {
+        let d = self.gc.submit_delay_fifo(source, self.queue.now());
+        self.queue.push_after(d, Ev::SeqArrive(msg));
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(mut self) -> RunResult {
+        // Kick off every client's first request.
+        self.client_pos = vec![0; self.scenario.clients.len()];
+        let scripts: Vec<ClientScript> = self.scenario.clients.clone();
+        for (c, script) in scripts.iter().enumerate() {
+            if let Some((method, args)) = script.requests.first() {
+                let id = RequestId { client: c as u32, req_no: 0 };
+                self.req_state
+                    .insert(id, ReqState { submitted: self.queue.now(), first_finish: None });
+                self.client_pos[c] = 1;
+                self.submit_to_gc(CLIENT_SRC + c as u64, GcMsg::Request {
+                    id,
+                    method: *method,
+                    args: args.clone(),
+                    dummy: false,
+                });
+            }
+        }
+        if let Some((replica, at)) = self.cfg.kill_at {
+            self.queue.push_after(at, Ev::Kill { replica });
+        }
+
+        let cap = SimTime::ZERO + self.cfg.max_time;
+        let mut deadlocked = false;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > cap {
+                deadlocked = true;
+                break;
+            }
+            self.handle(ev);
+        }
+        let makespan = self.queue.now();
+        let total_real: u64 = self.scenario.total_requests() as u64;
+        if self.completed_requests < total_real && !deadlocked {
+            deadlocked = true;
+        }
+        for rep in &mut self.reps {
+            rep.trace.state_hash = rep.state.state_hash();
+        }
+        let mut stuck_threads = Vec::new();
+        for (i, rep) in self.reps.iter().enumerate() {
+            if !rep.alive {
+                continue;
+            }
+            for (&tid, why) in &rep.blocked {
+                stuck_threads.push((i, tid.0, format!("{why:?}")));
+            }
+            for &(seq, ref msg) in &rep.buffered {
+                stuck_threads.push((i, u32::MAX, format!("undelivered seq {seq}: {msg:?}")));
+            }
+        }
+        stuck_threads.sort();
+        RunResult {
+            traces: self.reps.iter().map(|r| r.trace.clone()).collect(),
+            response_times: self.response_times,
+            completed_requests: self.completed_requests,
+            makespan,
+            net_stats: *self.gc.stats(),
+            dummy_requests: self.dummy_requests,
+            ctrl_messages: self.ctrl_messages,
+            deadlocked,
+            takeover_gap: self.takeover_gap,
+            stuck_threads,
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::SeqArrive(msg) => {
+                let (sm, hops) = self.gc.sequence(msg);
+                for (node, d) in hops {
+                    self.queue
+                        .push_after(d, Ev::NodeArrive { node: node.index(), sm: sm.clone() });
+                }
+            }
+            Ev::NodeArrive { node, sm } => {
+                let deliveries = self.gc.arrive(NodeId::new(node as u32), sm);
+                for d in deliveries {
+                    self.deliver(node, d.seq, d.msg);
+                }
+            }
+            Ev::Step { replica, tid } => {
+                if self.reps[replica].alive {
+                    self.step_thread(replica, tid);
+                    if self.cfg.quiescent_delivery {
+                        self.try_drain(replica);
+                    }
+                }
+            }
+            Ev::NestedDone { tid, call_no, dur_ns } => {
+                let _ = dur_ns;
+                if self.replied.insert((tid, call_no)) {
+                    let src = self.designated() as u64;
+                    self.submit_to_gc(src, GcMsg::NestedReply { tid, call_no });
+                }
+            }
+            Ev::ClientReply { client } => {
+                let c = client as usize;
+                let pos = self.client_pos[c];
+                let script = self.scenario.clients[c].clone();
+                if let Some((method, args)) = script.requests.get(pos) {
+                    self.client_pos[c] = pos + 1;
+                    let id = RequestId { client, req_no: pos as u32 };
+                    self.req_state
+                        .insert(id, ReqState { submitted: self.queue.now(), first_finish: None });
+                    self.submit_to_gc(CLIENT_SRC + client as u64, GcMsg::Request {
+                        id,
+                        method: *method,
+                        args: args.clone(),
+                        dummy: false,
+                    });
+                }
+            }
+            Ev::Kill { replica } => {
+                self.kill_replica(replica);
+            }
+            Ev::LeaderDetect { new_leader } => {
+                self.leader = new_leader;
+                for i in 0..self.reps.len() {
+                    if !self.reps[i].alive {
+                        continue;
+                    }
+                    self.reps[i].sched.on_leader_change(ReplicaId::new(new_leader as u32));
+                    let mut out = Vec::new();
+                    self.reps[i].sched.kick(&mut out);
+                    self.apply_actions(i, out);
+                }
+            }
+        }
+    }
+
+    fn kill_replica(&mut self, replica: usize) {
+        if !self.reps[replica].alive {
+            return;
+        }
+        self.reps[replica].alive = false;
+        self.gc.kill(NodeId::new(replica as u32));
+        self.kill_time = Some(self.queue.now());
+        // Leader failover (affects LSA; harmless for the others).
+        if replica == self.leader {
+            let new_leader = self.designated();
+            self.queue.push_after(self.cfg.detect_delay, Ev::LeaderDetect { new_leader });
+        }
+        // Nested-invocation failover: the new invoker re-issues the
+        // external calls it has locally outstanding.
+        let invoker = self.designated();
+        let pending: Vec<(ThreadId, u32, u64)> = self.reps[invoker]
+            .awaiting
+            .iter()
+            .map(|(&tid, &(call_no, dur_ns))| (tid, call_no, dur_ns))
+            .filter(|&(tid, call_no, _)| !self.replied.contains(&(tid, call_no)))
+            .collect();
+        for (tid, call_no, dur_ns) in pending {
+            self.queue
+                .push_after(SimDuration::from_nanos(dur_ns), Ev::NestedDone { tid, call_no, dur_ns });
+        }
+    }
+
+    /// A thread that stayed blocked after its event leaves the runnable
+    /// set (a synchronous grant re-inserted it via `Resume` already).
+    fn unmark_if_blocked(&mut self, replica: usize, tid: ThreadId) {
+        let rep = &mut self.reps[replica];
+        if rep.blocked.contains_key(&tid) {
+            rep.running.remove(&tid);
+        }
+    }
+
+    /// Quiescent-delivery mode: hand buffered messages to the scheduler
+    /// one at a time, only while no thread of the replica is runnable.
+    fn try_drain(&mut self, replica: usize) {
+        while self.reps[replica].alive
+            && self.reps[replica].running.is_empty()
+            && !self.reps[replica].buffered.is_empty()
+        {
+            let (seq, msg) = self.reps[replica].buffered.pop_front().expect("checked");
+            self.deliver(replica, seq, msg);
+        }
+    }
+
+    /// In-order delivery of one total-order message at one replica.
+    fn deliver(&mut self, replica: usize, seq: u64, msg: GcMsg) {
+        if !self.reps[replica].alive {
+            return;
+        }
+        match msg {
+            GcMsg::Request { id, method, args, dummy } => {
+                let rep = &mut self.reps[replica];
+                let tid = ThreadId::new(rep.next_tid);
+                rep.next_tid += 1;
+                rep.request_info.insert(
+                    tid,
+                    PendingRequest { method, args, id: (!dummy).then_some(id) },
+                );
+                rep.blocked.insert(tid, Blocked::Admission);
+                self.dispatch(
+                    replica,
+                    SchedEvent::RequestArrived { tid, method, request_seq: seq, dummy },
+                );
+            }
+            GcMsg::NestedReply { tid, call_no } => {
+                let rep = &mut self.reps[replica];
+                if self.cfg.quiescent_delivery && !rep.running.is_empty() {
+                    rep.buffered.push_back((seq, GcMsg::NestedReply { tid, call_no }));
+                    return;
+                }
+                if rep.awaiting.get(&tid).map(|&(k, _)| k) == Some(call_no) {
+                    rep.awaiting.remove(&tid);
+                    self.dispatch(replica, SchedEvent::NestedCompleted { tid });
+                } else {
+                    rep.reply_buffer.entry(tid).or_default().insert(call_no);
+                }
+            }
+            GcMsg::Ctrl { from, msg } => {
+                if from.index() != replica {
+                    self.dispatch(replica, SchedEvent::Control(msg));
+                }
+            }
+        }
+    }
+
+    /// Feeds one event to a replica's scheduler and applies the actions.
+    fn dispatch(&mut self, replica: usize, ev: SchedEvent) {
+        let mut out = Vec::new();
+        self.reps[replica].sched.on_event(&ev, &mut out);
+        self.apply_actions(replica, out);
+    }
+
+    fn apply_actions(&mut self, replica: usize, actions: Vec<SchedAction>) {
+        for a in actions {
+            match a {
+                SchedAction::Admit(tid) => {
+                    let rep = &mut self.reps[replica];
+                    let req = rep.request_info.remove(&tid).expect("admit without request");
+                    let was = rep.blocked.remove(&tid);
+                    debug_assert_eq!(was, Some(Blocked::Admission));
+                    let vm = ThreadVm::new(self.scenario.program.clone(), req.method, req.args.clone());
+                    rep.vms.insert(tid, vm);
+                    // Remember the request id for completion accounting.
+                    rep.request_info.insert(tid, PendingRequest { method: req.method, args: RequestArgs::empty(), id: req.id });
+                    rep.running.insert(tid);
+                    self.queue.push_after(SimDuration::ZERO, Ev::Step { replica, tid });
+                }
+                SchedAction::Resume(tid) => {
+                    let rep = &mut self.reps[replica];
+                    match rep.blocked.remove(&tid) {
+                        Some(Blocked::Lock(m)) | Some(Blocked::Wait(m)) => {
+                            rep.trace.record_grant(tid, m);
+                        }
+                        Some(Blocked::Nested) => {}
+                        Some(Blocked::Admission) => panic!("Resume before Admit for {tid}"),
+                        None => panic!("Resume for running thread {tid}"),
+                    }
+                    rep.running.insert(tid);
+                    self.queue.push_after(SimDuration::ZERO, Ev::Step { replica, tid });
+                }
+                SchedAction::Broadcast(msg) => {
+                    self.ctrl_messages += 1;
+                    self.submit_to_gc(
+                        replica as u64,
+                        GcMsg::Ctrl { from: ReplicaId::new(replica as u32), msg },
+                    );
+                }
+                SchedAction::RequestDummy => {
+                    // Every replica's request is materialised: replicas'
+                    // pool states drift under jitter, so one replica may
+                    // legitimately need a filler the others do not.
+                    // Excess dummies are no-ops everywhere — the "higher
+                    // communication overhead" the paper prices in.
+                    let Some(method) = self.scenario.dummy_method else {
+                        panic!("scheduler requested a dummy but the scenario has no dummy method");
+                    };
+                    self.dummy_requests += 1;
+                    let id = RequestId { client: u32::MAX, req_no: self.dummy_counter };
+                    self.dummy_counter += 1;
+                    self.submit_to_gc(replica as u64, GcMsg::Request {
+                        id,
+                        method,
+                        args: RequestArgs::empty(),
+                        dummy: true,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Steps a thread's VM until it blocks, computes, or finishes.
+    fn step_thread(&mut self, replica: usize, tid: ThreadId) {
+        loop {
+            let rep = &mut self.reps[replica];
+            if rep.blocked.contains_key(&tid) || !rep.vms.contains_key(&tid) {
+                rep.running.remove(&tid);
+                return;
+            }
+            let vm = rep.vms.get_mut(&tid).expect("checked above");
+            match vm.step(&mut rep.state) {
+                StepOutcome::Finished => {
+                    self.reps[replica].running.remove(&tid);
+                    self.finish_thread(replica, tid);
+                    return;
+                }
+                StepOutcome::Action(action) => match action {
+                    Action::Compute { dur_ns } => {
+                        let jit = 1.0 + self.cfg.cpu_jitter * rep.jitter.next_f64();
+                        let d = SimDuration::from_nanos((dur_ns as f64 * jit).round() as u64);
+                        self.queue.push_after(d, Ev::Step { replica, tid });
+                        return;
+                    }
+                    Action::Lock { sync_id, mutex } => {
+                        rep.blocked.insert(tid, Blocked::Lock(mutex));
+                        self.dispatch(replica, SchedEvent::LockRequested { tid, sync_id, mutex });
+                        self.unmark_if_blocked(replica, tid);
+                        return;
+                    }
+                    Action::Unlock { sync_id, mutex } => {
+                        self.dispatch(replica, SchedEvent::Unlocked { tid, sync_id, mutex });
+                    }
+                    Action::Wait { mutex } => {
+                        rep.blocked.insert(tid, Blocked::Wait(mutex));
+                        self.dispatch(replica, SchedEvent::WaitCalled { tid, mutex });
+                        self.unmark_if_blocked(replica, tid);
+                        return;
+                    }
+                    Action::Notify { mutex, all } => {
+                        self.dispatch(replica, SchedEvent::NotifyCalled { tid, mutex, all });
+                    }
+                    Action::Nested { service: _, dur_ns } => {
+                        let call_no = {
+                            let n = rep.nested_issued.entry(tid).or_insert(0);
+                            *n += 1;
+                            *n
+                        };
+                        rep.blocked.insert(tid, Blocked::Nested);
+                        // Reply already here (this replica is behind)?
+                        let buffered = rep
+                            .reply_buffer
+                            .get_mut(&tid)
+                            .map(|s| s.remove(&call_no))
+                            .unwrap_or(false);
+                        if !buffered {
+                            rep.awaiting.insert(tid, (call_no, dur_ns));
+                        }
+                        self.dispatch(replica, SchedEvent::NestedStarted { tid });
+                        if replica == self.designated() && !self.replied.contains(&(tid, call_no)) {
+                            self.queue.push_after(
+                                SimDuration::from_nanos(dur_ns),
+                                Ev::NestedDone { tid, call_no, dur_ns },
+                            );
+                        }
+                        if buffered {
+                            self.dispatch(replica, SchedEvent::NestedCompleted { tid });
+                        }
+                        self.unmark_if_blocked(replica, tid);
+                        return;
+                    }
+                    Action::LockInfo { sync_id, mutex } => {
+                        self.dispatch(replica, SchedEvent::LockInfo { tid, sync_id, mutex });
+                    }
+                    Action::Ignore { sync_id } => {
+                        self.dispatch(replica, SchedEvent::SyncIgnored { tid, sync_id });
+                    }
+                },
+            }
+        }
+    }
+
+    fn finish_thread(&mut self, replica: usize, tid: ThreadId) {
+        let now = self.queue.now();
+        let rep = &mut self.reps[replica];
+        rep.vms.remove(&tid);
+        rep.trace.finished_threads += 1;
+        let req = rep.request_info.remove(&tid).and_then(|r| r.id);
+        self.dispatch(replica, SchedEvent::ThreadFinished { tid });
+        // First-reply semantics: the fastest replica answers the client.
+        if let Some(id) = req {
+            let reply_leg = self.reply_latency();
+            let st = self.req_state.get_mut(&id).expect("request state exists");
+            if st.first_finish.is_none() {
+                st.first_finish = Some(now);
+                let rt = (now + reply_leg) - st.submitted;
+                self.completed_requests += 1;
+                if let (Some(kt), None) = (self.kill_time, self.takeover_gap) {
+                    if now >= kt {
+                        self.takeover_gap = Some(now - kt);
+                    }
+                }
+                self.response_times.add(rt.as_millis_f64());
+                self.queue.push_after(reply_leg, Ev::ClientReply { client: id.client });
+            }
+        }
+    }
+
+    fn reply_latency(&mut self) -> SimDuration {
+        let u = self.rng.next_f64();
+        let base = self.cfg.net.one_way.as_nanos() as f64;
+        SimDuration::from_nanos((base * (1.0 + self.cfg.net.jitter * u)).round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::ClientScript;
+    use dmt_lang::ast::{IntExpr, MutexExpr};
+    use dmt_lang::{compile, DurExpr, ObjectBuilder, ServiceId, Value};
+
+    fn counter_scenario(n_clients: usize, reqs_per_client: usize) -> Scenario {
+        let mut ob = ObjectBuilder::new("Counter");
+        let c = ob.cell();
+        let mut m = ob.method("inc", 1);
+        m.compute(DurExpr::micros(100));
+        m.sync(MutexExpr::This, |b| {
+            b.update(c, IntExpr::Arg(0));
+        });
+        let inc = m.done();
+        let noop = ob.method("noop", 0);
+        let noop_idx = noop.done();
+        let program = compile::compile(&ob.build());
+        let clients = (0..n_clients)
+            .map(|_| {
+                ClientScript::repeated(
+                    inc,
+                    (0..reqs_per_client).map(|i| RequestArgs::new(vec![Value::Int(i as i64 + 1)])).collect(),
+                )
+            })
+            .collect();
+        Scenario::new(program, clients).with_dummy_method(noop_idx)
+    }
+
+    fn run(kind: SchedulerKind, scenario: Scenario, seed: u64) -> RunResult {
+        Engine::new(scenario, EngineConfig::new(kind).with_seed(seed).with_cpu_jitter(0.05)).run()
+    }
+
+    #[test]
+    fn all_schedulers_complete_the_counter_scenario() {
+        for kind in SchedulerKind::ALL {
+            let res = run(kind, counter_scenario(4, 5), 3);
+            assert!(!res.deadlocked, "{kind} stalled");
+            assert_eq!(res.completed_requests, 20, "{kind}");
+            assert_eq!(res.response_times.len(), 20);
+            // Sum of 1..=5 per client × 4 clients = 60 on every replica.
+            for tr in &res.traces {
+                assert_eq!(tr.finished_threads, 20 + if kind == SchedulerKind::Pds { res.dummy_requests } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_share_identical_state_for_deterministic_schedulers() {
+        for kind in SchedulerKind::DETERMINISTIC {
+            let res = run(kind, counter_scenario(3, 4), 11);
+            assert!(!res.deadlocked, "{kind}");
+            let h0 = res.traces[0].state_hash;
+            for tr in &res.traces[1..] {
+                assert_eq!(tr.state_hash, h0, "{kind} replica state diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_invocations_route_through_the_invoker() {
+        let mut ob = ObjectBuilder::new("N");
+        let c = ob.cell();
+        let mut m = ob.method("work", 0);
+        m.nested(ServiceId::new(0), DurExpr::millis(2));
+        m.sync(MutexExpr::This, |b| {
+            b.add(c, 1);
+        });
+        let work = m.done();
+        let program = compile::compile(&ob.build());
+        let scenario = Scenario::new(
+            program,
+            vec![ClientScript::repeated(work, vec![RequestArgs::empty(); 3])],
+        );
+        let res = run(SchedulerKind::Sat, scenario, 5);
+        assert!(!res.deadlocked);
+        assert_eq!(res.completed_requests, 3);
+        // Response time must include the nested round trips (≥ 2 ms).
+        assert!(res.response_times.mean() >= 2.0);
+    }
+
+    #[test]
+    fn makespan_and_throughput_accounting() {
+        let res = run(SchedulerKind::Seq, counter_scenario(2, 3), 9);
+        assert!(res.makespan > SimTime::ZERO);
+        assert_eq!(res.completed_requests, 6);
+        assert!(res.net_stats.deliveries > 0);
+    }
+
+    #[test]
+    fn lsa_broadcasts_control_traffic() {
+        let res = run(SchedulerKind::Lsa, counter_scenario(3, 3), 13);
+        assert!(!res.deadlocked);
+        assert!(res.ctrl_messages > 0, "LSA must announce grants");
+        let res_mat = run(SchedulerKind::Mat, counter_scenario(3, 3), 13);
+        assert_eq!(res_mat.ctrl_messages, 0, "MAT needs no control traffic");
+    }
+
+    #[test]
+    fn pds_uses_dummies_when_starved() {
+        // One slow client, big pool: dummies must appear.
+        let res = run(
+            SchedulerKind::Pds,
+            counter_scenario(1, 3),
+            17,
+        );
+        assert!(!res.deadlocked);
+        assert!(res.dummy_requests > 0);
+    }
+
+    #[test]
+    fn replica_kill_does_not_stop_service() {
+        let scenario = counter_scenario(3, 6);
+        let cfg = EngineConfig::new(SchedulerKind::Mat)
+            .with_seed(7)
+            .with_kill(2, SimDuration::from_millis(2));
+        let res = Engine::new(scenario, cfg).run();
+        assert!(!res.deadlocked);
+        assert_eq!(res.completed_requests, 18);
+        // Survivors agree.
+        assert_eq!(res.traces[0].state_hash, res.traces[1].state_hash);
+    }
+
+    #[test]
+    fn lsa_leader_kill_fails_over() {
+        let scenario = counter_scenario(3, 8);
+        let cfg = EngineConfig::new(SchedulerKind::Lsa)
+            .with_seed(7)
+            .with_kill(0, SimDuration::from_millis(3));
+        let res = Engine::new(scenario, cfg).run();
+        assert!(!res.deadlocked, "LSA must survive leader failure");
+        assert_eq!(res.completed_requests, 24);
+        assert!(res.takeover_gap.is_some());
+        assert_eq!(res.traces[1].state_hash, res.traces[2].state_hash);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let a = run(SchedulerKind::Mat, counter_scenario(3, 4), 21);
+        let b = run(SchedulerKind::Mat, counter_scenario(3, 4), 21);
+        assert_eq!(a.traces[0].lock_order, b.traces[0].lock_order);
+        assert_eq!(a.response_times.mean(), b.response_times.mean());
+        assert_eq!(a.makespan, b.makespan);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dmt-replica — the replication engine
+//!
+//! Hosts replicated objects on a simulated cluster: total-order request
+//! delivery (via `dmt-groupcomm`), one deterministic scheduler per
+//! replica (via `dmt-core`), interpreted method bodies (via `dmt-lang`),
+//! nested invocations brokered by a designated invoker, first-reply
+//! client semantics, replica failure injection with LSA leader failover,
+//! and full execution-trace recording.
+//!
+//! On top of the engine sit:
+//!
+//! * [`checker`] — the determinism checker: runs a cluster whose replicas
+//!   experience different CPU and network jitter and verifies that the
+//!   deterministic schedulers still converge (and that the FREE negative
+//!   control diverges);
+//! * [`replay`] — deterministic replay for **passive replication**: a
+//!   primary's recorded grant log replayed on a backup reproduces the
+//!   primary's state (paper §1's log re-execution argument).
+
+pub mod checker;
+pub mod engine;
+pub mod msg;
+pub mod replay;
+pub mod trace;
+
+pub use checker::{check_determinism, CheckOutcome};
+pub use engine::{Engine, EngineConfig, RunResult};
+pub use msg::{ClientScript, GcMsg, RequestId, Scenario};
+pub use replay::{record_primary, replay_on_backup, PrimaryLog};
+pub use trace::{compare, Divergence, ExecutionTrace, MatchLevel};

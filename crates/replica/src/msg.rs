@@ -1,0 +1,99 @@
+//! Message types flowing through the total-order layer, and the scenario
+//! description the engine executes.
+
+use dmt_core::{CtrlMsg, ReplicaId, ThreadId};
+use dmt_lang::{CompiledObject, MethodIdx, RequestArgs};
+use std::sync::Arc;
+
+/// Identifies one client request end-to-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RequestId {
+    pub client: u32,
+    pub req_no: u32,
+}
+
+/// Payloads ordered by the group communication system.
+#[derive(Clone, Debug)]
+pub enum GcMsg {
+    /// A client request (or a PDS filler dummy).
+    Request { id: RequestId, method: MethodIdx, args: RequestArgs, dummy: bool },
+    /// The designated invoker's broadcast of a nested-invocation reply.
+    /// `call_no` is the per-thread nested-call counter the reply answers.
+    NestedReply { tid: ThreadId, call_no: u32 },
+    /// Scheduler control traffic (LSA leader announcements).
+    Ctrl { from: ReplicaId, msg: CtrlMsg },
+}
+
+/// One client's scripted request sequence (closed loop: the next request
+/// is sent when the previous reply arrives).
+#[derive(Clone, Debug)]
+pub struct ClientScript {
+    pub requests: Vec<(MethodIdx, RequestArgs)>,
+}
+
+impl ClientScript {
+    pub fn repeated(method: MethodIdx, args: Vec<RequestArgs>) -> Self {
+        ClientScript { requests: args.into_iter().map(|a| (method, a)).collect() }
+    }
+}
+
+/// Everything the engine needs to run one experiment.
+#[derive(Clone)]
+pub struct Scenario {
+    pub program: Arc<CompiledObject>,
+    /// Static lock table (from dmt-analysis) for prediction-aware
+    /// schedulers; pessimistic ones ignore it.
+    pub lock_table: Arc<dmt_core::LockTable>,
+    pub clients: Vec<ClientScript>,
+    /// Zero-arg no-op method used for PDS dummies.
+    pub dummy_method: Option<MethodIdx>,
+}
+
+impl Scenario {
+    pub fn new(program: Arc<CompiledObject>, clients: Vec<ClientScript>) -> Self {
+        let n = program.methods.len();
+        Scenario {
+            program,
+            lock_table: Arc::new(dmt_core::LockTable::unanalyzed(n)),
+            clients,
+            dummy_method: None,
+        }
+    }
+
+    pub fn with_lock_table(mut self, table: Arc<dmt_core::LockTable>) -> Self {
+        self.lock_table = table;
+        self
+    }
+
+    pub fn with_dummy_method(mut self, m: MethodIdx) -> Self {
+        self.dummy_method = Some(m);
+        self
+    }
+
+    pub fn total_requests(&self) -> usize {
+        self.clients.iter().map(|c| c.requests.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::{compile, ObjectBuilder};
+
+    #[test]
+    fn scenario_counts_requests() {
+        let mut ob = ObjectBuilder::new("O");
+        let m = ob.method("noop", 0);
+        let mi = m.done();
+        let program = compile::compile(&ob.build());
+        let s = Scenario::new(
+            program,
+            vec![
+                ClientScript::repeated(mi, vec![RequestArgs::empty(); 3]),
+                ClientScript::repeated(mi, vec![RequestArgs::empty(); 2]),
+            ],
+        );
+        assert_eq!(s.total_requests(), 5);
+        assert!(s.dummy_method.is_none());
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic replay for **passive replication** (paper §1).
+//!
+//! "State modifications not yet propagated to the backup replicas can be
+//! applied to them by re-executing method invocations from a request
+//! log. Such re-executions are consistent to the state of a failed
+//! primary only if a deterministic scheduling strategy is used."
+//!
+//! A passive primary records two things: the delivered request stream and
+//! its monitor-grant order. Replaying the requests on a backup while
+//! *enforcing* the recorded per-mutex grant order reproduces the
+//! primary's state exactly — regardless of which decision module the
+//! primary ran, including the nondeterministic FREE baseline (once an
+//! execution is recorded, it is a deterministic artefact). The
+//! [`ReplayScheduler`] is essentially an LSA follower whose "leader" is
+//! the log.
+
+use dmt_core::harness::{Harness, HarnessResult};
+use dmt_core::{SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, SyncCore, ThreadId};
+use dmt_lang::{CompiledObject, MethodIdx, MutexId, RequestArgs};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// What a passive primary persists.
+#[derive(Clone, Debug)]
+pub struct PrimaryLog {
+    /// Delivered requests in total order (method, args, dummy).
+    pub requests: Vec<(MethodIdx, RequestArgs, bool)>,
+    /// Monitor grants in primary order (thread, mutex).
+    pub grants: Vec<(ThreadId, MutexId)>,
+    /// The state the primary reached.
+    pub state_hash: u64,
+}
+
+/// Runs the primary under `kind` and records its log.
+pub fn record_primary(
+    program: Arc<CompiledObject>,
+    kind: SchedulerKind,
+    requests: Vec<(MethodIdx, RequestArgs)>,
+    dummy_method: Option<MethodIdx>,
+) -> PrimaryLog {
+    let cfg = SchedConfig::new(kind, dmt_core::ReplicaId::new(0));
+    let mut h = Harness::new(program, MutexId::new(1_000_000), dmt_core::make_scheduler(&cfg));
+    if let Some(d) = dummy_method {
+        h = h.with_dummy_method(d);
+    }
+    for (m, a) in requests {
+        h.submit(m, a);
+    }
+    let res: HarnessResult = h.run();
+    assert!(!res.deadlocked, "primary execution deadlocked; nothing to replay");
+    PrimaryLog {
+        requests: res.request_log,
+        grants: res.lock_trace,
+        state_hash: res.state.state_hash(),
+    }
+}
+
+/// Replays a primary log on a fresh backup; returns the reached state
+/// hash (equal to `log.state_hash` iff replay is faithful).
+pub fn replay_on_backup(program: Arc<CompiledObject>, log: &PrimaryLog) -> u64 {
+    let sched = ReplayScheduler::new(&log.grants);
+    let mut h = Harness::new(program, MutexId::new(1_000_000), Box::new(sched));
+    for (m, a, _dummy) in &log.requests {
+        h.submit(*m, a.clone());
+    }
+    let res = h.run();
+    assert!(!res.deadlocked, "replay deadlocked — log enforcement bug");
+    res.state.state_hash()
+}
+
+/// Enforces a recorded per-mutex grant order (an "LSA follower of the
+/// log").
+pub struct ReplayScheduler {
+    sync: SyncCore,
+    expected: BTreeMap<MutexId, VecDeque<ThreadId>>,
+    pending: HashMap<ThreadId, MutexId>,
+}
+
+impl ReplayScheduler {
+    pub fn new(grants: &[(ThreadId, MutexId)]) -> Self {
+        let mut expected: BTreeMap<MutexId, VecDeque<ThreadId>> = BTreeMap::new();
+        for &(tid, m) in grants {
+            expected.entry(m).or_default().push_back(tid);
+        }
+        ReplayScheduler { sync: SyncCore::new(false), expected, pending: HashMap::new() }
+    }
+
+    fn drain(&mut self, mutex: MutexId, out: &mut Vec<SchedAction>) {
+        loop {
+            if !self.sync.is_free(mutex) {
+                return;
+            }
+            let Some(&next) = self.expected.get(&mutex).and_then(|q| q.front()) else { return };
+            if self.pending.get(&next) == Some(&mutex) {
+                self.expected.get_mut(&mutex).expect("checked").pop_front();
+                self.pending.remove(&next);
+                let outcome = self.sync.lock(next, mutex);
+                debug_assert_eq!(outcome, dmt_core::LockOutcome::Acquired);
+                out.push(SchedAction::Resume(next));
+            } else if self.sync.is_queued(next, mutex) {
+                self.expected.get_mut(&mutex).expect("checked").pop_front();
+                self.sync.grant_to(next, mutex).expect("free + queued");
+                out.push(SchedAction::Resume(next));
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn kind(&self) -> SchedulerKind {
+        // Reported as LSA: it is the follower half of that algorithm.
+        SchedulerKind::Lsa
+    }
+
+    fn sync_core(&self) -> &SyncCore {
+        &self.sync
+    }
+
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+        match *ev {
+            SchedEvent::RequestArrived { tid, .. } => out.push(SchedAction::Admit(tid)),
+            SchedEvent::LockRequested { tid, mutex, .. } => {
+                if self.sync.holds(tid, mutex) {
+                    self.sync.lock(tid, mutex);
+                    out.push(SchedAction::Resume(tid));
+                } else {
+                    self.pending.insert(tid, mutex);
+                    self.drain(mutex, out);
+                }
+            }
+            SchedEvent::Unlocked { tid, mutex, .. } => {
+                self.sync.unlock(tid, mutex);
+                self.drain(mutex, out);
+            }
+            SchedEvent::WaitCalled { tid, mutex } => {
+                self.sync.wait(tid, mutex);
+                self.drain(mutex, out);
+            }
+            SchedEvent::NotifyCalled { tid, mutex, all } => {
+                self.sync.notify(tid, mutex, all);
+            }
+            SchedEvent::NestedStarted { .. } => {}
+            SchedEvent::NestedCompleted { tid } => out.push(SchedAction::Resume(tid)),
+            SchedEvent::ThreadFinished { tid } => {
+                debug_assert!(self.sync.held_by(tid).is_empty());
+            }
+            SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_lang::ast::{IntExpr, MutexExpr};
+    use dmt_lang::{compile, DurExpr, ObjectBuilder, Value};
+
+    fn program() -> (Arc<CompiledObject>, MethodIdx, MethodIdx) {
+        let mut ob = ObjectBuilder::new("P");
+        let c = ob.cell();
+        let mut m = ob.method("mix", 1);
+        m.compute(DurExpr::micros(10));
+        m.sync(MutexExpr::This, |b| {
+            b.update(c, IntExpr::Cell(c)); // state *= 2
+            b.update(c, IntExpr::Arg(0)); // state += arg
+        });
+        let mix = m.done();
+        let noop = ob.method("noop", 0);
+        let noop_idx = noop.done();
+        (compile::compile(&ob.build()), mix, noop_idx)
+    }
+
+    fn requests(mix: MethodIdx, n: usize) -> Vec<(MethodIdx, RequestArgs)> {
+        (0..n)
+            .map(|i| (mix, RequestArgs::new(vec![Value::Int(i as i64 + 1)])))
+            .collect()
+    }
+
+    #[test]
+    fn replay_reproduces_primary_state_for_every_scheduler() {
+        for kind in SchedulerKind::ALL {
+            let (program, mix, noop) = program();
+            let log = record_primary(program.clone(), kind, requests(mix, 8), Some(noop));
+            let replayed = replay_on_backup(program, &log);
+            assert_eq!(replayed, log.state_hash, "{kind} replay diverged");
+        }
+    }
+
+    #[test]
+    fn replay_includes_dummy_positions() {
+        // PDS logs include dummies; the backup must recreate the same
+        // thread numbering or the grant log would point at wrong threads.
+        let (program, mix, noop) = program();
+        let log = record_primary(program.clone(), SchedulerKind::Pds, requests(mix, 3), Some(noop));
+        assert!(log.requests.iter().any(|&(_, _, d)| d), "expected dummies in the log");
+        let replayed = replay_on_backup(program, &log);
+        assert_eq!(replayed, log.state_hash);
+    }
+
+    #[test]
+    fn replay_with_cv_workload() {
+        let mut ob = ObjectBuilder::new("Buf");
+        let count = ob.cell();
+        let mut put = ob.method("put", 0);
+        put.sync(MutexExpr::This, |b| {
+            b.add(count, 1);
+            b.notify_all(MutexExpr::This);
+        });
+        let put_idx = put.done();
+        let mut take = ob.method("take", 0);
+        take.sync_wait_until(MutexExpr::This, dmt_lang::CondExpr::CellGe(count, 1), |b| {
+            b.add(count, -1);
+        });
+        let take_idx = take.done();
+        let program = compile::compile(&ob.build());
+        let reqs = vec![
+            (take_idx, RequestArgs::empty()),
+            (put_idx, RequestArgs::empty()),
+            (take_idx, RequestArgs::empty()),
+            (put_idx, RequestArgs::empty()),
+        ];
+        let log = record_primary(program.clone(), SchedulerKind::Mat, reqs, None);
+        let replayed = replay_on_backup(program, &log);
+        assert_eq!(replayed, log.state_hash);
+    }
+
+    #[test]
+    fn tampered_log_is_caught() {
+        let (program, mix, _) = program();
+        let mut log = record_primary(program.clone(), SchedulerKind::Sat, requests(mix, 4), None);
+        // Swap two grants on the same mutex: replay must reach a
+        // different (order-sensitive) state.
+        assert!(log.grants.len() >= 2);
+        log.grants.swap(0, 1);
+        let replayed = replay_on_backup(program, &log);
+        assert_ne!(replayed, log.state_hash, "tampered order must change the state");
+    }
+}

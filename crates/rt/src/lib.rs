@@ -1,0 +1,20 @@
+//! # dmt-rt — deterministic scheduling of real OS threads
+//!
+//! The simulation engine (`dmt-replica`) proves the algorithms; this
+//! crate shows them doing their day job: arbitrating *actual* threads.
+//! The decision modules from `dmt-core` are plain event-driven state
+//! machines, so the same `Box<dyn Scheduler>` that drove virtual threads
+//! can gate `std::thread`s — each synchronisation call becomes a
+//! scheduler event under one global runtime lock, and a thread proceeds
+//! only when the scheduler's `Resume` lands on its private permit
+//! (a parking_lot `Mutex`/`Condvar` pair).
+//!
+//! The headline property carries over: with a deterministic scheduler,
+//! the monitor-grant order is a pure function of the admission order —
+//! independent of OS preemption, sleep jitter, or core count. The tests
+//! inject random delays before every lock request and assert the grant
+//! log never changes; under FREE it visibly does.
+
+pub mod runtime;
+
+pub use runtime::{DetHandle, DetRuntime, RtReport};

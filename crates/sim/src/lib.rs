@@ -1,0 +1,26 @@
+//! # dmt-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate on which the replicated-object testbed runs. The paper's
+//! evaluation was performed on a physical LAN with three replica hosts; we
+//! substitute a virtual-time simulation so that every experiment is exactly
+//! reproducible (see DESIGN.md §1). The kernel provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time with nanosecond resolution,
+//! * [`EventQueue`] — a priority queue over virtual time with deterministic
+//!   FIFO tie-breaking for simultaneous events,
+//! * [`SplitMix64`] — a small, fully deterministic PRNG (implemented in-tree
+//!   so the determinism guarantees are auditable),
+//! * [`stats`] — streaming statistics used by the benchmark harness.
+//!
+//! Nothing in this crate knows about schedulers or replicas; it is a plain
+//! HPC-style simulation kernel.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SplitMix64;
+pub use stats::{Histogram, Summary};
+pub use time::{SimDuration, SimTime};

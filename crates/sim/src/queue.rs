@@ -1,0 +1,201 @@
+//! The event queue at the heart of the simulation.
+//!
+//! Events are ordered by `(time, insertion sequence)`: two events scheduled
+//! for the same virtual instant pop in the order they were pushed. This
+//! FIFO tie-break is what makes whole-simulation replay bit-exact — a
+//! plain `BinaryHeap<(SimTime, E)>` would fall back to comparing payloads
+//! (or be unstable), silently coupling replay to payload representation.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest entry on top.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue. `pop` advances the clock.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at the absolute instant `at`. Panics if `at` lies
+    /// in the past — an engine is never allowed to rewrite history.
+    pub fn push_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past ({at:?} < {:?})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative delay from the current time.
+    #[inline]
+    pub fn push_after(&mut self, delay: SimDuration, event: E) {
+        self.push_at(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Ties pop in insertion order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| {
+            debug_assert!(e.at >= self.now);
+            self.now = e.at;
+            (e.at, e.event)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drops every pending event (clock is left where it is).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_after(ms(5), "c");
+        q.push_after(ms(1), "a");
+        q.push_after(ms(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(SimTime::from_nanos(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push_after(ms(2), ());
+        q.push_after(ms(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::ZERO + ms(2));
+        q.pop();
+        assert_eq!(q.now(), SimTime::ZERO + ms(9));
+    }
+
+    #[test]
+    fn relative_delay_is_from_now() {
+        let mut q = EventQueue::new();
+        q.push_after(ms(2), "first");
+        q.pop();
+        q.push_after(ms(2), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::ZERO + ms(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push_after(ms(5), ());
+        q.pop();
+        q.push_at(SimTime::from_nanos(1), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push_after(ms(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::ZERO + ms(3)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push_after(ms(1), ());
+        q.push_after(ms(2), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_remains_ordered() {
+        let mut q = EventQueue::new();
+        q.push_after(ms(10), 1u32);
+        q.push_after(ms(20), 2);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        q.push_after(ms(5), 3); // at t=15, before event 2 at t=20
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 3);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! The paper's §3.5 benchmark workload (Figure 1).
+//!
+//! "The implementation of that method in the remote object does ten
+//! iterations of a loop. Each iteration performs the following
+//! operations: with probability 0.2, simulate a nested invocation
+//! (duration approx. 12 ms); with probability 0.2, simulate a local
+//! computation; execute a sequence of lock, state update, unlock, using a
+//! mutex chosen by random from a set of 100 mutexes. […] To guarantee
+//! deterministic behaviour the clients were responsible for all random
+//! decisions and passed them as method parameters."
+//!
+//! The loop is unrolled at build time so every iteration gets its own
+//! syncid and argument slots — which also means every lock parameter is
+//! a `Pool` indexed by a request argument, i.e. announceable at method
+//! entry: exactly the situation Figure 3 wants PMAT to exploit.
+//!
+//! The source text of the paper lost the local-computation duration
+//! ("duration ms"); we default to 1.5 ms and expose it as a parameter
+//! (see DESIGN.md substitution 4).
+
+use crate::ScenarioPair;
+use dmt_lang::ast::{CondExpr, DurExpr, IntExpr, MutexExpr, ObjectImpl};
+use dmt_lang::{ObjectBuilder, RequestArgs, ServiceId, Value};
+use dmt_replica::ClientScript;
+use dmt_sim::SplitMix64;
+
+/// Figure-1 workload parameters (paper defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig1Params {
+    pub iterations: usize,
+    pub p_nested: f64,
+    pub p_compute: f64,
+    pub nested_ms: f64,
+    pub compute_ms: f64,
+    pub n_mutexes: u32,
+    pub n_clients: usize,
+    pub requests_per_client: usize,
+    pub seed: u64,
+}
+
+impl Default for Fig1Params {
+    fn default() -> Self {
+        Fig1Params {
+            iterations: 10,
+            p_nested: 0.2,
+            p_compute: 0.2,
+            nested_ms: 12.0,
+            compute_ms: 1.5,
+            n_mutexes: 100,
+            n_clients: 8,
+            requests_per_client: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl Fig1Params {
+    pub fn with_clients(mut self, n: usize) -> Self {
+        self.n_clients = n;
+        self
+    }
+
+    pub fn with_mutexes(mut self, n: u32) -> Self {
+        self.n_mutexes = n;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Arguments per iteration: nested? / compute? / mutex index.
+    const ARGS_PER_ITER: usize = 3;
+
+    fn arity(&self) -> usize {
+        self.iterations * Self::ARGS_PER_ITER
+    }
+}
+
+/// Pool base for the benchmark mutexes (`this` uses a disjoint id).
+const POOL_BASE: u32 = 0;
+
+/// Builds the benchmark object: `invoke(flags…)` plus a `noop` for PDS
+/// dummies.
+pub fn build_object(p: &Fig1Params) -> ObjectImpl {
+    let mut ob = ObjectBuilder::new("Fig1Bench");
+    ob.cells(p.n_mutexes); // cell i guarded by pool mutex i
+    let mut m = ob.method("invoke", p.arity());
+    for i in 0..p.iterations {
+        let a = i * Fig1Params::ARGS_PER_ITER;
+        m.if_then(CondExpr::ArgFlag(a), |b| {
+            b.nested(ServiceId::new(0), DurExpr::Nanos((p.nested_ms * 1e6) as u64));
+        });
+        m.if_then(CondExpr::ArgFlag(a + 1), |b| {
+            b.compute(DurExpr::Nanos((p.compute_ms * 1e6) as u64));
+        });
+        m.sync(
+            MutexExpr::Pool { base: POOL_BASE, len: p.n_mutexes, index_arg: a + 2 },
+            |b| {
+                // Order-sensitive update of the cell the mutex guards.
+                b.update_indexed(POOL_BASE, p.n_mutexes, a + 2, IntExpr::Lit(1));
+            },
+        );
+    }
+    m.done();
+    let noop = ob.method("noop", 0);
+    noop.done();
+    ob.build()
+}
+
+/// Generates the client scripts: every client calls `invoke` (method 0 by
+/// construction — the transformation preserves method order) with its own
+/// pre-drawn random decisions.
+pub fn client_scripts(p: &Fig1Params) -> Vec<ClientScript> {
+    let invoke = dmt_lang::MethodIdx::new(0);
+    let mut rng = SplitMix64::new(p.seed);
+    (0..p.n_clients)
+        .map(|c| {
+            let mut crng = rng.split(c as u64);
+            let requests = (0..p.requests_per_client)
+                .map(|_| {
+                    let mut args = Vec::with_capacity(p.arity());
+                    for _ in 0..p.iterations {
+                        args.push(Value::Bool(crng.next_bool(p.p_nested)));
+                        args.push(Value::Bool(crng.next_bool(p.p_compute)));
+                        args.push(Value::Int(crng.next_below(p.n_mutexes as u64) as i64));
+                    }
+                    (invoke, RequestArgs::new(args))
+                })
+                .collect();
+            ClientScript { requests }
+        })
+        .collect()
+}
+
+/// The full Figure-1 scenario in both instrumentation variants.
+pub fn scenario(p: &Fig1Params) -> ScenarioPair {
+    let obj = build_object(p);
+    debug_assert_eq!(obj.method_by_name("invoke"), Some(dmt_lang::MethodIdx::new(0)));
+    crate::make_variants(&obj, client_scripts(p), "noop")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_core::SchedulerKind;
+    use dmt_replica::{Engine, EngineConfig};
+
+    #[test]
+    fn object_shape_matches_the_paper() {
+        let p = Fig1Params::default();
+        let obj = build_object(&p);
+        assert!(obj.validate().is_empty());
+        assert_eq!(obj.all_sync_ids().len(), 10, "ten lock sites");
+        let report = dmt_analysis::analyze(&obj);
+        let invoke = &report.methods[0];
+        assert!(invoke.analyzable);
+        assert_eq!(invoke.n_syncs, 10);
+        assert_eq!(invoke.n_at_entry, 10, "all pool params announceable at entry");
+        assert!(invoke.predictable_at_entry);
+        // 2 branch bits per iteration → 4^10 paths.
+        assert_eq!(invoke.path_count, 4u64.pow(10));
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let p = Fig1Params::default();
+        let a = client_scripts(&p);
+        let b = client_scripts(&p);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.requests, y.requests);
+        }
+        let c = client_scripts(&Fig1Params { seed: 43, ..p });
+        assert_ne!(a[0].requests, c[0].requests);
+    }
+
+    #[test]
+    fn small_fig1_run_completes_under_all_schedulers() {
+        let p = Fig1Params {
+            n_clients: 3,
+            requests_per_client: 2,
+            iterations: 4,
+            ..Fig1Params::default()
+        };
+        let pair = scenario(&p);
+        for kind in SchedulerKind::ALL {
+            let cfg = EngineConfig::new(kind).with_seed(5);
+            let res = Engine::new(pair.for_kind(kind), cfg).run();
+            assert!(!res.deadlocked, "{kind}");
+            assert_eq!(res.completed_requests, 6, "{kind}");
+        }
+    }
+
+    #[test]
+    fn analysed_variant_converges_for_prediction_schedulers() {
+        let p = Fig1Params {
+            n_clients: 4,
+            requests_per_client: 2,
+            iterations: 5,
+            n_mutexes: 10, // contention
+            ..Fig1Params::default()
+        };
+        let pair = scenario(&p);
+        for kind in [SchedulerKind::MatLL, SchedulerKind::Pmat] {
+            let (res, outcome) = dmt_replica::check_determinism(pair.for_kind(kind), kind, 9, 0.25);
+            assert!(!res.deadlocked, "{kind}");
+            assert!(outcome.converged(), "{kind}: {outcome:?}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) over the substrate invariants.
+
+use dmt::core::{LockOutcome, SyncCore, ThreadId};
+use dmt::lang::MutexId;
+use dmt::sim::{EventQueue, SplitMix64, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops in nondecreasing time order, FIFO on ties,
+    /// and returns exactly what was pushed.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            q.push_at(dmt::sim::SimTime::from_nanos(d), i);
+        }
+        let mut popped = Vec::new();
+        let mut last = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "ties must pop FIFO");
+                }
+            }
+            last = Some((t, idx));
+            popped.push(idx);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..delays.len()).collect::<Vec<_>>());
+    }
+
+    /// SplitMix64 streams are reproducible and splitting is stable.
+    #[test]
+    fn rng_streams_reproduce(seed in any::<u64>(), label in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let mut ca = a.split(label);
+        let mut cb = b.split(label);
+        for _ in 0..32 {
+            prop_assert_eq!(ca.next_u64(), cb.next_u64());
+        }
+    }
+
+    /// next_below stays in range for arbitrary bounds.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..16 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+
+    /// Welford summary matches the naive two-pass computation.
+    #[test]
+    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Monitor mechanics: applying a random op sequence never yields two
+    /// owners, never loses a thread, and full unwinding leaves the table
+    /// quiescent.
+    #[test]
+    fn sync_core_never_corrupts(ops in prop::collection::vec((0u32..6, 0u32..4, 0u32..3), 1..300)) {
+        let mut core = SyncCore::new(true);
+        // Track how many times each thread must still unlock each mutex.
+        let mut held: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+        let mut blocked: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut waiting: std::collections::HashSet<u32> = std::collections::HashSet::new();
+
+        let apply_grants = |grants: Vec<dmt::core::Grant>,
+                            held: &mut std::collections::HashMap<(u32, u32), u32>,
+                            blocked: &mut std::collections::HashSet<u32>,
+                            waiting: &mut std::collections::HashSet<u32>| {
+            for g in grants {
+                blocked.remove(&g.tid.0);
+                waiting.remove(&g.tid.0);
+                *held.entry((g.tid.0, g.mutex.0)).or_insert(0) += 1;
+            }
+        };
+
+        for (op, t, m) in ops {
+            if blocked.contains(&t) || waiting.contains(&t) {
+                continue; // a blocked thread cannot issue operations
+            }
+            let tid = ThreadId::new(t);
+            let mx = MutexId::new(m);
+            match op {
+                // lock
+                0 | 1 => match core.lock(tid, mx) {
+                    LockOutcome::Acquired => {
+                        *held.entry((t, m)).or_insert(0) += 1;
+                    }
+                    LockOutcome::Queued => {
+                        blocked.insert(t);
+                    }
+                },
+                // unlock (if held)
+                2 | 3 => {
+                    if held.get(&(t, m)).copied().unwrap_or(0) > 0 {
+                        *held.get_mut(&(t, m)).unwrap() -= 1;
+                        let grants = core.unlock(tid, mx);
+                        apply_grants(grants, &mut held, &mut blocked, &mut waiting);
+                    }
+                }
+                // notify (if owner)
+                4 => {
+                    if core.holds(tid, mx) {
+                        core.notify(tid, mx, t % 2 == 0);
+                    }
+                }
+                // wait (if owner)
+                _ => {
+                    if core.holds(tid, mx) {
+                        held.remove(&(t, m));
+                        waiting.insert(t);
+                        let grants = core.wait(tid, mx);
+                        apply_grants(grants, &mut held, &mut blocked, &mut waiting);
+                    }
+                }
+            }
+            // Invariant: owners recorded by the model own in the core.
+            for (&(ht, hm), &count) in &held {
+                if count > 0 {
+                    prop_assert_eq!(core.owner(MutexId::new(hm)), Some(ThreadId::new(ht)));
+                }
+            }
+        }
+
+        // Unwind: notify everyone, then release everything we still hold,
+        // granting queued threads until the table quiesces.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let holders: Vec<(u32, u32)> = held
+                .iter()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(&k, _)| k)
+                .collect();
+            for (t, m) in holders {
+                let tid = ThreadId::new(t);
+                let mx = MutexId::new(m);
+                core.notify(tid, mx, true);
+                *held.get_mut(&(t, m)).unwrap() -= 1;
+                let grants = core.unlock(tid, mx);
+                apply_grants(grants, &mut held, &mut blocked, &mut waiting);
+                progress = true;
+            }
+        }
+        // Whatever remains blocked is waiting on threads that never
+        // locked (impossible) — the core must agree nothing is held.
+        for (&(ht, hm), &count) in &held {
+            prop_assert_eq!(count, 0, "thread {} still holds {}", ht, hm);
+        }
+    }
+}
+
+/// Harness replay stability across the whole scheduler zoo, on random
+/// programs (deterministic seeds; proptest shrinks poorly on this size).
+#[test]
+fn harness_runs_are_replay_stable() {
+    use dmt::core::harness::Harness;
+    use dmt::core::{make_scheduler, ReplicaId, SchedConfig, SchedulerKind};
+    use dmt::workload::synth::{random_args, random_object, SynthConfig};
+
+    let cfg = SynthConfig::default();
+    for seed in 0..10u64 {
+        let obj = random_object(seed, &cfg);
+        let program = dmt::lang::compile::compile(&obj);
+        let starts: Vec<_> = program
+            .methods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.public && m.name != "noop")
+            .map(|(i, _)| dmt::lang::MethodIdx::new(i as u32))
+            .collect();
+        let dummy = program.method_by_name("noop").unwrap();
+        for kind in SchedulerKind::ALL {
+            let run = || {
+                let sc = SchedConfig::new(kind, ReplicaId::new(0));
+                let mut h = Harness::new(program.clone(), MutexId::new(1_000_000), make_scheduler(&sc))
+                    .with_dummy_method(dummy);
+                let mut rng = SplitMix64::new(seed ^ 0x1234);
+                for _ in 0..6 {
+                    let m = *rng.choose(&starts).unwrap();
+                    h.submit(m, random_args(&mut rng, &cfg));
+                }
+                h.run()
+            };
+            let a = run();
+            let b = run();
+            assert!(!a.deadlocked, "synth {seed} under {kind} deadlocked");
+            assert_eq!(a.lock_trace, b.lock_trace, "synth {seed} under {kind}");
+            assert_eq!(a.state.state_hash(), b.state.state_hash(), "synth {seed} under {kind}");
+        }
+    }
+}
