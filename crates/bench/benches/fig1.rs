@@ -1,36 +1,29 @@
-//! Criterion bench for the Figure-1 experiment: one measurement per
+//! Wall-clock bench for the Figure-1 experiment: one measurement per
 //! scheduler on a reduced paper workload (4 clients, 2 requests each).
 //! The measured quantity is host wall-clock of the whole cluster
 //! simulation; the *virtual-time* response curves come from
 //! `cargo run -p dmt-bench --release --bin figures -- fig1`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt_bench::ubench::time_case;
 use dmt_core::SchedulerKind;
 use dmt_replica::{Engine, EngineConfig};
 use dmt_workload::fig1;
 use std::hint::black_box;
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
     let params = fig1::Fig1Params {
         n_clients: 4,
         requests_per_client: 2,
         ..Default::default()
     };
     let pair = fig1::scenario(&params);
-    let mut group = c.benchmark_group("fig1_cluster_sim");
     for kind in SchedulerKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let scenario = pair.for_kind(kind);
-            b.iter(|| {
-                let cfg = EngineConfig::new(kind).with_seed(7);
-                let res = Engine::new(black_box(scenario.clone()), cfg).run();
-                assert!(!res.deadlocked);
-                black_box(res.completed_requests)
-            });
+        let scenario = pair.for_kind(kind);
+        time_case("fig1_cluster_sim", kind.name(), || {
+            let cfg = EngineConfig::new(kind).with_seed(7);
+            let res = Engine::new(black_box(scenario.clone()), cfg).run();
+            assert!(!res.deadlocked);
+            res.completed_requests
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion bench for the Figure-2 experiment (last-lock analysis):
+//! Wall-clock bench for the Figure-2 experiment (last-lock analysis):
 //! MAT vs MAT-LL on the reply-building workload. Also asserts the
 //! virtual-time ordering so a regression in the hand-off logic fails the
 //! bench run, not just the figure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt_bench::ubench::time_case;
 use dmt_core::SchedulerKind;
 use dmt_replica::{Engine, EngineConfig};
 use dmt_workload::fig2;
 use std::hint::black_box;
 
-fn bench_fig2(c: &mut Criterion) {
+fn main() {
     let params = fig2::Fig2Params { n_clients: 4, requests_per_client: 2, ..Default::default() };
     let pair = fig2::scenario(&params);
 
@@ -21,18 +21,11 @@ fn bench_fig2(c: &mut Criterion) {
     };
     assert!(mean(SchedulerKind::MatLL) < mean(SchedulerKind::Mat));
 
-    let mut group = c.benchmark_group("fig2_lastlock");
     for kind in [SchedulerKind::Mat, SchedulerKind::MatLL] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let scenario = pair.for_kind(kind);
-            b.iter(|| {
-                let cfg = EngineConfig::new(kind).with_seed(3);
-                black_box(Engine::new(black_box(scenario.clone()), cfg).run().makespan)
-            });
+        let scenario = pair.for_kind(kind);
+        time_case("fig2_lastlock", kind.name(), || {
+            let cfg = EngineConfig::new(kind).with_seed(3);
+            Engine::new(black_box(scenario.clone()), cfg).run().makespan
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

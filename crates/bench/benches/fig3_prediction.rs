@@ -1,14 +1,14 @@
-//! Criterion bench for the Figure-3 experiment (lock prediction on
+//! Wall-clock bench for the Figure-3 experiment (lock prediction on
 //! disjoint mutex sets): MAT vs MAT-LL vs PMAT. Asserts the virtual-time
 //! win before timing the simulations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt_bench::ubench::time_case;
 use dmt_core::SchedulerKind;
 use dmt_replica::{Engine, EngineConfig};
 use dmt_workload::fig3;
 use std::hint::black_box;
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     let params = fig3::Fig3Params { n_clients: 6, requests_per_client: 2, ..Default::default() };
     let pair = fig3::scenario(&params);
 
@@ -19,18 +19,11 @@ fn bench_fig3(c: &mut Criterion) {
     };
     assert!(mean(SchedulerKind::Pmat) < mean(SchedulerKind::Mat));
 
-    let mut group = c.benchmark_group("fig3_prediction");
     for kind in [SchedulerKind::Mat, SchedulerKind::MatLL, SchedulerKind::Pmat] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            let scenario = pair.for_kind(kind);
-            b.iter(|| {
-                let cfg = EngineConfig::new(kind).with_seed(3);
-                black_box(Engine::new(black_box(scenario.clone()), cfg).run().makespan)
-            });
+        let scenario = pair.for_kind(kind);
+        time_case("fig3_prediction", kind.name(), || {
+            let cfg = EngineConfig::new(kind).with_seed(3);
+            Engine::new(black_box(scenario.clone()), cfg).run().makespan
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

@@ -1,16 +1,16 @@
-//! Criterion bench for the instrumentation/bookkeeping overhead question
+//! Wall-clock bench for the instrumentation/bookkeeping overhead question
 //! (paper §5: "at which point performance decreases again due to runtime
 //! overhead"). Wall-clock is the right meter here: the injected
 //! `lockInfo`/`ignore` calls and the syncid-table bookkeeping cost host
 //! cycles, not virtual time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmt_bench::ubench::time_case;
 use dmt_core::SchedulerKind;
 use dmt_replica::{Engine, EngineConfig};
 use dmt_workload::fig1;
 use std::hint::black_box;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     let params = fig1::Fig1Params {
         n_clients: 4,
         requests_per_client: 2,
@@ -18,7 +18,6 @@ fn bench_overhead(c: &mut Criterion) {
         ..Default::default()
     };
     let pair = fig1::scenario(&params);
-    let mut group = c.benchmark_group("instrumentation_overhead");
     let cases: [(&str, SchedulerKind, bool); 4] = [
         ("MAT_plain", SchedulerKind::Mat, false),
         ("MAT_analysed", SchedulerKind::Mat, true),
@@ -27,15 +26,9 @@ fn bench_overhead(c: &mut Criterion) {
     ];
     for (label, kind, analysed) in cases {
         let scenario = if analysed { pair.analysed.clone() } else { pair.plain.clone() };
-        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
-            b.iter(|| {
-                let cfg = EngineConfig::new(kind).with_seed(5);
-                black_box(Engine::new(black_box(scenario.clone()), cfg).run().completed_requests)
-            });
+        time_case("instrumentation_overhead", label, || {
+            let cfg = EngineConfig::new(kind).with_seed(5);
+            Engine::new(black_box(scenario.clone()), cfg).run().completed_requests
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -2,86 +2,70 @@
 //! monitor mechanics, interpreter stepping, and the static analysis
 //! passes. These guard the constants behind every experiment.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dmt_bench::ubench::time_case;
 use dmt_core::{LockOutcome, SyncCore, ThreadId};
 use dmt_lang::ast::{IntExpr, MutexExpr};
 use dmt_lang::{compile, MethodIdx, MutexId, ObjectBuilder, ObjectState, RequestArgs, ThreadVm};
 use dmt_sim::{EventQueue, SimDuration, SplitMix64};
 use std::hint::black_box;
 
-fn bench_rng(c: &mut Criterion) {
-    let mut group = c.benchmark_group("splitmix64");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("next_u64_x1024", |b| {
+fn bench_rng() {
+    time_case("splitmix64", "next_u64_x1024", {
         let mut rng = SplitMix64::new(7);
-        b.iter(|| {
+        move || {
             let mut acc = 0u64;
             for _ in 0..1024 {
                 acc ^= rng.next_u64();
             }
-            black_box(acc)
-        });
+            acc
+        }
     });
-    group.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    group.throughput(Throughput::Elements(1024));
-    group.bench_function("push_pop_x1024", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u32> = EventQueue::new();
-            for i in 0..1024u32 {
-                q.push_after(SimDuration::from_nanos(((i * 2654435761) % 10_000) as u64 + 1), i);
-            }
-            let mut acc = 0u32;
-            while let Some((_, e)) = q.pop() {
-                acc ^= e;
-            }
-            black_box(acc)
-        });
+fn bench_event_queue() {
+    time_case("event_queue", "push_pop_x1024", || {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..1024u32 {
+            q.push_after(SimDuration::from_nanos(((i * 2654435761) % 10_000) as u64 + 1), i);
+        }
+        let mut acc = 0u32;
+        while let Some((_, e)) = q.pop() {
+            acc ^= e;
+        }
+        acc
     });
-    group.finish();
 }
 
-fn bench_sync_core(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sync_core");
-    group.throughput(Throughput::Elements(512));
-    group.bench_function("lock_unlock_uncontended_x512", |b| {
-        b.iter(|| {
-            let mut core = SyncCore::new(true);
-            let t = ThreadId::new(0);
-            for i in 0..512u32 {
-                let m = MutexId::new(i % 64);
-                assert_eq!(core.lock(t, m), LockOutcome::Acquired);
-                core.unlock(t, m);
-            }
-            black_box(core.is_quiescent())
-        });
+fn bench_sync_core() {
+    time_case("sync_core", "lock_unlock_uncontended_x512", || {
+        let mut core = SyncCore::new(true);
+        let t = ThreadId::new(0);
+        for i in 0..512u32 {
+            let m = MutexId::new(i % 64);
+            assert_eq!(core.lock(t, m), LockOutcome::Acquired);
+            core.unlock(t, m);
+        }
+        core.is_quiescent()
     });
-    group.bench_function("contended_handoff_chain_x512", |b| {
-        b.iter(|| {
-            let mut core = SyncCore::new(true);
-            let m = MutexId::new(0);
-            core.lock(ThreadId::new(0), m);
-            for i in 1..512u32 {
-                core.lock(ThreadId::new(i), m);
+    time_case("sync_core", "contended_handoff_chain_x512", || {
+        let mut core = SyncCore::new(true);
+        let m = MutexId::new(0);
+        core.lock(ThreadId::new(0), m);
+        for i in 1..512u32 {
+            core.lock(ThreadId::new(i), m);
+        }
+        let mut holder = ThreadId::new(0);
+        for _ in 0..512 {
+            match core.unlock(holder, m) {
+                Some(g) => holder = g.tid,
+                None => break,
             }
-            let mut holder = ThreadId::new(0);
-            for _ in 0..512 {
-                let grants = core.unlock(holder, m);
-                match grants.first() {
-                    Some(g) => holder = g.tid,
-                    None => break,
-                }
-            }
-            black_box(core.is_quiescent())
-        });
+        }
+        core.is_quiescent()
     });
-    group.finish();
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let mut ob = ObjectBuilder::new("Hot");
     let cell = ob.cell();
     let mut m = ob.method("hot", 1);
@@ -92,40 +76,31 @@ fn bench_interpreter(c: &mut Criterion) {
     });
     m.done();
     let program = compile::compile(&ob.build());
-    let mut group = c.benchmark_group("interpreter");
-    group.throughput(Throughput::Elements(64 * 3)); // lock+unlock+update per iter
-    group.bench_function("loop64_lock_update_unlock", |b| {
-        b.iter(|| {
-            let mut state = ObjectState::for_object(&program, MutexId::new(9));
-            let mut vm = ThreadVm::new(
-                program.clone(),
-                MethodIdx::new(0),
-                RequestArgs::new(vec![dmt_lang::Value::Int(1)]),
-            );
-            black_box(dmt_lang::interp::run_to_completion(&mut vm, &mut state).len())
-        });
+    time_case("interpreter", "loop64_lock_update_unlock", || {
+        let mut state = ObjectState::for_object(&program, MutexId::new(9));
+        let mut vm = ThreadVm::new(
+            program.clone(),
+            MethodIdx::new(0),
+            RequestArgs::new(vec![dmt_lang::Value::Int(1)]),
+        );
+        dmt_lang::interp::run_to_completion(&mut vm, &mut state).len()
     });
-    group.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let obj = dmt_workload::fig1::build_object(&dmt_workload::fig1::Fig1Params::default());
-    let mut group = c.benchmark_group("analysis");
-    group.bench_function("transform_fig1_object", |b| {
-        b.iter(|| black_box(dmt_analysis::transform(black_box(&obj))));
+    time_case("analysis", "transform_fig1_object", || {
+        black_box(dmt_analysis::transform(black_box(&obj)))
     });
-    group.bench_function("lock_table_fig1_object", |b| {
-        b.iter(|| black_box(dmt_analysis::build_lock_table(black_box(&obj))));
+    time_case("analysis", "lock_table_fig1_object", || {
+        black_box(dmt_analysis::build_lock_table(black_box(&obj)))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_rng,
-    bench_event_queue,
-    bench_sync_core,
-    bench_interpreter,
-    bench_analysis
-);
-criterion_main!(benches);
+fn main() {
+    bench_rng();
+    bench_event_queue();
+    bench_sync_core();
+    bench_interpreter();
+    bench_analysis();
+}

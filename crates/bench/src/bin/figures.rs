@@ -3,13 +3,109 @@
 //! ```text
 //! cargo run -p dmt-bench --release --bin figures -- all
 //! cargo run -p dmt-bench --release --bin figures -- fig1 [--quick] [--csv]
+//! cargo run -p dmt-bench --release --bin figures -- bench   # BENCH_engine.json
 //! ```
 
 use dmt_bench::*;
+use std::time::Instant;
+
+/// Baseline simulator throughput (ns/event) per scheduler on the
+/// Figure-1 sweep, measured at the commit immediately before the
+/// dense-ID slot-table refactor (HashMap/BTreeSet engine state), same
+/// machine command: `figures -- bench` with the default full sweep.
+/// Kept so BENCH_engine.json always reports before → after.
+const BASELINE_NS_PER_EVENT: [(&str, f64); 5] = [
+    ("SEQ", 442.0),
+    ("SAT", 407.0),
+    ("LSA", 536.0),
+    ("PDS", 920.0),
+    ("MAT", 462.0),
+];
+
+/// Events-weighted ns/event over the whole baseline sweep (same
+/// measurement as the per-kind table above).
+const BASELINE_TOTAL_NS_PER_EVENT: f64 = 570.0;
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
+    let rows = engine_bench_experiment(client_counts, requests);
+
+    // Parallel-sweep wall-clock: the same Figure-1 table serially and
+    // with the sweep driver; the tables must be identical.
+    let threads = sweep_threads();
+    let t0 = Instant::now();
+    let serial = fig1_experiment_with_threads(client_counts, requests, true, 1);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let parallel = fig1_experiment_with_threads(client_counts, requests, true, threads);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let identical = serial.to_string() == parallel.to_string();
+    assert!(identical, "parallel sweep produced a different table");
+
+    let mut total = dmt_replica::PerfCounters::default();
+    for r in &rows {
+        total.merge(&r.perf);
+    }
+    let base_total = BASELINE_TOTAL_NS_PER_EVENT;
+    let improvement = if base_total > 0.0 {
+        (1.0 - total.ns_per_event() / base_total) * 100.0
+    } else {
+        0.0
+    };
+
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str(&format!(
+        "  \"sweep\": {{\"clients\": {client_counts:?}, \"requests_per_client\": {requests}, \"quick\": {quick}}},\n"
+    ));
+    j.push_str("  \"baseline\": {\n    \"note\": \"pre-refactor engine (HashMap/BTreeSet state), ns/event on the same sweep\",\n");
+    j.push_str("    \"per_kind\": {");
+    for (i, (k, v)) in BASELINE_NS_PER_EVENT.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{}\": {v:.1}", json_escape(k)));
+    }
+    j.push_str(&format!("}},\n    \"ns_per_event\": {base_total:.1}\n  }},\n"));
+    j.push_str("  \"current\": {\n    \"per_kind\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        j.push_str(&format!(
+            "      {{\"kind\": \"{}\", \"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}{}\n",
+            json_escape(r.kind.name()),
+            r.perf.events,
+            r.perf.sched_events,
+            r.perf.sched_actions,
+            r.perf.wall_ns,
+            r.perf.ns_per_event(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    j.push_str(&format!(
+        "    ],\n    \"total\": {{\"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}\n  }},\n",
+        total.events, total.sched_events, total.sched_actions, total.wall_ns, total.ns_per_event(),
+    ));
+    j.push_str(&format!("  \"ns_per_event_improvement_pct\": {improvement:.1},\n"));
+    j.push_str(&format!(
+        "  \"parallel_sweep\": {{\"threads\": {threads}, \"serial_wall_ms\": {serial_ms:.1}, \"parallel_wall_ms\": {parallel_ms:.1}, \"speedup\": {:.2}, \"tables_identical\": {identical}}}\n",
+        serial_ms / parallel_ms.max(1e-9),
+    ));
+    j.push_str("}\n");
+
+    std::fs::write("BENCH_engine.json", &j).expect("write BENCH_engine.json");
+    println!("{j}");
+    eprintln!("wrote BENCH_engine.json");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let what = args
+        .iter()
+        .find(|s| !s.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
 
@@ -38,11 +134,12 @@ fn main() {
         "abl-wan" => emit(&abl_wan_experiment(&[0, 2, 10, 50])),
         "abl-passive" => emit(&abl_passive_experiment()),
         "determinism" => emit(&determinism_experiment()),
+        "bench" => engine_bench(&client_counts, requests, quick),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "known: fig1 fig1x fig2 fig3 fig4 analysis abl-mutexes \
-                 abl-overhead abl-wan abl-passive determinism all"
+                 abl-overhead abl-wan abl-passive determinism bench all"
             );
             std::process::exit(2);
         }
@@ -51,7 +148,7 @@ fn main() {
     if what == "all" {
         for name in [
             "fig1", "fig1x", "fig2", "fig3", "fig4", "analysis", "abl-mutexes", "abl-overhead",
-            "abl-wan", "abl-passive", "determinism",
+            "abl-wan", "abl-passive", "determinism", "bench",
         ] {
             run_one(name);
             println!();

@@ -1,12 +1,72 @@
 //! The experiments of EXPERIMENTS.md, one function per table/figure.
+//!
+//! Sweeps fan their independent (scheduler, scenario, seed) cluster
+//! runs across cores via [`run_jobs`]; every run is a self-contained
+//! simulation, so the tables are bit-identical to the serial ones —
+//! results are written back by job index, never by completion order.
 
 use crate::table::Table;
 use dmt_core::SchedulerKind;
 use dmt_groupcomm::NetConfig;
-use dmt_replica::{check_determinism, Engine, EngineConfig};
+use dmt_replica::{check_determinism, Engine, EngineConfig, PerfCounters};
 use dmt_sim::SimDuration;
 use dmt_workload::{bank, buffer, fig1, fig2, fig3};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// The parallel sweep driver: runs `f(0..n_jobs)` across `threads`
+/// worker threads (`std::thread::scope`, no extra deps) and returns the
+/// results in job order. Workers pull job indices from a shared atomic
+/// counter, so long and short simulations interleave freely; ordering
+/// determinism comes from slotting each result at its job index.
+pub fn run_jobs<T, F>(n_jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n_jobs.max(1));
+    if threads <= 1 {
+        return (0..n_jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_jobs {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|o| o.expect("every job index runs exactly once")).collect()
+}
+
+/// Worker count for parallel sweeps: `DMT_SWEEP_THREADS` if set, else
+/// the machine's available parallelism.
+pub fn sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("DMT_SWEEP_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
 
 /// The five algorithms of the paper's Figure 1.
 pub const FIG1_KINDS: [SchedulerKind; 5] = [
@@ -32,9 +92,35 @@ fn ms(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// One Figure-1 sweep point: the full cluster simulation for one
+/// (clients, scheduler) pair. Self-contained so sweep points can run on
+/// any worker thread.
+fn fig1_point(n_clients: usize, requests_per_client: usize, kind: SchedulerKind) -> dmt_replica::RunResult {
+    let params = fig1::Fig1Params::default()
+        .with_clients(n_clients)
+        .with_seed(1000 + n_clients as u64);
+    let params = fig1::Fig1Params { requests_per_client, ..params };
+    let pair = fig1::scenario(&params);
+    let cfg = EngineConfig::new(kind).with_seed(7).with_cpu_jitter(0.05);
+    let res = Engine::new(pair.for_kind(kind), cfg).run();
+    assert!(!res.deadlocked, "{kind} stalled at {n_clients} clients");
+    res
+}
+
 /// **fig1** — mean response time vs. number of clients, per scheduler
 /// (paper Figure 1). `extended` adds the MAT-LL and PMAT series.
 pub fn fig1_experiment(client_counts: &[usize], requests_per_client: usize, extended: bool) -> Table {
+    fig1_experiment_with_threads(client_counts, requests_per_client, extended, sweep_threads())
+}
+
+/// [`fig1_experiment`] with an explicit worker count (1 = serial). The
+/// table is identical for every worker count.
+pub fn fig1_experiment_with_threads(
+    client_counts: &[usize],
+    requests_per_client: usize,
+    extended: bool,
+    threads: usize,
+) -> Table {
     let kinds: Vec<SchedulerKind> = if extended {
         ALL_KINDS.to_vec()
     } else {
@@ -46,22 +132,41 @@ pub fn fig1_experiment(client_counts: &[usize], requests_per_client: usize, exte
         "Figure 1: mean response time vs clients (3 replicas, LAN)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
-    for &n in client_counts {
-        let params = fig1::Fig1Params::default()
-            .with_clients(n)
-            .with_seed(1000 + n as u64);
-        let params = fig1::Fig1Params { requests_per_client, ..params };
-        let pair = fig1::scenario(&params);
+    let n_jobs = client_counts.len() * kinds.len();
+    let cells = run_jobs(n_jobs, threads, |job| {
+        let n = client_counts[job / kinds.len()];
+        let kind = kinds[job % kinds.len()];
+        ms(fig1_point(n, requests_per_client, kind).response_times.mean())
+    });
+    for (i, &n) in client_counts.iter().enumerate() {
         let mut row = vec![n.to_string()];
-        for &kind in &kinds {
-            let cfg = EngineConfig::new(kind).with_seed(7).with_cpu_jitter(0.05);
-            let res = Engine::new(pair.for_kind(kind), cfg).run();
-            assert!(!res.deadlocked, "{kind} stalled at {n} clients");
-            row.push(ms(res.response_times.mean()));
-        }
+        row.extend_from_slice(&cells[i * kinds.len()..(i + 1) * kinds.len()]);
         t.push_row(row);
     }
     t
+}
+
+/// Per-scheduler simulator-throughput measurement over the Figure-1
+/// sweep. Serial on purpose: ns/event is a host-time measurement and
+/// concurrent runs would pollute each other's clocks.
+pub struct EngineBenchRow {
+    pub kind: SchedulerKind,
+    pub perf: PerfCounters,
+}
+
+/// **bench** — engine hot-path cost on the Figure-1 sweep (all five
+/// paper schedulers), aggregated per scheduler.
+pub fn engine_bench_experiment(client_counts: &[usize], requests_per_client: usize) -> Vec<EngineBenchRow> {
+    FIG1_KINDS
+        .iter()
+        .map(|&kind| {
+            let mut agg = PerfCounters::default();
+            for &n in client_counts {
+                agg.merge(&fig1_point(n, requests_per_client, kind).perf);
+            }
+            EngineBenchRow { kind, perf: agg }
+        })
+        .collect()
 }
 
 /// **fig2** — MAT vs MAT-LL as the post-last-lock computation grows
@@ -71,16 +176,18 @@ pub fn fig2_experiment(final_ms_values: &[f64]) -> Table {
         "Figure 2: last-lock analysis — response time vs final computation",
         &["final_ms", "MAT (ms)", "MAT-LL (ms)", "speedup"],
     );
-    for &f in final_ms_values {
+    let kinds = [SchedulerKind::Mat, SchedulerKind::MatLL];
+    let means = run_jobs(final_ms_values.len() * 2, sweep_threads(), |job| {
+        let f = final_ms_values[job / 2];
+        let kind = kinds[job % 2];
         let p = fig2::Fig2Params { final_ms: f, ..fig2::Fig2Params::default() };
         let pair = fig2::scenario(&p);
-        let run = |kind: SchedulerKind| {
-            let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
-            assert!(!res.deadlocked);
-            res.response_times.mean()
-        };
-        let mat = run(SchedulerKind::Mat);
-        let ll = run(SchedulerKind::MatLL);
+        let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
+        assert!(!res.deadlocked);
+        res.response_times.mean()
+    });
+    for (i, &f) in final_ms_values.iter().enumerate() {
+        let (mat, ll) = (means[i * 2], means[i * 2 + 1]);
         t.push_row(vec![ms(f), ms(mat), ms(ll), format!("{:.2}x", mat / ll)]);
     }
     t
@@ -93,21 +200,25 @@ pub fn fig3_experiment(client_counts: &[usize]) -> Table {
         "Figure 3: lock prediction — response time on disjoint mutexes",
         &["clients", "MAT (ms)", "MAT-LL (ms)", "PMAT (ms)", "ideal (ms)"],
     );
-    for &n in client_counts {
+    let kinds = [SchedulerKind::Mat, SchedulerKind::MatLL, SchedulerKind::Pmat];
+    let means = run_jobs(client_counts.len() * 3, sweep_threads(), |job| {
+        let n = client_counts[job / 3];
+        let kind = kinds[job % 3];
         let p = fig3::Fig3Params { n_clients: n, ..fig3::Fig3Params::default() };
         let pair = fig3::scenario(&p);
-        let run = |kind: SchedulerKind| {
-            let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
-            assert!(!res.deadlocked);
-            res.response_times.mean()
-        };
+        let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
+        assert!(!res.deadlocked);
+        res.response_times.mean()
+    });
+    for (i, &n) in client_counts.iter().enumerate() {
+        let p = fig3::Fig3Params { n_clients: n, ..fig3::Fig3Params::default() };
         // Ideal: full overlap — a request costs its own work plus wire.
         let ideal = p.pre_ms + p.cs_ms + 4.0 * NetConfig::lan().one_way.as_millis_f64();
         t.push_row(vec![
             n.to_string(),
-            ms(run(SchedulerKind::Mat)),
-            ms(run(SchedulerKind::MatLL)),
-            ms(run(SchedulerKind::Pmat)),
+            ms(means[i * 3]),
+            ms(means[i * 3 + 1]),
+            ms(means[i * 3 + 2]),
             ms(ideal),
         ]);
     }
@@ -164,16 +275,18 @@ pub fn abl_mutexes_experiment(mutex_counts: &[u32]) -> Table {
         "Ablation: locking granularity (8 clients) — MAT vs PMAT",
         &["mutexes", "MAT (ms)", "PMAT (ms)", "gain"],
     );
-    for &m in mutex_counts {
+    let kinds = [SchedulerKind::Mat, SchedulerKind::Pmat];
+    let means = run_jobs(mutex_counts.len() * 2, sweep_threads(), |job| {
+        let m = mutex_counts[job / 2];
+        let kind = kinds[job % 2];
         let p = fig1::Fig1Params::default().with_mutexes(m).with_clients(8);
         let pair = fig1::scenario(&p);
-        let run = |kind: SchedulerKind| {
-            let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(5)).run();
-            assert!(!res.deadlocked);
-            res.response_times.mean()
-        };
-        let mat = run(SchedulerKind::Mat);
-        let pmat = run(SchedulerKind::Pmat);
+        let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(5)).run();
+        assert!(!res.deadlocked);
+        res.response_times.mean()
+    });
+    for (i, &m) in mutex_counts.iter().enumerate() {
+        let (mat, pmat) = (means[i * 2], means[i * 2 + 1]);
         t.push_row(vec![m.to_string(), ms(mat), ms(pmat), format!("{:.2}x", mat / pmat)]);
     }
     t
@@ -213,24 +326,32 @@ pub fn abl_wan_experiment(one_way_ms: &[u64]) -> Table {
         "Ablation: WAN latency — LSA vs MAT, and LSA leader takeover",
         &["one-way (ms)", "LSA (ms)", "MAT (ms)", "LSA ctrl msgs", "LSA takeover (ms)"],
     );
-    for &w in one_way_ms {
+    // Three independent cluster runs per latency point: LSA, MAT, and
+    // the LSA leader-kill failover run.
+    let results = run_jobs(one_way_ms.len() * 3, sweep_threads(), |job| {
+        let w = one_way_ms[job / 3];
         let p = fig1::Fig1Params::default().with_clients(6);
         let pair = fig1::scenario(&p);
         let net = if w == 0 { NetConfig::lan() } else { NetConfig::wan(w) };
-        let run = |kind: SchedulerKind| {
-            let cfg = EngineConfig::new(kind).with_seed(5).with_net(net);
-            let res = Engine::new(pair.for_kind(kind), cfg).run();
-            assert!(!res.deadlocked, "{kind} under {w}ms WAN");
-            res
-        };
-        let lsa = run(SchedulerKind::Lsa);
-        let mat = run(SchedulerKind::Mat);
-        // Failover run: kill the leader mid-experiment.
-        let cfg = EngineConfig::new(SchedulerKind::Lsa)
-            .with_seed(5)
-            .with_net(net)
-            .with_kill(0, SimDuration::from_millis(20));
-        let fo = Engine::new(pair.for_kind(SchedulerKind::Lsa), cfg).run();
+        match job % 3 {
+            0 | 1 => {
+                let kind = if job % 3 == 0 { SchedulerKind::Lsa } else { SchedulerKind::Mat };
+                let cfg = EngineConfig::new(kind).with_seed(5).with_net(net);
+                let res = Engine::new(pair.for_kind(kind), cfg).run();
+                assert!(!res.deadlocked, "{kind} under {w}ms WAN");
+                res
+            }
+            _ => {
+                let cfg = EngineConfig::new(SchedulerKind::Lsa)
+                    .with_seed(5)
+                    .with_net(net)
+                    .with_kill(0, SimDuration::from_millis(20));
+                Engine::new(pair.for_kind(SchedulerKind::Lsa), cfg).run()
+            }
+        }
+    });
+    for (i, &w) in one_way_ms.iter().enumerate() {
+        let (lsa, mat, fo) = (&results[i * 3], &results[i * 3 + 1], &results[i * 3 + 2]);
         let takeover = fo
             .takeover_gap
             .map(|g| ms(g.as_millis_f64()))
@@ -289,8 +410,10 @@ pub fn determinism_experiment() -> Table {
         n_mutexes: 5,
         ..fig1::Fig1Params::default()
     };
-    let pair = fig1::scenario(&p);
-    for kind in dmt_core::SchedulerKind::ALL {
+    let pair = &fig1::scenario(&p);
+    let kinds: Vec<SchedulerKind> = dmt_core::SchedulerKind::ALL.into_iter().collect();
+    let rows = run_jobs(kinds.len(), sweep_threads(), |job| {
+        let kind = kinds[job];
         let (_, outcome) = check_determinism(pair.for_kind(kind), kind, 77, 0.3);
         let level = format!("{:?}", dmt_replica::checker::match_level(kind));
         let verdict = match outcome {
@@ -300,7 +423,10 @@ pub fn determinism_experiment() -> Table {
             }
             dmt_replica::CheckOutcome::Stalled => "stalled".to_string(),
         };
-        t.push_row(vec![kind.to_string(), verdict, level]);
+        vec![kind.to_string(), verdict, level]
+    });
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -341,6 +467,26 @@ mod tests {
         for row in &t.rows {
             assert_eq!(row[3], "yes", "{} replay failed", row[0]);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_byte_for_byte() {
+        // The guard for the parallel sweep driver: same jobs, different
+        // worker counts (including more workers than jobs), rendered
+        // tables must be byte-identical.
+        let serial = fig1_experiment_with_threads(&[1, 3], 2, true, 1).to_string();
+        for threads in [2, 4, 16] {
+            let parallel = fig1_experiment_with_threads(&[1, 3], 2, true, threads).to_string();
+            assert_eq!(serial, parallel, "{threads}-thread sweep diverged from serial");
+        }
+    }
+
+    #[test]
+    fn run_jobs_orders_results_by_job_index() {
+        let out = run_jobs(37, 4, |i| i * i);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(run_jobs(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_jobs(3, 0, |i| i), vec![0, 1, 2]);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! # dmt-bench — experiment harness
 //!
 //! One function per experiment in EXPERIMENTS.md; the `figures` binary
-//! and the criterion benches are thin wrappers. Every function returns
+//! and the wall-clock benches are thin wrappers. Every function returns
 //! structured rows so results can be printed, asserted on, or serialised.
 
 pub mod experiments;
 pub mod table;
+pub mod ubench;
 
 pub use experiments::*;
 pub use table::Table;

@@ -1,0 +1,37 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds with no network access, so the benches cannot
+//! pull in criterion; this module provides the small subset we need:
+//! warm-up, adaptive iteration count, and a median-of-batches ns/op
+//! report on stdout. Benches stay `harness = false` binaries.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per case. Short on purpose: benches also run
+/// under `cargo test` builds in CI, where we only need them to execute.
+const TARGET: Duration = Duration::from_millis(200);
+const BATCHES: usize = 7;
+
+/// Times `f` and prints `group/name: <ns> ns/op (<iters> iters)`.
+/// Returns the per-iteration nanoseconds (median over batches).
+pub fn time_case<R>(group: &str, name: &str, mut f: impl FnMut() -> R) -> f64 {
+    // Warm up and calibrate the per-iteration cost.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+    let per_batch = (TARGET.as_nanos() / BATCHES as u128).max(1);
+    let iters = ((per_batch / once.as_nanos().max(1)) as usize).clamp(1, 1_000_000);
+
+    let mut samples = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    println!("{group}/{name}: {median:.0} ns/op ({iters} iters x {BATCHES} batches)");
+    median
+}

@@ -11,8 +11,8 @@
 //! does not have to").
 
 use crate::ids::ThreadId;
+use crate::slot::SlotMap;
 use dmt_lang::{MethodIdx, MutexId, SyncId};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Static description of one syncid reachable from a start method.
@@ -85,9 +85,10 @@ impl EntryState {
 
 #[derive(Clone, Debug)]
 struct ThreadBook {
-    /// Parallel to the static entry list of the thread's start method.
+    /// The thread's start method — its static entry list lives in the
+    /// shared [`LockTable`]; `states` is parallel to it.
+    method: MethodIdx,
     states: Vec<EntryState>,
-    sync_index: HashMap<SyncId, usize>,
     /// False when the start method was unanalysed or the thread performed
     /// a lock at a syncid outside its table (analysis was incomplete) —
     /// such a thread is never considered predicted.
@@ -95,34 +96,37 @@ struct ThreadBook {
 }
 
 /// Per-replica bookkeeping: static table + per-thread dynamic tables.
+/// Thread tables sit in a dense slot map indexed by `ThreadId`; syncid
+/// lookups are linear scans over the method's (short) static entry list,
+/// which beats hashing at these sizes and allocates nothing.
 #[derive(Clone, Debug)]
 pub struct Bookkeeping {
     table: Arc<LockTable>,
-    threads: HashMap<ThreadId, ThreadBook>,
+    threads: SlotMap<ThreadBook>,
+    /// Recycled `states` vectors: one thread is born per request, so the
+    /// spare pool makes `on_request` allocation-free at steady state.
+    spare: Vec<Vec<EntryState>>,
 }
 
 impl Bookkeeping {
     pub fn new(table: Arc<LockTable>) -> Self {
-        Bookkeeping { threads: HashMap::new(), table }
+        Bookkeeping { threads: SlotMap::new(), table, spare: Vec::new() }
     }
 
     /// Thread creation: make the thread's local copy of the static
     /// information (paper §4.1: "a local copy of the static information
     /// concerning the thread's start method is made").
     pub fn on_request(&mut self, tid: ThreadId, method: MethodIdx) {
-        let book = match self.table.entries(method) {
-            Some(entries) => ThreadBook {
-                states: vec![EntryState::Pending; entries.len()],
-                sync_index: entries
-                    .iter()
-                    .enumerate()
-                    .map(|(i, e)| (e.sync_id, i))
-                    .collect(),
-                analyzed: true,
-            },
-            None => ThreadBook { states: Vec::new(), sync_index: HashMap::new(), analyzed: false },
+        let mut states = self.spare.pop().unwrap_or_default();
+        states.clear();
+        let analyzed = match self.table.entries(method) {
+            Some(entries) => {
+                states.resize(entries.len(), EntryState::Pending);
+                true
+            }
+            None => false,
         };
-        let prev = self.threads.insert(tid, book);
+        let prev = self.threads.insert(tid.index(), ThreadBook { method, states, analyzed });
         debug_assert!(prev.is_none(), "thread {tid} registered twice");
     }
 
@@ -168,31 +172,21 @@ impl Bookkeeping {
     }
 
     pub fn on_finish(&mut self, tid: ThreadId) {
-        self.threads.remove(&tid);
+        if let Some(book) = self.threads.remove(tid.index()) {
+            self.spare.push(book.states);
+        }
     }
 
     fn is_repeatable(&self, tid: ThreadId, sync_id: SyncId) -> bool {
-        let Some(book) = self.threads.get(&tid) else { return false };
-        let Some(&i) = book.sync_index.get(&sync_id) else { return false };
-        // Find the static entry via the thread's method table. The static
-        // entries and dynamic states are parallel vectors; we stored only
-        // the index map, so look the flag up in the table through it.
-        let _ = i;
-        self.static_entry(tid, sync_id).map(|e| e.repeatable).unwrap_or(false)
-    }
-
-    fn static_entry(&self, tid: ThreadId, sync_id: SyncId) -> Option<StaticSyncEntry> {
-        // Thread books do not store the method; recover the entry by
-        // searching the table rows that contain this syncid. Syncids are
-        // globally unique (paper §4.1), so at most one row matches.
-        let _ = tid;
+        // Syncids are globally unique (paper §4.1), so looking only in
+        // the thread's own method row is exact: an unlock at a foreign
+        // syncid never reaches the `Held` branch that consults this flag.
+        let Some(book) = self.threads.get(tid.index()) else { return false };
         self.table
-            .per_method
-            .iter()
-            .flatten()
-            .flat_map(|entries| entries.iter())
-            .find(|e| e.sync_id == sync_id)
-            .copied()
+            .entries(book.method)
+            .and_then(|entries| entries.iter().find(|e| e.sync_id == sync_id))
+            .map(|e| e.repeatable)
+            .unwrap_or(false)
     }
 
     fn transition(
@@ -201,9 +195,10 @@ impl Bookkeeping {
         sync_id: SyncId,
         f: impl FnOnce(EntryState) -> EntryState,
     ) {
-        let Some(book) = self.threads.get_mut(&tid) else { return };
-        match book.sync_index.get(&sync_id) {
-            Some(&i) => {
+        let Some(book) = self.threads.get_mut(tid.index()) else { return };
+        let entries = self.table.entries(book.method).unwrap_or(&[]);
+        match entries.iter().position(|e| e.sync_id == sync_id) {
+            Some(i) => {
                 book.states[i] = f(book.states[i]);
             }
             None => {
@@ -220,7 +215,7 @@ impl Bookkeeping {
     /// thread's method was analysed.
     pub fn is_predicted(&self, tid: ThreadId) -> bool {
         self.threads
-            .get(&tid)
+            .get(tid.index())
             .is_some_and(|b| b.analyzed && b.states.iter().all(|s| s.resolved()))
     }
 
@@ -228,7 +223,7 @@ impl Bookkeeping {
     /// future (or current) lock targets.
     pub fn pinned_mutexes(&self, tid: ThreadId) -> Vec<MutexId> {
         self.threads
-            .get(&tid)
+            .get(tid.index())
             .map(|b| b.states.iter().filter_map(|s| s.pinned_mutex()).collect())
             .unwrap_or_default()
     }
@@ -236,7 +231,7 @@ impl Bookkeeping {
     /// Could `tid` lock `mutex` now or in the future? Pessimistic: an
     /// unpredicted thread may lock anything.
     pub fn may_lock(&self, tid: ThreadId, mutex: MutexId) -> bool {
-        match self.threads.get(&tid) {
+        match self.threads.get(tid.index()) {
             None => false, // finished / unknown thread locks nothing
             Some(b) => {
                 if !b.analyzed {
@@ -254,7 +249,7 @@ impl Bookkeeping {
     /// Last-lock analysis predicate (paper §4.1): the thread has requested
     /// and released all of its locks and will never request one again.
     pub fn no_more_locks(&self, tid: ThreadId) -> bool {
-        self.threads.get(&tid).is_some_and(|b| {
+        self.threads.get(tid.index()).is_some_and(|b| {
             b.analyzed
                 && b.states
                     .iter()
@@ -263,7 +258,7 @@ impl Bookkeeping {
     }
 
     pub fn is_tracked(&self, tid: ThreadId) -> bool {
-        self.threads.contains_key(&tid)
+        self.threads.contains(tid.index())
     }
 }
 

@@ -50,12 +50,12 @@ impl Scheduler for FreeScheduler {
                 }
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
-                for g in self.sync.unlock(tid, mutex) {
+                if let Some(g) = self.sync.unlock(tid, mutex) {
                     out.push(SchedAction::Resume(g.tid));
                 }
             }
             SchedEvent::WaitCalled { tid, mutex } => {
-                for g in self.sync.wait(tid, mutex) {
+                if let Some(g) = self.sync.wait(tid, mutex) {
                     out.push(SchedAction::Resume(g.tid));
                 }
             }
@@ -65,7 +65,7 @@ impl Scheduler for FreeScheduler {
             SchedEvent::NestedStarted { .. } => {}
             SchedEvent::NestedCompleted { tid } => out.push(SchedAction::Resume(tid)),
             SchedEvent::ThreadFinished { tid } => {
-                debug_assert!(self.sync.held_by(tid).is_empty(), "{tid} finished holding monitors");
+                debug_assert!(self.sync.holds_none(tid), "{tid} finished holding monitors");
             }
             SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
         }

@@ -12,10 +12,11 @@
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
 use crate::scheduler::Scheduler;
+use crate::slot::SlotMap;
 use dmt_lang::{
     Action, CompiledObject, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Why a thread is currently not stepping.
@@ -62,9 +63,9 @@ pub struct Harness {
     scheduler: Box<dyn Scheduler>,
     /// Method used for PDS dummy requests (no-op, zero-arg).
     dummy_method: Option<MethodIdx>,
-    vms: HashMap<ThreadId, ThreadVm>,
-    request_info: HashMap<ThreadId, PendingRequest>,
-    blocked: HashMap<ThreadId, Blocked>,
+    vms: SlotMap<ThreadVm>,
+    request_info: SlotMap<PendingRequest>,
+    blocked: SlotMap<Blocked>,
     runnable: VecDeque<ThreadId>,
     /// Submitted but undelivered requests (the client queue).
     inbox: VecDeque<PendingRequest>,
@@ -90,9 +91,9 @@ impl Harness {
             state,
             scheduler,
             dummy_method: None,
-            vms: HashMap::new(),
-            request_info: HashMap::new(),
-            blocked: HashMap::new(),
+            vms: SlotMap::new(),
+            request_info: SlotMap::new(),
+            blocked: SlotMap::new(),
             runnable: VecDeque::new(),
             inbox: VecDeque::new(),
             nested: VecDeque::new(),
@@ -179,8 +180,8 @@ impl Harness {
             self.dummies += 1;
         }
         self.request_log.push((method, req.args.clone(), dummy));
-        self.request_info.insert(tid, req);
-        self.blocked.insert(tid, Blocked::Admission);
+        self.request_info.insert(tid.index(), req);
+        self.blocked.insert(tid.index(), Blocked::Admission);
         self.dispatch(SchedEvent::RequestArrived { tid, method, request_seq: seq, dummy });
     }
 
@@ -193,16 +194,16 @@ impl Harness {
                 SchedAction::Admit(tid) => {
                     let req = self
                         .request_info
-                        .remove(&tid)
+                        .remove(tid.index())
                         .expect("admit for unknown request");
-                    let was = self.blocked.remove(&tid);
+                    let was = self.blocked.remove(tid.index());
                     debug_assert_eq!(was, Some(Blocked::Admission));
                     let vm = ThreadVm::new(self.program.clone(), req.method, req.args);
-                    self.vms.insert(tid, vm);
+                    self.vms.insert(tid.index(), vm);
                     self.runnable.push_back(tid);
                 }
                 SchedAction::Resume(tid) => {
-                    match self.blocked.remove(&tid) {
+                    match self.blocked.remove(tid.index()) {
                         Some(Blocked::Lock(m)) | Some(Blocked::Wait(m)) => {
                             self.lock_trace.push((tid, m));
                         }
@@ -233,10 +234,10 @@ impl Harness {
     /// Steps `tid` until it blocks or finishes.
     fn step_thread(&mut self, tid: ThreadId) {
         loop {
-            if self.blocked.contains_key(&tid) {
+            if self.blocked.contains(tid.index()) {
                 return; // blocked by the event just dispatched
             }
-            let vm = self.vms.get_mut(&tid).expect("runnable thread has a VM");
+            let vm = self.vms.get_mut(tid.index()).expect("runnable thread has a VM");
             match vm.step(&mut self.state) {
                 StepOutcome::Finished => {
                     self.finished += 1;
@@ -248,12 +249,12 @@ impl Harness {
                         // Zero logical cost.
                     }
                     Action::Lock { sync_id, mutex } => {
-                        self.blocked.insert(tid, Blocked::Lock(mutex));
+                        self.blocked.insert(tid.index(), Blocked::Lock(mutex));
                         self.dispatch(SchedEvent::LockRequested { tid, sync_id, mutex });
                         // If granted synchronously, the Resume already
                         // removed the block marker and re-queued the
                         // thread; avoid double-queueing by returning.
-                        if !self.blocked.contains_key(&tid) {
+                        if !self.blocked.contains(tid.index()) {
                             self.dequeue_duplicate(tid);
                             continue;
                         }
@@ -267,9 +268,9 @@ impl Harness {
                             self.scheduler.sync_core().holds(tid, mutex),
                             "{tid} called wait without holding {mutex}"
                         );
-                        self.blocked.insert(tid, Blocked::Wait(mutex));
+                        self.blocked.insert(tid.index(), Blocked::Wait(mutex));
                         self.dispatch(SchedEvent::WaitCalled { tid, mutex });
-                        if !self.blocked.contains_key(&tid) {
+                        if !self.blocked.contains(tid.index()) {
                             self.dequeue_duplicate(tid);
                             continue;
                         }
@@ -283,10 +284,10 @@ impl Harness {
                         self.dispatch(SchedEvent::NotifyCalled { tid, mutex, all });
                     }
                     Action::Nested { .. } => {
-                        self.blocked.insert(tid, Blocked::Nested);
+                        self.blocked.insert(tid.index(), Blocked::Nested);
                         self.nested.push_back(tid);
                         self.dispatch(SchedEvent::NestedStarted { tid });
-                        if !self.blocked.contains_key(&tid) {
+                        if !self.blocked.contains(tid.index()) {
                             self.dequeue_duplicate(tid);
                             continue;
                         }

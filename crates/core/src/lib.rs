@@ -34,10 +34,12 @@ pub mod pmat;
 pub mod sat;
 pub mod scheduler;
 pub mod seq;
+pub mod slot;
 pub mod sync_core;
 
 pub use bookkeeping::{Bookkeeping, EntryState, LockTable, StaticSyncEntry};
 pub use event::{CtrlMsg, SchedAction, SchedEvent};
 pub use ids::{ReplicaId, ThreadId};
 pub use scheduler::{make_scheduler, PdsConfig, SchedConfig, Scheduler, SchedulerKind};
+pub use slot::{DenseSet, SlotMap};
 pub use sync_core::{Grant, LockOutcome, SyncCore};

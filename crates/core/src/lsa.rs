@@ -22,22 +22,25 @@
 use crate::event::{CtrlMsg, SchedAction, SchedEvent};
 use crate::ids::{ReplicaId, ThreadId};
 use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 pub struct LsaScheduler {
     replica: ReplicaId,
     leader: ReplicaId,
     sync: SyncCore,
-    /// Announced grants not yet applied, per mutex (leader order).
-    expected: BTreeMap<dmt_lang::MutexId, VecDeque<ThreadId>>,
+    /// Announced grants not yet applied, indexed by the dense mutex id
+    /// (each queue in leader order).
+    expected: Vec<VecDeque<ThreadId>>,
     /// Fresh lock requests waiting to be matched with an announcement
     /// (follower) or decided after the announced backlog drains (a
-    /// just-promoted leader).
-    pending: HashMap<ThreadId, dmt_lang::MutexId>,
-    /// Per-mutex acquisition counters (followers track them from the
-    /// announcements so a promoted leader continues the numbering).
-    order: BTreeMap<dmt_lang::MutexId, u64>,
+    /// just-promoted leader). Indexed by the dense thread id.
+    pending: SlotMap<dmt_lang::MutexId>,
+    /// Per-mutex acquisition counters, indexed by mutex id (followers
+    /// track them from the announcements so a promoted leader continues
+    /// the numbering).
+    order: Vec<u64>,
     grants_issued: u64,
 }
 
@@ -47,9 +50,9 @@ impl LsaScheduler {
             replica,
             leader,
             sync: SyncCore::new(false),
-            expected: BTreeMap::new(),
-            pending: HashMap::new(),
-            order: BTreeMap::new(),
+            expected: Vec::new(),
+            pending: SlotMap::new(),
+            order: Vec::new(),
             grants_issued: 0,
         }
     }
@@ -64,12 +67,28 @@ impl LsaScheduler {
     }
 
     fn has_backlog(&self, mutex: dmt_lang::MutexId) -> bool {
-        self.expected.get(&mutex).is_some_and(|q| !q.is_empty())
+        self.expected.get(mutex.index()).is_some_and(|q| !q.is_empty())
+    }
+
+    fn expected_mut(&mut self, mutex: dmt_lang::MutexId) -> &mut VecDeque<ThreadId> {
+        let i = mutex.index();
+        if i >= self.expected.len() {
+            self.expected.resize_with(i + 1, VecDeque::new);
+        }
+        &mut self.expected[i]
+    }
+
+    fn order_mut(&mut self, mutex: dmt_lang::MutexId) -> &mut u64 {
+        let i = mutex.index();
+        if i >= self.order.len() {
+            self.order.resize(i + 1, 0);
+        }
+        &mut self.order[i]
     }
 
     /// Leader: record + broadcast an acquisition by `tid` of `mutex`.
     fn announce(&mut self, tid: ThreadId, mutex: dmt_lang::MutexId, out: &mut Vec<SchedAction>) {
-        let order = self.order.entry(mutex).or_insert(0);
+        let order = self.order_mut(mutex);
         let msg = CtrlMsg::LsaGrant { mutex, tid, order: *order };
         *order += 1;
         self.grants_issued += 1;
@@ -85,17 +104,19 @@ impl LsaScheduler {
             if !self.sync.is_free(mutex) {
                 return;
             }
-            let Some(&next) = self.expected.get(&mutex).and_then(|q| q.front()) else { break };
-            if self.pending.get(&next) == Some(&mutex) {
-                self.expected.get_mut(&mutex).expect("checked").pop_front();
-                self.pending.remove(&next);
+            let Some(&next) = self.expected.get(mutex.index()).and_then(|q| q.front()) else {
+                break;
+            };
+            if self.pending.get(next.index()) == Some(&mutex) {
+                self.expected_mut(mutex).pop_front();
+                self.pending.remove(next.index());
                 let outcome = self.sync.lock(next, mutex);
                 debug_assert_eq!(outcome, LockOutcome::Acquired);
                 self.grants_issued += 1;
                 out.push(SchedAction::Resume(next));
             } else if self.sync.is_queued(next, mutex) {
                 // A notified re-acquirer sitting in the monitor queue.
-                self.expected.get_mut(&mutex).expect("checked").pop_front();
+                self.expected_mut(mutex).pop_front();
                 let g = self.sync.grant_to(next, mutex).expect("free + queued");
                 self.grants_issued += 1;
                 let _ = g;
@@ -110,16 +131,14 @@ impl LsaScheduler {
             return;
         }
         // Fold pending fresh requests for this mutex into the monitor
-        // queue in thread-age order (only relevant right after failover).
-        let mut folded: Vec<ThreadId> = self
-            .pending
-            .iter()
-            .filter(|&(_, &m)| m == mutex)
-            .map(|(&tid, _)| tid)
-            .collect();
-        folded.sort_unstable();
-        for tid in folded {
-            self.pending.remove(&tid);
+        // queue in thread-age order — ascending slot order *is* age order
+        // (only relevant right after failover).
+        for i in 0..self.pending.bound() {
+            if self.pending.get(i) != Some(&mutex) {
+                continue;
+            }
+            let tid = ThreadId::new(i as u32);
+            self.pending.remove(i);
             match self.sync.lock(tid, mutex) {
                 LockOutcome::Acquired => {
                     self.announce(tid, mutex, out);
@@ -164,14 +183,22 @@ impl Scheduler for LsaScheduler {
     }
 
     fn kick(&mut self, out: &mut Vec<SchedAction>) {
-        let mutexes: Vec<dmt_lang::MutexId> = self
+        // Cold path (failover only): visit each mutex with pending
+        // requests or an announced backlog, in ascending id order.
+        let mut mutexes: Vec<dmt_lang::MutexId> = self
             .pending
-            .values()
-            .copied()
-            .chain(self.expected.keys().copied())
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
+            .iter()
+            .map(|(_, &m)| m)
+            .chain(
+                self.expected
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(i, _)| dmt_lang::MutexId::new(i as u32)),
+            )
             .collect();
+        mutexes.sort_unstable();
+        mutexes.dedup();
         for m in mutexes {
             self.drain(m, out);
         }
@@ -195,7 +222,7 @@ impl Scheduler for LsaScheduler {
                         LockOutcome::Queued => {}
                     }
                 } else {
-                    self.pending.insert(tid, mutex);
+                    self.pending.insert(tid.index(), mutex);
                     self.drain(mutex, out);
                 }
             }
@@ -215,16 +242,16 @@ impl Scheduler for LsaScheduler {
             SchedEvent::NestedStarted { .. } => {}
             SchedEvent::NestedCompleted { tid } => out.push(SchedAction::Resume(tid)),
             SchedEvent::ThreadFinished { tid } => {
-                debug_assert!(self.sync.held_by(tid).is_empty());
-                debug_assert!(!self.pending.contains_key(&tid));
+                debug_assert!(self.sync.holds_none(tid));
+                debug_assert!(!self.pending.contains(tid.index()));
             }
             SchedEvent::Control(CtrlMsg::LsaGrant { mutex, tid, order }) => {
                 // Own echoes are filtered by the engine; anything arriving
                 // here is from the (possibly previous) leader.
-                let next_order = self.order.entry(mutex).or_insert(0);
+                let next_order = self.order_mut(mutex);
                 debug_assert_eq!(*next_order, order, "gap in leader announcements");
                 *next_order = order + 1;
-                self.expected.entry(mutex).or_default().push_back(tid);
+                self.expected_mut(mutex).push_back(tid);
                 self.drain(mutex, out);
             }
             SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } => {}

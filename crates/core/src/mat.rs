@@ -53,8 +53,9 @@ use crate::bookkeeping::{Bookkeeping, LockTable};
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
 use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Which MAT variant to run.
@@ -73,8 +74,8 @@ pub struct MatScheduler {
     book: Bookkeeping,
     /// The token queue; the front holds primacy.
     queue: VecDeque<ThreadId>,
-    /// Pending gate-blocked lock requests.
-    gated: BTreeMap<ThreadId, dmt_lang::MutexId>,
+    /// Pending gate-blocked lock requests, indexed by the dense thread id.
+    gated: SlotMap<dmt_lang::MutexId>,
 }
 
 impl MatScheduler {
@@ -84,7 +85,7 @@ impl MatScheduler {
             sync: SyncCore::new(true),
             book: Bookkeeping::new(table),
             queue: VecDeque::new(),
-            gated: BTreeMap::new(),
+            gated: SlotMap::new(),
         }
     }
 
@@ -104,7 +105,7 @@ impl MatScheduler {
     fn drop_if_lock_done(&mut self, tid: ThreadId, out: &mut Vec<SchedAction>) {
         if self.mode == MatMode::LastLock
             && self.book.no_more_locks(tid)
-            && self.sync.held_by(tid).is_empty()
+            && self.sync.holds_none(tid)
             && self.queue.contains(&tid)
         {
             self.remove_from_queue(tid);
@@ -116,8 +117,8 @@ impl MatScheduler {
     fn exercise_head(&mut self, out: &mut Vec<SchedAction>) {
         loop {
             let Some(&head) = self.queue.front() else { return };
-            let Some(&mutex) = self.gated.get(&head) else { return };
-            self.gated.remove(&head);
+            let Some(&mutex) = self.gated.get(head.index()) else { return };
+            self.gated.remove(head.index());
             match self.sync.lock(head, mutex) {
                 LockOutcome::Acquired => {
                     out.push(SchedAction::Resume(head));
@@ -172,7 +173,7 @@ impl Scheduler for MatScheduler {
             }
             SchedEvent::LockRequested { tid, sync_id, mutex } => {
                 self.book.on_lock(tid, sync_id, mutex);
-                self.gated.insert(tid, mutex);
+                self.gated.insert(tid.index(), mutex);
                 if self.primary() == Some(tid) {
                     self.exercise_head(out);
                 }
@@ -180,7 +181,7 @@ impl Scheduler for MatScheduler {
             }
             SchedEvent::Unlocked { tid, sync_id, mutex } => {
                 self.book.on_unlock(tid, sync_id, mutex);
-                for g in self.sync.unlock(tid, mutex) {
+                if let Some(g) = self.sync.unlock(tid, mutex) {
                     if g.from_wait {
                         // Notified waiter re-acquired: re-enter the queue
                         // (see the module-docs CV caveat).
@@ -191,7 +192,7 @@ impl Scheduler for MatScheduler {
                 self.drop_if_lock_done(tid, out);
             }
             SchedEvent::WaitCalled { tid, mutex } => {
-                for g in self.sync.wait(tid, mutex) {
+                if let Some(g) = self.sync.wait(tid, mutex) {
                     if g.from_wait {
                         self.queue.push_back(g.tid);
                     }
@@ -214,8 +215,8 @@ impl Scheduler for MatScheduler {
                 self.exercise_head(out);
             }
             SchedEvent::ThreadFinished { tid } => {
-                debug_assert!(self.sync.held_by(tid).is_empty());
-                debug_assert!(!self.gated.contains_key(&tid));
+                debug_assert!(self.sync.holds_none(tid));
+                debug_assert!(!self.gated.contains(tid.index()));
                 self.remove_from_queue(tid);
                 self.book.on_finish(tid);
                 self.exercise_head(out);

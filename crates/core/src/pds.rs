@@ -36,8 +36,9 @@
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
 use crate::scheduler::{PdsConfig, Scheduler, SchedulerKind};
+use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum St {
@@ -83,11 +84,17 @@ impl RoomEntry {
 pub struct PdsScheduler {
     cfg: PdsConfig,
     sync: SyncCore,
-    threads: BTreeMap<ThreadId, Member>,
+    /// Member records, indexed by the dense thread id. Every request ever
+    /// admitted keeps its slot (threads are never forgotten), so
+    /// `real_unfinished` tracks liveness instead of a full scan.
+    threads: SlotMap<Member>,
     waiting_room: VecDeque<RoomEntry>,
     /// Pool membership, kept age-sorted.
     pool: Vec<ThreadId>,
     dummies_in_flight: usize,
+    /// Count of non-dummy members not yet `Finished` — the O(1) answer
+    /// to `real_work_left`, which runs on every event.
+    real_unfinished: usize,
 }
 
 impl PdsScheduler {
@@ -97,10 +104,11 @@ impl PdsScheduler {
         PdsScheduler {
             cfg,
             sync: SyncCore::new(true),
-            threads: BTreeMap::new(),
+            threads: SlotMap::new(),
             waiting_room: VecDeque::new(),
             pool: Vec::new(),
             dummies_in_flight: 0,
+            real_unfinished: 0,
         }
     }
 
@@ -109,11 +117,15 @@ impl PdsScheduler {
     }
 
     fn member(&mut self, tid: ThreadId) -> &mut Member {
-        self.threads.get_mut(&tid).expect("unknown thread")
+        self.threads.get_mut(tid.index()).expect("unknown thread")
+    }
+
+    fn mref(&self, tid: ThreadId) -> &Member {
+        self.threads.get(tid.index()).expect("unknown thread")
     }
 
     fn real_work_left(&self) -> bool {
-        self.threads.values().any(|m| !m.dummy && m.st != St::Finished)
+        self.real_unfinished > 0
     }
 
     fn leave_pool(&mut self, tid: ThreadId) {
@@ -136,7 +148,7 @@ impl PdsScheduler {
             let tid = entry.tid();
             match entry {
                 RoomEntry::Fresh(_) => {
-                    debug_assert_eq!(self.threads[&tid].st, St::Queued);
+                    debug_assert_eq!(self.mref(tid).st, St::Queued);
                     self.member(tid).st = St::Running;
                     self.member(tid).grants_used = 0;
                     out.push(SchedAction::Admit(tid));
@@ -147,7 +159,7 @@ impl PdsScheduler {
                     // fresh entry), or was already re-admitted through an
                     // earlier entry. Admitting a suspended thread as
                     // "Running" would wedge the barrier forever.
-                    if self.threads[&tid].st != St::Queued || self.pool.contains(&tid) {
+                    if self.mref(tid).st != St::Queued || self.pool.contains(&tid) {
                         continue;
                     }
                     // May still be running its post-wake computation (no
@@ -160,7 +172,7 @@ impl PdsScheduler {
             }
             self.join_pool(tid);
         }
-        let someone_waits = self.pool.iter().any(|&m| self.threads[&m].st == St::Collected);
+        let someone_waits = self.pool.iter().any(|&m| self.mref(m).st == St::Collected);
         if !self.real_work_left() || !someone_waits {
             return;
         }
@@ -173,7 +185,7 @@ impl PdsScheduler {
     }
 
     fn settled(&self, tid: ThreadId) -> bool {
-        matches!(self.threads[&tid].st, St::Collected | St::CoreBlocked | St::Finished)
+        matches!(self.mref(tid).st, St::Collected | St::CoreBlocked | St::Finished)
     }
 
     /// The §3.3 quorum: every member settled, the pool at full strength
@@ -189,8 +201,8 @@ impl PdsScheduler {
         let mut granted_any = false;
         loop {
             let candidate = self.pool.iter().copied().find(|&m| {
-                self.threads[&m].st == St::Collected
-                    && self.threads[&m].grants_used < self.cfg.locks_per_round
+                self.mref(m).st == St::Collected
+                    && self.mref(m).grants_used < self.cfg.locks_per_round
             });
             let Some(tid) = candidate else { break };
             let mutex = self.member(tid).pending.take().expect("collected member has request");
@@ -220,19 +232,19 @@ impl PdsScheduler {
                 return;
             }
             let exhausted_exist = self.pool.iter().any(|&m| {
-                self.threads[&m].st == St::Collected
-                    && self.threads[&m].grants_used >= self.cfg.locks_per_round
+                self.mref(m).st == St::Collected
+                    && self.mref(m).grants_used >= self.cfg.locks_per_round
             });
             if exhausted_exist {
                 for &m in &self.pool {
-                    self.threads.get_mut(&m).expect("pool member").grants_used = 0;
+                    self.threads.get_mut(m.index()).expect("pool member").grants_used = 0;
                 }
                 continue;
             }
             // Round complete: evict finished members and refill.
             let before = self.pool.len();
             let threads = &self.threads;
-            self.pool.retain(|tid| threads[tid].st != St::Finished);
+            self.pool.retain(|tid| threads[tid.index()].st != St::Finished);
             if self.pool.len() == before {
                 return;
             }
@@ -245,12 +257,12 @@ impl PdsScheduler {
             // A notified waiter re-acquired its monitor: it was Out; it
             // resumes holding the monitor, so it rejoins the pool at once
             // (see module docs).
-            debug_assert_eq!(self.threads[&g.tid].st, St::Out);
+            debug_assert_eq!(self.mref(g.tid).st, St::Out);
             self.member(g.tid).st = St::Running;
             self.member(g.tid).grants_used = 0;
             self.join_pool(g.tid);
         } else {
-            debug_assert_eq!(self.threads[&g.tid].st, St::CoreBlocked);
+            debug_assert_eq!(self.mref(g.tid).st, St::CoreBlocked);
             self.member(g.tid).st = St::Running;
         }
         out.push(SchedAction::Resume(g.tid));
@@ -278,11 +290,14 @@ impl Scheduler for PdsScheduler {
             SchedEvent::RequestArrived { tid, dummy, .. } => {
                 if dummy {
                     self.dummies_in_flight = self.dummies_in_flight.saturating_sub(1);
+                } else {
+                    self.real_unfinished += 1;
                 }
-                self.threads.insert(
-                    tid,
+                let prev = self.threads.insert(
+                    tid.index(),
                     Member { st: St::Queued, pending: None, grants_used: 0, dummy },
                 );
+                debug_assert!(prev.is_none(), "{tid} arrived twice");
                 self.waiting_room.push_back(RoomEntry::Fresh(tid));
                 self.after_change(out);
             }
@@ -293,7 +308,7 @@ impl Scheduler for PdsScheduler {
                     out.push(SchedAction::Resume(tid));
                     return;
                 }
-                match self.threads[&tid].st {
+                match self.mref(tid).st {
                     St::Running => {
                         let member = self.member(tid);
                         member.st = St::Collected;
@@ -309,7 +324,7 @@ impl Scheduler for PdsScheduler {
                 self.after_change(out);
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
-                for g in self.sync.unlock(tid, mutex) {
+                if let Some(g) = self.sync.unlock(tid, mutex) {
                     self.on_grant(g, out);
                 }
                 self.after_change(out);
@@ -317,7 +332,7 @@ impl Scheduler for PdsScheduler {
             SchedEvent::WaitCalled { tid, mutex } => {
                 self.leave_pool(tid);
                 self.member(tid).st = St::Out;
-                for g in self.sync.wait(tid, mutex) {
+                if let Some(g) = self.sync.wait(tid, mutex) {
                     self.on_grant(g, out);
                 }
                 self.after_change(out);
@@ -331,9 +346,9 @@ impl Scheduler for PdsScheduler {
                 self.after_change(out);
             }
             SchedEvent::NestedCompleted { tid } => {
-                debug_assert_eq!(self.threads[&tid].st, St::Out);
+                debug_assert_eq!(self.mref(tid).st, St::Out);
                 out.push(SchedAction::Resume(tid));
-                if !self.sync.held_by(tid).is_empty() {
+                if !self.sync.holds_none(tid) {
                     // Monitor holder: must be able to reach its unlocks.
                     self.member(tid).st = St::Running;
                     self.member(tid).grants_used = 0;
@@ -351,12 +366,18 @@ impl Scheduler for PdsScheduler {
                 self.after_change(out);
             }
             SchedEvent::ThreadFinished { tid } => {
-                debug_assert!(self.sync.held_by(tid).is_empty());
+                debug_assert!(self.sync.holds_none(tid));
                 let in_pool = self.pool.contains(&tid);
-                self.member(tid).st = St::Finished;
+                let member = self.member(tid);
+                let was_real = !member.dummy;
+                member.st = St::Finished;
                 if !in_pool {
                     // Paroled thread finished outside the pool.
-                    self.threads.get_mut(&tid).expect("member").pending = None;
+                    member.pending = None;
+                }
+                if was_real {
+                    debug_assert!(self.real_unfinished > 0);
+                    self.real_unfinished -= 1;
                 }
                 self.after_change(out);
             }

@@ -31,18 +31,20 @@ use crate::bookkeeping::{Bookkeeping, LockTable};
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
 use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
-use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 pub struct PmatScheduler {
     sync: SyncCore,
     book: Bookkeeping,
     /// The active-thread queue: every admitted, unfinished thread, in
-    /// admission (age) order.
-    queue: BTreeSet<ThreadId>,
-    /// Gate-blocked lock requests awaiting the prediction check.
-    pending: BTreeMap<ThreadId, dmt_lang::MutexId>,
+    /// admission (age) order. Kept sorted; thread ids are assigned in
+    /// admission order, so pushes land at the back.
+    queue: Vec<ThreadId>,
+    /// Gate-blocked lock requests awaiting the prediction check,
+    /// indexed by thread id (slot index == age rank).
+    pending: SlotMap<dmt_lang::MutexId>,
 }
 
 impl PmatScheduler {
@@ -50,8 +52,8 @@ impl PmatScheduler {
         PmatScheduler {
             sync: SyncCore::new(false),
             book: Bookkeeping::new(table),
-            queue: BTreeSet::new(),
-            pending: BTreeMap::new(),
+            queue: Vec::new(),
+            pending: SlotMap::new(),
         }
     }
 
@@ -79,10 +81,11 @@ impl PmatScheduler {
         // Re-acquirers queued inside the monitor layer take priority on a
         // freed monitor (their original acquisition already passed the
         // prediction check; the wait released the monitor physically but
-        // the bookkeeping still pins it).
-        let pending: Vec<(ThreadId, dmt_lang::MutexId)> =
-            self.pending.iter().map(|(&t, &m)| (t, m)).collect();
-        for (tid, mutex) in pending {
+        // the bookkeeping still pins it). Ascending slot index is thread
+        // age, so the sweep visits blocked requests oldest-first without
+        // materialising a temporary list.
+        for i in 0..self.pending.bound() {
+            let Some(&mutex) = self.pending.get(i) else { continue };
             if !self.sync.is_free(mutex) {
                 continue;
             }
@@ -91,8 +94,9 @@ impl PmatScheduler {
                 out.push(SchedAction::Resume(g.tid));
                 continue;
             }
+            let tid = ThreadId::new(i as u32);
             if self.eligible(tid, mutex) {
-                self.pending.remove(&tid);
+                self.pending.remove(i);
                 let outcome = self.sync.lock(tid, mutex);
                 debug_assert_eq!(outcome, LockOutcome::Acquired);
                 out.push(SchedAction::Resume(tid));
@@ -128,7 +132,9 @@ impl Scheduler for PmatScheduler {
     fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
         match *ev {
             SchedEvent::RequestArrived { tid, method, .. } => {
-                self.queue.insert(tid);
+                if let Err(pos) = self.queue.binary_search(&tid) {
+                    self.queue.insert(pos, tid);
+                }
                 self.book.on_request(tid, method);
                 out.push(SchedAction::Admit(tid));
             }
@@ -140,7 +146,7 @@ impl Scheduler for PmatScheduler {
                     out.push(SchedAction::Resume(tid));
                     return;
                 }
-                self.pending.insert(tid, mutex);
+                self.pending.insert(tid.index(), mutex);
                 self.recheck(out);
             }
             SchedEvent::Unlocked { tid, sync_id, mutex } => {
@@ -165,8 +171,10 @@ impl Scheduler for PmatScheduler {
             }
             SchedEvent::NestedCompleted { tid } => out.push(SchedAction::Resume(tid)),
             SchedEvent::ThreadFinished { tid } => {
-                debug_assert!(self.sync.held_by(tid).is_empty());
-                self.queue.remove(&tid);
+                debug_assert!(self.sync.holds_none(tid));
+                if let Ok(pos) = self.queue.binary_search(&tid) {
+                    self.queue.remove(pos);
+                }
                 self.book.on_finish(tid);
                 // "A thread conflicting with t is removed from the list" /
                 // "t_u is removed from the list".

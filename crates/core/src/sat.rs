@@ -19,7 +19,7 @@ use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::sync_core::{LockOutcome, SyncCore};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum St {
@@ -40,7 +40,9 @@ enum St {
 
 pub struct SatScheduler {
     sync: SyncCore,
-    status: HashMap<ThreadId, St>,
+    /// Per-thread status, indexed by the dense `ThreadId` (threads are
+    /// numbered from 0 in arrival order, so the table stays compact).
+    status: Vec<St>,
     ready: VecDeque<ThreadId>,
     active: Option<ThreadId>,
 }
@@ -49,18 +51,24 @@ impl SatScheduler {
     pub fn new() -> Self {
         SatScheduler {
             sync: SyncCore::new(true),
-            status: HashMap::new(),
+            status: Vec::new(),
             ready: VecDeque::new(),
             active: None,
         }
     }
 
     fn set(&mut self, tid: ThreadId, st: St) {
-        self.status.insert(tid, st);
+        let i = tid.index();
+        if i >= self.status.len() {
+            // Slots between the old end and `i` stay `Fresh` until their
+            // threads arrive (arrival order makes gaps transient).
+            self.status.resize(i + 1, St::Fresh);
+        }
+        self.status[i] = st;
     }
 
     fn st(&self, tid: ThreadId) -> St {
-        *self.status.get(&tid).expect("unknown thread")
+        self.status[tid.index()]
     }
 
     fn enqueue_ready(&mut self, tid: ThreadId, fresh: bool) {
@@ -124,15 +132,13 @@ impl Scheduler for SatScheduler {
                 }
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
-                let grants = self.sync.unlock(tid, mutex);
-                for g in grants {
+                if let Some(g) = self.sync.unlock(tid, mutex) {
                     self.on_grant(g.tid);
                 }
             }
             SchedEvent::WaitCalled { tid, mutex } => {
                 debug_assert_eq!(self.active, Some(tid));
-                let grants = self.sync.wait(tid, mutex);
-                for g in grants {
+                if let Some(g) = self.sync.wait(tid, mutex) {
                     self.on_grant(g.tid);
                 }
                 self.set(tid, St::WaitBlocked);
@@ -159,7 +165,7 @@ impl Scheduler for SatScheduler {
             }
             SchedEvent::ThreadFinished { tid } => {
                 debug_assert_eq!(self.active, Some(tid));
-                debug_assert!(self.sync.held_by(tid).is_empty());
+                debug_assert!(self.sync.holds_none(tid));
                 self.set(tid, St::Finished);
                 self.active = None;
                 self.activate_next(out);

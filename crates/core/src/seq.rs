@@ -64,15 +64,16 @@ impl Scheduler for SeqScheduler {
                 out.push(SchedAction::Resume(tid));
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
-                let grants = self.sync.unlock(tid, mutex);
-                debug_assert!(grants.is_empty());
+                let grant = self.sync.unlock(tid, mutex);
+                debug_assert!(grant.is_none());
             }
             SchedEvent::WaitCalled { tid, mutex } => {
                 // SEQ cannot service a wait: no other request will ever run
                 // to notify. The thread stays parked; the engine's stall
                 // detector reports the deadlock (paper §1 calls the
                 // sequential model "deadlock prone").
-                self.sync.wait(tid, mutex);
+                let grant = self.sync.wait(tid, mutex);
+                debug_assert!(grant.is_none());
             }
             SchedEvent::NotifyCalled { tid, mutex, all } => {
                 self.sync.notify(tid, mutex, all);
@@ -86,7 +87,7 @@ impl Scheduler for SeqScheduler {
             }
             SchedEvent::ThreadFinished { tid } => {
                 debug_assert_eq!(self.active, Some(tid));
-                debug_assert!(self.sync.held_by(tid).is_empty());
+                debug_assert!(self.sync.holds_none(tid));
                 self.active = None;
                 self.admit_next(out);
             }

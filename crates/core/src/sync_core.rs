@@ -7,10 +7,15 @@
 //! *policy* (which requests reach the core, and in manual-grant mode, who
 //! is granted a free monitor). All container iteration orders here are
 //! insertion orders, so the mechanics are deterministic by construction.
+//!
+//! Mutex ids are dense small integers (DESIGN.md "Dense-ID invariant"),
+//! so the monitor table is a flat `Vec` indexed by `MutexId` — no hashing
+//! or tree walks on the per-event hot path — and a per-thread held-count
+//! table answers `holds_none` in O(1).
 
 use crate::ids::ThreadId;
 use dmt_lang::MutexId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Result of forwarding a lock request into the core.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,10 +58,15 @@ struct MutexState {
     wait_set: VecDeque<(ThreadId, u32)>,
 }
 
-/// The monitor table. `BTreeMap` keeps diagnostic iteration deterministic.
+/// The monitor table: a flat `Vec` indexed by the dense `MutexId`, grown
+/// on first touch and never shrunk, so every per-event operation is O(1)
+/// indexing and diagnostic iteration is mutex-id order.
 #[derive(Clone, Debug)]
 pub struct SyncCore {
-    mutexes: BTreeMap<MutexId, MutexState>,
+    mutexes: Vec<MutexState>,
+    /// Per-thread count of distinct monitors currently owned, indexed by
+    /// the dense `ThreadId`. Keeps `holds_none` off the monitor table.
+    held: Vec<u32>,
     /// In auto mode a full release immediately grants the queue head. In
     /// manual mode (LSA followers, PMAT) releases leave the monitor free
     /// and the decision module grants explicitly.
@@ -65,11 +75,33 @@ pub struct SyncCore {
 
 impl SyncCore {
     pub fn new(auto_grant: bool) -> Self {
-        SyncCore { mutexes: BTreeMap::new(), auto_grant }
+        SyncCore { mutexes: Vec::new(), held: Vec::new(), auto_grant }
     }
 
     fn entry(&mut self, m: MutexId) -> &mut MutexState {
-        self.mutexes.entry(m).or_default()
+        let i = m.index();
+        if i >= self.mutexes.len() {
+            self.mutexes.resize_with(i + 1, MutexState::default);
+        }
+        &mut self.mutexes[i]
+    }
+
+    fn peek(&self, m: MutexId) -> Option<&MutexState> {
+        self.mutexes.get(m.index())
+    }
+
+    /// `tid` took ownership of one more distinct monitor.
+    fn held_inc(&mut self, tid: ThreadId) {
+        let i = tid.index();
+        if i >= self.held.len() {
+            self.held.resize(i + 1, 0);
+        }
+        self.held[i] += 1;
+    }
+
+    /// `tid` fully released one distinct monitor.
+    fn held_dec(&mut self, tid: ThreadId) {
+        self.held[tid.index()] -= 1;
     }
 
     /// Forwards a lock request. Reentrant acquisition by the current owner
@@ -81,6 +113,7 @@ impl SyncCore {
             None => {
                 debug_assert!(st.queue.iter().all(|w| w.tid != tid));
                 st.owner = Some((tid, 1));
+                self.held_inc(tid);
                 LockOutcome::Acquired
             }
             Some((owner, count)) if owner == tid => {
@@ -99,16 +132,18 @@ impl SyncCore {
     }
 
     /// Releases one level of the monitor. On full release in auto mode the
-    /// queue head (if any) is granted and returned.
-    pub fn unlock(&mut self, tid: ThreadId, m: MutexId) -> Vec<Grant> {
+    /// queue head (if any) is granted and returned. (At most one grant can
+    /// result from a release — the monitor has a single new owner.)
+    pub fn unlock(&mut self, tid: ThreadId, m: MutexId) -> Option<Grant> {
         let st = self.entry(m);
         match st.owner {
             Some((owner, count)) if owner == tid => {
                 if count > 1 {
                     st.owner = Some((owner, count - 1));
-                    Vec::new()
+                    None
                 } else {
                     st.owner = None;
+                    self.held_dec(tid);
                     self.after_full_release(m)
                 }
             }
@@ -119,12 +154,13 @@ impl SyncCore {
     /// `wait`: fully releases the monitor (saving the recursion count),
     /// parks the thread in the wait set. Panics unless `tid` owns `m` —
     /// Java's `IllegalMonitorStateException` is an engine bug here.
-    pub fn wait(&mut self, tid: ThreadId, m: MutexId) -> Vec<Grant> {
+    pub fn wait(&mut self, tid: ThreadId, m: MutexId) -> Option<Grant> {
         let st = self.entry(m);
         match st.owner {
             Some((owner, count)) if owner == tid => {
                 st.wait_set.push_back((tid, count));
                 st.owner = None;
+                self.held_dec(tid);
                 self.after_full_release(m)
             }
             other => panic!("{tid} waiting on {m} owned by {other:?}"),
@@ -132,30 +168,29 @@ impl SyncCore {
     }
 
     /// `notify`/`notifyAll`: moves the first (or every) waiter from the
-    /// wait set to the tail of the lock queue as re-acquirers. Returns the
-    /// moved threads (they resume only once re-granted). Panics unless the
-    /// caller owns the monitor.
-    pub fn notify(&mut self, tid: ThreadId, m: MutexId, all: bool) -> Vec<ThreadId> {
+    /// wait set to the tail of the lock queue as re-acquirers. Returns how
+    /// many waiters moved (they resume only once re-granted; they appear
+    /// in [`SyncCore::queued`]). Panics unless the caller owns the
+    /// monitor.
+    pub fn notify(&mut self, tid: ThreadId, m: MutexId, all: bool) -> usize {
         let st = self.entry(m);
         match st.owner {
             Some((owner, _)) if owner == tid => {}
             other => panic!("{tid} notifying {m} owned by {other:?}"),
         }
         let n = if all { st.wait_set.len() } else { usize::from(!st.wait_set.is_empty()) };
-        let mut moved = Vec::with_capacity(n);
         for _ in 0..n {
             let (w, saved) = st.wait_set.pop_front().expect("wait set size checked");
             st.queue.push_back(Waiter { tid: w, reacquire: Some(saved) });
-            moved.push(w);
         }
-        moved
+        n
     }
 
-    fn after_full_release(&mut self, m: MutexId) -> Vec<Grant> {
+    fn after_full_release(&mut self, m: MutexId) -> Option<Grant> {
         if !self.auto_grant {
-            return Vec::new();
+            return None;
         }
-        self.grant_next(m).into_iter().collect()
+        self.grant_next(m)
     }
 
     /// Manual-mode (and internal) granting: if `m` is free and has queued
@@ -167,6 +202,7 @@ impl SyncCore {
         }
         let w = st.queue.pop_front()?;
         st.owner = Some((w.tid, w.reacquire.unwrap_or(1)));
+        self.held_inc(w.tid);
         Some(Grant { tid: w.tid, mutex: m, from_wait: w.reacquire.is_some() })
     }
 
@@ -181,11 +217,12 @@ impl SyncCore {
         let pos = st.queue.iter().position(|w| w.tid == tid)?;
         let w = st.queue.remove(pos).expect("position just found");
         st.owner = Some((w.tid, w.reacquire.unwrap_or(1)));
+        self.held_inc(w.tid);
         Some(Grant { tid: w.tid, mutex: m, from_wait: w.reacquire.is_some() })
     }
 
     pub fn owner(&self, m: MutexId) -> Option<ThreadId> {
-        self.mutexes.get(&m).and_then(|s| s.owner.map(|(t, _)| t))
+        self.peek(m).and_then(|s| s.owner.map(|(t, _)| t))
     }
 
     pub fn is_free(&self, m: MutexId) -> bool {
@@ -198,40 +235,45 @@ impl SyncCore {
 
     /// Threads queued on `m` (fresh lockers and re-acquirers), FIFO order.
     pub fn queued(&self, m: MutexId) -> Vec<ThreadId> {
-        self.mutexes
-            .get(&m)
+        self.peek(m)
             .map(|s| s.queue.iter().map(|w| w.tid).collect())
             .unwrap_or_default()
     }
 
     /// Is `tid` queued on `m`?
     pub fn is_queued(&self, tid: ThreadId, m: MutexId) -> bool {
-        self.mutexes
-            .get(&m)
-            .is_some_and(|s| s.queue.iter().any(|w| w.tid == tid))
+        self.peek(m).is_some_and(|s| s.queue.iter().any(|w| w.tid == tid))
     }
 
     /// Threads currently parked in `m`'s wait set, in `wait` order.
     pub fn wait_set(&self, m: MutexId) -> Vec<ThreadId> {
-        self.mutexes
-            .get(&m)
+        self.peek(m)
             .map(|s| s.wait_set.iter().map(|&(t, _)| t).collect())
             .unwrap_or_default()
     }
 
     /// Is `tid` currently parked in `m`'s wait set?
     pub fn is_waiting(&self, tid: ThreadId, m: MutexId) -> bool {
-        self.mutexes
-            .get(&m)
-            .is_some_and(|s| s.wait_set.iter().any(|&(t, _)| t == tid))
+        self.peek(m).is_some_and(|s| s.wait_set.iter().any(|&(t, _)| t == tid))
     }
 
-    /// Every monitor currently held by `tid` (diagnostics/invariants).
+    /// Does `tid` hold no monitor at all? O(1) via the per-thread held
+    /// count — this sits on the hot path (MAT-LL checks it per event).
+    pub fn holds_none(&self, tid: ThreadId) -> bool {
+        self.held.get(tid.index()).copied().unwrap_or(0) == 0
+    }
+
+    /// Every monitor currently held by `tid` (diagnostics/invariants —
+    /// scans the table; use [`SyncCore::holds_none`] on hot paths).
     pub fn held_by(&self, tid: ThreadId) -> Vec<MutexId> {
+        if self.holds_none(tid) {
+            return Vec::new();
+        }
         self.mutexes
             .iter()
+            .enumerate()
             .filter(|(_, s)| matches!(s.owner, Some((o, _)) if o == tid))
-            .map(|(&m, _)| m)
+            .map(|(i, _)| MutexId::new(i as u32))
             .collect()
     }
 
@@ -239,7 +281,7 @@ impl SyncCore {
     /// the quiescence invariant checked at end of every experiment.
     pub fn is_quiescent(&self) -> bool {
         self.mutexes
-            .values()
+            .iter()
             .all(|s| s.owner.is_none() && s.queue.is_empty() && s.wait_set.is_empty())
     }
 }
@@ -270,10 +312,10 @@ mod tests {
         assert_eq!(c.lock(t(3), m(0)), LockOutcome::Queued);
         assert_eq!(c.queued(m(0)), vec![t(2), t(3)]);
         let g = c.unlock(t(1), m(0));
-        assert_eq!(g, vec![Grant { tid: t(2), mutex: m(0), from_wait: false }]);
+        assert_eq!(g, Some(Grant { tid: t(2), mutex: m(0), from_wait: false }));
         assert_eq!(c.owner(m(0)), Some(t(2)));
         let g = c.unlock(t(2), m(0));
-        assert_eq!(g[0].tid, t(3));
+        assert_eq!(g.unwrap().tid, t(3));
     }
 
     #[test]
@@ -282,10 +324,10 @@ mod tests {
         c.lock(t(1), m(0));
         assert_eq!(c.lock(t(1), m(0)), LockOutcome::Acquired);
         c.lock(t(2), m(0)); // queued
-        assert!(c.unlock(t(1), m(0)).is_empty()); // still held (count 1)
+        assert!(c.unlock(t(1), m(0)).is_none()); // still held (count 1)
         assert_eq!(c.owner(m(0)), Some(t(1)));
         let g = c.unlock(t(1), m(0));
-        assert_eq!(g[0].tid, t(2));
+        assert_eq!(g.unwrap().tid, t(2));
     }
 
     #[test]
@@ -296,14 +338,15 @@ mod tests {
         c.lock(t(2), m(0)); // queued
         let g = c.wait(t(1), m(0));
         // Full release despite count 2 — t2 is granted.
-        assert_eq!(g[0].tid, t(2));
+        assert_eq!(g.unwrap().tid, t(2));
         assert_eq!(c.wait_set(m(0)), vec![t(1)]);
         // t2 notifies and unlocks: t1 re-acquires with restored count 2.
-        assert_eq!(c.notify(t(2), m(0), false), vec![t(1)]);
+        assert_eq!(c.notify(t(2), m(0), false), 1);
+        assert_eq!(c.queued(m(0)), vec![t(1)]);
         let g = c.unlock(t(2), m(0));
-        assert_eq!(g, vec![Grant { tid: t(1), mutex: m(0), from_wait: true }]);
+        assert_eq!(g, Some(Grant { tid: t(1), mutex: m(0), from_wait: true }));
         // Needs two unlocks to release (count was restored).
-        assert!(c.unlock(t(1), m(0)).is_empty());
+        assert!(c.unlock(t(1), m(0)).is_none());
         assert_eq!(c.owner(m(0)), Some(t(1)));
         c.unlock(t(1), m(0));
         assert!(c.is_free(m(0)));
@@ -321,7 +364,7 @@ mod tests {
         // All three ended up waiting (each acquired the freed monitor).
         assert_eq!(c.wait_set(m(0)), vec![t(1), t(2), t(3)]);
         c.lock(t(9), m(0));
-        assert_eq!(c.notify(t(9), m(0), true), vec![t(1), t(2), t(3)]);
+        assert_eq!(c.notify(t(9), m(0), true), 3);
         assert!(c.wait_set(m(0)).is_empty());
         assert_eq!(c.queued(m(0)), vec![t(1), t(2), t(3)]);
     }
@@ -330,8 +373,8 @@ mod tests {
     fn notify_without_waiters_is_noop() {
         let mut c = SyncCore::new(true);
         c.lock(t(1), m(0));
-        assert!(c.notify(t(1), m(0), false).is_empty());
-        assert!(c.notify(t(1), m(0), true).is_empty());
+        assert_eq!(c.notify(t(1), m(0), false), 0);
+        assert_eq!(c.notify(t(1), m(0), true), 0);
     }
 
     #[test]
@@ -340,7 +383,7 @@ mod tests {
         c.lock(t(1), m(0));
         c.lock(t(2), m(0));
         c.lock(t(3), m(0));
-        assert!(c.unlock(t(1), m(0)).is_empty());
+        assert!(c.unlock(t(1), m(0)).is_none());
         assert!(c.is_free(m(0)));
         assert_eq!(c.queued(m(0)), vec![t(2), t(3)]);
         // Grant out of FIFO order, as an LSA follower replaying the leader.
@@ -396,13 +439,33 @@ mod tests {
     fn held_by_and_quiescence() {
         let mut c = SyncCore::new(true);
         assert!(c.is_quiescent());
+        assert!(c.holds_none(t(1)));
         c.lock(t(1), m(0));
         c.lock(t(1), m(5));
         assert_eq!(c.held_by(t(1)), vec![m(0), m(5)]);
+        assert!(!c.holds_none(t(1)));
         assert!(!c.is_quiescent());
         c.unlock(t(1), m(0));
         c.unlock(t(1), m(5));
+        assert!(c.holds_none(t(1)));
         assert!(c.is_quiescent());
+    }
+
+    #[test]
+    fn holds_none_tracks_reentrancy_and_handoffs() {
+        let mut c = SyncCore::new(true);
+        c.lock(t(1), m(0));
+        c.lock(t(1), m(0)); // reentrant: still one distinct monitor
+        assert!(!c.holds_none(t(1)));
+        c.unlock(t(1), m(0));
+        assert!(!c.holds_none(t(1)), "count 1 remains");
+        c.lock(t(2), m(0)); // queued
+        c.unlock(t(1), m(0)); // full release hands over to t2
+        assert!(c.holds_none(t(1)));
+        assert!(!c.holds_none(t(2)));
+        // wait releases ownership too.
+        c.wait(t(2), m(0));
+        assert!(c.holds_none(t(2)));
     }
 
     #[test]

@@ -81,6 +81,39 @@ impl CompiledObject {
             .position(|m| m.name == name)
             .map(|i| MethodIdx::new(i as u32))
     }
+
+    /// Exclusive upper bound of the mutex ids named statically by the
+    /// program (`Konst` operands and pool ranges). Dynamic operands
+    /// (arguments, locals, fields) resolve to ids the caller supplies,
+    /// so scenario builders must extend the bound with any mutex their
+    /// client arguments carry. The engine places the dense `this`
+    /// monitor at the combined bound, keeping the whole id space
+    /// contiguous for the slot-table bookkeeping.
+    pub fn mutex_bound(&self) -> u32 {
+        fn expr_bound(e: &MutexExpr) -> u32 {
+            match e {
+                MutexExpr::Konst(m) => m.0 + 1,
+                MutexExpr::Pool { base, len, .. }
+                | MutexExpr::PoolByCell { base, len, .. } => base + len,
+                _ => 0,
+            }
+        }
+        let mut bound = 0;
+        for m in &self.methods {
+            for i in &m.code {
+                let b = match i {
+                    Instr::Lock { param, .. }
+                    | Instr::Wait(param)
+                    | Instr::Notify { param, .. }
+                    | Instr::LockInfo { param, .. }
+                    | Instr::Assign { expr: param, .. } => expr_bound(param),
+                    _ => 0,
+                };
+                bound = bound.max(b);
+            }
+        }
+        bound
+    }
 }
 
 /// Compiles a validated [`ObjectImpl`]. Panics if validation fails —

@@ -12,11 +12,13 @@
 
 use crate::msg::{ClientScript, GcMsg, RequestId, Scenario};
 use crate::trace::ExecutionTrace;
-use dmt_core::{ReplicaId, SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, ThreadId};
+use dmt_core::{
+    DenseSet, ReplicaId, SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, SlotMap,
+    ThreadId,
+};
 use dmt_groupcomm::{GroupComm, NetConfig, NodeId, Sequenced};
 use dmt_lang::{Action, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm};
 use dmt_sim::{EventQueue, Histogram, SimDuration, SimTime, SplitMix64};
-use std::collections::{BTreeSet, HashMap};
 
 /// Cluster-level configuration of one run.
 #[derive(Clone)]
@@ -91,6 +93,39 @@ impl EngineConfig {
     }
 }
 
+/// Host-side cost meters for the engine hot path. Virtual time is the
+/// experiment's subject; these count what the *simulator* pays per run,
+/// so the figures can report simulator throughput (ns/event) alongside
+/// the modelled quantities.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfCounters {
+    /// Simulation events processed (event-queue pops).
+    pub events: u64,
+    /// Scheduler events dispatched across all replicas.
+    pub sched_events: u64,
+    /// Scheduler decisions applied (admit/resume/broadcast/dummy).
+    pub sched_actions: u64,
+    /// Host wall-clock of [`Engine::run`], nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl PerfCounters {
+    pub fn ns_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.wall_ns as f64 / self.events as f64
+        }
+    }
+
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.events += other.events;
+        self.sched_events += other.sched_events;
+        self.sched_actions += other.sched_actions;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
 /// Aggregated outcome of one run.
 #[derive(Debug)]
 pub struct RunResult {
@@ -114,6 +149,8 @@ pub struct RunResult {
     /// Threads still blocked when the run ended: (replica, thread,
     /// reason). Empty on a clean run.
     pub stuck_threads: Vec<(usize, u32, String)>,
+    /// Host-side cost of this run (simulator throughput meters).
+    pub perf: PerfCounters,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -130,25 +167,31 @@ struct PendingRequest {
     id: Option<RequestId>,
 }
 
+/// Per-replica state. Thread ids are assigned densely from 0 in total
+/// order, so every per-thread structure is a slot table indexed by
+/// `tid.index()` — no hashing on the per-event path (see DESIGN.md,
+/// dense-ID invariant).
 struct Rep {
     sched: Box<dyn Scheduler>,
     state: ObjectState,
-    vms: HashMap<ThreadId, ThreadVm>,
-    request_info: HashMap<ThreadId, PendingRequest>,
-    blocked: HashMap<ThreadId, Blocked>,
+    vms: SlotMap<ThreadVm>,
+    request_info: SlotMap<PendingRequest>,
+    blocked: SlotMap<Blocked>,
     trace: ExecutionTrace,
-    /// Per-thread count of nested calls issued locally.
-    nested_issued: HashMap<ThreadId, u32>,
-    /// Replies delivered before the local thread issued the call.
-    reply_buffer: HashMap<ThreadId, BTreeSet<u32>>,
+    /// Per-thread count of nested calls issued locally (tid-indexed;
+    /// counts persist after the thread finishes, matching call numbers).
+    nested_issued: Vec<u32>,
+    /// Replies delivered before the local thread issued the call
+    /// (tid-indexed; the inner list is unordered — consumed by value).
+    reply_buffer: SlotMap<Vec<u32>>,
     /// The call number each suspended thread is waiting on, plus the
     /// virtual duration (for failover re-issue by a new invoker).
-    awaiting: HashMap<ThreadId, (u32, u64)>,
+    awaiting: SlotMap<(u32, u64)>,
     alive: bool,
     jitter: SplitMix64,
     next_tid: u32,
     /// Threads currently runnable (admitted/resumed/computing).
-    running: std::collections::BTreeSet<ThreadId>,
+    running: DenseSet,
     /// Held-back total-order deliveries (quiescent-delivery mode).
     buffered: std::collections::VecDeque<(u64, GcMsg)>,
 }
@@ -179,19 +222,24 @@ pub struct Engine {
     queue: EventQueue<Ev>,
     gc: GroupComm<GcMsg>,
     reps: Vec<Rep>,
-    req_state: HashMap<RequestId, ReqState>,
+    /// Request bookkeeping, indexed `[client][req_no]` (both dense).
+    req_state: Vec<SlotMap<ReqState>>,
     client_pos: Vec<usize>,
     completed_requests: u64,
     response_times: Histogram,
     dummy_requests: u64,
     dummy_counter: u32,
     ctrl_messages: u64,
-    /// Replies already broadcast, to dedup failover re-issues.
-    replied: BTreeSet<(ThreadId, u32)>,
+    /// Highest nested-call number already answered per thread, to dedup
+    /// failover re-issues (call numbers are issued in order per thread).
+    replied_max: Vec<u32>,
     leader: usize,
     kill_time: Option<SimTime>,
     takeover_gap: Option<SimDuration>,
     rng: SplitMix64,
+    perf: PerfCounters,
+    /// Reused scheduler-action buffer for [`Engine::dispatch`].
+    scratch: Vec<SchedAction>,
 }
 
 impl Engine {
@@ -206,40 +254,63 @@ impl Engine {
                     .with_leader(ReplicaId::new(0));
                 Rep {
                     sched: dmt_core::make_scheduler(&sc),
-                    state: ObjectState::for_object(&scenario.program, MutexId::new(1_000_000)),
-                    vms: HashMap::new(),
-                    request_info: HashMap::new(),
-                    blocked: HashMap::new(),
+                    state: ObjectState::for_object(&scenario.program, scenario.this_mutex()),
+                    vms: SlotMap::new(),
+                    request_info: SlotMap::new(),
+                    blocked: SlotMap::new(),
                     trace: ExecutionTrace::default(),
-                    nested_issued: HashMap::new(),
-                    reply_buffer: HashMap::new(),
-                    awaiting: HashMap::new(),
+                    nested_issued: Vec::new(),
+                    reply_buffer: SlotMap::new(),
+                    awaiting: SlotMap::new(),
                     alive: true,
                     jitter: rng.split(100 + i as u64),
                     next_tid: 0,
-                    running: std::collections::BTreeSet::new(),
+                    running: DenseSet::new(),
                     buffered: std::collections::VecDeque::new(),
                 }
             })
             .collect();
+        let req_state = (0..scenario.clients.len()).map(|_| SlotMap::new()).collect();
         Engine {
             cfg,
             scenario,
             queue: EventQueue::new(),
             gc,
             reps,
-            req_state: HashMap::new(),
+            req_state,
             client_pos: Vec::new(),
             completed_requests: 0,
             response_times: Histogram::new(),
             dummy_requests: 0,
             dummy_counter: 0,
             ctrl_messages: 0,
-            replied: BTreeSet::new(),
+            replied_max: Vec::new(),
             leader: 0,
             kill_time: None,
             takeover_gap: None,
             rng,
+            perf: PerfCounters::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// True if nested call `call_no` of `tid` already has a broadcast
+    /// reply (per-thread call numbers are answered in issue order).
+    fn is_replied(&self, tid: ThreadId, call_no: u32) -> bool {
+        self.replied_max.get(tid.index()).copied().unwrap_or(0) >= call_no
+    }
+
+    /// Records a reply broadcast; returns false if it was a duplicate.
+    fn mark_replied(&mut self, tid: ThreadId, call_no: u32) -> bool {
+        let i = tid.index();
+        if i >= self.replied_max.len() {
+            self.replied_max.resize(i + 1, 0);
+        }
+        if self.replied_max[i] >= call_no {
+            false
+        } else {
+            self.replied_max[i] = call_no;
+            true
         }
     }
 
@@ -264,8 +335,8 @@ impl Engine {
         for (c, script) in scripts.iter().enumerate() {
             if let Some((method, args)) = script.requests.first() {
                 let id = RequestId { client: c as u32, req_no: 0 };
-                self.req_state
-                    .insert(id, ReqState { submitted: self.queue.now(), first_finish: None });
+                self.req_state[c]
+                    .insert(0, ReqState { submitted: self.queue.now(), first_finish: None });
                 self.client_pos[c] = 1;
                 self.submit_to_gc(CLIENT_SRC + c as u64, GcMsg::Request {
                     id,
@@ -279,6 +350,7 @@ impl Engine {
             self.queue.push_after(at, Ev::Kill { replica });
         }
 
+        let wall_start = std::time::Instant::now();
         let cap = SimTime::ZERO + self.cfg.max_time;
         let mut deadlocked = false;
         while let Some((t, ev)) = self.queue.pop() {
@@ -286,8 +358,10 @@ impl Engine {
                 deadlocked = true;
                 break;
             }
+            self.perf.events += 1;
             self.handle(ev);
         }
+        self.perf.wall_ns = wall_start.elapsed().as_nanos() as u64;
         let makespan = self.queue.now();
         let total_real: u64 = self.scenario.total_requests() as u64;
         if self.completed_requests < total_real && !deadlocked {
@@ -301,8 +375,8 @@ impl Engine {
             if !rep.alive {
                 continue;
             }
-            for (&tid, why) in &rep.blocked {
-                stuck_threads.push((i, tid.0, format!("{why:?}")));
+            for (t, why) in rep.blocked.iter() {
+                stuck_threads.push((i, t as u32, format!("{why:?}")));
             }
             for &(seq, ref msg) in &rep.buffered {
                 stuck_threads.push((i, u32::MAX, format!("undelivered seq {seq}: {msg:?}")));
@@ -320,6 +394,7 @@ impl Engine {
             deadlocked,
             takeover_gap: self.takeover_gap,
             stuck_threads,
+            perf: self.perf,
         }
     }
 
@@ -348,7 +423,7 @@ impl Engine {
             }
             Ev::NestedDone { tid, call_no, dur_ns } => {
                 let _ = dur_ns;
-                if self.replied.insert((tid, call_no)) {
+                if self.mark_replied(tid, call_no) {
                     let src = self.designated() as u64;
                     self.submit_to_gc(src, GcMsg::NestedReply { tid, call_no });
                 }
@@ -360,8 +435,8 @@ impl Engine {
                 if let Some((method, args)) = script.requests.get(pos) {
                     self.client_pos[c] = pos + 1;
                     let id = RequestId { client, req_no: pos as u32 };
-                    self.req_state
-                        .insert(id, ReqState { submitted: self.queue.now(), first_finish: None });
+                    self.req_state[c]
+                        .insert(pos, ReqState { submitted: self.queue.now(), first_finish: None });
                     self.submit_to_gc(CLIENT_SRC + client as u64, GcMsg::Request {
                         id,
                         method: *method,
@@ -382,7 +457,7 @@ impl Engine {
                     self.reps[i].sched.on_leader_change(ReplicaId::new(new_leader as u32));
                     let mut out = Vec::new();
                     self.reps[i].sched.kick(&mut out);
-                    self.apply_actions(i, out);
+                    self.apply_actions(i, &mut out);
                 }
             }
         }
@@ -406,8 +481,8 @@ impl Engine {
         let pending: Vec<(ThreadId, u32, u64)> = self.reps[invoker]
             .awaiting
             .iter()
-            .map(|(&tid, &(call_no, dur_ns))| (tid, call_no, dur_ns))
-            .filter(|&(tid, call_no, _)| !self.replied.contains(&(tid, call_no)))
+            .map(|(i, &(call_no, dur_ns))| (ThreadId::new(i as u32), call_no, dur_ns))
+            .filter(|&(tid, call_no, _)| !self.is_replied(tid, call_no))
             .collect();
         for (tid, call_no, dur_ns) in pending {
             self.queue
@@ -419,8 +494,8 @@ impl Engine {
     /// set (a synchronous grant re-inserted it via `Resume` already).
     fn unmark_if_blocked(&mut self, replica: usize, tid: ThreadId) {
         let rep = &mut self.reps[replica];
-        if rep.blocked.contains_key(&tid) {
-            rep.running.remove(&tid);
+        if rep.blocked.contains(tid.index()) {
+            rep.running.remove(tid.index());
         }
     }
 
@@ -447,10 +522,10 @@ impl Engine {
                 let tid = ThreadId::new(rep.next_tid);
                 rep.next_tid += 1;
                 rep.request_info.insert(
-                    tid,
+                    tid.index(),
                     PendingRequest { method, args, id: (!dummy).then_some(id) },
                 );
-                rep.blocked.insert(tid, Blocked::Admission);
+                rep.blocked.insert(tid.index(), Blocked::Admission);
                 self.dispatch(
                     replica,
                     SchedEvent::RequestArrived { tid, method, request_seq: seq, dummy },
@@ -462,11 +537,11 @@ impl Engine {
                     rep.buffered.push_back((seq, GcMsg::NestedReply { tid, call_no }));
                     return;
                 }
-                if rep.awaiting.get(&tid).map(|&(k, _)| k) == Some(call_no) {
-                    rep.awaiting.remove(&tid);
+                if rep.awaiting.get(tid.index()).map(|&(k, _)| k) == Some(call_no) {
+                    rep.awaiting.remove(tid.index());
                     self.dispatch(replica, SchedEvent::NestedCompleted { tid });
                 } else {
-                    rep.reply_buffer.entry(tid).or_default().insert(call_no);
+                    rep.reply_buffer.get_or_insert_with(tid.index(), Vec::new).push(call_no);
                 }
             }
             GcMsg::Ctrl { from, msg } => {
@@ -478,30 +553,37 @@ impl Engine {
     }
 
     /// Feeds one event to a replica's scheduler and applies the actions.
+    /// The action buffer is reused across events; `apply_actions` never
+    /// re-enters `dispatch`, so taking it out of `self` is safe.
     fn dispatch(&mut self, replica: usize, ev: SchedEvent) {
-        let mut out = Vec::new();
+        self.perf.sched_events += 1;
+        let mut out = std::mem::take(&mut self.scratch);
+        debug_assert!(out.is_empty());
         self.reps[replica].sched.on_event(&ev, &mut out);
-        self.apply_actions(replica, out);
+        self.apply_actions(replica, &mut out);
+        out.clear();
+        self.scratch = out;
     }
 
-    fn apply_actions(&mut self, replica: usize, actions: Vec<SchedAction>) {
-        for a in actions {
+    fn apply_actions(&mut self, replica: usize, actions: &mut Vec<SchedAction>) {
+        self.perf.sched_actions += actions.len() as u64;
+        for a in actions.drain(..) {
             match a {
                 SchedAction::Admit(tid) => {
                     let rep = &mut self.reps[replica];
-                    let req = rep.request_info.remove(&tid).expect("admit without request");
-                    let was = rep.blocked.remove(&tid);
+                    let req = rep.request_info.remove(tid.index()).expect("admit without request");
+                    let was = rep.blocked.remove(tid.index());
                     debug_assert_eq!(was, Some(Blocked::Admission));
-                    let vm = ThreadVm::new(self.scenario.program.clone(), req.method, req.args.clone());
-                    rep.vms.insert(tid, vm);
+                    let vm = ThreadVm::new(self.scenario.program.clone(), req.method, req.args);
+                    rep.vms.insert(tid.index(), vm);
                     // Remember the request id for completion accounting.
-                    rep.request_info.insert(tid, PendingRequest { method: req.method, args: RequestArgs::empty(), id: req.id });
-                    rep.running.insert(tid);
+                    rep.request_info.insert(tid.index(), PendingRequest { method: req.method, args: RequestArgs::empty(), id: req.id });
+                    rep.running.insert(tid.index());
                     self.queue.push_after(SimDuration::ZERO, Ev::Step { replica, tid });
                 }
                 SchedAction::Resume(tid) => {
                     let rep = &mut self.reps[replica];
-                    match rep.blocked.remove(&tid) {
+                    match rep.blocked.remove(tid.index()) {
                         Some(Blocked::Lock(m)) | Some(Blocked::Wait(m)) => {
                             rep.trace.record_grant(tid, m);
                         }
@@ -509,7 +591,7 @@ impl Engine {
                         Some(Blocked::Admission) => panic!("Resume before Admit for {tid}"),
                         None => panic!("Resume for running thread {tid}"),
                     }
-                    rep.running.insert(tid);
+                    rep.running.insert(tid.index());
                     self.queue.push_after(SimDuration::ZERO, Ev::Step { replica, tid });
                 }
                 SchedAction::Broadcast(msg) => {
@@ -546,14 +628,14 @@ impl Engine {
     fn step_thread(&mut self, replica: usize, tid: ThreadId) {
         loop {
             let rep = &mut self.reps[replica];
-            if rep.blocked.contains_key(&tid) || !rep.vms.contains_key(&tid) {
-                rep.running.remove(&tid);
+            if rep.blocked.contains(tid.index()) || !rep.vms.contains(tid.index()) {
+                rep.running.remove(tid.index());
                 return;
             }
-            let vm = rep.vms.get_mut(&tid).expect("checked above");
+            let vm = rep.vms.get_mut(tid.index()).expect("checked above");
             match vm.step(&mut rep.state) {
                 StepOutcome::Finished => {
-                    self.reps[replica].running.remove(&tid);
+                    self.reps[replica].running.remove(tid.index());
                     self.finish_thread(replica, tid);
                     return;
                 }
@@ -565,7 +647,7 @@ impl Engine {
                         return;
                     }
                     Action::Lock { sync_id, mutex } => {
-                        rep.blocked.insert(tid, Blocked::Lock(mutex));
+                        rep.blocked.insert(tid.index(), Blocked::Lock(mutex));
                         self.dispatch(replica, SchedEvent::LockRequested { tid, sync_id, mutex });
                         self.unmark_if_blocked(replica, tid);
                         return;
@@ -574,7 +656,7 @@ impl Engine {
                         self.dispatch(replica, SchedEvent::Unlocked { tid, sync_id, mutex });
                     }
                     Action::Wait { mutex } => {
-                        rep.blocked.insert(tid, Blocked::Wait(mutex));
+                        rep.blocked.insert(tid.index(), Blocked::Wait(mutex));
                         self.dispatch(replica, SchedEvent::WaitCalled { tid, mutex });
                         self.unmark_if_blocked(replica, tid);
                         return;
@@ -584,22 +666,30 @@ impl Engine {
                     }
                     Action::Nested { service: _, dur_ns } => {
                         let call_no = {
-                            let n = rep.nested_issued.entry(tid).or_insert(0);
-                            *n += 1;
-                            *n
+                            let i = tid.index();
+                            if i >= rep.nested_issued.len() {
+                                rep.nested_issued.resize(i + 1, 0);
+                            }
+                            rep.nested_issued[i] += 1;
+                            rep.nested_issued[i]
                         };
-                        rep.blocked.insert(tid, Blocked::Nested);
+                        rep.blocked.insert(tid.index(), Blocked::Nested);
                         // Reply already here (this replica is behind)?
-                        let buffered = rep
-                            .reply_buffer
-                            .get_mut(&tid)
-                            .map(|s| s.remove(&call_no))
-                            .unwrap_or(false);
+                        let buffered = match rep.reply_buffer.get_mut(tid.index()) {
+                            Some(buf) => match buf.iter().position(|&c| c == call_no) {
+                                Some(p) => {
+                                    buf.swap_remove(p);
+                                    true
+                                }
+                                None => false,
+                            },
+                            None => false,
+                        };
                         if !buffered {
-                            rep.awaiting.insert(tid, (call_no, dur_ns));
+                            rep.awaiting.insert(tid.index(), (call_no, dur_ns));
                         }
                         self.dispatch(replica, SchedEvent::NestedStarted { tid });
-                        if replica == self.designated() && !self.replied.contains(&(tid, call_no)) {
+                        if replica == self.designated() && !self.is_replied(tid, call_no) {
                             self.queue.push_after(
                                 SimDuration::from_nanos(dur_ns),
                                 Ev::NestedDone { tid, call_no, dur_ns },
@@ -625,14 +715,16 @@ impl Engine {
     fn finish_thread(&mut self, replica: usize, tid: ThreadId) {
         let now = self.queue.now();
         let rep = &mut self.reps[replica];
-        rep.vms.remove(&tid);
+        rep.vms.remove(tid.index());
         rep.trace.finished_threads += 1;
-        let req = rep.request_info.remove(&tid).and_then(|r| r.id);
+        let req = rep.request_info.remove(tid.index()).and_then(|r| r.id);
         self.dispatch(replica, SchedEvent::ThreadFinished { tid });
         // First-reply semantics: the fastest replica answers the client.
         if let Some(id) = req {
             let reply_leg = self.reply_latency();
-            let st = self.req_state.get_mut(&id).expect("request state exists");
+            let st = self.req_state[id.client as usize]
+                .get_mut(id.req_no as usize)
+                .expect("request state exists");
             if st.first_finish.is_none() {
                 st.first_finish = Some(now);
                 let rt = (now + reply_leg) - st.submitted;

@@ -73,6 +73,25 @@ impl Scenario {
     pub fn total_requests(&self) -> usize {
         self.clients.iter().map(|c| c.requests.len()).sum()
     }
+
+    /// The dense id of the object's `this` monitor: one past every mutex
+    /// the program names statically or a client argument carries. Keeping
+    /// the whole mutex id space contiguous from 0 lets the monitor layer
+    /// use slot tables instead of maps (see DESIGN.md, dense-ID
+    /// invariant).
+    pub fn this_mutex(&self) -> dmt_lang::MutexId {
+        let mut bound = self.program.mutex_bound();
+        for script in &self.clients {
+            for (_, args) in &script.requests {
+                for v in args.values() {
+                    if let dmt_lang::Value::Mutex(m) = v {
+                        bound = bound.max(m.0 + 1);
+                    }
+                }
+            }
+        }
+        dmt_lang::MutexId::new(bound)
+    }
 }
 
 #[cfg(test)]

@@ -15,9 +15,11 @@
 //! the log.
 
 use dmt_core::harness::{Harness, HarnessResult};
-use dmt_core::{SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, SyncCore, ThreadId};
+use dmt_core::{
+    SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, SlotMap, SyncCore, ThreadId,
+};
 use dmt_lang::{CompiledObject, MethodIdx, MutexId, RequestArgs};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// What a passive primary persists.
@@ -31,6 +33,24 @@ pub struct PrimaryLog {
     pub state_hash: u64,
 }
 
+/// Dense id for the object's `this` monitor: one past every statically
+/// named mutex and every mutex a request argument carries (see
+/// DESIGN.md, dense-ID invariant).
+fn this_mutex<'a>(
+    program: &CompiledObject,
+    args: impl Iterator<Item = &'a RequestArgs>,
+) -> MutexId {
+    let mut bound = program.mutex_bound();
+    for a in args {
+        for v in a.values() {
+            if let dmt_lang::Value::Mutex(m) = v {
+                bound = bound.max(m.0 + 1);
+            }
+        }
+    }
+    MutexId::new(bound)
+}
+
 /// Runs the primary under `kind` and records its log.
 pub fn record_primary(
     program: Arc<CompiledObject>,
@@ -39,7 +59,8 @@ pub fn record_primary(
     dummy_method: Option<MethodIdx>,
 ) -> PrimaryLog {
     let cfg = SchedConfig::new(kind, dmt_core::ReplicaId::new(0));
-    let mut h = Harness::new(program, MutexId::new(1_000_000), dmt_core::make_scheduler(&cfg));
+    let this = this_mutex(&program, requests.iter().map(|(_, a)| a));
+    let mut h = Harness::new(program, this, dmt_core::make_scheduler(&cfg));
     if let Some(d) = dummy_method {
         h = h.with_dummy_method(d);
     }
@@ -59,7 +80,8 @@ pub fn record_primary(
 /// hash (equal to `log.state_hash` iff replay is faithful).
 pub fn replay_on_backup(program: Arc<CompiledObject>, log: &PrimaryLog) -> u64 {
     let sched = ReplayScheduler::new(&log.grants);
-    let mut h = Harness::new(program, MutexId::new(1_000_000), Box::new(sched));
+    let this = this_mutex(&program, log.requests.iter().map(|(_, a, _)| a));
+    let mut h = Harness::new(program, this, Box::new(sched));
     for (m, a, _dummy) in &log.requests {
         h.submit(*m, a.clone());
     }
@@ -72,17 +94,22 @@ pub fn replay_on_backup(program: Arc<CompiledObject>, log: &PrimaryLog) -> u64 {
 /// log").
 pub struct ReplayScheduler {
     sync: SyncCore,
-    expected: BTreeMap<MutexId, VecDeque<ThreadId>>,
-    pending: HashMap<ThreadId, MutexId>,
+    /// Per-mutex expected grant order, indexed by the dense mutex id.
+    expected: Vec<VecDeque<ThreadId>>,
+    /// Gated lock requests, indexed by thread id.
+    pending: SlotMap<MutexId>,
 }
 
 impl ReplayScheduler {
     pub fn new(grants: &[(ThreadId, MutexId)]) -> Self {
-        let mut expected: BTreeMap<MutexId, VecDeque<ThreadId>> = BTreeMap::new();
+        let mut expected: Vec<VecDeque<ThreadId>> = Vec::new();
         for &(tid, m) in grants {
-            expected.entry(m).or_default().push_back(tid);
+            if m.index() >= expected.len() {
+                expected.resize_with(m.index() + 1, VecDeque::new);
+            }
+            expected[m.index()].push_back(tid);
         }
-        ReplayScheduler { sync: SyncCore::new(false), expected, pending: HashMap::new() }
+        ReplayScheduler { sync: SyncCore::new(false), expected, pending: SlotMap::new() }
     }
 
     fn drain(&mut self, mutex: MutexId, out: &mut Vec<SchedAction>) {
@@ -90,15 +117,17 @@ impl ReplayScheduler {
             if !self.sync.is_free(mutex) {
                 return;
             }
-            let Some(&next) = self.expected.get(&mutex).and_then(|q| q.front()) else { return };
-            if self.pending.get(&next) == Some(&mutex) {
-                self.expected.get_mut(&mutex).expect("checked").pop_front();
-                self.pending.remove(&next);
+            let Some(&next) = self.expected.get(mutex.index()).and_then(|q| q.front()) else {
+                return;
+            };
+            if self.pending.get(next.index()) == Some(&mutex) {
+                self.expected[mutex.index()].pop_front();
+                self.pending.remove(next.index());
                 let outcome = self.sync.lock(next, mutex);
                 debug_assert_eq!(outcome, dmt_core::LockOutcome::Acquired);
                 out.push(SchedAction::Resume(next));
             } else if self.sync.is_queued(next, mutex) {
-                self.expected.get_mut(&mutex).expect("checked").pop_front();
+                self.expected[mutex.index()].pop_front();
                 self.sync.grant_to(next, mutex).expect("free + queued");
                 out.push(SchedAction::Resume(next));
             } else {
@@ -126,7 +155,7 @@ impl Scheduler for ReplayScheduler {
                     self.sync.lock(tid, mutex);
                     out.push(SchedAction::Resume(tid));
                 } else {
-                    self.pending.insert(tid, mutex);
+                    self.pending.insert(tid.index(), mutex);
                     self.drain(mutex, out);
                 }
             }
@@ -144,7 +173,7 @@ impl Scheduler for ReplayScheduler {
             SchedEvent::NestedStarted { .. } => {}
             SchedEvent::NestedCompleted { tid } => out.push(SchedAction::Resume(tid)),
             SchedEvent::ThreadFinished { tid } => {
-                debug_assert!(self.sync.held_by(tid).is_empty());
+                debug_assert!(self.sync.holds_none(tid));
             }
             SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
         }

@@ -7,7 +7,7 @@
 //! can gate `std::thread`s — each synchronisation call becomes a
 //! scheduler event under one global runtime lock, and a thread proceeds
 //! only when the scheduler's `Resume` lands on its private permit
-//! (a parking_lot `Mutex`/`Condvar` pair).
+//! (a `std::sync` `Mutex`/`Condvar` pair).
 //!
 //! The headline property carries over: with a deterministic scheduler,
 //! the monitor-grant order is a pure function of the admission order —

@@ -5,10 +5,8 @@ use dmt_core::{
     ThreadId,
 };
 use dmt_lang::{MethodIdx, MutexId, SyncId};
-use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// A per-thread parking spot: `true` = permitted to proceed.
@@ -23,15 +21,15 @@ impl Permit {
     }
 
     fn give(&self) {
-        let mut f = self.flag.lock();
+        let mut f = self.flag.lock().unwrap();
         *f = true;
         self.cv.notify_one();
     }
 
     fn take(&self) {
-        let mut f = self.flag.lock();
+        let mut f = self.flag.lock().unwrap();
         while !*f {
-            self.cv.wait(&mut f);
+            f = self.cv.wait(f).unwrap();
         }
         *f = false;
     }
@@ -41,7 +39,7 @@ struct RtState {
     sched: Box<dyn Scheduler>,
     grant_log: Vec<(ThreadId, MutexId)>,
     /// Last blocking kind per thread, to label grants like the engine.
-    blocked_on: HashMap<ThreadId, MutexId>,
+    blocked_on: dmt_core::SlotMap<MutexId>,
 }
 
 struct Inner {
@@ -55,15 +53,19 @@ struct Inner {
 }
 
 impl Inner {
+    fn lock_state(&self) -> MutexGuard<'_, RtState> {
+        self.state.lock().unwrap()
+    }
+
     /// Feeds one event and applies the resulting actions (permits).
     fn dispatch(&self, ev: SchedEvent) {
-        let mut st = self.state.lock();
+        let mut st = self.lock_state();
         let mut out = Vec::new();
         st.sched.on_event(&ev, &mut out);
         for a in out {
             match a {
                 SchedAction::Admit(tid) | SchedAction::Resume(tid) => {
-                    if let Some(m) = st.blocked_on.remove(&tid) {
+                    if let Some(m) = st.blocked_on.remove(tid.index()) {
                         st.grant_log.push((tid, m));
                     }
                     self.permits[tid.index()].give();
@@ -81,7 +83,7 @@ impl Inner {
     }
 
     fn mark_blocked(&self, tid: ThreadId, m: MutexId) {
-        self.state.lock().blocked_on.insert(tid, m);
+        self.lock_state().blocked_on.insert(tid.index(), m);
     }
 }
 
@@ -146,7 +148,7 @@ impl DetHandle<'_> {
     pub fn nested(&self, dur: Duration) {
         self.inner.dispatch(SchedEvent::NestedStarted { tid: self.tid });
         std::thread::sleep(dur);
-        self.inner.state.lock().blocked_on.remove(&self.tid);
+        self.inner.lock_state().blocked_on.remove(self.tid.index());
         self.inner.dispatch(SchedEvent::NestedCompleted { tid: self.tid });
         self.inner.permits[self.tid.index()].take();
     }
@@ -192,7 +194,7 @@ impl DetRuntime {
             state: Mutex::new(RtState {
                 sched: make_scheduler(&cfg),
                 grant_log: Vec::new(),
-                blocked_on: HashMap::new(),
+                blocked_on: dmt_core::SlotMap::new(),
             }),
             permits: (0..n_threads).map(|_| Arc::new(Permit::new())).collect(),
             cells: (0..self.n_cells).map(|_| AtomicI64::new(0)).collect(),
@@ -209,11 +211,11 @@ impl DetRuntime {
             });
         }
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..n_threads {
                 let inner = &inner;
                 let body = &body;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let tid = ThreadId::new(t as u32);
                     inner.permits[t].take(); // wait for Admit
                     let handle =
@@ -222,10 +224,9 @@ impl DetRuntime {
                     inner.dispatch(SchedEvent::ThreadFinished { tid });
                 });
             }
-        })
-        .expect("worker panicked");
+        });
 
-        let st = inner.state.into_inner();
+        let st = inner.state.into_inner().unwrap();
         RtReport {
             grant_log: st.grant_log,
             cells: inner.cells.iter().map(|c| c.load(Ordering::SeqCst)).collect(),

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every PR must pass, plus a quick smoke
+# of the figures binary (regenerates a small sweep and the engine
+# hot-path benchmark without overwriting checked-in outputs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --workspace
+
+echo "== tier-1: cargo test -q =="
+cargo test -q --workspace
+
+echo "== smoke: figures --quick =="
+cargo run --release -p dmt-bench --bin figures -- --quick
+
+echo "tier1: OK"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_soundness-d5c904d445729260.d: tests/analysis_soundness.rs
+
+/root/repo/target/debug/deps/analysis_soundness-d5c904d445729260: tests/analysis_soundness.rs
+
+tests/analysis_soundness.rs:

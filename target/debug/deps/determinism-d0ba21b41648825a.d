@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d0ba21b41648825a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d0ba21b41648825a: tests/determinism.rs
+
+tests/determinism.rs:

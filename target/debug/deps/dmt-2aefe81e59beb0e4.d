@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dmt-2aefe81e59beb0e4.d: src/lib.rs
+
+/root/repo/target/debug/deps/dmt-2aefe81e59beb0e4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dmt-5b56adce63e1a4e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdmt-5b56adce63e1a4e1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdmt-5b56adce63e1a4e1.rmeta: src/lib.rs
+
+src/lib.rs:

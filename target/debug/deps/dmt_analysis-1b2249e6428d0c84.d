@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dmt_analysis-1b2249e6428d0c84.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+/root/repo/target/debug/deps/libdmt_analysis-1b2249e6428d0c84.rlib: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+/root/repo/target/debug/deps/libdmt_analysis-1b2249e6428d0c84.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/lockparam.rs:
+crates/analysis/src/paths.rs:
+crates/analysis/src/pretty.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/transform.rs:

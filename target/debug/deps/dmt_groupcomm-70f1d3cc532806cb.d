@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dmt_groupcomm-70f1d3cc532806cb.d: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+/root/repo/target/debug/deps/dmt_groupcomm-70f1d3cc532806cb: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+crates/groupcomm/src/lib.rs:
+crates/groupcomm/src/net.rs:
+crates/groupcomm/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dmt_groupcomm-9bfbced7e1bf1a73.d: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+/root/repo/target/debug/deps/libdmt_groupcomm-9bfbced7e1bf1a73.rlib: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+/root/repo/target/debug/deps/libdmt_groupcomm-9bfbced7e1bf1a73.rmeta: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+crates/groupcomm/src/lib.rs:
+crates/groupcomm/src/net.rs:
+crates/groupcomm/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dmt_replica-4eb255e871fed3bb.d: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+/root/repo/target/debug/deps/libdmt_replica-4eb255e871fed3bb.rlib: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+/root/repo/target/debug/deps/libdmt_replica-4eb255e871fed3bb.rmeta: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/checker.rs:
+crates/replica/src/engine.rs:
+crates/replica/src/msg.rs:
+crates/replica/src/replay.rs:
+crates/replica/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dmt_replica-b656fd508b165d1f.d: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+/root/repo/target/debug/deps/dmt_replica-b656fd508b165d1f: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/checker.rs:
+crates/replica/src/engine.rs:
+crates/replica/src/msg.rs:
+crates/replica/src/replay.rs:
+crates/replica/src/trace.rs:

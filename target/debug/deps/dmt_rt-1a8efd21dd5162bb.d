@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dmt_rt-1a8efd21dd5162bb.d: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+/root/repo/target/debug/deps/dmt_rt-1a8efd21dd5162bb: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/runtime.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dmt_rt-fb1b2af7b4b59312.d: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+/root/repo/target/debug/deps/libdmt_rt-fb1b2af7b4b59312.rlib: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+/root/repo/target/debug/deps/libdmt_rt-fb1b2af7b4b59312.rmeta: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-63fbbf7d88aac629.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-63fbbf7d88aac629: tests/end_to_end.rs
+
+tests/end_to_end.rs:

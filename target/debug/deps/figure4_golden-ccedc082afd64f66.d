@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure4_golden-ccedc082afd64f66.d: crates/analysis/tests/figure4_golden.rs
+
+/root/repo/target/debug/deps/figure4_golden-ccedc082afd64f66: crates/analysis/tests/figure4_golden.rs
+
+crates/analysis/tests/figure4_golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9b844b105e592984.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9b844b105e592984: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

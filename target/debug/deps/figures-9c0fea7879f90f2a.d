@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-9c0fea7879f90f2a.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-9c0fea7879f90f2a: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ef694a37786a9fe8.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ef694a37786a9fe8: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analysis_transform-203c41d20bfdd448.d: examples/analysis_transform.rs
+
+/root/repo/target/debug/examples/analysis_transform-203c41d20bfdd448: examples/analysis_transform.rs
+
+examples/analysis_transform.rs:

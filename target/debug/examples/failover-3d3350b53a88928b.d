@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-3d3350b53a88928b.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-3d3350b53a88928b: examples/failover.rs
+
+examples/failover.rs:

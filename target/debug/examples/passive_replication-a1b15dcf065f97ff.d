@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/passive_replication-a1b15dcf065f97ff.d: examples/passive_replication.rs
+
+/root/repo/target/debug/examples/passive_replication-a1b15dcf065f97ff: examples/passive_replication.rs
+
+examples/passive_replication.rs:

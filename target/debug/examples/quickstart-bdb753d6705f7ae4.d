@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bdb753d6705f7ae4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bdb753d6705f7ae4: examples/quickstart.rs
+
+examples/quickstart.rs:

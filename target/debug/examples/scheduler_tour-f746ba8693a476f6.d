@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_tour-f746ba8693a476f6.d: examples/scheduler_tour.rs
+
+/root/repo/target/debug/examples/scheduler_tour-f746ba8693a476f6: examples/scheduler_tour.rs
+
+examples/scheduler_tour.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dmt-d922cf01c3c70575.d: src/lib.rs
+
+/root/repo/target/release/deps/libdmt-d922cf01c3c70575.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdmt-d922cf01c3c70575.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dmt_analysis-c67828ec3ad9a70a.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+/root/repo/target/release/deps/libdmt_analysis-c67828ec3ad9a70a.rlib: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+/root/repo/target/release/deps/libdmt_analysis-c67828ec3ad9a70a.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/lockparam.rs:
+crates/analysis/src/paths.rs:
+crates/analysis/src/pretty.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dmt_groupcomm-74d4464d4e568966.d: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+/root/repo/target/release/deps/libdmt_groupcomm-74d4464d4e568966.rlib: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+/root/repo/target/release/deps/libdmt_groupcomm-74d4464d4e568966.rmeta: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+crates/groupcomm/src/lib.rs:
+crates/groupcomm/src/net.rs:
+crates/groupcomm/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dmt_lang-fbe9f12656737159.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/builder.rs crates/lang/src/compile.rs crates/lang/src/ids.rs crates/lang/src/interp.rs crates/lang/src/value.rs
+
+/root/repo/target/release/deps/libdmt_lang-fbe9f12656737159.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/builder.rs crates/lang/src/compile.rs crates/lang/src/ids.rs crates/lang/src/interp.rs crates/lang/src/value.rs
+
+/root/repo/target/release/deps/libdmt_lang-fbe9f12656737159.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/builder.rs crates/lang/src/compile.rs crates/lang/src/ids.rs crates/lang/src/interp.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/builder.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/ids.rs:
+crates/lang/src/interp.rs:
+crates/lang/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dmt_replica-1c9806a47ebaee6a.d: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+/root/repo/target/release/deps/libdmt_replica-1c9806a47ebaee6a.rlib: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+/root/repo/target/release/deps/libdmt_replica-1c9806a47ebaee6a.rmeta: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/checker.rs:
+crates/replica/src/engine.rs:
+crates/replica/src/msg.rs:
+crates/replica/src/replay.rs:
+crates/replica/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dmt_rt-c792b8f849e2d730.d: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+/root/repo/target/release/deps/libdmt_rt-c792b8f849e2d730.rlib: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+/root/repo/target/release/deps/libdmt_rt-c792b8f849e2d730.rmeta: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/runtime.rs:

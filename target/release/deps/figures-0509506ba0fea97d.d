@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-0509506ba0fea97d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-0509506ba0fea97d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/failover-4eb8a200b93270ea.d: examples/failover.rs
+
+/root/repo/target/release/examples/failover-4eb8a200b93270ea: examples/failover.rs
+
+examples/failover.rs:

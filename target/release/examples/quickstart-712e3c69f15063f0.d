@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-712e3c69f15063f0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-712e3c69f15063f0: examples/quickstart.rs
+
+examples/quickstart.rs:

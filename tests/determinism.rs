@@ -117,6 +117,54 @@ fn synthesized_programs_converge() {
 }
 
 #[test]
+fn dense_id_hot_path_trace_regression() {
+    // Guards the HashMap→Vec slot-table migration: map iteration order
+    // used to be a latent nondeterminism hazard on the per-event path;
+    // the slot tables must give (a) replica agreement at both zero and
+    // strong jitter and (b) bit-identical traces when the very same
+    // configuration runs twice.
+    use dmt::replica::checker::match_level;
+    use dmt::replica::{compare, Engine, EngineConfig};
+    let p = fig1::Fig1Params {
+        n_clients: 4,
+        requests_per_client: 3,
+        n_mutexes: 3,
+        iterations: 4,
+        ..Default::default()
+    };
+    let pair = fig1::scenario(&p);
+    for kind in SchedulerKind::DETERMINISTIC {
+        for jitter in [0.0, 0.3] {
+            for seed in [7u64, 29] {
+                let run = || {
+                    Engine::new(
+                        pair.for_kind(kind),
+                        EngineConfig::new(kind).with_seed(seed).with_cpu_jitter(jitter),
+                    )
+                    .run()
+                };
+                let a = run();
+                let b = run();
+                assert!(!a.deadlocked, "{kind} jitter {jitter} seed {seed} stalled");
+                let level = match_level(kind);
+                for (i, tr) in a.traces.iter().enumerate().skip(1) {
+                    assert!(
+                        compare(&a.traces[0], tr, level).is_none(),
+                        "{kind} jitter {jitter} seed {seed}: replica {i} diverged"
+                    );
+                }
+                // Run-to-run: the full traces — global grant order
+                // included — must be identical, replica by replica.
+                assert_eq!(
+                    a.traces, b.traces,
+                    "{kind} jitter {jitter} seed {seed} not replay-stable"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn free_diverges_on_contended_order_sensitive_state() {
     // Needs order-sensitive updates; fig1's counters are commutative, so
     // build contention through the synth generator's 2x+k updates.

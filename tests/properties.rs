@@ -1,15 +1,22 @@
-//! Property-based tests (proptest) over the substrate invariants.
+//! Randomised tests over the substrate invariants. Formerly proptest;
+//! now driven by the in-tree SplitMix64 so the suite runs with no
+//! external dependencies (and with perfectly reproducible cases: every
+//! failure message names the seed that produced it).
 
-use dmt::core::{LockOutcome, SyncCore, ThreadId};
+use dmt::core::{Grant, LockOutcome, SyncCore, ThreadId};
 use dmt::lang::MutexId;
 use dmt::sim::{EventQueue, SplitMix64, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    /// The event queue pops in nondecreasing time order, FIFO on ties,
-    /// and returns exactly what was pushed.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// The event queue pops in nondecreasing time order, FIFO on ties,
+/// and returns exactly what was pushed.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xE0E0 ^ case);
+        let n = rng.next_range(1, 200) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.next_below(10_000)).collect();
         let mut q = EventQueue::new();
         for (i, &d) in delays.iter().enumerate() {
             q.push_at(dmt::sim::SimTime::from_nanos(d), i);
@@ -18,77 +25,103 @@ proptest! {
         let mut last = None;
         while let Some((t, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt, "case {case}");
                 if t == lt {
-                    prop_assert!(idx > lidx, "ties must pop FIFO");
+                    assert!(idx > lidx, "case {case}: ties must pop FIFO");
                 }
             }
             last = Some((t, idx));
             popped.push(idx);
         }
         popped.sort_unstable();
-        prop_assert_eq!(popped, (0..delays.len()).collect::<Vec<_>>());
+        assert_eq!(popped, (0..delays.len()).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// SplitMix64 streams are reproducible and splitting is stable.
-    #[test]
-    fn rng_streams_reproduce(seed in any::<u64>(), label in any::<u64>()) {
+/// SplitMix64 streams are reproducible and splitting is stable.
+#[test]
+fn rng_streams_reproduce() {
+    let mut meta = SplitMix64::new(0x5EED);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let label = meta.next_u64();
         let mut a = SplitMix64::new(seed);
         let mut b = SplitMix64::new(seed);
         let mut ca = a.split(label);
         let mut cb = b.split(label);
         for _ in 0..32 {
-            prop_assert_eq!(ca.next_u64(), cb.next_u64());
+            assert_eq!(ca.next_u64(), cb.next_u64(), "case {case}");
         }
     }
+}
 
-    /// next_below stays in range for arbitrary bounds.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+/// next_below stays in range for arbitrary bounds.
+#[test]
+fn rng_bounds() {
+    let mut meta = SplitMix64::new(0xB0B0);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = meta.next_u64().max(1);
         let mut r = SplitMix64::new(seed);
         for _ in 0..16 {
-            prop_assert!(r.next_below(bound) < bound);
+            assert!(r.next_below(bound) < bound, "case {case}");
         }
     }
+}
 
-    /// Welford summary matches the naive two-pass computation.
-    #[test]
-    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+/// Welford summary matches the naive two-pass computation.
+#[test]
+fn summary_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5011 ^ case);
+        let n = rng.next_range(2, 100) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut s = Summary::new();
         for &x in &xs {
             s.add(x);
         }
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<f64>() / n;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
-        prop_assert_eq!(s.count(), xs.len() as u64);
+        let nf = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / nf;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nf - 1.0);
+        assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0), "case {case}");
+        assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0), "case {case}");
+        assert_eq!(s.count(), xs.len() as u64, "case {case}");
+    }
+}
+
+/// Monitor mechanics: applying a random op sequence never yields two
+/// owners, never loses a thread, and full unwinding leaves the table
+/// quiescent.
+#[test]
+fn sync_core_never_corrupts() {
+    use std::collections::{HashMap, HashSet};
+
+    fn apply_grants(
+        grants: impl IntoIterator<Item = Grant>,
+        held: &mut HashMap<(u32, u32), u32>,
+        blocked: &mut HashSet<u32>,
+        waiting: &mut HashSet<u32>,
+    ) {
+        for g in grants {
+            blocked.remove(&g.tid.0);
+            waiting.remove(&g.tid.0);
+            *held.entry((g.tid.0, g.mutex.0)).or_insert(0) += 1;
+        }
     }
 
-    /// Monitor mechanics: applying a random op sequence never yields two
-    /// owners, never loses a thread, and full unwinding leaves the table
-    /// quiescent.
-    #[test]
-    fn sync_core_never_corrupts(ops in prop::collection::vec((0u32..6, 0u32..4, 0u32..3), 1..300)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xC04E ^ case);
+        let n_ops = rng.next_range(1, 300) as usize;
         let mut core = SyncCore::new(true);
         // Track how many times each thread must still unlock each mutex.
-        let mut held: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
-        let mut blocked: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        let mut waiting: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut held: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut blocked: HashSet<u32> = HashSet::new();
+        let mut waiting: HashSet<u32> = HashSet::new();
 
-        let apply_grants = |grants: Vec<dmt::core::Grant>,
-                            held: &mut std::collections::HashMap<(u32, u32), u32>,
-                            blocked: &mut std::collections::HashSet<u32>,
-                            waiting: &mut std::collections::HashSet<u32>| {
-            for g in grants {
-                blocked.remove(&g.tid.0);
-                waiting.remove(&g.tid.0);
-                *held.entry((g.tid.0, g.mutex.0)).or_insert(0) += 1;
-            }
-        };
-
-        for (op, t, m) in ops {
+        for _ in 0..n_ops {
+            let op = rng.next_below(6) as u32;
+            let t = rng.next_below(4) as u32;
+            let m = rng.next_below(3) as u32;
             if blocked.contains(&t) || waiting.contains(&t) {
                 continue; // a blocked thread cannot issue operations
             }
@@ -131,7 +164,11 @@ proptest! {
             // Invariant: owners recorded by the model own in the core.
             for (&(ht, hm), &count) in &held {
                 if count > 0 {
-                    prop_assert_eq!(core.owner(MutexId::new(hm)), Some(ThreadId::new(ht)));
+                    assert_eq!(
+                        core.owner(MutexId::new(hm)),
+                        Some(ThreadId::new(ht)),
+                        "case {case}"
+                    );
                 }
             }
         }
@@ -159,13 +196,13 @@ proptest! {
         // Whatever remains blocked is waiting on threads that never
         // locked (impossible) — the core must agree nothing is held.
         for (&(ht, hm), &count) in &held {
-            prop_assert_eq!(count, 0, "thread {} still holds {}", ht, hm);
+            assert_eq!(count, 0, "case {case}: thread {ht} still holds {hm}");
         }
     }
 }
 
 /// Harness replay stability across the whole scheduler zoo, on random
-/// programs (deterministic seeds; proptest shrinks poorly on this size).
+/// programs (deterministic seeds).
 #[test]
 fn harness_runs_are_replay_stable() {
     use dmt::core::harness::Harness;
@@ -176,6 +213,7 @@ fn harness_runs_are_replay_stable() {
     for seed in 0..10u64 {
         let obj = random_object(seed, &cfg);
         let program = dmt::lang::compile::compile(&obj);
+        let this_mutex = MutexId::new(program.mutex_bound());
         let starts: Vec<_> = program
             .methods
             .iter()
@@ -187,7 +225,7 @@ fn harness_runs_are_replay_stable() {
         for kind in SchedulerKind::ALL {
             let run = || {
                 let sc = SchedConfig::new(kind, ReplicaId::new(0));
-                let mut h = Harness::new(program.clone(), MutexId::new(1_000_000), make_scheduler(&sc))
+                let mut h = Harness::new(program.clone(), this_mutex, make_scheduler(&sc))
                     .with_dummy_method(dummy);
                 let mut rng = SplitMix64::new(seed ^ 0x1234);
                 for _ in 0..6 {
