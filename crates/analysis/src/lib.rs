@@ -13,7 +13,7 @@
 //!   syncid the flow can pass, with loop/multi-call "repeatable" flags,
 //! * [`lockparam`] — classification of each synchronisation parameter
 //!   (announceable at entry / after last assignment / spontaneous, §4.2),
-//! * [`transform`] — the injection pass: `lockInfo` announcements,
+//! * [`mod@transform`] — the injection pass: `lockInfo` announcements,
 //!   branch and post-loop `ignore`s (Figure 4),
 //! * [`table`] — assembly of the static [`dmt_core::LockTable`] the
 //!   scheduler's bookkeeping module is initialised with,

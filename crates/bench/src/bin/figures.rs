@@ -3,28 +3,31 @@
 //! ```text
 //! cargo run -p dmt-bench --release --bin figures -- all
 //! cargo run -p dmt-bench --release --bin figures -- fig1 [--quick] [--csv]
-//! cargo run -p dmt-bench --release --bin figures -- bench   # BENCH_engine.json
+//! cargo run -p dmt-bench --release --bin figures -- bench     # BENCH_engine.json
+//! cargo run -p dmt-bench --release --bin figures -- openloop  # BENCH_openloop.json
 //! ```
 
 use dmt_bench::*;
 use std::time::Instant;
 
 /// Baseline simulator throughput (ns/event) per scheduler on the
-/// Figure-1 sweep, measured at the commit immediately before the
-/// dense-ID slot-table refactor (HashMap/BTreeSet engine state), same
-/// machine command: `figures -- bench` with the default full sweep.
-/// Kept so BENCH_engine.json always reports before → after.
+/// Figure-1 sweep. Re-baselined 2026-08-06 to the dense-ID slot-table
+/// engine (the previous HashMap/BTreeSet baseline — SEQ 442, SAT 407,
+/// LSA 536, PDS 920, MAT 462, total 570 — predated that refactor and
+/// overstated every subsequent improvement). Same machine command:
+/// `figures -- bench` with the default full sweep. Kept so
+/// BENCH_engine.json always reports before → after.
 const BASELINE_NS_PER_EVENT: [(&str, f64); 5] = [
-    ("SEQ", 442.0),
-    ("SAT", 407.0),
-    ("LSA", 536.0),
-    ("PDS", 920.0),
-    ("MAT", 462.0),
+    ("SEQ", 173.4),
+    ("SAT", 170.3),
+    ("LSA", 212.9),
+    ("PDS", 247.4),
+    ("MAT", 176.0),
 ];
 
 /// Events-weighted ns/event over the whole baseline sweep (same
 /// measurement as the per-kind table above).
-const BASELINE_TOTAL_NS_PER_EVENT: f64 = 570.0;
+const BASELINE_TOTAL_NS_PER_EVENT: f64 = 200.5;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -61,7 +64,7 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
     j.push_str(&format!(
         "  \"sweep\": {{\"clients\": {client_counts:?}, \"requests_per_client\": {requests}, \"quick\": {quick}}},\n"
     ));
-    j.push_str("  \"baseline\": {\n    \"note\": \"pre-refactor engine (HashMap/BTreeSet state), ns/event on the same sweep\",\n");
+    j.push_str("  \"baseline\": {\n    \"note\": \"dense-ID slot-table engine, re-baselined 2026-08-06; ns/event on the same sweep\",\n");
     j.push_str("    \"per_kind\": {");
     for (i, (k, v)) in BASELINE_NS_PER_EVENT.iter().enumerate() {
         if i > 0 {
@@ -94,9 +97,37 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
     ));
     j.push_str("}\n");
 
-    std::fs::write("BENCH_engine.json", &j).expect("write BENCH_engine.json");
+    let path = artifact_path("BENCH_engine.json", quick);
+    std::fs::write(&path, &j).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("{j}");
-    eprintln!("wrote BENCH_engine.json");
+    eprintln!("wrote {path}");
+}
+
+/// Quick runs use smoke-test grids, so their JSON must not overwrite
+/// the checked-in full-sweep artifacts; they land in `target/` instead.
+fn artifact_path(name: &str, quick: bool) -> String {
+    if quick {
+        let _ = std::fs::create_dir_all("target");
+        format!("target/{name}")
+    } else {
+        name.to_string()
+    }
+}
+
+fn openloop_bench(quick: bool, csv: bool) {
+    let grid = if quick { OpenLoopGrid::quick() } else { OpenLoopGrid::default() };
+    let rows = openloop_experiment(&grid);
+    let t = openloop_table(&rows);
+    if csv {
+        println!("# {}", t.title);
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+    let j = openloop_json(&grid, &rows);
+    let path = artifact_path("BENCH_openloop.json", quick);
+    std::fs::write(&path, &j).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
 }
 
 fn main() {
@@ -135,11 +166,12 @@ fn main() {
         "abl-passive" => emit(&abl_passive_experiment()),
         "determinism" => emit(&determinism_experiment()),
         "bench" => engine_bench(&client_counts, requests, quick),
+        "openloop" => openloop_bench(quick, csv),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "known: fig1 fig1x fig2 fig3 fig4 analysis abl-mutexes \
-                 abl-overhead abl-wan abl-passive determinism bench all"
+                 abl-overhead abl-wan abl-passive determinism bench openloop all"
             );
             std::process::exit(2);
         }
@@ -148,7 +180,7 @@ fn main() {
     if what == "all" {
         for name in [
             "fig1", "fig1x", "fig2", "fig3", "fig4", "analysis", "abl-mutexes", "abl-overhead",
-            "abl-wan", "abl-passive", "determinism", "bench",
+            "abl-wan", "abl-passive", "determinism", "openloop", "bench",
         ] {
             run_one(name);
             println!();

@@ -3,10 +3,36 @@
 //! One function per experiment in EXPERIMENTS.md; the `figures` binary
 //! and the wall-clock benches are thin wrappers. Every function returns
 //! structured rows so results can be printed, asserted on, or serialised.
+//!
+//! Two kinds of numbers come out of this crate, and they must not be
+//! confused:
+//!
+//! * **Virtual-time results** (throughput tables, the [`openloop`]
+//!   latency percentiles) are computed entirely inside the
+//!   deterministic simulation — client arrivals come from seeded
+//!   Poisson schedules ([`dmt_sim::PoissonProcess`]), latencies are
+//!   integer virtual nanoseconds aggregated in the fixed-bucket
+//!   log-scale histogram ([`dmt_sim::LogHistogram`], ≤3.2 %
+//!   quantisation error, percentiles reported at the upper bucket
+//!   edge). They are bit-for-bit reproducible: the same grid yields
+//!   the same bytes regardless of rerun, host, or how many sweep
+//!   workers ([`run_jobs_prioritized`]) executed it, and regression
+//!   tests pin exactly that.
+//! * **Wall-clock results** (`BENCH_engine.json` ns/event) time the
+//!   simulator itself and naturally vary run to run; they are never
+//!   mixed into the deterministic artifacts.
+//!
+//! Parallel sweeps dispatch jobs longest-first but slot results by job
+//! index, so parallelism affects wall-clock only, never output bytes.
 
 pub mod experiments;
+pub mod openloop;
 pub mod table;
 pub mod ubench;
 
 pub use experiments::*;
+pub use openloop::{
+    openloop_experiment, openloop_experiment_with_threads, openloop_json, openloop_table,
+    OpenLoopGrid, OpenLoopRow,
+};
 pub use table::Table;

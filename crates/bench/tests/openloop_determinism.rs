@@ -1,0 +1,32 @@
+//! The `BENCH_openloop.json` byte-identity regression: the open-loop
+//! sweep's serialised output must not depend on how many workers ran
+//! the sweep, on dispatch order, or on rerun — for *every* scheduler,
+//! including the extended MAT-LL/PMAT series. Any wall-clock value or
+//! iteration-order dependence leaking into the artifact fails here.
+
+use dmt_bench::{openloop_experiment_with_threads, openloop_json, OpenLoopGrid};
+
+fn grid() -> OpenLoopGrid {
+    OpenLoopGrid {
+        offered_rps: vec![300.0, 5000.0],
+        read_fractions: vec![0.5, 1.0],
+        n_clients: 4,
+        requests_per_client: 5,
+        extended: true, // all seven schedulers, not just the paper's five
+    }
+}
+
+#[test]
+fn openloop_json_is_byte_identical_across_worker_counts_and_reruns() {
+    let g = grid();
+    let reference = openloop_json(&g, &openloop_experiment_with_threads(&g, 1));
+    // Sanity: the artifact actually covers every scheduler × grid point.
+    assert_eq!(reference.matches("\"scheduler\"").count(), 2 * 2 * 7);
+    for threads in [2, 8] {
+        let j = openloop_json(&g, &openloop_experiment_with_threads(&g, threads));
+        assert_eq!(reference, j, "{threads}-worker sweep diverged from serial");
+    }
+    // Rerun at the same worker count: same process, fresh engines.
+    let again = openloop_json(&g, &openloop_experiment_with_threads(&g, 1));
+    assert_eq!(reference, again, "rerun diverged");
+}

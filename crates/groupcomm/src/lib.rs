@@ -2,7 +2,7 @@
 //!
 //! The paper's system model requires that "each replica receives all
 //! messages in a total order" through a group communication system
-//! (FTflex used the consensus-based GCS of Reiser et al. [10]). We model
+//! (FTflex used the consensus-based GCS of Reiser et al. \[10\]). We model
 //! that service as a *reliable sequencer*: every submission travels to
 //! the sequencer (one-way latency + jitter), receives the next sequence
 //! number, and is broadcast to every live node (per-link latency +

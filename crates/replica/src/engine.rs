@@ -18,7 +18,7 @@ use dmt_core::{
 };
 use dmt_groupcomm::{GroupComm, NetConfig, NodeId, Sequenced};
 use dmt_lang::{Action, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm};
-use dmt_sim::{EventQueue, Histogram, SimDuration, SimTime, SplitMix64};
+use dmt_sim::{EventQueue, Histogram, LogHistogram, SimDuration, SimTime, SplitMix64};
 
 /// Cluster-level configuration of one run.
 #[derive(Clone)]
@@ -126,6 +126,25 @@ impl PerfCounters {
     }
 }
 
+/// Enqueue→reply timestamps of one completed request, in virtual time.
+/// `enqueued` is the instant the client handed the request to the
+/// total-order layer; `replied` is the instant the first replica's
+/// answer reaches the client (reply wire leg included). Their
+/// difference is the client-observed latency — under an open-loop
+/// script it includes the queueing delay a closed loop never builds up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestLatency {
+    pub id: RequestId,
+    pub enqueued: SimTime,
+    pub replied: SimTime,
+}
+
+impl RequestLatency {
+    pub fn latency(&self) -> SimDuration {
+        self.replied - self.enqueued
+    }
+}
+
 /// Aggregated outcome of one run.
 #[derive(Debug)]
 pub struct RunResult {
@@ -133,6 +152,13 @@ pub struct RunResult {
     pub traces: Vec<ExecutionTrace>,
     /// Client-observed response times (ms).
     pub response_times: Histogram,
+    /// The same latencies in the fixed-bucket log-scale histogram
+    /// (integer nanoseconds): deterministic p50/p95/p99 for the
+    /// open-loop experiments.
+    pub latency: LogHistogram,
+    /// Per-request enqueue→reply timestamps, in completion order
+    /// (virtual-time deterministic).
+    pub latencies: Vec<RequestLatency>,
     /// Completed real requests (first-reply semantics).
     pub completed_requests: u64,
     /// Virtual time at which everything finished.
@@ -203,6 +229,9 @@ enum Ev {
     Step { replica: usize, tid: ThreadId },
     NestedDone { tid: ThreadId, call_no: u32, dur_ns: u64 },
     ClientReply { client: u32 },
+    /// Open-loop submission: request `req_no` of `client` enters the
+    /// total-order layer now, whatever the state of earlier requests.
+    ClientSubmit { client: u32, req_no: u32 },
     Kill { replica: usize },
     LeaderDetect { new_leader: usize },
 }
@@ -227,6 +256,8 @@ pub struct Engine {
     client_pos: Vec<usize>,
     completed_requests: u64,
     response_times: Histogram,
+    latency: LogHistogram,
+    latencies: Vec<RequestLatency>,
     dummy_requests: u64,
     dummy_counter: u32,
     ctrl_messages: u64,
@@ -281,6 +312,8 @@ impl Engine {
             client_pos: Vec::new(),
             completed_requests: 0,
             response_times: Histogram::new(),
+            latency: LogHistogram::new(),
+            latencies: Vec::new(),
             dummy_requests: 0,
             dummy_counter: 0,
             ctrl_messages: 0,
@@ -327,23 +360,46 @@ impl Engine {
         self.queue.push_after(d, Ev::SeqArrive(msg));
     }
 
+    /// Submits request `req_no` of `client` to the total-order layer and
+    /// records its enqueue timestamp.
+    fn submit_request(&mut self, client: u32, req_no: u32) {
+        let c = client as usize;
+        let (method, args) = self.scenario.clients[c].requests[req_no as usize].clone();
+        self.req_state[c].insert(
+            req_no as usize,
+            ReqState { submitted: self.queue.now(), first_finish: None },
+        );
+        self.submit_to_gc(CLIENT_SRC + c as u64, GcMsg::Request {
+            id: RequestId { client, req_no },
+            method,
+            args,
+            dummy: false,
+        });
+    }
+
     /// Runs the scenario to completion.
     pub fn run(mut self) -> RunResult {
-        // Kick off every client's first request.
+        // Kick off the clients: closed-loop clients submit their first
+        // request now and chain on replies; open-loop clients get their
+        // whole arrival schedule queued up front.
         self.client_pos = vec![0; self.scenario.clients.len()];
         let scripts: Vec<ClientScript> = self.scenario.clients.clone();
         for (c, script) in scripts.iter().enumerate() {
-            if let Some((method, args)) = script.requests.first() {
-                let id = RequestId { client: c as u32, req_no: 0 };
-                self.req_state[c]
-                    .insert(0, ReqState { submitted: self.queue.now(), first_finish: None });
-                self.client_pos[c] = 1;
-                self.submit_to_gc(CLIENT_SRC + c as u64, GcMsg::Request {
-                    id,
-                    method: *method,
-                    args: args.clone(),
-                    dummy: false,
-                });
+            match &script.arrivals {
+                Some(schedule) => {
+                    for (req_no, &at) in schedule.iter().enumerate() {
+                        self.queue.push_at(
+                            at,
+                            Ev::ClientSubmit { client: c as u32, req_no: req_no as u32 },
+                        );
+                    }
+                }
+                None => {
+                    if !script.requests.is_empty() {
+                        self.client_pos[c] = 1;
+                        self.submit_request(c as u32, 0);
+                    }
+                }
             }
         }
         if let Some((replica, at)) = self.cfg.kill_at {
@@ -386,6 +442,8 @@ impl Engine {
         RunResult {
             traces: self.reps.iter().map(|r| r.trace.clone()).collect(),
             response_times: self.response_times,
+            latency: self.latency,
+            latencies: self.latencies,
             completed_requests: self.completed_requests,
             makespan,
             net_stats: *self.gc.stats(),
@@ -429,21 +487,16 @@ impl Engine {
                 }
             }
             Ev::ClientReply { client } => {
+                // Closed loop only: a reply releases the next request.
                 let c = client as usize;
                 let pos = self.client_pos[c];
-                let script = self.scenario.clients[c].clone();
-                if let Some((method, args)) = script.requests.get(pos) {
+                if pos < self.scenario.clients[c].requests.len() {
                     self.client_pos[c] = pos + 1;
-                    let id = RequestId { client, req_no: pos as u32 };
-                    self.req_state[c]
-                        .insert(pos, ReqState { submitted: self.queue.now(), first_finish: None });
-                    self.submit_to_gc(CLIENT_SRC + client as u64, GcMsg::Request {
-                        id,
-                        method: *method,
-                        args: args.clone(),
-                        dummy: false,
-                    });
+                    self.submit_request(client, pos as u32);
                 }
+            }
+            Ev::ClientSubmit { client, req_no } => {
+                self.submit_request(client, req_no);
             }
             Ev::Kill { replica } => {
                 self.kill_replica(replica);
@@ -727,7 +780,8 @@ impl Engine {
                 .expect("request state exists");
             if st.first_finish.is_none() {
                 st.first_finish = Some(now);
-                let rt = (now + reply_leg) - st.submitted;
+                let replied = now + reply_leg;
+                let rt = replied - st.submitted;
                 self.completed_requests += 1;
                 if let (Some(kt), None) = (self.kill_time, self.takeover_gap) {
                     if now >= kt {
@@ -735,7 +789,17 @@ impl Engine {
                     }
                 }
                 self.response_times.add(rt.as_millis_f64());
-                self.queue.push_after(reply_leg, Ev::ClientReply { client: id.client });
+                self.latency.record_duration(rt);
+                self.latencies.push(RequestLatency {
+                    id,
+                    enqueued: st.submitted,
+                    replied,
+                });
+                // Open-loop clients submit on their schedule; only the
+                // closed loop chains request `k+1` on reply `k`.
+                if !self.scenario.clients[id.client as usize].is_open_loop() {
+                    self.queue.push_after(reply_leg, Ev::ClientReply { client: id.client });
+                }
             }
         }
     }
@@ -882,6 +946,72 @@ mod tests {
         assert_eq!(res.completed_requests, 24);
         assert!(res.takeover_gap.is_some());
         assert_eq!(res.traces[1].state_hash, res.traces[2].state_hash);
+    }
+
+    /// The counter scenario rebuilt with an open-loop arrival schedule.
+    fn open_loop_counter(n_clients: usize, reqs: usize, gap: SimDuration) -> Scenario {
+        let closed = counter_scenario(n_clients, reqs);
+        let clients = closed
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(c, script)| {
+                let arrivals = (0..reqs)
+                    .map(|k| SimTime::ZERO + gap * (c + k * n_clients + 1) as u64)
+                    .collect();
+                ClientScript::open_loop(script.requests.clone(), arrivals)
+            })
+            .collect();
+        Scenario { clients, ..closed }
+    }
+
+    #[test]
+    fn open_loop_completes_and_stamps_every_request() {
+        let gap = SimDuration::from_micros(50);
+        for kind in SchedulerKind::ALL {
+            let res = run(kind, open_loop_counter(3, 4, gap), 5);
+            assert!(!res.deadlocked, "{kind}");
+            assert_eq!(res.completed_requests, 12, "{kind}");
+            assert_eq!(res.latencies.len(), 12, "{kind}");
+            assert_eq!(res.latency.count(), 12, "{kind}");
+            for rl in &res.latencies {
+                // Enqueue stamps must match the arrival schedule exactly.
+                let slot = rl.id.client as usize + rl.id.req_no as usize * 3 + 1;
+                assert_eq!(rl.enqueued, SimTime::ZERO + gap * slot as u64, "{kind}");
+                assert!(rl.replied > rl.enqueued, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_builds_queueing_delay_where_closed_loop_cannot() {
+        // Submit 8 requests (1 client) essentially at once: under SEQ the
+        // k-th request waits for k-1 predecessors, so open-loop latency
+        // must grow monotonically far beyond the closed-loop mean.
+        let res = run(
+            SchedulerKind::Seq,
+            open_loop_counter(1, 8, SimDuration::from_nanos(10)),
+            5,
+        );
+        assert!(!res.deadlocked);
+        let lat: Vec<u64> = res.latencies.iter().map(|l| l.latency().as_nanos()).collect();
+        assert!(lat.windows(2).all(|w| w[1] > w[0]), "latency must grow: {lat:?}");
+        // Each queued predecessor adds ≥ its 100 µs compute segment.
+        assert!(
+            lat[7] - lat[0] >= 7 * 90_000,
+            "tail request must queue behind predecessors: {lat:?}"
+        );
+        let closed = run(SchedulerKind::Seq, counter_scenario(1, 8), 5);
+        assert!(res.response_times.mean() > closed.response_times.mean());
+    }
+
+    #[test]
+    fn open_loop_latencies_are_deterministic() {
+        let gap = SimDuration::from_micros(20);
+        let a = run(SchedulerKind::Mat, open_loop_counter(3, 5, gap), 9);
+        let b = run(SchedulerKind::Mat, open_loop_counter(3, 5, gap), 9);
+        assert_eq!(a.latencies, b.latencies);
+        assert_eq!(a.latency.p99_ns(), b.latency.p99_ns());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod replay;
 pub mod trace;
 
 pub use checker::{check_determinism, CheckOutcome};
-pub use engine::{Engine, EngineConfig, PerfCounters, RunResult};
+pub use engine::{Engine, EngineConfig, PerfCounters, RequestLatency, RunResult};
 pub use msg::{ClientScript, GcMsg, RequestId, Scenario};
 pub use replay::{record_primary, replay_on_backup, PrimaryLog};
 pub use trace::{compare, Divergence, ExecutionTrace, MatchLevel};

@@ -24,16 +24,52 @@ pub enum GcMsg {
     Ctrl { from: ReplicaId, msg: CtrlMsg },
 }
 
-/// One client's scripted request sequence (closed loop: the next request
-/// is sent when the previous reply arrives).
+/// One client's scripted request sequence.
+///
+/// Two client models share this type:
+///
+/// * **closed loop** (`arrivals == None`, the paper's §3.5 setting) —
+///   the next request is sent when the previous reply arrives, so the
+///   offered load self-throttles to the system's speed;
+/// * **open loop** (`arrivals == Some(schedule)`) — request `k` is
+///   handed to the total-order layer at `schedule[k]` of virtual time
+///   regardless of earlier replies, so queueing delay becomes visible
+///   when the offered rate approaches the service capacity.
 #[derive(Clone, Debug)]
 pub struct ClientScript {
     pub requests: Vec<(MethodIdx, RequestArgs)>,
+    /// Open-loop submission instants (one per request, non-decreasing);
+    /// `None` selects the closed-loop model.
+    pub arrivals: Option<Vec<dmt_sim::SimTime>>,
 }
 
 impl ClientScript {
+    /// A closed-loop script from explicit `(method, args)` pairs.
+    pub fn closed(requests: Vec<(MethodIdx, RequestArgs)>) -> Self {
+        ClientScript { requests, arrivals: None }
+    }
+
     pub fn repeated(method: MethodIdx, args: Vec<RequestArgs>) -> Self {
-        ClientScript { requests: args.into_iter().map(|a| (method, a)).collect() }
+        Self::closed(args.into_iter().map(|a| (method, a)).collect())
+    }
+
+    /// An open-loop script: request `k` is submitted at `arrivals[k]`.
+    /// Panics unless the schedule has exactly one instant per request.
+    pub fn open_loop(
+        requests: Vec<(MethodIdx, RequestArgs)>,
+        arrivals: Vec<dmt_sim::SimTime>,
+    ) -> Self {
+        assert_eq!(
+            requests.len(),
+            arrivals.len(),
+            "open-loop schedule must cover every request"
+        );
+        ClientScript { requests, arrivals: Some(arrivals) }
+    }
+
+    /// True if this client submits on a schedule instead of reply-to-send.
+    pub fn is_open_loop(&self) -> bool {
+        self.arrivals.is_some()
     }
 }
 

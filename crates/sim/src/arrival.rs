@@ -1,0 +1,106 @@
+//! Deterministic open-loop arrival processes.
+//!
+//! A closed-loop client (the paper's §3.5 setting) submits its next
+//! request when the previous reply arrives, so the offered load adapts
+//! to the system's speed and queueing never builds up beyond one
+//! request per client. An *open-loop* client submits at externally
+//! scheduled instants regardless of replies — the regime in which
+//! admission policies (LSA's leader serialisation vs. MAT's concurrent
+//! token queue) separate, because latecomers queue behind slow requests.
+//!
+//! [`PoissonProcess`] produces the classic memoryless arrival stream:
+//! exponentially distributed inter-arrival gaps with a given rate. All
+//! randomness comes from the in-tree [`SplitMix64`], all timestamps are
+//! integer nanoseconds of *virtual* time, and no wall clock is ever
+//! consulted — the same seed yields the same arrival schedule on every
+//! platform, which is what lets the open-loop experiments demand
+//! byte-identical result artifacts across reruns and worker counts.
+
+use crate::rng::SplitMix64;
+use crate::time::SimTime;
+
+/// A deterministic Poisson-like arrival process: exponential gaps with
+/// mean `1/rate`, rounded to whole nanoseconds and clamped to ≥ 1 ns so
+/// each stream's arrivals are strictly increasing.
+#[derive(Clone, Debug)]
+pub struct PoissonProcess {
+    rng: SplitMix64,
+    next: SimTime,
+    mean_gap_ns: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given aggregate rate in requests per
+    /// *virtual* second. Panics on a non-positive or non-finite rate.
+    pub fn new(seed: u64, rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "arrival rate must be positive and finite, got {rate_per_sec}"
+        );
+        PoissonProcess {
+            rng: SplitMix64::new(seed),
+            next: SimTime::ZERO,
+            mean_gap_ns: 1e9 / rate_per_sec,
+        }
+    }
+
+    /// Returns the next arrival instant and advances the process. The
+    /// first arrival already sits one exponential gap after time zero
+    /// (an arrival *process*, not an arrival at the epoch).
+    pub fn next_arrival(&mut self) -> SimTime {
+        let gap = self.rng.next_exp(self.mean_gap_ns).round() as u64;
+        self.next = self.next + crate::time::SimDuration::from_nanos(gap.max(1));
+        self.next
+    }
+
+    /// The first `n` arrival instants as a schedule.
+    pub fn take_schedule(&mut self, n: usize) -> Vec<SimTime> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+/// Convenience: the first `n` arrivals of a fresh process.
+pub fn poisson_schedule(seed: u64, rate_per_sec: f64, n: usize) -> Vec<SimTime> {
+    PoissonProcess::new(seed, rate_per_sec).take_schedule(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = poisson_schedule(7, 1000.0, 500);
+        let b = poisson_schedule(7, 1000.0, 500);
+        assert_eq!(a, b);
+        let c = poisson_schedule(8, 1000.0, 500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let sched = poisson_schedule(3, 1e9, 10_000); // 1 arrival/ns mean
+        for w in sched.windows(2) {
+            assert!(w[1] > w[0], "arrivals must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        // 2000 req/s → mean gap 0.5 ms.
+        let sched = poisson_schedule(11, 2000.0, 100_000);
+        let span = sched.last().unwrap().as_nanos() - sched[0].as_nanos();
+        let mean_gap = span as f64 / (sched.len() - 1) as f64;
+        let expected = 0.5e6;
+        assert!(
+            (mean_gap - expected).abs() / expected < 0.02,
+            "mean gap {mean_gap} ns vs expected {expected} ns"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_panics() {
+        PoissonProcess::new(1, 0.0);
+    }
+}

@@ -111,7 +111,7 @@ pub fn client_scripts(p: &BankParams) -> Vec<ClientScript> {
                     requests.push((audit, RequestArgs::empty()));
                 }
             }
-            ClientScript { requests }
+            ClientScript::closed(requests)
         })
         .collect()
 }

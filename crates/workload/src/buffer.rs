@@ -63,14 +63,14 @@ pub fn client_scripts(p: &BufferParams) -> Vec<ClientScript> {
     let take = MethodIdx::new(1);
     let mut scripts = Vec::new();
     for _ in 0..p.n_producers {
-        scripts.push(ClientScript {
-            requests: (0..p.items_per_client).map(|_| (put, RequestArgs::empty())).collect(),
-        });
+        scripts.push(ClientScript::closed(
+            (0..p.items_per_client).map(|_| (put, RequestArgs::empty())).collect(),
+        ));
     }
     for _ in 0..p.n_consumers {
-        scripts.push(ClientScript {
-            requests: (0..p.items_per_client).map(|_| (take, RequestArgs::empty())).collect(),
-        });
+        scripts.push(ClientScript::closed(
+            (0..p.items_per_client).map(|_| (take, RequestArgs::empty())).collect(),
+        ));
     }
     scripts
 }

@@ -129,7 +129,7 @@ pub fn client_scripts(p: &Fig1Params) -> Vec<ClientScript> {
                     (invoke, RequestArgs::new(args))
                 })
                 .collect();
-            ClientScript { requests }
+            ClientScript::closed(requests)
         })
         .collect()
 }

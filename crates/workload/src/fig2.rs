@@ -69,15 +69,15 @@ pub fn client_scripts(p: &Fig2Params) -> Vec<ClientScript> {
     (0..p.n_clients)
         .map(|c| {
             let mut crng = rng.split(c as u64);
-            ClientScript {
-                requests: (0..p.requests_per_client)
+            ClientScript::closed(
+                (0..p.requests_per_client)
                     .map(|_| {
                         (serve, RequestArgs::new(vec![Value::Int(
                             crng.next_below(p.n_mutexes as u64) as i64,
                         )]))
                     })
                     .collect(),
-            }
+            )
         })
         .collect()
 }

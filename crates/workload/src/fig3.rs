@@ -53,10 +53,12 @@ pub fn build_object(p: &Fig3Params) -> ObjectImpl {
 pub fn client_scripts(p: &Fig3Params) -> Vec<ClientScript> {
     let serve = MethodIdx::new(0);
     (0..p.n_clients)
-        .map(|k| ClientScript {
-            requests: (0..p.requests_per_client)
-                .map(|_| (serve, RequestArgs::new(vec![Value::Int(k as i64)])))
-                .collect(),
+        .map(|k| {
+            ClientScript::closed(
+                (0..p.requests_per_client)
+                    .map(|_| (serve, RequestArgs::new(vec![Value::Int(k as i64)])))
+                    .collect(),
+            )
         })
         .collect()
 }

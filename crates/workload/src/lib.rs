@@ -15,7 +15,13 @@
 //! * [`bank`] — a two-lock transfer workload (realistic fine-grained
 //!   locking with nested monitors);
 //! * [`buffer`] — a bounded producer/consumer buffer exercising
-//!   condition variables under every scheduler.
+//!   condition variables under every scheduler;
+//! * [`openloop`] — the open-loop read/write-mix workload: clients
+//!   submit on deterministic Poisson arrival schedules (offered load in
+//!   requests per virtual second) instead of waiting for replies, over a
+//!   keyed store whose `get`/`put` critical sections differ in length —
+//!   the regime where queueing separates LSA's serialised admission
+//!   from MAT's concurrent token queue.
 //!
 //! Every generator returns both the *plain* and the *analysed*
 //! (transformed + lock-table) variant of its scenario, so experiments can
@@ -26,6 +32,7 @@ pub mod buffer;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod openloop;
 pub mod synth;
 
 use dmt_analysis::{build_lock_table, transform};

@@ -1,0 +1,281 @@
+//! Open-loop read/write-mix workload (the ROADMAP "workload breadth"
+//! item).
+//!
+//! The paper's only quantitative benchmark (Figure 1) is a *closed
+//! loop*: each client submits its next request when the previous reply
+//! arrives, so offered load self-throttles and queueing delay never
+//! accumulates. That regime hides exactly the admission differences
+//! this suite wants to measure — LSA's leader serialises grant
+//! decisions while MAT admits concurrently, which only separates when
+//! latecomers actually queue. This module provides the missing regime:
+//!
+//! * a **key-value read/write mix** over `n_mutexes` cells, each cell
+//!   guarded by its pool mutex — `get(key)` holds the lock for a short
+//!   read, `put(key, val)` holds it longer and updates the cell (an
+//!   order-sensitive write, so the determinism checker still bites);
+//! * an **open-loop client model**: every client draws a deterministic
+//!   Poisson arrival schedule ([`dmt_sim::PoissonProcess`]) and submits
+//!   on it, replies or not, at an aggregate offered rate of
+//!   `offered_rps` requests per virtual second.
+//!
+//! All randomness (operation mix, key choice, write values, arrival
+//! gaps) is drawn client-side from split [`SplitMix64`] streams and
+//! baked into the scripts, so a scenario is a pure function of its
+//! parameters — the property the byte-identical `BENCH_openloop.json`
+//! regression rests on. A closed-loop builder over the *same* request
+//! mix ([`closed_scenario`]) is included so experiments can price the
+//! client model itself.
+
+use crate::ScenarioPair;
+use dmt_lang::ast::{DurExpr, IntExpr, MutexExpr, ObjectImpl};
+use dmt_lang::{ObjectBuilder, RequestArgs, Value};
+use dmt_replica::ClientScript;
+use dmt_sim::{PoissonProcess, SplitMix64};
+
+/// Parameters of the open-loop read/write-mix workload.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopParams {
+    pub n_clients: usize,
+    pub requests_per_client: usize,
+    /// Aggregate offered load across all clients, requests per virtual
+    /// second (each client runs an independent Poisson stream at
+    /// `offered_rps / n_clients`).
+    pub offered_rps: f64,
+    /// Probability that a request is a `get` (the rest are `put`s).
+    pub read_fraction: f64,
+    /// Number of cells / pool mutexes (keys).
+    pub n_mutexes: u32,
+    /// Compute before the critical section (request parsing etc.), µs.
+    pub pre_us: u64,
+    /// Critical-section length of a `get`, µs.
+    pub read_us: u64,
+    /// Critical-section length of a `put`, µs.
+    pub write_us: u64,
+    pub seed: u64,
+}
+
+impl Default for OpenLoopParams {
+    fn default() -> Self {
+        OpenLoopParams {
+            n_clients: 8,
+            requests_per_client: 25,
+            offered_rps: 200.0,
+            read_fraction: 0.9,
+            n_mutexes: 64,
+            pre_us: 200,
+            read_us: 300,
+            write_us: 800,
+            seed: 42,
+        }
+    }
+}
+
+impl OpenLoopParams {
+    pub fn with_offered_rps(mut self, rps: f64) -> Self {
+        self.offered_rps = rps;
+        self
+    }
+
+    pub fn with_read_fraction(mut self, f: f64) -> Self {
+        self.read_fraction = f;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn total_requests(&self) -> usize {
+        self.n_clients * self.requests_per_client
+    }
+}
+
+/// Pool base for the key mutexes (`this` gets a disjoint id).
+const POOL_BASE: u32 = 0;
+
+/// Builds the store object: `get(key)`, `put(key, val)`, and a `noop`
+/// for PDS dummies. Both lock parameters are `Pool` indexed by argument
+/// 0, i.e. announceable at method entry — the prediction schedulers
+/// (PMAT/MAT-LL) can run the analysed variant meaningfully.
+pub fn build_object(p: &OpenLoopParams) -> ObjectImpl {
+    let mut ob = ObjectBuilder::new("RwStore");
+    ob.cells(p.n_mutexes); // cell k guarded by pool mutex k
+    let mut get = ob.method("get", 1);
+    get.compute(DurExpr::micros(p.pre_us));
+    get.sync(
+        MutexExpr::Pool { base: POOL_BASE, len: p.n_mutexes, index_arg: 0 },
+        |b| {
+            b.compute(DurExpr::micros(p.read_us));
+        },
+    );
+    get.done();
+    let mut put = ob.method("put", 2);
+    put.compute(DurExpr::micros(p.pre_us));
+    put.sync(
+        MutexExpr::Pool { base: POOL_BASE, len: p.n_mutexes, index_arg: 0 },
+        |b| {
+            b.compute(DurExpr::micros(p.write_us));
+            // Order-sensitive: last writer wins per cell, so replica
+            // state hashes expose any grant-order divergence.
+            b.update_indexed(POOL_BASE, p.n_mutexes, 0, IntExpr::Arg(1));
+        },
+    );
+    put.done();
+    let noop = ob.method("noop", 0);
+    noop.done();
+    ob.build()
+}
+
+/// The request mix every client model shares: per-client streams of
+/// (method, key, value) draws. Split streams keep the mix independent
+/// of the arrival schedule, so open and closed variants execute the
+/// *same* requests.
+fn request_mix(p: &OpenLoopParams) -> Vec<Vec<(dmt_lang::MethodIdx, RequestArgs)>> {
+    let get = dmt_lang::MethodIdx::new(0);
+    let put = dmt_lang::MethodIdx::new(1);
+    let mut rng = SplitMix64::new(p.seed);
+    (0..p.n_clients)
+        .map(|c| {
+            let mut crng = rng.split(c as u64);
+            (0..p.requests_per_client)
+                .map(|_| {
+                    let key = Value::Int(crng.next_below(p.n_mutexes as u64) as i64);
+                    if crng.next_bool(p.read_fraction) {
+                        (get, RequestArgs::new(vec![key]))
+                    } else {
+                        let val = Value::Int(crng.next_below(1 << 20) as i64);
+                        (put, RequestArgs::new(vec![key, val]))
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Open-loop client scripts: the shared request mix on per-client
+/// Poisson schedules at `offered_rps / n_clients` each.
+pub fn client_scripts(p: &OpenLoopParams) -> Vec<ClientScript> {
+    let per_client_rate = p.offered_rps / p.n_clients as f64;
+    let mut arrival_rng = SplitMix64::new(p.seed ^ 0x6f70_656e_6c6f_6f70); // "openloop"
+    request_mix(p)
+        .into_iter()
+        .map(|requests| {
+            let n = requests.len();
+            let mut proc =
+                PoissonProcess::new(arrival_rng.next_u64(), per_client_rate);
+            ClientScript::open_loop(requests, proc.take_schedule(n))
+        })
+        .collect()
+}
+
+/// Closed-loop scripts over the identical request mix (for pricing the
+/// client model itself; `offered_rps` is ignored).
+pub fn closed_client_scripts(p: &OpenLoopParams) -> Vec<ClientScript> {
+    request_mix(p).into_iter().map(ClientScript::closed).collect()
+}
+
+/// The open-loop scenario in both instrumentation variants.
+pub fn scenario(p: &OpenLoopParams) -> ScenarioPair {
+    let obj = build_object(p);
+    debug_assert_eq!(obj.method_by_name("get"), Some(dmt_lang::MethodIdx::new(0)));
+    debug_assert_eq!(obj.method_by_name("put"), Some(dmt_lang::MethodIdx::new(1)));
+    crate::make_variants(&obj, client_scripts(p), "noop")
+}
+
+/// The closed-loop variant of the same workload.
+pub fn closed_scenario(p: &OpenLoopParams) -> ScenarioPair {
+    let obj = build_object(p);
+    crate::make_variants(&obj, closed_client_scripts(p), "noop")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_core::SchedulerKind;
+    use dmt_replica::{Engine, EngineConfig};
+
+    #[test]
+    fn object_is_fully_analysable() {
+        let p = OpenLoopParams::default();
+        let obj = build_object(&p);
+        assert!(obj.validate().is_empty());
+        let report = dmt_analysis::analyze(&obj);
+        for m in &report.methods[..2] {
+            assert!(m.analyzable);
+            assert!(m.predictable_at_entry, "pool keys announceable at entry");
+        }
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_respect_the_mix() {
+        let p = OpenLoopParams::default();
+        let a = client_scripts(&p);
+        let b = client_scripts(&p);
+        assert_eq!(a.len(), b.len());
+        let mut reads = 0usize;
+        let mut total = 0usize;
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.requests, y.requests);
+            assert_eq!(x.arrivals, y.arrivals);
+            assert!(x.is_open_loop());
+            reads += x.requests.iter().filter(|(m, _)| m.index() == 0).count();
+            total += x.requests.len();
+        }
+        // 90 % reads, within sampling noise for 200 draws.
+        let frac = reads as f64 / total as f64;
+        assert!((0.8..=1.0).contains(&frac), "read fraction {frac}");
+        // Different seed → different schedule.
+        let c = client_scripts(&p.with_seed(43));
+        assert_ne!(a[0].arrivals, c[0].arrivals);
+    }
+
+    #[test]
+    fn closed_variant_runs_the_same_requests() {
+        let p = OpenLoopParams { n_clients: 3, requests_per_client: 5, ..Default::default() };
+        let open = client_scripts(&p);
+        let closed = closed_client_scripts(&p);
+        for (o, c) in open.iter().zip(&closed) {
+            assert_eq!(o.requests, c.requests);
+            assert!(!c.is_open_loop());
+        }
+    }
+
+    #[test]
+    fn completes_under_every_scheduler() {
+        let p = OpenLoopParams {
+            n_clients: 3,
+            requests_per_client: 4,
+            offered_rps: 2000.0,
+            n_mutexes: 8,
+            ..Default::default()
+        };
+        let pair = scenario(&p);
+        for kind in SchedulerKind::ALL {
+            let cfg = EngineConfig::new(kind).with_seed(5);
+            let res = Engine::new(pair.for_kind(kind), cfg).run();
+            assert!(!res.deadlocked, "{kind}");
+            assert_eq!(res.completed_requests, 12, "{kind}");
+            assert_eq!(res.latency.count(), 12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn deterministic_schedulers_converge_under_jitter() {
+        let p = OpenLoopParams {
+            n_clients: 4,
+            requests_per_client: 3,
+            offered_rps: 4000.0, // contended: arrivals pile up
+            n_mutexes: 4,
+            read_fraction: 0.5,
+            ..Default::default()
+        };
+        let pair = scenario(&p);
+        for kind in [SchedulerKind::Lsa, SchedulerKind::Mat, SchedulerKind::Pmat] {
+            let (res, outcome) =
+                dmt_replica::check_determinism(pair.for_kind(kind), kind, 9, 0.25);
+            assert!(!res.deadlocked, "{kind}");
+            assert!(outcome.converged(), "{kind}: {outcome:?}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dmt_analysis-8deb629b45ca423c.d: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+/root/repo/target/debug/deps/libdmt_analysis-8deb629b45ca423c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/callgraph.rs crates/analysis/src/lockparam.rs crates/analysis/src/paths.rs crates/analysis/src/pretty.rs crates/analysis/src/report.rs crates/analysis/src/table.rs crates/analysis/src/transform.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/lockparam.rs:
+crates/analysis/src/paths.rs:
+crates/analysis/src/pretty.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/table.rs:
+crates/analysis/src/transform.rs:

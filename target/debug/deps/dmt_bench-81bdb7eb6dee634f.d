@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dmt_bench-81bdb7eb6dee634f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/debug/deps/dmt_bench-81bdb7eb6dee634f.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
-/root/repo/target/debug/deps/dmt_bench-81bdb7eb6dee634f: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/debug/deps/dmt_bench-81bdb7eb6dee634f: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments.rs:
+crates/bench/src/openloop.rs:
 crates/bench/src/table.rs:
 crates/bench/src/ubench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dmt_bench-85f82f25758e72bc.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+
+/root/repo/target/debug/deps/libdmt_bench-85f82f25758e72bc.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/openloop.rs:
+crates/bench/src/table.rs:
+crates/bench/src/ubench.rs:

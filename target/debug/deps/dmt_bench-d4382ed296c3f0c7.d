@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dmt_bench-d4382ed296c3f0c7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/debug/deps/dmt_bench-d4382ed296c3f0c7.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
-/root/repo/target/debug/deps/libdmt_bench-d4382ed296c3f0c7.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/debug/deps/libdmt_bench-d4382ed296c3f0c7.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
-/root/repo/target/debug/deps/libdmt_bench-d4382ed296c3f0c7.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/debug/deps/libdmt_bench-d4382ed296c3f0c7.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments.rs:
+crates/bench/src/openloop.rs:
 crates/bench/src/table.rs:
 crates/bench/src/ubench.rs:

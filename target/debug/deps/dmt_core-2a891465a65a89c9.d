@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dmt_core-2a891465a65a89c9.d: crates/core/src/lib.rs crates/core/src/bookkeeping.rs crates/core/src/event.rs crates/core/src/free.rs crates/core/src/harness.rs crates/core/src/ids.rs crates/core/src/lsa.rs crates/core/src/mat.rs crates/core/src/pds.rs crates/core/src/pmat.rs crates/core/src/sat.rs crates/core/src/scheduler.rs crates/core/src/seq.rs crates/core/src/slot.rs crates/core/src/sync_core.rs
+
+/root/repo/target/debug/deps/libdmt_core-2a891465a65a89c9.rmeta: crates/core/src/lib.rs crates/core/src/bookkeeping.rs crates/core/src/event.rs crates/core/src/free.rs crates/core/src/harness.rs crates/core/src/ids.rs crates/core/src/lsa.rs crates/core/src/mat.rs crates/core/src/pds.rs crates/core/src/pmat.rs crates/core/src/sat.rs crates/core/src/scheduler.rs crates/core/src/seq.rs crates/core/src/slot.rs crates/core/src/sync_core.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bookkeeping.rs:
+crates/core/src/event.rs:
+crates/core/src/free.rs:
+crates/core/src/harness.rs:
+crates/core/src/ids.rs:
+crates/core/src/lsa.rs:
+crates/core/src/mat.rs:
+crates/core/src/pds.rs:
+crates/core/src/pmat.rs:
+crates/core/src/sat.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/seq.rs:
+crates/core/src/slot.rs:
+crates/core/src/sync_core.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dmt_groupcomm-859a9b8b0dadd4fb.d: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+/root/repo/target/debug/deps/libdmt_groupcomm-859a9b8b0dadd4fb.rmeta: crates/groupcomm/src/lib.rs crates/groupcomm/src/net.rs crates/groupcomm/src/stats.rs
+
+crates/groupcomm/src/lib.rs:
+crates/groupcomm/src/net.rs:
+crates/groupcomm/src/stats.rs:

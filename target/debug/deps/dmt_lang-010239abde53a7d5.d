@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dmt_lang-010239abde53a7d5.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/builder.rs crates/lang/src/compile.rs crates/lang/src/ids.rs crates/lang/src/interp.rs crates/lang/src/value.rs
+
+/root/repo/target/debug/deps/libdmt_lang-010239abde53a7d5.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/builder.rs crates/lang/src/compile.rs crates/lang/src/ids.rs crates/lang/src/interp.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/builder.rs:
+crates/lang/src/compile.rs:
+crates/lang/src/ids.rs:
+crates/lang/src/interp.rs:
+crates/lang/src/value.rs:

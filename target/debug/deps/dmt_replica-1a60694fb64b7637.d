@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dmt_replica-1a60694fb64b7637.d: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+/root/repo/target/debug/deps/libdmt_replica-1a60694fb64b7637.rmeta: crates/replica/src/lib.rs crates/replica/src/checker.rs crates/replica/src/engine.rs crates/replica/src/msg.rs crates/replica/src/replay.rs crates/replica/src/trace.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/checker.rs:
+crates/replica/src/engine.rs:
+crates/replica/src/msg.rs:
+crates/replica/src/replay.rs:
+crates/replica/src/trace.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dmt_rt-892cb58afb60ad03.d: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+/root/repo/target/debug/deps/libdmt_rt-892cb58afb60ad03.rmeta: crates/rt/src/lib.rs crates/rt/src/runtime.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/runtime.rs:

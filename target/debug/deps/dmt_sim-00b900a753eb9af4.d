@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dmt_sim-00b900a753eb9af4.d: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dmt_sim-00b900a753eb9af4.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/dmt_sim-00b900a753eb9af4: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dmt_sim-00b900a753eb9af4: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
 crates/sim/src/queue.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/stats.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dmt_sim-0b93c2138805c6ef.d: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/dmt_sim-0b93c2138805c6ef.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libdmt_sim-0b93c2138805c6ef.rlib: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdmt_sim-0b93c2138805c6ef.rlib: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
-/root/repo/target/debug/deps/libdmt_sim-0b93c2138805c6ef.rmeta: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/debug/deps/libdmt_sim-0b93c2138805c6ef.rmeta: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
 crates/sim/src/queue.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dmt_sim-363aa4b1d363713d.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdmt_sim-363aa4b1d363713d.rmeta: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/dmt_workload-0cfd571b75ac4514.d: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/debug/deps/dmt_workload-0cfd571b75ac4514.d: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
-/root/repo/target/debug/deps/libdmt_workload-0cfd571b75ac4514.rlib: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/debug/deps/libdmt_workload-0cfd571b75ac4514.rlib: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
-/root/repo/target/debug/deps/libdmt_workload-0cfd571b75ac4514.rmeta: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/debug/deps/libdmt_workload-0cfd571b75ac4514.rmeta: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/bank.rs:
@@ -10,4 +10,5 @@ crates/workload/src/buffer.rs:
 crates/workload/src/fig1.rs:
 crates/workload/src/fig2.rs:
 crates/workload/src/fig3.rs:
+crates/workload/src/openloop.rs:
 crates/workload/src/synth.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dmt_workload-13744f0142e6b311.d: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/debug/deps/dmt_workload-13744f0142e6b311.d: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
-/root/repo/target/debug/deps/dmt_workload-13744f0142e6b311: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/debug/deps/dmt_workload-13744f0142e6b311: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/bank.rs:
@@ -8,4 +8,5 @@ crates/workload/src/buffer.rs:
 crates/workload/src/fig1.rs:
 crates/workload/src/fig2.rs:
 crates/workload/src/fig3.rs:
+crates/workload/src/openloop.rs:
 crates/workload/src/synth.rs:

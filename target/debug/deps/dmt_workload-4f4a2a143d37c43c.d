@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dmt_workload-4f4a2a143d37c43c.d: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
+
+/root/repo/target/debug/deps/libdmt_workload-4f4a2a143d37c43c.rmeta: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/bank.rs:
+crates/workload/src/buffer.rs:
+crates/workload/src/fig1.rs:
+crates/workload/src/fig2.rs:
+crates/workload/src/fig3.rs:
+crates/workload/src/openloop.rs:
+crates/workload/src/synth.rs:

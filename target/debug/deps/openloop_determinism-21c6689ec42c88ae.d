@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openloop_determinism-21c6689ec42c88ae.d: crates/bench/tests/openloop_determinism.rs
+
+/root/repo/target/debug/deps/openloop_determinism-21c6689ec42c88ae: crates/bench/tests/openloop_determinism.rs
+
+crates/bench/tests/openloop_determinism.rs:

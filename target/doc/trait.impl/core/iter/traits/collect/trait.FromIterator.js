@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dmt_lang",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.FromIterator.html\" title=\"trait core::iter::traits::collect::FromIterator\">FromIterator</a>&lt;<a class=\"enum\" href=\"dmt_lang/value/enum.Value.html\" title=\"enum dmt_lang::value::Value\">Value</a>&gt; for <a class=\"struct\" href=\"dmt_lang/value/struct.RequestArgs.html\" title=\"struct dmt_lang::value::RequestArgs\">RequestArgs</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[457]}

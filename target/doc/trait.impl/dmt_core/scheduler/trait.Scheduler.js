@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dmt_core",[]],["dmt_replica",[["impl <a class=\"trait\" href=\"dmt_core/scheduler/trait.Scheduler.html\" title=\"trait dmt_core::scheduler::Scheduler\">Scheduler</a> for <a class=\"struct\" href=\"dmt_replica/replay/struct.ReplayScheduler.html\" title=\"struct dmt_replica::replay::ReplayScheduler\">ReplayScheduler</a>",0]]],["dmt_replica",[["impl Scheduler for <a class=\"struct\" href=\"dmt_replica/replay/struct.ReplayScheduler.html\" title=\"struct dmt_replica::replay::ReplayScheduler\">ReplayScheduler</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[15,312,193]}

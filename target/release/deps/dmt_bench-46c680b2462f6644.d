@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/dmt_bench-46c680b2462f6644.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/release/deps/dmt_bench-46c680b2462f6644.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
-/root/repo/target/release/deps/libdmt_bench-46c680b2462f6644.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/release/deps/libdmt_bench-46c680b2462f6644.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
-/root/repo/target/release/deps/libdmt_bench-46c680b2462f6644.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
+/root/repo/target/release/deps/libdmt_bench-46c680b2462f6644.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/openloop.rs crates/bench/src/table.rs crates/bench/src/ubench.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/experiments.rs:
+crates/bench/src/openloop.rs:
 crates/bench/src/table.rs:
 crates/bench/src/ubench.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/dmt_sim-931158e1ccd00b22.d: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/dmt_sim-931158e1ccd00b22.d: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libdmt_sim-931158e1ccd00b22.rlib: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libdmt_sim-931158e1ccd00b22.rlib: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
-/root/repo/target/release/deps/libdmt_sim-931158e1ccd00b22.rmeta: crates/sim/src/lib.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+/root/repo/target/release/deps/libdmt_sim-931158e1ccd00b22.rmeta: crates/sim/src/lib.rs crates/sim/src/arrival.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/arrival.rs:
 crates/sim/src/queue.rs:
 crates/sim/src/rng.rs:
 crates/sim/src/stats.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/dmt_workload-f51eca266cd1a3e3.d: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/release/deps/dmt_workload-f51eca266cd1a3e3.d: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
-/root/repo/target/release/deps/libdmt_workload-f51eca266cd1a3e3.rlib: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/release/deps/libdmt_workload-f51eca266cd1a3e3.rlib: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
-/root/repo/target/release/deps/libdmt_workload-f51eca266cd1a3e3.rmeta: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/synth.rs
+/root/repo/target/release/deps/libdmt_workload-f51eca266cd1a3e3.rmeta: crates/workload/src/lib.rs crates/workload/src/bank.rs crates/workload/src/buffer.rs crates/workload/src/fig1.rs crates/workload/src/fig2.rs crates/workload/src/fig3.rs crates/workload/src/openloop.rs crates/workload/src/synth.rs
 
 crates/workload/src/lib.rs:
 crates/workload/src/bank.rs:
@@ -10,4 +10,5 @@ crates/workload/src/buffer.rs:
 crates/workload/src/fig1.rs:
 crates/workload/src/fig2.rs:
 crates/workload/src/fig3.rs:
+crates/workload/src/openloop.rs:
 crates/workload/src/synth.rs:

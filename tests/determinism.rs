@@ -95,13 +95,15 @@ fn synthesized_programs_converge() {
             .collect();
         let mut arg_rng = SplitMix64::new(seed ^ 0xabcd);
         let clients: Vec<ClientScript> = (0..3)
-            .map(|_| ClientScript {
-                requests: (0..2)
-                    .map(|_| {
-                        let m = *arg_rng.choose(&starts).expect("has starts");
-                        (m, synth::random_args(&mut arg_rng, &cfg))
-                    })
-                    .collect(),
+            .map(|_| {
+                ClientScript::closed(
+                    (0..2)
+                        .map(|_| {
+                            let m = *arg_rng.choose(&starts).expect("has starts");
+                            (m, synth::random_args(&mut arg_rng, &cfg))
+                        })
+                        .collect(),
+                )
             })
             .collect();
         let dummy = program.method_by_name("noop").expect("noop exists");
@@ -181,13 +183,15 @@ fn free_diverges_on_contended_order_sensitive_state() {
             .collect();
         let mut arg_rng = SplitMix64::new(seed);
         let clients: Vec<ClientScript> = (0..5)
-            .map(|_| ClientScript {
-                requests: (0..3)
-                    .map(|_| {
-                        let m = *arg_rng.choose(&starts).expect("has starts");
-                        (m, synth::random_args(&mut arg_rng, &cfg))
-                    })
-                    .collect(),
+            .map(|_| {
+                ClientScript::closed(
+                    (0..3)
+                        .map(|_| {
+                            let m = *arg_rng.choose(&starts).expect("has starts");
+                            (m, synth::random_args(&mut arg_rng, &cfg))
+                        })
+                        .collect(),
+                )
             })
             .collect();
         let scenario = Scenario::new(program, clients);
