@@ -5,29 +5,15 @@
 //! cargo run -p dmt-bench --release --bin figures -- fig1 [--quick] [--csv]
 //! cargo run -p dmt-bench --release --bin figures -- bench     # BENCH_engine.json
 //! cargo run -p dmt-bench --release --bin figures -- openloop  # BENCH_openloop.json
+//! cargo run -p dmt-bench --release --bin figures -- obs       # BENCH_obs.json
+//! cargo run -p dmt-bench --release --bin figures -- trace --out trace.json [--sched MAT]
 //! ```
 
 use dmt_bench::*;
+use dmt_core::SchedulerKind;
+use dmt_replica::{Engine, EngineConfig};
+use dmt_workload::fig1;
 use std::time::Instant;
-
-/// Baseline simulator throughput (ns/event) per scheduler on the
-/// Figure-1 sweep. Re-baselined 2026-08-06 to the dense-ID slot-table
-/// engine (the previous HashMap/BTreeSet baseline — SEQ 442, SAT 407,
-/// LSA 536, PDS 920, MAT 462, total 570 — predated that refactor and
-/// overstated every subsequent improvement). Same machine command:
-/// `figures -- bench` with the default full sweep. Kept so
-/// BENCH_engine.json always reports before → after.
-const BASELINE_NS_PER_EVENT: [(&str, f64); 5] = [
-    ("SEQ", 173.4),
-    ("SAT", 170.3),
-    ("LSA", 212.9),
-    ("PDS", 247.4),
-    ("MAT", 176.0),
-];
-
-/// Events-weighted ns/event over the whole baseline sweep (same
-/// measurement as the per-kind table above).
-const BASELINE_TOTAL_NS_PER_EVENT: f64 = 200.5;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -114,6 +100,62 @@ fn artifact_path(name: &str, quick: bool) -> String {
     }
 }
 
+fn obs_bench(quick: bool, csv: bool) {
+    let grid = if quick { ObsGrid::quick() } else { ObsGrid::default() };
+    let rows = obs_experiment(&grid);
+    let t = obs_table(&rows);
+    if csv {
+        println!("# {}", t.title);
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+    let j = obs_json(&grid, &rows);
+    let path = artifact_path("BENCH_obs.json", quick);
+    std::fs::write(&path, &j).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+/// One traced cluster run exported in Chrome's Trace Event Format —
+/// open the file in `chrome://tracing` or Perfetto. Scheduler decisions
+/// and group-comm legs appear as instants, request lifecycles as async
+/// spans, queue depths as counter tracks.
+fn trace_export(out: Option<&str>, sched: Option<&str>, quick: bool) {
+    let kind = match sched {
+        None => SchedulerKind::Mat,
+        Some(s) => SchedulerKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .unwrap_or_else(|| {
+                eprintln!("unknown scheduler `{s}`");
+                std::process::exit(2);
+            }),
+    };
+    let p = fig1::Fig1Params {
+        n_clients: if quick { 3 } else { 6 },
+        requests_per_client: if quick { 2 } else { 3 },
+        ..fig1::Fig1Params::default()
+    };
+    let pair = fig1::scenario(&p);
+    let cfg = EngineConfig::new(kind)
+        .with_seed(7)
+        .with_tracing()
+        .with_depth_sampling();
+    let res = Engine::new(pair.for_kind(kind), cfg).run();
+    assert!(!res.deadlocked);
+    let json = dmt_obs::chrome_trace_json(&res.trace_records);
+    let default_name = format!("TRACE_{}_fig1.json", kind.name().to_lowercase());
+    let path = out
+        .map(str::to_string)
+        .unwrap_or_else(|| artifact_path(&default_name, quick));
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!(
+        "wrote {path} ({} records, {} requests) — load in chrome://tracing",
+        res.trace_records.len(),
+        res.completed_requests
+    );
+}
+
 fn openloop_bench(quick: bool, csv: bool) {
     let grid = if quick { OpenLoopGrid::quick() } else { OpenLoopGrid::default() };
     let rows = openloop_experiment(&grid);
@@ -132,11 +174,34 @@ fn openloop_bench(quick: bool, csv: bool) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args
-        .iter()
-        .find(|s| !s.starts_with("--"))
-        .map(|s| s.as_str())
-        .unwrap_or("all");
+    // `--out` and `--sched` take a value; skip it when locating the
+    // experiment name.
+    let mut what: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut sched: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" | "--sched" => {
+                let Some(v) = args.get(i + 1) else {
+                    eprintln!("{} needs a value", args[i]);
+                    std::process::exit(2);
+                };
+                if args[i] == "--out" {
+                    out = Some(v.as_str());
+                } else {
+                    sched = Some(v.as_str());
+                }
+                i += 2;
+            }
+            s if !s.starts_with("--") => {
+                what = what.or(Some(s));
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let what = what.unwrap_or("all");
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
 
@@ -167,11 +232,14 @@ fn main() {
         "determinism" => emit(&determinism_experiment()),
         "bench" => engine_bench(&client_counts, requests, quick),
         "openloop" => openloop_bench(quick, csv),
+        "obs" => obs_bench(quick, csv),
+        "trace" => trace_export(out, sched, quick),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "known: fig1 fig1x fig2 fig3 fig4 analysis abl-mutexes \
-                 abl-overhead abl-wan abl-passive determinism bench openloop all"
+                 abl-overhead abl-wan abl-passive determinism bench openloop \
+                 obs trace all"
             );
             std::process::exit(2);
         }
@@ -180,7 +248,7 @@ fn main() {
     if what == "all" {
         for name in [
             "fig1", "fig1x", "fig2", "fig3", "fig4", "analysis", "abl-mutexes", "abl-overhead",
-            "abl-wan", "abl-passive", "determinism", "openloop", "bench",
+            "abl-wan", "abl-passive", "determinism", "openloop", "obs", "trace", "bench",
         ] {
             run_one(name);
             println!();

@@ -43,7 +43,7 @@ where
 {
     let mut order: Vec<usize> = (0..n_jobs).collect();
     // Stable sort: equal priorities preserve submission order.
-    order.sort_by(|&a, &b| priority(b).cmp(&priority(a)));
+    order.sort_by_key(|&i| std::cmp::Reverse(priority(i)));
     let threads = threads.max(1).min(n_jobs.max(1));
     if threads <= 1 {
         let mut results: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
@@ -96,6 +96,27 @@ pub fn sweep_threads() -> usize {
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
+
+/// Baseline simulator throughput (ns/event) per scheduler on the
+/// Figure-1 sweep. Re-baselined 2026-08-06 to the dense-ID slot-table
+/// engine (the previous HashMap/BTreeSet baseline — SEQ 442, SAT 407,
+/// LSA 536, PDS 920, MAT 462, total 570 — predated that refactor and
+/// overstated every subsequent improvement). Same machine command:
+/// `figures -- bench` with the default full sweep. Kept so
+/// BENCH_engine.json always reports before → after, and so the
+/// tracing-disabled overhead guard (`tests/trace_overhead.rs`) has a
+/// pinned reference.
+pub const BASELINE_NS_PER_EVENT: [(&str, f64); 5] = [
+    ("SEQ", 173.4),
+    ("SAT", 170.3),
+    ("LSA", 212.9),
+    ("PDS", 247.4),
+    ("MAT", 176.0),
+];
+
+/// Events-weighted ns/event over the whole baseline sweep (same
+/// measurement as the per-kind table above).
+pub const BASELINE_TOTAL_NS_PER_EVENT: f64 = 200.5;
 
 /// The five algorithms of the paper's Figure 1.
 pub const FIG1_KINDS: [SchedulerKind; 5] = [
@@ -156,9 +177,14 @@ pub fn fig1_experiment_with_threads(
         FIG1_KINDS.to_vec()
     };
     let mut cols: Vec<String> = vec!["clients".into()];
-    cols.extend(kinds.iter().map(|k| format!("{k} (ms)")));
+    for k in &kinds {
+        cols.push(format!("{k} mean"));
+        cols.push(format!("{k} p50"));
+        cols.push(format!("{k} p95"));
+        cols.push(format!("{k} p99"));
+    }
     let mut t = Table::new(
-        "Figure 1: mean response time vs clients (3 replicas, LAN)",
+        "Figure 1: response time (ms) vs clients (3 replicas, LAN)",
         &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
     let n_jobs = client_counts.len() * kinds.len();
@@ -171,12 +197,20 @@ pub fn fig1_experiment_with_threads(
         |job| {
             let n = client_counts[job / kinds.len()];
             let kind = kinds[job % kinds.len()];
-            ms(fig1_point(n, requests_per_client, kind).response_times.mean())
+            let mut res = fig1_point(n, requests_per_client, kind);
+            [
+                ms(res.response_times.mean()),
+                ms(res.response_times.percentile(50.0)),
+                ms(res.response_times.percentile(95.0)),
+                ms(res.response_times.percentile(99.0)),
+            ]
         },
     );
     for (i, &n) in client_counts.iter().enumerate() {
         let mut row = vec![n.to_string()];
-        row.extend_from_slice(&cells[i * kinds.len()..(i + 1) * kinds.len()]);
+        for cell in cells[i * kinds.len()..(i + 1) * kinds.len()].iter().flatten() {
+            row.push(cell.clone());
+        }
         t.push_row(row);
     }
     t
@@ -548,9 +582,19 @@ mod tests {
     fn small_fig1_runs() {
         let t = fig1_experiment(&[1, 2], 2, false);
         assert_eq!(t.rows.len(), 2);
-        // SEQ must be the slowest at 2 clients.
+        // 1 + 4 cells (mean/p50/p95/p99) per scheduler.
+        assert_eq!(t.rows[0].len(), 1 + 4 * FIG1_KINDS.len());
+        // SEQ must be the slowest at 2 clients (mean columns sit at
+        // 1 + 4*kind_index).
         let seq: f64 = t.rows[1][1].parse().unwrap();
-        let mat: f64 = t.rows[1][5].parse().unwrap();
+        let mat: f64 = t.rows[1][17].parse().unwrap();
         assert!(seq >= mat, "SEQ {seq} should not beat MAT {mat}");
+        // Percentiles are ordered within each scheduler group.
+        for k in 0..FIG1_KINDS.len() {
+            let p50: f64 = t.rows[1][1 + 4 * k + 1].parse().unwrap();
+            let p95: f64 = t.rows[1][1 + 4 * k + 2].parse().unwrap();
+            let p99: f64 = t.rows[1][1 + 4 * k + 3].parse().unwrap();
+            assert!(p50 <= p95 && p95 <= p99);
+        }
     }
 }

@@ -72,6 +72,12 @@ pub struct OpenLoopRow {
     pub mean_ns: f64,
     pub max_ns: u64,
     pub makespan_ns: u64,
+    /// Group-comm traffic (from the run's metrics snapshot): messages
+    /// submitted for ordering, sequencer broadcast fan-out legs, and
+    /// in-order deliveries — the §3.5 network-load view per scheduler.
+    pub submissions: u64,
+    pub broadcast_legs: u64,
+    pub deliveries: u64,
 }
 
 /// Runs the sweep. Jobs are dispatched highest-load-first (the
@@ -110,6 +116,9 @@ pub fn openloop_experiment_with_threads(grid: &OpenLoopGrid, threads: usize) -> 
                 mean_ns: res.latency.mean_ns(),
                 max_ns: res.latency.max_ns().unwrap_or(0),
                 makespan_ns: res.makespan.as_nanos(),
+                submissions: res.net_counter("submissions"),
+                broadcast_legs: res.net_counter("broadcast_legs"),
+                deliveries: res.net_counter("deliveries"),
             }
         },
     )
@@ -145,7 +154,10 @@ fn ms3(ns: u64) -> String {
 pub fn openloop_table(rows: &[OpenLoopRow]) -> Table {
     let mut t = Table::new(
         "Open loop: latency percentiles vs offered load × read mix (3 replicas, LAN)",
-        &["offered req/s", "read %", "sched", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)", "done"],
+        &[
+            "offered req/s", "read %", "sched", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)",
+            "done", "subs", "legs", "deliv",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -157,6 +169,9 @@ pub fn openloop_table(rows: &[OpenLoopRow]) -> Table {
             ms3(r.p99_ns),
             format!("{:.3}", r.mean_ns / 1e6),
             r.completed.to_string(),
+            r.submissions.to_string(),
+            r.broadcast_legs.to_string(),
+            r.deliveries.to_string(),
         ]);
     }
     t
@@ -184,7 +199,7 @@ pub fn openloop_json(grid: &OpenLoopGrid, rows: &[OpenLoopRow]) -> String {
     j.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         j.push_str(&format!(
-            "    {{\"offered_rps\": {:.0}, \"read_fraction\": {:.2}, \"scheduler\": \"{}\", \"completed\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}, \"max_ns\": {}, \"makespan_ns\": {}}}{}\n",
+            "    {{\"offered_rps\": {:.0}, \"read_fraction\": {:.2}, \"scheduler\": \"{}\", \"completed\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}, \"max_ns\": {}, \"makespan_ns\": {}, \"submissions\": {}, \"broadcast_legs\": {}, \"deliveries\": {}}}{}\n",
             r.offered_rps,
             r.read_fraction,
             r.kind.name(),
@@ -195,6 +210,9 @@ pub fn openloop_json(grid: &OpenLoopGrid, rows: &[OpenLoopRow]) -> String {
             r.mean_ns,
             r.max_ns,
             r.makespan_ns,
+            r.submissions,
+            r.broadcast_legs,
+            r.deliveries,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -219,7 +237,7 @@ mod tests {
     #[test]
     fn saturation_raises_tail_latency() {
         let rows = openloop_experiment_with_threads(&tiny_grid(), 2);
-        assert_eq!(rows.len(), 2 * 1 * 5);
+        assert_eq!(rows.len(), 2 * 5);
         for r in &rows {
             assert_eq!(r.completed, 12);
             assert!(r.p50_ns <= r.p95_ns && r.p95_ns <= r.p99_ns);

@@ -1,0 +1,25 @@
+//! The `BENCH_obs.json` byte-identity regression: the queue-depth
+//! sweep's serialised output must not depend on how many workers ran
+//! the sweep, on dispatch order, or on rerun. Depth percentiles come
+//! from integer bucket counts over virtual time; any wall-clock or
+//! iteration-order dependence leaking into the artifact fails here.
+
+use dmt_bench::{obs_experiment_with_threads, obs_json, ObsGrid};
+
+fn grid() -> ObsGrid {
+    ObsGrid { client_counts: vec![2, 6], requests_per_client: 3 }
+}
+
+#[test]
+fn obs_json_is_byte_identical_across_worker_counts_and_reruns() {
+    let g = grid();
+    let reference = obs_json(&g, &obs_experiment_with_threads(&g, 1));
+    // Sanity: every scheduler × grid point is present.
+    assert_eq!(reference.matches("\"scheduler\"").count(), 2 * 7);
+    for threads in [2, 8] {
+        let j = obs_json(&g, &obs_experiment_with_threads(&g, threads));
+        assert_eq!(reference, j, "{threads}-worker sweep diverged from serial");
+    }
+    let again = obs_json(&g, &obs_experiment_with_threads(&g, 1));
+    assert_eq!(reference, again, "rerun diverged");
+}

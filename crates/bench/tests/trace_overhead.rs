@@ -1,0 +1,40 @@
+//! The tracing-disabled overhead guard: embedding the observability
+//! layer must not slow the engine's hot path down. The default
+//! configuration (tracing off, depth sampling off) runs the same
+//! Figure-1 sweep `BENCH_engine.json` measures and its ns/event is held
+//! against the pinned baseline. The disabled path is one predictable
+//! branch per potential record and zero allocation (proved separately
+//! by `SchedOutput::decision_capacity` / `Tracer::capacity` unit
+//! tests), so the measured cost should not move.
+
+use dmt_bench::{engine_bench_experiment, BASELINE_TOTAL_NS_PER_EVENT};
+use dmt_replica::PerfCounters;
+
+#[test]
+fn tracing_disabled_path_does_not_regress_ns_per_event() {
+    // Min of three measurements: scheduler noise (CI neighbours, cold
+    // caches) only ever inflates wall time, so the minimum is the
+    // faithful estimate.
+    let ns_per_event = (0..3)
+        .map(|_| {
+            let rows = engine_bench_experiment(&[4, 8], 2);
+            let mut total = PerfCounters::default();
+            for r in &rows {
+                total.merge(&r.perf);
+            }
+            total.ns_per_event()
+        })
+        .fold(f64::INFINITY, f64::min);
+    // The baseline was measured on a release build; leave generous
+    // headroom for machine variance there, and a far wider berth for
+    // unoptimised test builds, where the multiplier is the build mode,
+    // not the tracing layer.
+    let slack = if cfg!(debug_assertions) { 60.0 } else { 2.5 };
+    let limit = BASELINE_TOTAL_NS_PER_EVENT * slack;
+    assert!(
+        ns_per_event < limit,
+        "tracing-disabled engine runs at {ns_per_event:.1} ns/event, \
+         over the {limit:.1} guard ({}× the {BASELINE_TOTAL_NS_PER_EVENT} baseline)",
+        slack
+    );
+}

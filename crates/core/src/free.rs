@@ -9,6 +9,7 @@
 //! "unconstrained" half of the LSA leader.
 
 use crate::event::{SchedAction, SchedEvent};
+use crate::obs::{Decision, DeferReason, SchedOutput};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::sync_core::{LockOutcome, SyncCore};
 
@@ -41,21 +42,33 @@ impl Scheduler for FreeScheduler {
         false
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
-            SchedEvent::RequestArrived { tid, .. } => out.push(SchedAction::Admit(tid)),
+            SchedEvent::RequestArrived { tid, .. } => {
+                out.decision(|| Decision::Admit { tid });
+                out.push(SchedAction::Admit(tid));
+            }
             SchedEvent::LockRequested { tid, mutex, .. } => {
                 if self.sync.lock(tid, mutex) == LockOutcome::Acquired {
+                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                     out.push(SchedAction::Resume(tid));
+                } else {
+                    out.decision(|| Decision::Defer {
+                        tid,
+                        mutex,
+                        reason: DeferReason::MutexBusy,
+                    });
                 }
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
                 if let Some(g) = self.sync.unlock(tid, mutex) {
+                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                     out.push(SchedAction::Resume(g.tid));
                 }
             }
             SchedEvent::WaitCalled { tid, mutex } => {
                 if let Some(g) = self.sync.wait(tid, mutex) {
+                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                     out.push(SchedAction::Resume(g.tid));
                 }
             }
@@ -90,9 +103,9 @@ mod tests {
     #[test]
     fn admits_immediately_and_grants_free_locks() {
         let mut s = FreeScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(ThreadId::new(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(ThreadId::new(0))]);
         out.clear();
         s.on_event(
             &SchedEvent::LockRequested {
@@ -102,13 +115,13 @@ mod tests {
             },
             &mut out,
         );
-        assert_eq!(out, vec![SchedAction::Resume(ThreadId::new(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(ThreadId::new(0))]);
     }
 
     #[test]
     fn contended_lock_resumes_on_unlock() {
         let mut s = FreeScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -118,10 +131,10 @@ mod tests {
             mutex: MutexId::new(7),
         };
         s.on_event(&lock(0), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(ThreadId::new(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(ThreadId::new(0))]);
         out.clear();
         s.on_event(&lock(1), &mut out);
-        assert!(out.is_empty()); // queued
+        assert!(out.actions.is_empty()); // queued
         s.on_event(
             &SchedEvent::Unlocked {
                 tid: ThreadId::new(0),
@@ -130,18 +143,18 @@ mod tests {
             },
             &mut out,
         );
-        assert_eq!(out, vec![SchedAction::Resume(ThreadId::new(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(ThreadId::new(1))]);
     }
 
     #[test]
     fn nested_resumes_on_completion() {
         let mut s = FreeScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(&SchedEvent::NestedStarted { tid: ThreadId::new(0) }, &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&SchedEvent::NestedCompleted { tid: ThreadId::new(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(ThreadId::new(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(ThreadId::new(0))]);
     }
 }

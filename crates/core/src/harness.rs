@@ -11,6 +11,7 @@
 
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
+use crate::obs::SchedOutput;
 use crate::scheduler::Scheduler;
 use crate::slot::SlotMap;
 use dmt_lang::{
@@ -187,9 +188,9 @@ impl Harness {
 
     /// Feeds one event to the scheduler and applies its actions.
     fn dispatch(&mut self, ev: SchedEvent) {
-        let mut actions = Vec::new();
+        let mut actions = SchedOutput::new();
         self.scheduler.on_event(&ev, &mut actions);
-        for a in actions {
+        for a in actions.actions {
             match a {
                 SchedAction::Admit(tid) => {
                     let req = self

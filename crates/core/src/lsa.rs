@@ -21,6 +21,7 @@
 
 use crate::event::{CtrlMsg, SchedAction, SchedEvent};
 use crate::ids::{ReplicaId, ThreadId};
+use crate::obs::{Decision, DeferReason, DepthSample, SchedOutput};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
@@ -87,17 +88,18 @@ impl LsaScheduler {
     }
 
     /// Leader: record + broadcast an acquisition by `tid` of `mutex`.
-    fn announce(&mut self, tid: ThreadId, mutex: dmt_lang::MutexId, out: &mut Vec<SchedAction>) {
-        let order = self.order_mut(mutex);
-        let msg = CtrlMsg::LsaGrant { mutex, tid, order: *order };
-        *order += 1;
+    fn announce(&mut self, tid: ThreadId, mutex: dmt_lang::MutexId, out: &mut SchedOutput) {
+        let slot = self.order_mut(mutex);
+        let order = *slot;
+        *slot += 1;
         self.grants_issued += 1;
-        out.push(SchedAction::Broadcast(msg));
+        out.decision(|| Decision::Announce { tid, mutex, order });
+        out.push(SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex, tid, order }));
     }
 
     /// Applies announced grants for `mutex` as far as possible, then (on
     /// the leader) decides freely once the announced backlog is empty.
-    fn drain(&mut self, mutex: dmt_lang::MutexId, out: &mut Vec<SchedAction>) {
+    fn drain(&mut self, mutex: dmt_lang::MutexId, out: &mut SchedOutput) {
         // Phase 1: replay announcements (follower behaviour; a promoted
         // leader also honours the old leader's prefix this way).
         loop {
@@ -113,13 +115,14 @@ impl LsaScheduler {
                 let outcome = self.sync.lock(next, mutex);
                 debug_assert_eq!(outcome, LockOutcome::Acquired);
                 self.grants_issued += 1;
+                out.decision(|| Decision::Grant { tid: next, mutex, from_wait: false });
                 out.push(SchedAction::Resume(next));
             } else if self.sync.is_queued(next, mutex) {
                 // A notified re-acquirer sitting in the monitor queue.
                 self.expected_mut(mutex).pop_front();
                 let g = self.sync.grant_to(next, mutex).expect("free + queued");
                 self.grants_issued += 1;
-                let _ = g;
+                out.decision(|| Decision::Grant { tid: next, mutex, from_wait: g.from_wait });
                 out.push(SchedAction::Resume(next));
             } else {
                 // Grantee has not reached its request yet; hold.
@@ -142,6 +145,7 @@ impl LsaScheduler {
             match self.sync.lock(tid, mutex) {
                 LockOutcome::Acquired => {
                     self.announce(tid, mutex, out);
+                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                     out.push(SchedAction::Resume(tid));
                 }
                 LockOutcome::Queued => {}
@@ -150,6 +154,7 @@ impl LsaScheduler {
         if self.sync.is_free(mutex) {
             if let Some(g) = self.sync.grant_next(mutex) {
                 self.announce(g.tid, mutex, out);
+                out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                 out.push(SchedAction::Resume(g.tid));
             }
         }
@@ -173,6 +178,16 @@ impl Scheduler for LsaScheduler {
         false
     }
 
+    /// `sched_queue` counts announced-but-unapplied grants (the follower
+    /// backlog); fresh requests parked in `pending` count as lock-queued
+    /// since they are blocked on a monitor, just gated remotely.
+    fn depths(&self) -> DepthSample {
+        let mut d = self.sync.depths();
+        d.lock_queued += self.pending.len() as u32;
+        d.sched_queue = self.expected.iter().map(|q| q.len() as u32).sum();
+        d
+    }
+
     fn on_leader_change(&mut self, new_leader: ReplicaId) {
         self.leader = new_leader;
         // Announced-but-unapplied grants stay: they are a consistent
@@ -182,7 +197,7 @@ impl Scheduler for LsaScheduler {
         // `kick` right after this notification to force that first drain.
     }
 
-    fn kick(&mut self, out: &mut Vec<SchedAction>) {
+    fn kick(&mut self, out: &mut SchedOutput) {
         // Cold path (failover only): visit each mutex with pending
         // requests or an announced backlog, in ascending id order.
         let mut mutexes: Vec<dmt_lang::MutexId> = self
@@ -204,26 +219,46 @@ impl Scheduler for LsaScheduler {
         }
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
-            SchedEvent::RequestArrived { tid, .. } => out.push(SchedAction::Admit(tid)),
+            SchedEvent::RequestArrived { tid, .. } => {
+                out.decision(|| Decision::Admit { tid });
+                out.push(SchedAction::Admit(tid));
+            }
             SchedEvent::LockRequested { tid, mutex, .. } => {
                 if self.sync.holds(tid, mutex) {
                     // Reentrant: forced, not announced.
                     let outcome = self.sync.lock(tid, mutex);
                     debug_assert_eq!(outcome, LockOutcome::Acquired);
+                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                     out.push(SchedAction::Resume(tid));
                 } else if self.is_leader() && !self.has_backlog(mutex) {
                     match self.sync.lock(tid, mutex) {
                         LockOutcome::Acquired => {
                             self.announce(tid, mutex, out);
+                            out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                             out.push(SchedAction::Resume(tid));
                         }
-                        LockOutcome::Queued => {}
+                        LockOutcome::Queued => {
+                            out.decision(|| Decision::Defer {
+                                tid,
+                                mutex,
+                                reason: DeferReason::MutexBusy,
+                            });
+                        }
                     }
                 } else {
                     self.pending.insert(tid.index(), mutex);
                     self.drain(mutex, out);
+                    if self.pending.contains(tid.index()) {
+                        // Still waiting for the leader's announcement (or,
+                        // on a promoted leader, for the backlog to drain).
+                        out.decision(|| Decision::Defer {
+                            tid,
+                            mutex,
+                            reason: DeferReason::OrderGate,
+                        });
+                    }
                 }
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
@@ -298,12 +333,12 @@ mod tests {
     #[test]
     fn leader_grants_immediately_and_broadcasts() {
         let mut s = leader();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
         assert_eq!(
-            out,
+            out.actions,
             vec![
                 SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(0), order: 0 }),
                 SchedAction::Resume(t(0)),
@@ -314,17 +349,17 @@ mod tests {
     #[test]
     fn leader_broadcasts_contended_grants_on_release() {
         let mut s = leader();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
         out.clear();
         s.on_event(&lock(1, 5), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&unlock(0, 5), &mut out);
         assert_eq!(
-            out,
+            out.actions,
             vec![
                 SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(1), order: 1 }),
                 SchedAction::Resume(t(1)),
@@ -335,53 +370,53 @@ mod tests {
     #[test]
     fn follower_waits_for_announcement() {
         let mut s = follower();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert!(out.is_empty(), "follower never decides alone");
+        assert!(out.actions.is_empty(), "follower never decides alone");
         s.on_event(&grant_msg(0, 5, 0), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(s.sync_core().owner(m(5)), Some(t(0)));
     }
 
     #[test]
     fn follower_applies_announcement_arriving_first() {
         let mut s = follower();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(&grant_msg(0, 5, 0), &mut out);
-        assert!(out.is_empty(), "grantee has not asked yet");
+        assert!(out.actions.is_empty(), "grantee has not asked yet");
         s.on_event(&lock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 
     #[test]
     fn follower_enforces_leader_order_not_arrival_order() {
         let mut s = follower();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         // Locally t0 asks first, but the leader granted t1 first.
         s.on_event(&lock(0, 5), &mut out);
         s.on_event(&grant_msg(1, 5, 0), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&lock(1, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         out.clear();
         s.on_event(&grant_msg(0, 5, 1), &mut out);
-        assert!(out.is_empty(), "mutex still held by t1");
+        assert!(out.actions.is_empty(), "mutex still held by t1");
         s.on_event(&unlock(1, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 
     #[test]
     fn wait_reacquisition_follows_leader_order() {
         // Leader side: t0 waits on m3; t1 locks, notifies, unlocks.
         let mut lead = leader();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         lead.on_event(&arrive(0), &mut out);
         lead.on_event(&arrive(1), &mut out);
         out.clear();
@@ -393,58 +428,58 @@ mod tests {
         lead.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut out);
         lead.on_event(&unlock(1, 3), &mut out);
         // Re-acquisition grant broadcast for t0.
-        assert!(out.contains(&SchedAction::Broadcast(CtrlMsg::LsaGrant {
+        assert!(out.actions.contains(&SchedAction::Broadcast(CtrlMsg::LsaGrant {
             mutex: m(3),
             tid: t(0),
             order: 2
         })));
-        assert!(out.contains(&SchedAction::Resume(t(0))));
+        assert!(out.actions.contains(&SchedAction::Resume(t(0))));
 
         // Follower replays the same sequence of announcements.
         let mut fol = follower();
-        let mut fout = Vec::new();
+        let mut fout = SchedOutput::new();
         fol.on_event(&arrive(0), &mut fout);
         fol.on_event(&arrive(1), &mut fout);
         fout.clear();
         fol.on_event(&lock(0, 3), &mut fout);
         fol.on_event(&grant_msg(0, 3, 0), &mut fout);
-        assert_eq!(fout, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(fout.actions, vec![SchedAction::Resume(t(0))]);
         fout.clear();
         fol.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: m(3) }, &mut fout);
         fol.on_event(&lock(1, 3), &mut fout);
         fol.on_event(&grant_msg(1, 3, 1), &mut fout);
-        assert_eq!(fout, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(fout.actions, vec![SchedAction::Resume(t(1))]);
         fout.clear();
         fol.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut fout);
         fol.on_event(&grant_msg(0, 3, 2), &mut fout);
-        assert!(fout.is_empty(), "t1 still holds m3");
+        assert!(fout.actions.is_empty(), "t1 still holds m3");
         fol.on_event(&unlock(1, 3), &mut fout);
-        assert_eq!(fout, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(fout.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(fol.sync_core().owner(m(3)), Some(t(0)));
     }
 
     #[test]
     fn promoted_leader_decides_pending_after_backlog() {
         let mut s = follower();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         // Old leader announced t1 first, then died. t0 and t1 both ask.
         s.on_event(&grant_msg(1, 5, 0), &mut out);
         s.on_event(&lock(0, 5), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_leader_change(ReplicaId::new(1));
         assert!(s.is_leader());
         // t1 asks: the old leader's announcement still wins first...
         s.on_event(&lock(1, 5), &mut out);
         // ...t1 resumes per backlog, then the new leader decides t0 when
         // t1 releases, continuing the order counter at 1.
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         out.clear();
         s.on_event(&unlock(1, 5), &mut out);
         assert_eq!(
-            out,
+            out.actions,
             vec![
                 SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(0), order: 1 }),
                 SchedAction::Resume(t(0)),
@@ -455,12 +490,12 @@ mod tests {
     #[test]
     fn reentrant_lock_not_broadcast() {
         let mut s = leader();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 }

@@ -52,6 +52,7 @@
 use crate::bookkeeping::{Bookkeeping, LockTable};
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
+use crate::obs::{Decision, DeferReason, DepthSample, SchedOutput};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
@@ -76,6 +77,8 @@ pub struct MatScheduler {
     queue: VecDeque<ThreadId>,
     /// Pending gate-blocked lock requests, indexed by the dense thread id.
     gated: SlotMap<dmt_lang::MutexId>,
+    /// Last primary reported to the decision stream (recording only).
+    noted_primary: Option<ThreadId>,
 }
 
 impl MatScheduler {
@@ -86,6 +89,7 @@ impl MatScheduler {
             book: Bookkeeping::new(table),
             queue: VecDeque::new(),
             gated: SlotMap::new(),
+            noted_primary: None,
         }
     }
 
@@ -102,29 +106,51 @@ impl MatScheduler {
 
     /// Last-lock mode: a thread the bookkeeping proves lock-done no
     /// longer needs the token; it leaves the queue (keeps running).
-    fn drop_if_lock_done(&mut self, tid: ThreadId, out: &mut Vec<SchedAction>) {
+    fn drop_if_lock_done(&mut self, tid: ThreadId, out: &mut SchedOutput) {
         if self.mode == MatMode::LastLock
             && self.book.no_more_locks(tid)
             && self.sync.holds_none(tid)
             && self.queue.contains(&tid)
         {
+            out.decision(|| Decision::TokenRelease { tid, last_lock: true });
             self.remove_from_queue(tid);
             self.exercise_head(out);
         }
     }
 
+    /// Records a token handover when the queue head changed (recording
+    /// only — never touches scheduling state).
+    fn note_primary(&mut self, out: &mut SchedOutput) {
+        if !out.is_recording() {
+            return;
+        }
+        let p = self.primary();
+        if p != self.noted_primary {
+            self.noted_primary = p;
+            if let Some(tid) = p {
+                out.decision(|| Decision::TokenGrant { tid });
+            }
+        }
+    }
+
     /// If the (possibly new) head is gate-blocked, forward its request.
-    fn exercise_head(&mut self, out: &mut Vec<SchedAction>) {
+    fn exercise_head(&mut self, out: &mut SchedOutput) {
         loop {
             let Some(&head) = self.queue.front() else { return };
             let Some(&mutex) = self.gated.get(head.index()) else { return };
             self.gated.remove(head.index());
             match self.sync.lock(head, mutex) {
                 LockOutcome::Acquired => {
+                    out.decision(|| Decision::Grant { tid: head, mutex, from_wait: false });
                     out.push(SchedAction::Resume(head));
                     return;
                 }
                 LockOutcome::Queued => {
+                    out.decision(|| Decision::Defer {
+                        tid: head,
+                        mutex,
+                        reason: DeferReason::MutexBusy,
+                    });
                     // Priority donation: the owner is pulled to the front
                     // (per-mutex-deterministic target). A suspended owner
                     // is no longer queued; the token then waits here and
@@ -160,11 +186,22 @@ impl Scheduler for MatScheduler {
         false
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    fn depths(&self) -> DepthSample {
+        let mut d = self.sync.depths();
+        // Gate-blocked lock requests are contention the monitor layer
+        // never sees — the "MAT wait queue" of §3.4.
+        d.lock_queued += self.gated.len() as u32;
+        // Runnable threads queued behind the token holder.
+        d.sched_queue = self.queue.len().saturating_sub(1) as u32;
+        d
+    }
+
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
             SchedEvent::RequestArrived { tid, method, .. } => {
                 self.book.on_request(tid, method);
                 self.queue.push_back(tid);
+                out.decision(|| Decision::Admit { tid });
                 out.push(SchedAction::Admit(tid));
                 // In last-lock mode a provably lock-free request never
                 // needs the token at all.
@@ -176,8 +213,10 @@ impl Scheduler for MatScheduler {
                 self.gated.insert(tid.index(), mutex);
                 if self.primary() == Some(tid) {
                     self.exercise_head(out);
+                } else {
+                    // Gated until the queue rotates to it.
+                    out.decision(|| Decision::Defer { tid, mutex, reason: DeferReason::Token });
                 }
-                // Otherwise: gated until the queue rotates to it.
             }
             SchedEvent::Unlocked { tid, sync_id, mutex } => {
                 self.book.on_unlock(tid, sync_id, mutex);
@@ -187,6 +226,7 @@ impl Scheduler for MatScheduler {
                         // (see the module-docs CV caveat).
                         self.queue.push_back(g.tid);
                     }
+                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                     out.push(SchedAction::Resume(g.tid));
                 }
                 self.drop_if_lock_done(tid, out);
@@ -196,7 +236,11 @@ impl Scheduler for MatScheduler {
                     if g.from_wait {
                         self.queue.push_back(g.tid);
                     }
+                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                     out.push(SchedAction::Resume(g.tid));
+                }
+                if self.primary() == Some(tid) {
+                    out.decision(|| Decision::TokenRelease { tid, last_lock: false });
                 }
                 self.remove_from_queue(tid);
                 self.exercise_head(out);
@@ -205,6 +249,9 @@ impl Scheduler for MatScheduler {
                 self.sync.notify(tid, mutex, all);
             }
             SchedEvent::NestedStarted { tid } => {
+                if self.primary() == Some(tid) {
+                    out.decision(|| Decision::TokenRelease { tid, last_lock: false });
+                }
                 self.remove_from_queue(tid);
                 self.exercise_head(out);
             }
@@ -231,6 +278,7 @@ impl Scheduler for MatScheduler {
             }
             SchedEvent::Control(_) => {}
         }
+        self.note_primary(out);
     }
 }
 
@@ -265,12 +313,12 @@ mod tests {
     #[test]
     fn all_threads_admitted_immediately() {
         let mut s = plain();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         s.on_event(&arrive(2), &mut out);
         assert_eq!(
-            out,
+            out.actions,
             vec![
                 SchedAction::Admit(t(0)),
                 SchedAction::Admit(t(1)),
@@ -283,22 +331,22 @@ mod tests {
     #[test]
     fn secondary_lock_gates_even_on_free_mutex() {
         let mut s = plain();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         // Secondary t1 requests a mutex nobody holds — still gated
         // ("no matter whether the locks conflict or not", §3.4).
         s.on_event(&lock(1, 0, 7), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // Primary t0 locks a *different* mutex: granted.
         s.on_event(&lock(0, 1, 8), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         // Primary finishes → t1 heads the queue, its pending lock lands.
         s.on_event(&unlock(0, 1, 8), &mut out);
         s.on_event(&SchedEvent::ThreadFinished { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         assert_eq!(s.primary(), Some(t(1)));
         assert_eq!(s.sync_core().owner(MutexId::new(7)), Some(t(1)));
     }
@@ -306,7 +354,7 @@ mod tests {
     #[test]
     fn nested_invocation_rotates_the_token() {
         let mut s = plain();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         for i in 0..3 {
             s.on_event(&arrive(i), &mut out);
         }
@@ -327,7 +375,7 @@ mod tests {
     #[test]
     fn suspended_holder_keeps_mutex_until_return() {
         let mut s = plain();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -339,13 +387,13 @@ mod tests {
         // New primary t1 requests m5 → queued in the monitor layer; the
         // owner is off-queue (suspended), so the token waits here.
         s.on_event(&lock(1, 1, 5), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // t0 returns (tail of the queue), unlocks m5 → t1 granted.
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&unlock(0, 0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         assert_eq!(s.sync_core().owner(MutexId::new(5)), Some(t(1)));
         assert_eq!(s.primary(), Some(t(1)));
     }
@@ -353,7 +401,7 @@ mod tests {
     #[test]
     fn wait_removes_from_queue_and_notify_reenters() {
         let mut s = plain();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -361,14 +409,14 @@ mod tests {
         out.clear();
         s.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: MutexId::new(3) }, &mut out);
         assert_eq!(s.primary(), Some(t(1)));
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // t1 (primary) locks m3, notifies, unlocks: t0 re-acquires and
         // re-enters the token queue behind t1.
         s.on_event(&lock(1, 1, 3), &mut out);
         out.clear();
         s.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: MutexId::new(3), all: false }, &mut out);
         s.on_event(&unlock(1, 1, 3), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(s.sync_core().owner(MutexId::new(3)), Some(t(0)));
         assert_eq!(s.primary(), Some(t(1)));
     }
@@ -376,7 +424,7 @@ mod tests {
     #[test]
     fn donation_pulls_gated_holder_to_the_front() {
         let mut s = plain();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         for i in 0..3 {
             s.on_event(&arrive(i), &mut out);
         }
@@ -391,18 +439,18 @@ mod tests {
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
         out.clear();
         s.on_event(&lock(0, 1, 2), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // Primary t1 requests m1 (held by the gated t0): donation pulls
         // t0 to the front and forwards its m2 request.
         s.on_event(&lock(1, 2, 1), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(s.primary(), Some(t(0)));
         assert_eq!(s.sync_core().owner(MutexId::new(2)), Some(t(0)));
         // t0 finishes its critical sections → m1 flows to t1.
         out.clear();
         s.on_event(&unlock(0, 1, 2), &mut out);
         s.on_event(&unlock(0, 0, 1), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 
     fn ll_table() -> Arc<LockTable> {
@@ -416,27 +464,27 @@ mod tests {
     #[test]
     fn last_lock_mode_releases_token_after_final_unlock() {
         let mut s = MatScheduler::new(MatMode::LastLock, ll_table());
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         // t1 (secondary) gates on its lock.
         s.on_event(&lock(1, 0, 7), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // Primary t0 locks/unlocks its only sync block, then keeps
         // computing its reply. Plain MAT would hold the token to the end;
         // last-lock MAT hands it over at the unlock (Figure 2(b)).
         s.on_event(&lock(0, 0, 9), &mut out);
         out.clear();
         s.on_event(&unlock(0, 0, 9), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))], "handover before t0 terminates");
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))], "handover before t0 terminates");
         assert_eq!(s.primary(), Some(t(1)));
     }
 
     #[test]
     fn plain_mode_waits_for_termination() {
         let mut s = MatScheduler::new(MatMode::Plain, ll_table());
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -444,9 +492,9 @@ mod tests {
         s.on_event(&lock(0, 0, 9), &mut out);
         out.clear();
         s.on_event(&unlock(0, 0, 9), &mut out);
-        assert!(out.is_empty(), "plain MAT keeps the token after the last unlock");
+        assert!(out.actions.is_empty(), "plain MAT keeps the token after the last unlock");
         s.on_event(&SchedEvent::ThreadFinished { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 
     #[test]
@@ -457,7 +505,7 @@ mod tests {
             Some(vec![]),
         ]));
         let mut s = MatScheduler::new(MatMode::LastLock, table);
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         // t0 is lock-free (method 1), t1 wants a lock (method 0).
         s.on_event(
             &SchedEvent::RequestArrived {
@@ -473,6 +521,6 @@ mod tests {
         // t0 never entered the queue: t1 holds the token and locks at once.
         assert_eq!(s.primary(), Some(t(1)));
         s.on_event(&lock(1, 0, 7), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 }

@@ -35,6 +35,7 @@
 
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
+use crate::obs::{Decision, DeferReason, DepthSample, SchedOutput};
 use crate::scheduler::{PdsConfig, Scheduler, SchedulerKind};
 use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
@@ -142,7 +143,7 @@ impl PdsScheduler {
     /// when the pool plus its feeders cannot reach quorum while a grant
     /// is stuck. Finished members are *not* evicted here — membership
     /// persists until the round resolves.
-    fn fill_slots(&mut self, out: &mut Vec<SchedAction>) {
+    fn fill_slots(&mut self, out: &mut SchedOutput) {
         while self.pool.len() < self.cfg.batch_size {
             let Some(entry) = self.waiting_room.pop_front() else { break };
             let tid = entry.tid();
@@ -151,6 +152,7 @@ impl PdsScheduler {
                     debug_assert_eq!(self.mref(tid).st, St::Queued);
                     self.member(tid).st = St::Running;
                     self.member(tid).grants_used = 0;
+                    out.decision(|| Decision::Admit { tid });
                     out.push(SchedAction::Admit(tid));
                 }
                 RoomEntry::Reentry(_) => {
@@ -197,7 +199,7 @@ impl PdsScheduler {
     }
 
     /// One grant sweep: every collected member with quota, age order.
-    fn sweep_grants(&mut self, out: &mut Vec<SchedAction>) -> bool {
+    fn sweep_grants(&mut self, out: &mut SchedOutput) -> bool {
         let mut granted_any = false;
         loop {
             let candidate = self.pool.iter().copied().find(|&m| {
@@ -211,10 +213,16 @@ impl PdsScheduler {
             match self.sync.lock(tid, mutex) {
                 LockOutcome::Acquired => {
                     self.member(tid).st = St::Running;
+                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                     out.push(SchedAction::Resume(tid));
                 }
                 LockOutcome::Queued => {
                     self.member(tid).st = St::CoreBlocked;
+                    out.decision(|| Decision::Defer {
+                        tid,
+                        mutex,
+                        reason: DeferReason::MutexBusy,
+                    });
                 }
             }
         }
@@ -222,12 +230,16 @@ impl PdsScheduler {
     }
 
     /// The round/pool state machine, run after every event.
-    fn after_change(&mut self, out: &mut Vec<SchedAction>) {
+    fn after_change(&mut self, out: &mut SchedOutput) {
         loop {
             self.fill_slots(out);
             if !self.barrier_met() {
                 return;
             }
+            out.decision(|| Decision::RoundStart {
+                pool: self.pool.len() as u32,
+                dummies: self.dummies_in_flight as u32,
+            });
             if self.sweep_grants(out) {
                 return;
             }
@@ -252,7 +264,8 @@ impl PdsScheduler {
     }
 
     /// A grant released a thread from the monitor layer.
-    fn on_grant(&mut self, g: crate::sync_core::Grant, out: &mut Vec<SchedAction>) {
+    fn on_grant(&mut self, g: crate::sync_core::Grant, out: &mut SchedOutput) {
+        out.decision(|| Decision::Grant { tid: g.tid, mutex: g.mutex, from_wait: g.from_wait });
         if g.from_wait {
             // A notified waiter re-acquired its monitor: it was Out; it
             // resumes holding the monitor, so it rejoins the pool at once
@@ -285,7 +298,17 @@ impl Scheduler for PdsScheduler {
         false
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    /// `admission` is the waiting room; `sched_queue` counts pool members
+    /// whose collected lock request awaits the round barrier.
+    fn depths(&self) -> DepthSample {
+        let mut d = self.sync.depths();
+        d.admission = self.waiting_room.len() as u32;
+        d.sched_queue =
+            self.pool.iter().filter(|&&m| self.mref(m).st == St::Collected).count() as u32;
+        d
+    }
+
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
             SchedEvent::RequestArrived { tid, dummy, .. } => {
                 if dummy {
@@ -300,11 +323,16 @@ impl Scheduler for PdsScheduler {
                 debug_assert!(prev.is_none(), "{tid} arrived twice");
                 self.waiting_room.push_back(RoomEntry::Fresh(tid));
                 self.after_change(out);
+                if self.mref(tid).st == St::Queued {
+                    // No free pool slot: parked in the waiting room.
+                    out.decision(|| Decision::AdmitDefer { tid });
+                }
             }
             SchedEvent::LockRequested { tid, mutex, .. } => {
                 if self.sync.holds(tid, mutex) {
                     let outcome = self.sync.lock(tid, mutex);
                     debug_assert_eq!(outcome, LockOutcome::Acquired);
+                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                     out.push(SchedAction::Resume(tid));
                     return;
                 }
@@ -321,6 +349,7 @@ impl Scheduler for PdsScheduler {
                     }
                     other => panic!("{tid} locked in unexpected state {other:?}"),
                 }
+                out.decision(|| Decision::Defer { tid, mutex, reason: DeferReason::Barrier });
                 self.after_change(out);
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
@@ -427,78 +456,78 @@ mod tests {
     #[test]
     fn requests_dummies_when_quorum_is_stuck() {
         let mut s = PdsScheduler::new(cfg(3));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
-        assert!(out.contains(&SchedAction::Admit(t(0))));
-        assert!(!out.contains(&SchedAction::RequestDummy));
+        assert!(out.actions.contains(&SchedAction::Admit(t(0))));
+        assert!(!out.actions.contains(&SchedAction::RequestDummy));
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        let dummies = out.iter().filter(|a| **a == SchedAction::RequestDummy).count();
+        let dummies = out.actions.iter().filter(|a| **a == SchedAction::RequestDummy).count();
         assert_eq!(dummies, 2);
         out.clear();
         s.on_event(&arrive_dummy(1), &mut out);
         s.on_event(&arrive_dummy(2), &mut out);
-        assert!(!out.contains(&SchedAction::RequestDummy));
+        assert!(!out.actions.contains(&SchedAction::RequestDummy));
         assert_eq!(s.pool(), &[t(0), t(1), t(2)]);
         out.clear();
         s.on_event(&finish(1), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&finish(2), &mut out);
-        assert!(out.contains(&SchedAction::Resume(t(0))), "quorum reached: grant fires");
+        assert!(out.actions.contains(&SchedAction::Resume(t(0))), "quorum reached: grant fires");
     }
 
     #[test]
     fn first_lock_waits_for_full_pool_to_settle() {
         let mut s = PdsScheduler::new(cfg(2));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert!(out.is_empty(), "grant must wait for the quorum (§3.3)");
+        assert!(out.actions.is_empty(), "grant must wait for the quorum (§3.3)");
         s.on_event(&lock(1, 6), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn same_mutex_conflicts_resolve_by_age() {
         let mut s = PdsScheduler::new(cfg(2));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&lock(1, 5), &mut out);
         s.on_event(&lock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&unlock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn suspended_member_leaves_pool_and_round_proceeds() {
         let mut s = PdsScheduler::new(cfg(2));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         s.on_event(&arrive(2), &mut out); // waits in the room
         out.clear();
         s.on_event(&SchedEvent::NestedStarted { tid: t(1) }, &mut out);
         // t1 left the pool; t2 takes the free slot immediately.
-        assert!(out.contains(&SchedAction::Admit(t(2))));
+        assert!(out.actions.contains(&SchedAction::Admit(t(2))));
         assert_eq!(s.pool(), &[t(0), t(2)]);
         out.clear();
         // Round proceeds without the suspended thread.
         s.on_event(&lock(0, 5), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&lock(2, 6), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(2))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(2))]);
     }
 
     #[test]
     fn woken_thread_reenters_through_the_waiting_room() {
         let mut s = PdsScheduler::new(cfg(2));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -508,24 +537,24 @@ mod tests {
         // total-order event); the free slot admits it at once, with no
         // second Admit action.
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
-        assert!(out.contains(&SchedAction::Resume(t(0))));
-        assert!(!out.iter().any(|a| matches!(a, SchedAction::Admit(_))));
+        assert!(out.actions.contains(&SchedAction::Resume(t(0))));
+        assert!(!out.actions.iter().any(|a| matches!(a, SchedAction::Admit(_))));
         assert_eq!(s.pool(), &[t(0), t(1)]);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert!(out.is_empty(), "quorum still needs t1");
+        assert!(out.actions.is_empty(), "quorum still needs t1");
         // t1 settles → both grants fire, age order.
         s.on_event(&lock(1, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&unlock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn monitor_holder_rejoins_immediately_after_wake() {
         let mut s = PdsScheduler::new(cfg(2));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -536,30 +565,30 @@ mod tests {
         s.on_event(&SchedEvent::NestedStarted { tid: t(0) }, &mut out);
         assert_eq!(s.pool(), &[t(1)]);
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
-        assert!(out.contains(&SchedAction::Resume(t(0))));
+        assert!(out.actions.contains(&SchedAction::Resume(t(0))));
         assert_eq!(s.pool(), &[t(0), t(1)], "holder rejoins at once");
     }
 
     #[test]
     fn pool_refills_when_round_resolves() {
         let mut s = PdsScheduler::new(cfg(2));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         for i in 0..3 {
             s.on_event(&arrive(i), &mut out);
         }
         out.clear();
         assert_eq!(s.pool(), &[t(0), t(1)]);
         s.on_event(&finish(0), &mut out);
-        assert!(!out.contains(&SchedAction::Admit(t(2))));
+        assert!(!out.actions.contains(&SchedAction::Admit(t(2))));
         s.on_event(&finish(1), &mut out);
-        assert!(out.contains(&SchedAction::Admit(t(2))));
+        assert!(out.actions.contains(&SchedAction::Admit(t(2))));
         assert_eq!(s.pool(), &[t(2)]);
     }
 
     #[test]
     fn second_round_requires_new_quorum() {
         let mut s = PdsScheduler::new(cfg(2));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -570,15 +599,15 @@ mod tests {
         s.on_event(&unlock(1, 2), &mut out);
         out.clear();
         s.on_event(&lock(0, 3), &mut out);
-        assert!(out.is_empty(), "second round needs the full pool settled");
+        assert!(out.actions.is_empty(), "second round needs the full pool settled");
         s.on_event(&lock(1, 4), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn locks_per_round_two_grants_back_to_back() {
         let mut s = PdsScheduler::new(PdsConfig { batch_size: 2, locks_per_round: 2 });
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -588,23 +617,23 @@ mod tests {
         s.on_event(&unlock(0, 1), &mut out);
         out.clear();
         s.on_event(&lock(0, 3), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&unlock(1, 2), &mut out);
         out.clear();
         s.on_event(&lock(1, 4), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn reentrant_lock_granted_without_round_accounting() {
         let mut s = PdsScheduler::new(cfg(1));
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 }

@@ -30,6 +30,7 @@
 use crate::bookkeeping::{Bookkeeping, LockTable};
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
+use crate::obs::{Decision, DepthSample, SchedOutput};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
@@ -77,7 +78,7 @@ impl PmatScheduler {
 
     /// Re-checks every gate-blocked request (age order) and grants what
     /// the rule and the monitor state allow.
-    fn recheck(&mut self, out: &mut Vec<SchedAction>) {
+    fn recheck(&mut self, out: &mut SchedOutput) {
         // Re-acquirers queued inside the monitor layer take priority on a
         // freed monitor (their original acquisition already passed the
         // prediction check; the wait released the monitor physically but
@@ -91,6 +92,7 @@ impl PmatScheduler {
             }
             // Monitor-layer re-acquirers first, FIFO.
             if let Some(g) = self.sync.grant_next(mutex) {
+                out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                 out.push(SchedAction::Resume(g.tid));
                 continue;
             }
@@ -99,16 +101,18 @@ impl PmatScheduler {
                 self.pending.remove(i);
                 let outcome = self.sync.lock(tid, mutex);
                 debug_assert_eq!(outcome, LockOutcome::Acquired);
+                out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                 out.push(SchedAction::Resume(tid));
             }
         }
     }
 
     /// Grants queued re-acquirers of `mutex` if it is free.
-    fn drain_reacquirers(&mut self, mutex: dmt_lang::MutexId, out: &mut Vec<SchedAction>) {
+    fn drain_reacquirers(&mut self, mutex: dmt_lang::MutexId, out: &mut SchedOutput) {
         if self.sync.is_free(mutex) {
             if let Some(g) = self.sync.grant_next(mutex) {
                 debug_assert!(g.from_wait);
+                out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: true });
                 out.push(SchedAction::Resume(g.tid));
             }
         }
@@ -129,13 +133,23 @@ impl Scheduler for PmatScheduler {
         false
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    /// `lock_queued` adds gate-blocked requests awaiting the prediction
+    /// check; `sched_queue` is the active-thread queue (runnable set).
+    fn depths(&self) -> DepthSample {
+        let mut d = self.sync.depths();
+        d.lock_queued += self.pending.len() as u32;
+        d.sched_queue = self.queue.len() as u32;
+        d
+    }
+
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
             SchedEvent::RequestArrived { tid, method, .. } => {
                 if let Err(pos) = self.queue.binary_search(&tid) {
                     self.queue.insert(pos, tid);
                 }
                 self.book.on_request(tid, method);
+                out.decision(|| Decision::Admit { tid });
                 out.push(SchedAction::Admit(tid));
             }
             SchedEvent::LockRequested { tid, sync_id, mutex } => {
@@ -143,10 +157,18 @@ impl Scheduler for PmatScheduler {
                 if self.sync.holds(tid, mutex) {
                     let outcome = self.sync.lock(tid, mutex);
                     debug_assert_eq!(outcome, LockOutcome::Acquired);
+                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                     out.push(SchedAction::Resume(tid));
                     return;
                 }
                 self.pending.insert(tid.index(), mutex);
+                // The §4.3 prediction verdict at request time; a `false`
+                // here shows up as a later Grant once a recheck passes.
+                out.decision(|| Decision::Predict {
+                    tid,
+                    mutex,
+                    granted: self.eligible(tid, mutex) && self.sync.is_free(mutex),
+                });
                 self.recheck(out);
             }
             SchedEvent::Unlocked { tid, sync_id, mutex } => {
@@ -242,45 +264,45 @@ mod tests {
     #[test]
     fn head_of_queue_always_locks() {
         let mut s = PmatScheduler::new(one_lock_table());
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(&lock(0, 0, 7), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 
     #[test]
     fn unpredicted_predecessor_blocks_younger_thread() {
         let mut s = PmatScheduler::new(one_lock_table());
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         // t1 requests m9; t0 has not announced anything → blocked.
         s.on_event(&lock(1, 0, 9), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // t0 announces a *different* mutex: t1 unblocks (Figure 3(b)).
         s.on_event(&info(0, 0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn conflicting_announcement_keeps_blocking_until_done() {
         let mut s = PmatScheduler::new(one_lock_table());
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         // t0 announces m9 — the same mutex t1 wants.
         s.on_event(&info(0, 0, 9), &mut out);
         s.on_event(&lock(1, 0, 9), &mut out);
-        assert!(out.is_empty(), "announced future conflict blocks");
+        assert!(out.actions.is_empty(), "announced future conflict blocks");
         // t0 takes and releases its lock: entry Done → t1 granted.
         s.on_event(&lock(0, 0, 9), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&unlock(0, 0, 9), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         assert_eq!(s.sync_core().owner(m(9)), Some(t(1)));
     }
 
@@ -288,22 +310,22 @@ mod tests {
     fn predecessor_finishing_unblocks() {
         let table = Arc::new(LockTable::unanalyzed(1));
         let mut s = PmatScheduler::new(table);
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         // t0 is unanalysed: never predicted; t1 blocks.
         s.on_event(&lock(1, 0, 9), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&finish(0), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn grants_same_mutex_in_age_order() {
         let table = Arc::new(LockTable::new(vec![Some(vec![e(0)]), Some(vec![e(1)]), Some(vec![e(2)])]));
         let mut s = PmatScheduler::new(table);
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         for (i, method) in [(0u32, 0u32), (1, 1), (2, 2)] {
             s.on_event(
                 &SchedEvent::RequestArrived {
@@ -322,18 +344,18 @@ mod tests {
         s.on_event(&info(2, 2, 5), &mut out);
         s.on_event(&lock(2, 2, 5), &mut out);
         s.on_event(&lock(1, 1, 5), &mut out);
-        assert!(out.is_empty(), "older conflicting announcements block");
+        assert!(out.actions.is_empty(), "older conflicting announcements block");
         s.on_event(&lock(0, 0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&unlock(0, 0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))], "age order, not request order");
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))], "age order, not request order");
         out.clear();
         s.on_event(&unlock(1, 1, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(2))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(2))]);
         out.clear();
         s.on_event(&unlock(2, 2, 5), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         assert!(s.sync_core().is_quiescent());
     }
 
@@ -347,7 +369,7 @@ mod tests {
             Some(vec![e(2)]),
         ]));
         let mut s = PmatScheduler::new(table);
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         for i in 0..3u32 {
             s.on_event(
                 &SchedEvent::RequestArrived {
@@ -368,7 +390,7 @@ mod tests {
         s.on_event(&lock(0, 0, 10), &mut out);
         // All three granted — true concurrency under determinism.
         assert_eq!(
-            out,
+            out.actions,
             vec![
                 SchedAction::Resume(t(2)),
                 SchedAction::Resume(t(1)),
@@ -383,25 +405,25 @@ mod tests {
     #[test]
     fn suspended_unpredicted_predecessor_still_blocks() {
         let mut s = PmatScheduler::new(one_lock_table());
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&SchedEvent::NestedStarted { tid: t(0) }, &mut out);
         s.on_event(&lock(1, 0, 9), &mut out);
-        assert!(out.is_empty(), "suspension does not remove t0 from the queue");
+        assert!(out.actions.is_empty(), "suspension does not remove t0 from the queue");
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&info(0, 0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
 
     #[test]
     fn wait_and_notify_reacquire_deterministically() {
         let table = Arc::new(LockTable::new(vec![Some(vec![e(0)]), Some(vec![e(1)])]));
         let mut s = PmatScheduler::new(table);
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(
             &SchedEvent::RequestArrived {
@@ -421,12 +443,12 @@ mod tests {
         // notifier t1 may take the monitor — the producer/consumer
         // pattern must stay live.
         s.on_event(&lock(1, 1, 3), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         out.clear();
         s.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut out);
         s.on_event(&unlock(1, 1, 3), &mut out);
         // t0 re-acquires on the notifier's release.
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(s.sync_core().owner(m(3)), Some(t(0)));
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
+use crate::obs::{Decision, DeferReason, DepthSample, SchedOutput};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::sync_core::{LockOutcome, SyncCore};
 use std::collections::VecDeque;
@@ -76,12 +77,15 @@ impl SatScheduler {
         self.ready.push_back(tid);
     }
 
-    fn activate_next(&mut self, out: &mut Vec<SchedAction>) {
+    fn activate_next(&mut self, out: &mut SchedOutput) {
         debug_assert!(self.active.is_none());
         if let Some(next) = self.ready.pop_front() {
             let fresh = self.st(next) == St::Fresh;
             self.set(next, St::Active);
             self.active = Some(next);
+            if fresh {
+                out.decision(|| Decision::Admit { tid: next });
+            }
             out.push(if fresh { SchedAction::Admit(next) } else { SchedAction::Resume(next) });
         }
     }
@@ -109,22 +113,46 @@ impl Scheduler for SatScheduler {
         &self.sync
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    fn depths(&self) -> DepthSample {
+        let mut d = self.sync.depths();
+        // Fresh entries in the ready queue are unadmitted requests; the
+        // rest are resumable suspended threads (scheduler backlog).
+        for &tid in &self.ready {
+            if self.st(tid) == St::Fresh {
+                d.admission += 1;
+            } else {
+                d.sched_queue += 1;
+            }
+        }
+        d
+    }
+
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
             SchedEvent::RequestArrived { tid, .. } => {
                 self.enqueue_ready(tid, true);
                 if self.active.is_none() {
                     self.activate_next(out);
+                } else {
+                    out.decision(|| Decision::AdmitDefer { tid });
                 }
             }
             SchedEvent::LockRequested { tid, mutex, .. } => {
                 debug_assert_eq!(self.active, Some(tid), "only the active thread runs under SAT");
                 match self.sync.lock(tid, mutex) {
-                    LockOutcome::Acquired => out.push(SchedAction::Resume(tid)),
+                    LockOutcome::Acquired => {
+                        out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                        out.push(SchedAction::Resume(tid));
+                    }
                     LockOutcome::Queued => {
                         // The holder must be suspended. Treat the blockage
                         // as a suspension and activate the next thread —
                         // the FTflex extension that keeps SAT live.
+                        out.decision(|| Decision::Defer {
+                            tid,
+                            mutex,
+                            reason: DeferReason::MutexBusy,
+                        });
                         self.set(tid, St::LockBlocked);
                         self.active = None;
                         self.activate_next(out);
@@ -133,12 +161,14 @@ impl Scheduler for SatScheduler {
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
                 if let Some(g) = self.sync.unlock(tid, mutex) {
+                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                     self.on_grant(g.tid);
                 }
             }
             SchedEvent::WaitCalled { tid, mutex } => {
                 debug_assert_eq!(self.active, Some(tid));
                 if let Some(g) = self.sync.wait(tid, mutex) {
+                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
                     self.on_grant(g.tid);
                 }
                 self.set(tid, St::WaitBlocked);
@@ -201,56 +231,56 @@ mod tests {
     #[test]
     fn second_request_waits_for_suspension_not_termination() {
         let mut s = SatScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(0))]);
         out.clear();
         s.on_event(&arrive(1), &mut out);
-        assert!(out.is_empty(), "t1 must wait while t0 is active");
+        assert!(out.actions.is_empty(), "t1 must wait while t0 is active");
         // t0 suspends in a nested invocation → t1 starts.
         s.on_event(&SchedEvent::NestedStarted { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(1))]);
         out.clear();
         // t0's reply arrives while t1 is active: t0 queues.
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // t1 finishes → t0 resumes.
         s.on_event(&SchedEvent::ThreadFinished { tid: t(1) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 
     #[test]
     fn lock_held_by_suspended_thread_suspends_requester() {
         let mut s = SatScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         // t0 suspends holding m5; t1 activates and requests m5.
         s.on_event(&SchedEvent::NestedStarted { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(1))]);
         out.clear();
         s.on_event(&lock(1, 5), &mut out);
-        assert!(out.is_empty(), "t1 blocks; nothing else to activate");
+        assert!(out.actions.is_empty(), "t1 blocks; nothing else to activate");
         // t0 returns, becomes active again, releases m5 → t1 ready; t0
         // still active, so t1 resumes only at t0's next suspension.
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&unlock(0, 5), &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&SchedEvent::ThreadFinished { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         assert_eq!(s.sync_core().owner(MutexId::new(5)), Some(t(1)));
     }
 
     #[test]
     fn wait_suspends_and_notify_reactivates_through_queue() {
         let mut s = SatScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
@@ -258,7 +288,7 @@ mod tests {
         s.on_event(&lock(0, 3), &mut out);
         out.clear();
         s.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: MutexId::new(3) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(1))]);
         out.clear();
         // t1 locks m, notifies, unlocks → t0 re-acquires, queues ready.
         s.on_event(&lock(1, 3), &mut out);
@@ -267,18 +297,18 @@ mod tests {
             &SchedEvent::NotifyCalled { tid: t(1), mutex: MutexId::new(3), all: false },
             &mut out,
         );
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         s.on_event(&unlock(1, 3), &mut out);
-        assert!(out.is_empty(), "t0 ready but t1 still active");
+        assert!(out.actions.is_empty(), "t0 ready but t1 still active");
         s.on_event(&SchedEvent::ThreadFinished { tid: t(1) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(s.sync_core().owner(MutexId::new(3)), Some(t(0)));
     }
 
     #[test]
     fn ready_queue_is_fifo() {
         let mut s = SatScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         for i in 0..4 {
             s.on_event(&arrive(i), &mut out);
         }
@@ -290,12 +320,12 @@ mod tests {
         out.clear();
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
         s.on_event(&SchedEvent::NestedCompleted { tid: t(1) }, &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         // Queue now: t3 (fresh), t0, t1. t2 finishes → t3 admitted.
         s.on_event(&SchedEvent::ThreadFinished { tid: t(2) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(3))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(3))]);
         out.clear();
         s.on_event(&SchedEvent::ThreadFinished { tid: t(3) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 }

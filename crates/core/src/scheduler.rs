@@ -18,8 +18,9 @@
 //!   has finished.
 
 use crate::bookkeeping::LockTable;
-use crate::event::{SchedAction, SchedEvent};
+use crate::event::SchedEvent;
 use crate::ids::ReplicaId;
+use crate::obs::{DepthSample, SchedOutput};
 use crate::sync_core::SyncCore;
 use std::sync::Arc;
 
@@ -177,11 +178,21 @@ impl SchedConfig {
 pub trait Scheduler: Send {
     fn kind(&self) -> SchedulerKind;
 
-    /// Feed one event; actions are appended to `out` in decision order.
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>);
+    /// Feed one event; actions (and, when the bundle records, decision
+    /// records) are appended to `out` in decision order.
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput);
 
     /// The underlying monitor table, for engine invariant checks.
     fn sync_core(&self) -> &SyncCore;
+
+    /// A point-in-time census of parked threads: monitor contention from
+    /// the sync core plus whatever algorithm-specific queues the module
+    /// maintains. The default covers schedulers with no gating of their
+    /// own (FREE); every decision module overrides it to add admission
+    /// and scheduler-queue backlogs. O(1) — safe to call per event.
+    fn depths(&self) -> DepthSample {
+        self.sync_core().depths()
+    }
 
     /// Whether the *global* lock-grant order is replica-independent.
     /// Only single-active-thread algorithms (SEQ, SAT) can promise that;
@@ -198,7 +209,7 @@ pub trait Scheduler: Send {
     /// this after a leadership change so a just-promoted LSA leader
     /// decides requests that were waiting for announcements that will
     /// never come). Default: nothing pending.
-    fn kick(&mut self, _out: &mut Vec<SchedAction>) {}
+    fn kick(&mut self, _out: &mut SchedOutput) {}
 }
 
 /// Instantiates the decision module selected by `cfg`.

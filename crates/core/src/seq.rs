@@ -9,6 +9,7 @@
 
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
+use crate::obs::{Decision, DepthSample, SchedOutput};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::sync_core::{LockOutcome, SyncCore};
 use std::collections::VecDeque;
@@ -24,10 +25,11 @@ impl SeqScheduler {
         SeqScheduler { sync: SyncCore::new(true), active: None, pending: VecDeque::new() }
     }
 
-    fn admit_next(&mut self, out: &mut Vec<SchedAction>) {
+    fn admit_next(&mut self, out: &mut SchedOutput) {
         debug_assert!(self.active.is_none());
         if let Some(next) = self.pending.pop_front() {
             self.active = Some(next);
+            out.decision(|| Decision::Admit { tid: next });
             out.push(SchedAction::Admit(next));
         }
     }
@@ -48,12 +50,20 @@ impl Scheduler for SeqScheduler {
         &self.sync
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    fn depths(&self) -> DepthSample {
+        let mut d = self.sync.depths();
+        d.admission = self.pending.len() as u32;
+        d
+    }
+
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
             SchedEvent::RequestArrived { tid, .. } => {
                 self.pending.push_back(tid);
                 if self.active.is_none() {
                     self.admit_next(out);
+                } else {
+                    out.decision(|| Decision::AdmitDefer { tid });
                 }
             }
             SchedEvent::LockRequested { tid, mutex, .. } => {
@@ -61,6 +71,7 @@ impl Scheduler for SeqScheduler {
                 // With a single thread every monitor is free or reentrant.
                 let outcome = self.sync.lock(tid, mutex);
                 assert_eq!(outcome, LockOutcome::Acquired, "SEQ lock can never contend");
+                out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
                 out.push(SchedAction::Resume(tid));
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
@@ -116,49 +127,49 @@ mod tests {
     #[test]
     fn one_request_at_a_time_in_order() {
         let mut s = SeqScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         s.on_event(&arrive(2), &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(0))]);
         out.clear();
         s.on_event(&SchedEvent::ThreadFinished { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(1))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(1))]);
         out.clear();
         s.on_event(&SchedEvent::ThreadFinished { tid: t(1) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Admit(t(2))]);
+        assert_eq!(out.actions, vec![SchedAction::Admit(t(2))]);
     }
 
     #[test]
     fn locks_always_granted() {
         let mut s = SeqScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(
             &SchedEvent::LockRequested { tid: t(0), sync_id: SyncId::new(0), mutex: MutexId::new(3) },
             &mut out,
         );
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 
     #[test]
     fn nested_idle_time_unused() {
         let mut s = SeqScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&SchedEvent::NestedStarted { tid: t(0) }, &mut out);
-        assert!(out.is_empty(), "SEQ must not admit during nested calls");
+        assert!(out.actions.is_empty(), "SEQ must not admit during nested calls");
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
-        assert_eq!(out, vec![SchedAction::Resume(t(0))]);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
 
     #[test]
     fn wait_deadlocks_silently_for_stall_detector() {
         let mut s = SeqScheduler::new();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(
@@ -167,7 +178,7 @@ mod tests {
         );
         out.clear();
         s.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: MutexId::new(3) }, &mut out);
-        assert!(out.is_empty());
+        assert!(out.actions.is_empty());
         assert_eq!(s.sync_core().wait_set(MutexId::new(3)), vec![t(0)]);
     }
 }

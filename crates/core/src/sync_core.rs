@@ -14,6 +14,7 @@
 //! table answers `holds_none` in O(1).
 
 use crate::ids::ThreadId;
+use crate::obs::DepthSample;
 use dmt_lang::MutexId;
 use std::collections::VecDeque;
 
@@ -71,11 +72,22 @@ pub struct SyncCore {
     /// manual mode (LSA followers, PMAT) releases leave the monitor free
     /// and the decision module grants explicitly.
     auto_grant: bool,
+    /// Threads queued on any monitor, maintained incrementally so the
+    /// queue-depth sampler stays O(1) per sample.
+    queued_total: u32,
+    /// Threads parked in any wait set (same incremental discipline).
+    waiting_total: u32,
 }
 
 impl SyncCore {
     pub fn new(auto_grant: bool) -> Self {
-        SyncCore { mutexes: Vec::new(), held: Vec::new(), auto_grant }
+        SyncCore {
+            mutexes: Vec::new(),
+            held: Vec::new(),
+            auto_grant,
+            queued_total: 0,
+            waiting_total: 0,
+        }
     }
 
     fn entry(&mut self, m: MutexId) -> &mut MutexState {
@@ -126,6 +138,7 @@ impl SyncCore {
                     "{tid} queued twice on {m}"
                 );
                 st.queue.push_back(Waiter { tid, reacquire: None });
+                self.queued_total += 1;
                 LockOutcome::Queued
             }
         }
@@ -160,6 +173,7 @@ impl SyncCore {
             Some((owner, count)) if owner == tid => {
                 st.wait_set.push_back((tid, count));
                 st.owner = None;
+                self.waiting_total += 1;
                 self.held_dec(tid);
                 self.after_full_release(m)
             }
@@ -183,6 +197,8 @@ impl SyncCore {
             let (w, saved) = st.wait_set.pop_front().expect("wait set size checked");
             st.queue.push_back(Waiter { tid: w, reacquire: Some(saved) });
         }
+        self.waiting_total -= n as u32;
+        self.queued_total += n as u32;
         n
     }
 
@@ -202,6 +218,7 @@ impl SyncCore {
         }
         let w = st.queue.pop_front()?;
         st.owner = Some((w.tid, w.reacquire.unwrap_or(1)));
+        self.queued_total -= 1;
         self.held_inc(w.tid);
         Some(Grant { tid: w.tid, mutex: m, from_wait: w.reacquire.is_some() })
     }
@@ -217,6 +234,7 @@ impl SyncCore {
         let pos = st.queue.iter().position(|w| w.tid == tid)?;
         let w = st.queue.remove(pos).expect("position just found");
         st.owner = Some((w.tid, w.reacquire.unwrap_or(1)));
+        self.queued_total -= 1;
         self.held_inc(w.tid);
         Some(Grant { tid: w.tid, mutex: m, from_wait: w.reacquire.is_some() })
     }
@@ -283,6 +301,18 @@ impl SyncCore {
         self.mutexes
             .iter()
             .all(|s| s.owner.is_none() && s.queue.is_empty() && s.wait_set.is_empty())
+    }
+
+    /// Monitor-contention census: threads queued on busy monitors and
+    /// threads parked in wait sets, from the incremental totals — O(1),
+    /// safe on the per-event path. Admission and scheduler-queue depths
+    /// are the decision module's to add (see `Scheduler::depths`).
+    pub fn depths(&self) -> DepthSample {
+        DepthSample {
+            lock_queued: self.queued_total,
+            wait_set: self.waiting_total,
+            ..DepthSample::default()
+        }
     }
 }
 
@@ -476,6 +506,41 @@ mod tests {
         assert!(c.is_queued(t(2), m(0)));
         assert!(!c.is_queued(t(1), m(0)));
         assert!(!c.is_queued(t(2), m(1)));
+    }
+
+    #[test]
+    fn depth_totals_track_queue_and_wait_set_incrementally() {
+        let mut c = SyncCore::new(true);
+        assert_eq!(c.depths(), DepthSample::default());
+        c.lock(t(1), m(0));
+        c.lock(t(2), m(0)); // queued
+        c.lock(t(3), m(0)); // queued
+        assert_eq!(c.depths().lock_queued, 2);
+        c.unlock(t(1), m(0)); // grants t2
+        assert_eq!(c.depths().lock_queued, 1);
+        c.wait(t(2), m(0)); // t2 waits; auto-grant hands to t3
+        assert_eq!(c.depths().lock_queued, 0);
+        assert_eq!(c.depths().wait_set, 1);
+        c.notify(t(3), m(0), true); // t2 back to the lock queue
+        assert_eq!(c.depths().wait_set, 0);
+        assert_eq!(c.depths().lock_queued, 1);
+        c.unlock(t(3), m(0)); // re-grants t2
+        assert_eq!(c.depths().lock_queued, 0);
+        c.unlock(t(2), m(0));
+        assert!(c.is_quiescent());
+        assert_eq!(c.depths(), DepthSample::default());
+    }
+
+    #[test]
+    fn grant_to_decrements_queue_depth() {
+        let mut c = SyncCore::new(false);
+        c.lock(t(1), m(0));
+        c.lock(t(2), m(0));
+        c.lock(t(3), m(0));
+        c.unlock(t(1), m(0));
+        assert_eq!(c.depths().lock_queued, 2);
+        c.grant_to(t(3), m(0)).unwrap();
+        assert_eq!(c.depths().lock_queued, 1);
     }
 
     #[test]

@@ -13,11 +13,12 @@
 use crate::msg::{ClientScript, GcMsg, RequestId, Scenario};
 use crate::trace::ExecutionTrace;
 use dmt_core::{
-    DenseSet, ReplicaId, SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, SlotMap,
-    ThreadId,
+    DenseSet, ReplicaId, SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler,
+    SchedulerKind, SlotMap, ThreadId,
 };
 use dmt_groupcomm::{GroupComm, NetConfig, NodeId, Sequenced};
 use dmt_lang::{Action, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm};
+use dmt_obs::{MetricsRegistry, MetricsSnapshot, TraceEvent, TraceRecord, Tracer};
 use dmt_sim::{EventQueue, Histogram, LogHistogram, SimDuration, SimTime, SplitMix64};
 
 /// Cluster-level configuration of one run.
@@ -44,6 +45,15 @@ pub struct EngineConfig {
     /// it defaults to off; flipping it on measures what logical-time
     /// event gating costs.
     pub quiescent_delivery: bool,
+    /// Record a structured trace (scheduler decisions, request
+    /// lifecycle, group-comm legs) into [`RunResult::trace_records`].
+    /// Off by default: the disabled path is branch-cheap and
+    /// allocation-free, pinned by the dmt-bench overhead guard.
+    pub trace: bool,
+    /// Sample queue depths ([`dmt_core::DepthSample`]) after every
+    /// scheduler dispatch into the metrics registry (the `figures obs`
+    /// experiment). Off by default for the same reason.
+    pub sample_depths: bool,
 }
 
 impl EngineConfig {
@@ -59,7 +69,19 @@ impl EngineConfig {
             kill_at: None,
             detect_delay: SimDuration::from_millis(5),
             quiescent_delivery: false,
+            trace: false,
+            sample_depths: false,
         }
+    }
+
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    pub fn with_depth_sampling(mut self) -> Self {
+        self.sample_depths = true;
+        self
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -163,7 +185,6 @@ pub struct RunResult {
     pub completed_requests: u64,
     /// Virtual time at which everything finished.
     pub makespan: SimTime,
-    pub net_stats: dmt_groupcomm::NetStats,
     /// PDS filler traffic.
     pub dummy_requests: u64,
     /// LSA announcement traffic.
@@ -177,6 +198,27 @@ pub struct RunResult {
     pub stuck_threads: Vec<(usize, u32, String)>,
     /// Host-side cost of this run (simulator throughput meters).
     pub perf: PerfCounters,
+    /// Unified metrics snapshot: engine perf counters, group-comm
+    /// traffic (the former `net_stats` field, as `net.*` counters),
+    /// request-latency histogram, and — when depth sampling is on — the
+    /// `depth.*` queue-depth histograms. Name-sorted, merges
+    /// commutatively across runs.
+    pub metrics: MetricsSnapshot,
+    /// Structured trace (empty unless [`EngineConfig::trace`] was set).
+    pub trace_records: Vec<TraceRecord>,
+}
+
+impl RunResult {
+    /// Group-comm traffic counters out of the metrics snapshot.
+    pub fn net_counter(&self, which: &str) -> u64 {
+        self.metrics.counter(&format!("net.{which}")).unwrap_or(0)
+    }
+
+    /// Total simulated message transmissions (submissions + broadcast
+    /// fan-out legs), the paper's §3.5 network-load measure.
+    pub fn net_legs(&self) -> u64 {
+        self.net_counter("submissions") + self.net_counter("broadcast_legs")
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -269,8 +311,23 @@ pub struct Engine {
     takeover_gap: Option<SimDuration>,
     rng: SplitMix64,
     perf: PerfCounters,
-    /// Reused scheduler-action buffer for [`Engine::dispatch`].
-    scratch: Vec<SchedAction>,
+    /// Reused scheduler-output buffer for [`Engine::dispatch`]
+    /// (decision recording pre-armed when tracing is on).
+    scratch: SchedOutput,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+    /// Histogram handles for queue-depth sampling (None = sampling off).
+    depth_ids: Option<DepthIds>,
+}
+
+/// Dense handles of the `depth.*` histograms (see [`MetricsRegistry`]).
+#[derive(Clone, Copy)]
+struct DepthIds {
+    admission: dmt_obs::HistId,
+    lock_queued: dmt_obs::HistId,
+    wait_set: dmt_obs::HistId,
+    sched_queue: dmt_obs::HistId,
+    total: dmt_obs::HistId,
 }
 
 impl Engine {
@@ -302,6 +359,17 @@ impl Engine {
             })
             .collect();
         let req_state = (0..scenario.clients.len()).map(|_| SlotMap::new()).collect();
+        let mut metrics = MetricsRegistry::new();
+        let depth_ids = cfg.sample_depths.then(|| DepthIds {
+            admission: metrics.histogram("depth.admission"),
+            lock_queued: metrics.histogram("depth.lock_queued"),
+            wait_set: metrics.histogram("depth.wait_set"),
+            sched_queue: metrics.histogram("depth.sched_queue"),
+            total: metrics.histogram("depth.total"),
+        });
+        let tracer = if cfg.trace { Tracer::enabled() } else { Tracer::disabled() };
+        let mut scratch = SchedOutput::new();
+        scratch.set_recording(cfg.trace);
         Engine {
             cfg,
             scenario,
@@ -323,8 +391,16 @@ impl Engine {
             takeover_gap: None,
             rng,
             perf: PerfCounters::default(),
-            scratch: Vec::new(),
+            scratch,
+            metrics,
+            tracer,
+            depth_ids,
         }
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.queue.now().as_nanos()
     }
 
     /// True if nested call `call_no` of `tid` already has a broadcast
@@ -356,6 +432,8 @@ impl Engine {
     /// Submits through the group communication system with per-source
     /// FIFO (clients and replicas each keep their submissions in order).
     fn submit_to_gc(&mut self, source: u64, msg: GcMsg) {
+        let t = self.now_ns();
+        self.tracer.record(t, TraceRecord::NO_REPLICA, || TraceEvent::GcSubmit { source });
         let d = self.gc.submit_delay_fifo(source, self.queue.now());
         self.queue.push_after(d, Ev::SeqArrive(msg));
     }
@@ -439,6 +517,29 @@ impl Engine {
             }
         }
         stuck_threads.sort();
+        // Route everything the run measured through the registry so the
+        // snapshot is the one uniform export (DESIGN.md §9). `net.*`
+        // replaces the former standalone `net_stats` field.
+        let net = *self.gc.stats();
+        for (name, v) in [
+            ("engine.events", self.perf.events),
+            ("engine.sched_events", self.perf.sched_events),
+            ("engine.sched_actions", self.perf.sched_actions),
+            ("engine.wall_ns", self.perf.wall_ns),
+            ("engine.completed_requests", self.completed_requests),
+            ("engine.dummy_requests", self.dummy_requests),
+            ("engine.ctrl_messages", self.ctrl_messages),
+            ("net.submissions", net.submissions),
+            ("net.broadcast_legs", net.broadcast_legs),
+            ("net.deliveries", net.deliveries),
+        ] {
+            let id = self.metrics.counter(name);
+            self.metrics.set_counter(id, v);
+        }
+        let lat = self.metrics.histogram("latency.request_ns");
+        self.metrics.merge_histogram(lat, &self.latency);
+        let makespan_g = self.metrics.gauge("engine.makespan_ns");
+        self.metrics.set_gauge(makespan_g, makespan.as_nanos() as i64);
         RunResult {
             traces: self.reps.iter().map(|r| r.trace.clone()).collect(),
             response_times: self.response_times,
@@ -446,13 +547,14 @@ impl Engine {
             latencies: self.latencies,
             completed_requests: self.completed_requests,
             makespan,
-            net_stats: *self.gc.stats(),
             dummy_requests: self.dummy_requests,
             ctrl_messages: self.ctrl_messages,
             deadlocked,
             takeover_gap: self.takeover_gap,
             stuck_threads,
             perf: self.perf,
+            metrics: self.metrics.snapshot(),
+            trace_records: self.tracer.into_records(),
         }
     }
 
@@ -460,6 +562,9 @@ impl Engine {
         match ev {
             Ev::SeqArrive(msg) => {
                 let (sm, hops) = self.gc.sequence(msg);
+                let t = self.now_ns();
+                self.tracer
+                    .record(t, TraceRecord::NO_REPLICA, || TraceEvent::GcSequenced { seq: sm.seq });
                 for (node, d) in hops {
                     self.queue
                         .push_after(d, Ev::NodeArrive { node: node.index(), sm: sm.clone() });
@@ -508,9 +613,12 @@ impl Engine {
                         continue;
                     }
                     self.reps[i].sched.on_leader_change(ReplicaId::new(new_leader as u32));
-                    let mut out = Vec::new();
+                    let mut out = std::mem::take(&mut self.scratch);
                     self.reps[i].sched.kick(&mut out);
+                    self.observe_dispatch(i, &out);
                     self.apply_actions(i, &mut out);
+                    out.clear();
+                    self.scratch = out;
                 }
             }
         }
@@ -569,11 +677,15 @@ impl Engine {
         if !self.reps[replica].alive {
             return;
         }
+        let t = self.now_ns();
+        self.tracer.record(t, replica as u32, || TraceEvent::GcDeliver { seq });
         match msg {
             GcMsg::Request { id, method, args, dummy } => {
                 let rep = &mut self.reps[replica];
                 let tid = ThreadId::new(rep.next_tid);
                 rep.next_tid += 1;
+                self.tracer.record(t, replica as u32, || TraceEvent::RequestArrived { tid, dummy });
+                let rep = &mut self.reps[replica];
                 rep.request_info.insert(
                     tid.index(),
                     PendingRequest { method, args, id: (!dummy).then_some(id) },
@@ -606,19 +718,45 @@ impl Engine {
     }
 
     /// Feeds one event to a replica's scheduler and applies the actions.
-    /// The action buffer is reused across events; `apply_actions` never
+    /// The output buffer is reused across events; `apply_actions` never
     /// re-enters `dispatch`, so taking it out of `self` is safe.
     fn dispatch(&mut self, replica: usize, ev: SchedEvent) {
         self.perf.sched_events += 1;
         let mut out = std::mem::take(&mut self.scratch);
-        debug_assert!(out.is_empty());
+        debug_assert!(out.actions.is_empty());
         self.reps[replica].sched.on_event(&ev, &mut out);
+        self.observe_dispatch(replica, &out);
         self.apply_actions(replica, &mut out);
         out.clear();
         self.scratch = out;
     }
 
-    fn apply_actions(&mut self, replica: usize, actions: &mut Vec<SchedAction>) {
+    /// Tracing/sampling side-channel of one dispatch: stamps the
+    /// scheduler's decision records with virtual time and samples queue
+    /// depths. Both paths are disabled by default; the decision vector is
+    /// empty (and was never allocated) when recording is off, so this is
+    /// two predictable branches on the hot path.
+    fn observe_dispatch(&mut self, replica: usize, out: &SchedOutput) {
+        if self.tracer.is_enabled() {
+            let t = self.now_ns();
+            for &d in out.decisions() {
+                self.tracer.record(t, replica as u32, || TraceEvent::Sched(d));
+            }
+        }
+        if let Some(ids) = self.depth_ids {
+            let d = self.reps[replica].sched.depths();
+            self.metrics.record(ids.admission, d.admission as u64);
+            self.metrics.record(ids.lock_queued, d.lock_queued as u64);
+            self.metrics.record(ids.wait_set, d.wait_set as u64);
+            self.metrics.record(ids.sched_queue, d.sched_queue as u64);
+            self.metrics.record(ids.total, d.total() as u64);
+            let t = self.now_ns();
+            self.tracer.record(t, replica as u32, || TraceEvent::Depth(d));
+        }
+    }
+
+    fn apply_actions(&mut self, replica: usize, out: &mut SchedOutput) {
+        let actions = &mut out.actions;
         self.perf.sched_actions += actions.len() as u64;
         for a in actions.drain(..) {
             match a {
@@ -771,6 +909,8 @@ impl Engine {
         rep.vms.remove(tid.index());
         rep.trace.finished_threads += 1;
         let req = rep.request_info.remove(tid.index()).and_then(|r| r.id);
+        self.tracer
+            .record(now.as_nanos(), replica as u32, || TraceEvent::RequestFinished { tid });
         self.dispatch(replica, SchedEvent::ThreadFinished { tid });
         // First-reply semantics: the fastest replica answers the client.
         if let Some(id) = req {
@@ -782,6 +922,10 @@ impl Engine {
                 st.first_finish = Some(now);
                 let replied = now + reply_leg;
                 let rt = replied - st.submitted;
+                self.tracer
+                    .record(replied.as_nanos(), replica as u32, || TraceEvent::RequestReplied {
+                        tid,
+                    });
                 self.completed_requests += 1;
                 if let (Some(kt), None) = (self.kill_time, self.takeover_gap) {
                     if now >= kt {
@@ -898,7 +1042,7 @@ mod tests {
         let res = run(SchedulerKind::Seq, counter_scenario(2, 3), 9);
         assert!(res.makespan > SimTime::ZERO);
         assert_eq!(res.completed_requests, 6);
-        assert!(res.net_stats.deliveries > 0);
+        assert!(res.net_counter("deliveries") > 0);
     }
 
     #[test]

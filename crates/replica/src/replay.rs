@@ -16,7 +16,7 @@
 
 use dmt_core::harness::{Harness, HarnessResult};
 use dmt_core::{
-    SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind, SlotMap, SyncCore, ThreadId,
+    SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler, SchedulerKind, SlotMap, SyncCore, ThreadId,
 };
 use dmt_lang::{CompiledObject, MethodIdx, MutexId, RequestArgs};
 use std::collections::VecDeque;
@@ -112,7 +112,7 @@ impl ReplayScheduler {
         ReplayScheduler { sync: SyncCore::new(false), expected, pending: SlotMap::new() }
     }
 
-    fn drain(&mut self, mutex: MutexId, out: &mut Vec<SchedAction>) {
+    fn drain(&mut self, mutex: MutexId, out: &mut SchedOutput) {
         loop {
             if !self.sync.is_free(mutex) {
                 return;
@@ -147,7 +147,7 @@ impl Scheduler for ReplayScheduler {
         &self.sync
     }
 
-    fn on_event(&mut self, ev: &SchedEvent, out: &mut Vec<SchedAction>) {
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
             SchedEvent::RequestArrived { tid, .. } => out.push(SchedAction::Admit(tid)),
             SchedEvent::LockRequested { tid, mutex, .. } => {

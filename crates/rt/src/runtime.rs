@@ -1,7 +1,7 @@
 //! The real-thread deterministic runtime.
 
 use dmt_core::{
-    make_scheduler, ReplicaId, SchedAction, SchedConfig, SchedEvent, Scheduler, SchedulerKind,
+    make_scheduler, ReplicaId, SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler, SchedulerKind,
     ThreadId,
 };
 use dmt_lang::{MethodIdx, MutexId, SyncId};
@@ -60,9 +60,9 @@ impl Inner {
     /// Feeds one event and applies the resulting actions (permits).
     fn dispatch(&self, ev: SchedEvent) {
         let mut st = self.lock_state();
-        let mut out = Vec::new();
+        let mut out = SchedOutput::new();
         st.sched.on_event(&ev, &mut out);
-        for a in out {
+        for a in out.actions {
             match a {
                 SchedAction::Admit(tid) | SchedAction::Resume(tid) => {
                     if let Some(m) = st.blocked_on.remove(tid.index()) {

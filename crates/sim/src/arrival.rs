@@ -49,7 +49,7 @@ impl PoissonProcess {
     /// (an arrival *process*, not an arrival at the epoch).
     pub fn next_arrival(&mut self) -> SimTime {
         let gap = self.rng.next_exp(self.mean_gap_ns).round() as u64;
-        self.next = self.next + crate::time::SimDuration::from_nanos(gap.max(1));
+        self.next += crate::time::SimDuration::from_nanos(gap.max(1));
         self.next
     }
 

@@ -35,7 +35,7 @@ fn main() {
             kind.to_string(),
             res.response_times.mean(),
             res.response_times.percentile(95.0),
-            res.net_stats.total_legs(),
+            res.net_legs(),
             res.dummy_requests,
             res.ctrl_messages,
             verdict,

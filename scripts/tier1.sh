@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "== tier-1: cargo test -q =="
 cargo test -q --workspace
 
+echo "== tier-1: cargo clippy (warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
 echo "== tier-1: cargo doc (rustdoc warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

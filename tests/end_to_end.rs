@@ -58,8 +58,7 @@ fn lsa_pays_in_network_traffic() {
     let legs = |kind: SchedulerKind| {
         Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(2))
             .run()
-            .net_stats
-            .total_legs()
+            .net_legs()
     };
     let lsa = legs(SchedulerKind::Lsa);
     let mat = legs(SchedulerKind::Mat);

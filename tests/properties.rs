@@ -148,7 +148,7 @@ fn sync_core_never_corrupts() {
                 // notify (if owner)
                 4 => {
                     if core.holds(tid, mx) {
-                        core.notify(tid, mx, t % 2 == 0);
+                        core.notify(tid, mx, t.is_multiple_of(2));
                     }
                 }
                 // wait (if owner)
