@@ -63,7 +63,12 @@ impl CallGraph {
             }
         }
 
-        CallGraph { callees, call_sites, called_in_loop, recursive }
+        CallGraph {
+            callees,
+            call_sites,
+            called_in_loop,
+            recursive,
+        }
     }
 
     pub fn callees(&self, m: MethodIdx) -> &[MethodIdx] {
@@ -116,7 +121,11 @@ fn collect_calls(stmts: &[Stmt], in_loop: bool, f: &mut impl FnMut(MethodIdx, bo
                 }
             }
             Stmt::Sync { body, .. } => collect_calls(body, in_loop, f),
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_calls(then_branch, in_loop, f);
                 collect_calls(else_branch, in_loop, f);
             }
@@ -146,7 +155,9 @@ mod tests {
         let g = CallGraph::build(&ob.build());
         assert_eq!(g.callees(start_idx), &[mid_idx]);
         let reach = g.reachable(start_idx);
-        assert!(reach.contains(&leaf_idx) && reach.contains(&mid_idx) && reach.contains(&start_idx));
+        assert!(
+            reach.contains(&leaf_idx) && reach.contains(&mid_idx) && reach.contains(&start_idx)
+        );
         assert!(!g.reaches_recursion(start_idx));
         assert!(!g.multi_called(leaf_idx));
     }

@@ -54,25 +54,39 @@ mod tests {
     #[test]
     fn entry_class() {
         assert_eq!(classify(&MutexExpr::This), ParamClass::AtEntry);
-        assert_eq!(classify(&MutexExpr::Konst(MutexId::new(1))), ParamClass::AtEntry);
+        assert_eq!(
+            classify(&MutexExpr::Konst(MutexId::new(1))),
+            ParamClass::AtEntry
+        );
         assert_eq!(classify(&MutexExpr::Arg(0)), ParamClass::AtEntry);
         assert_eq!(
-            classify(&MutexExpr::Pool { base: 0, len: 100, index_arg: 2 }),
+            classify(&MutexExpr::Pool {
+                base: 0,
+                len: 100,
+                index_arg: 2
+            }),
             ParamClass::AtEntry
         );
     }
 
     #[test]
     fn local_class() {
-        assert_eq!(classify(&MutexExpr::Local(LocalId::new(0))), ParamClass::AfterAssign);
+        assert_eq!(
+            classify(&MutexExpr::Local(LocalId::new(0))),
+            ParamClass::AfterAssign
+        );
         assert!(!classify(&MutexExpr::Local(LocalId::new(0))).is_spontaneous());
     }
 
     #[test]
     fn spontaneous_class() {
         assert!(classify(&MutexExpr::Field(FieldId::new(0))).is_spontaneous());
-        assert!(classify(&MutexExpr::PoolByCell { base: 0, len: 4, cell: CellId::new(0) })
-            .is_spontaneous());
+        assert!(classify(&MutexExpr::PoolByCell {
+            base: 0,
+            len: 4,
+            cell: CellId::new(0)
+        })
+        .is_spontaneous());
         assert!(classify(&MutexExpr::CallResult {
             site: CallSiteId::new(0),
             resolves_to: FieldId::new(0)

@@ -43,11 +43,17 @@ pub struct MethodSummary {
 
 impl MethodSummary {
     pub fn spontaneous_count(&self) -> usize {
-        self.syncs.iter().filter(|s| s.class.is_spontaneous()).count()
+        self.syncs
+            .iter()
+            .filter(|s| s.class.is_spontaneous())
+            .count()
     }
 
     pub fn at_entry_count(&self) -> usize {
-        self.syncs.iter().filter(|s| s.class == ParamClass::AtEntry).count()
+        self.syncs
+            .iter()
+            .filter(|s| s.class == ParamClass::AtEntry)
+            .count()
     }
 
     /// Can the thread be predicted the moment the method starts (every
@@ -61,7 +67,13 @@ impl MethodSummary {
 pub fn summarize(obj: &ObjectImpl, graph: &CallGraph, start: MethodIdx) -> MethodSummary {
     let name = obj.method(start).name.clone();
     if graph.reaches_recursion(start) {
-        return MethodSummary { method: start, name, analyzable: false, syncs: Vec::new(), path_count: 0 };
+        return MethodSummary {
+            method: start,
+            name,
+            analyzable: false,
+            syncs: Vec::new(),
+            path_count: 0,
+        };
     }
     let mut syncs = Vec::new();
     for m in graph.reachable(start) {
@@ -70,7 +82,13 @@ pub fn summarize(obj: &ObjectImpl, graph: &CallGraph, start: MethodIdx) -> Metho
     }
     syncs.sort_by_key(|s| s.sync_id);
     let path_count = count_paths(obj, graph, start);
-    MethodSummary { method: start, name, analyzable: true, syncs, path_count }
+    MethodSummary {
+        method: start,
+        name,
+        analyzable: true,
+        syncs,
+        path_count,
+    }
 }
 
 fn collect_syncs(
@@ -82,7 +100,11 @@ fn collect_syncs(
 ) {
     for s in stmts {
         match s {
-            Stmt::Sync { sync_id, param, body } => {
+            Stmt::Sync {
+                sync_id,
+                param,
+                body,
+            } => {
                 out.push(SyncInfo {
                     sync_id: *sync_id,
                     in_method,
@@ -92,7 +114,11 @@ fn collect_syncs(
                 });
                 collect_syncs(body, in_method, in_loop, repeat_via_calls, out);
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_syncs(then_branch, in_method, in_loop, repeat_via_calls, out);
                 collect_syncs(else_branch, in_method, in_loop, repeat_via_calls, out);
             }
@@ -107,11 +133,7 @@ fn collect_syncs(
 /// Path count with memoised per-method results. Recursion was excluded
 /// before calling.
 fn count_paths(obj: &ObjectImpl, graph: &CallGraph, start: MethodIdx) -> u64 {
-    fn of_method(
-        obj: &ObjectImpl,
-        m: MethodIdx,
-        memo: &mut Vec<Option<u64>>,
-    ) -> u64 {
+    fn of_method(obj: &ObjectImpl, m: MethodIdx, memo: &mut Vec<Option<u64>>) -> u64 {
         if let Some(v) = memo[m.index()] {
             return v;
         }
@@ -127,9 +149,15 @@ fn count_paths(obj: &ObjectImpl, graph: &CallGraph, start: MethodIdx) -> u64 {
         let mut paths: u64 = 1;
         for s in stmts {
             let f = match s {
-                Stmt::If { then_branch, else_branch, .. } => {
-                    of_block(obj, then_branch, memo).saturating_add(of_block(obj, else_branch, memo))
-                }
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => of_block(obj, then_branch, memo).saturating_add(of_block(
+                    obj,
+                    else_branch,
+                    memo,
+                )),
                 Stmt::For { body, .. } | Stmt::While { body, .. } => {
                     // Take-or-skip abstraction for counting purposes.
                     of_block(obj, body, memo).saturating_add(1)
@@ -232,7 +260,10 @@ mod tests {
         let s = summarize_obj(&obj, "m");
         assert_eq!(s.syncs.len(), 1);
         assert_eq!(s.syncs[0].in_method, helper_idx);
-        assert!(!s.syncs[0].repeatable, "singly-called callee is not repeatable");
+        assert!(
+            !s.syncs[0].repeatable,
+            "singly-called callee is not repeatable"
+        );
     }
 
     #[test]

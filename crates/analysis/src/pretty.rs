@@ -27,7 +27,11 @@ pub fn print_method(m: &Method, indent: usize) -> String {
     let vis = if m.public { "public" } else { "private" };
     let fin = if m.is_final { " final" } else { "" };
     let params: Vec<String> = (0..m.arity).map(|i| format!("Object a{i}")).collect();
-    let mut out = format!("{pad}{vis}{fin} void {}({}) {{\n", m.name, params.join(", "));
+    let mut out = format!(
+        "{pad}{vis}{fin} void {}({}) {{\n",
+        m.name,
+        params.join(", ")
+    );
     print_block(&m.body, indent + 1, &mut out);
     out.push_str(&format!("{pad}}}\n"));
     out
@@ -38,23 +42,42 @@ fn print_block(stmts: &[Stmt], indent: usize, out: &mut String) {
     for s in stmts {
         match s {
             Stmt::Compute(d) => out.push_str(&format!("{pad}compute({});\n", dur(d))),
-            Stmt::Sync { sync_id, param, body } => {
-                out.push_str(&format!("{pad}scheduler.lock({}, {});\n", sync_id.0, mutex(param)));
+            Stmt::Sync {
+                sync_id,
+                param,
+                body,
+            } => {
+                out.push_str(&format!(
+                    "{pad}scheduler.lock({}, {});\n",
+                    sync_id.0,
+                    mutex(param)
+                ));
                 print_block(body, indent, out);
-                out.push_str(&format!("{pad}scheduler.unlock({}, {});\n", sync_id.0, mutex(param)));
+                out.push_str(&format!(
+                    "{pad}scheduler.unlock({}, {});\n",
+                    sync_id.0,
+                    mutex(param)
+                ));
             }
             Stmt::Wait(p) => out.push_str(&format!("{pad}{}.wait();\n", mutex(p))),
             Stmt::Notify { param, all } => {
                 let call = if *all { "notifyAll" } else { "notify" };
                 out.push_str(&format!("{pad}{}.{call}();\n", mutex(param)));
             }
-            Stmt::Nested { service, dur: d } => {
-                out.push_str(&format!("{pad}svc{}.invoke(); // nested, {}\n", service.0, dur(d)))
-            }
+            Stmt::Nested { service, dur: d } => out.push_str(&format!(
+                "{pad}svc{}.invoke(); // nested, {}\n",
+                service.0,
+                dur(d)
+            )),
             Stmt::Update { cell, delta } => {
                 out.push_str(&format!("{pad}state[{}] += {};\n", cell.0, int(delta)))
             }
-            Stmt::UpdateIndexed { base, len, index_arg, delta } => out.push_str(&format!(
+            Stmt::UpdateIndexed {
+                base,
+                len,
+                index_arg,
+                delta,
+            } => out.push_str(&format!(
                 "{pad}state[{base} + a{index_arg} % {len}] += {};\n",
                 int(delta)
             )),
@@ -64,7 +87,11 @@ fn print_block(stmts: &[Stmt], indent: usize, out: &mut String) {
             Stmt::Assign { local, expr } => {
                 out.push_str(&format!("{pad}v{} = {};\n", local.0, mutex(expr)))
             }
-            Stmt::If { cond: c, then_branch, else_branch } => {
+            Stmt::If {
+                cond: c,
+                then_branch,
+                else_branch,
+            } => {
                 out.push_str(&format!("{pad}if ({}) {{\n", cond(c)));
                 print_block(then_branch, indent + 1, out);
                 if else_branch.is_empty() {
@@ -76,7 +103,10 @@ fn print_block(stmts: &[Stmt], indent: usize, out: &mut String) {
                 }
             }
             Stmt::For { count, body } => {
-                out.push_str(&format!("{pad}for (int i = 0; i < {}; i++) {{\n", countx(count)));
+                out.push_str(&format!(
+                    "{pad}for (int i = 0; i < {}; i++) {{\n",
+                    countx(count)
+                ));
                 print_block(body, indent + 1, out);
                 out.push_str(&format!("{pad}}}\n"));
             }
@@ -89,10 +119,16 @@ fn print_block(stmts: &[Stmt], indent: usize, out: &mut String) {
                 let a: Vec<String> = args.iter().map(arg).collect();
                 out.push_str(&format!("{pad}this.fn{}({});\n", method.0, a.join(", ")));
             }
-            Stmt::VirtualCall { candidates, args, .. } => {
+            Stmt::VirtualCall {
+                candidates, args, ..
+            } => {
                 let a: Vec<String> = args.iter().map(arg).collect();
                 let c: Vec<String> = candidates.iter().map(|m| format!("fn{}", m.0)).collect();
-                out.push_str(&format!("{pad}iface.dispatch[{}]({});\n", c.join("|"), a.join(", ")));
+                out.push_str(&format!(
+                    "{pad}iface.dispatch[{}]({});\n",
+                    c.join("|"),
+                    a.join(", ")
+                ));
             }
             Stmt::LockInfo { sync_id, param } => out.push_str(&format!(
                 "{pad}scheduler.lockInfo({}, {});\n",
@@ -114,7 +150,11 @@ fn mutex(e: &MutexExpr) -> String {
         MutexExpr::Arg(i) => format!("a{i}"),
         MutexExpr::Local(l) => format!("v{}", l.0),
         MutexExpr::Field(f) => format!("this.f{}", f.0),
-        MutexExpr::Pool { base, len, index_arg } => {
+        MutexExpr::Pool {
+            base,
+            len,
+            index_arg,
+        } => {
             format!("pool{base}[a{index_arg} % {len}]")
         }
         MutexExpr::PoolByCell { base, len, cell } => {

@@ -87,7 +87,10 @@ pub fn analyze(obj: &ObjectImpl) -> AnalysisReport {
         .into_iter()
         .map(|mi| method_report(obj, &graph, mi))
         .collect();
-    AnalysisReport { object: obj.name.clone(), methods }
+    AnalysisReport {
+        object: obj.name.clone(),
+        methods,
+    }
 }
 
 fn method_report(obj: &ObjectImpl, graph: &CallGraph, mi: MethodIdx) -> MethodReport {
@@ -97,8 +100,16 @@ fn method_report(obj: &ObjectImpl, graph: &CallGraph, mi: MethodIdx) -> MethodRe
         analyzable: s.analyzable,
         path_count: s.path_count,
         n_syncs: s.syncs.len(),
-        n_at_entry: s.syncs.iter().filter(|x| x.class == ParamClass::AtEntry).count(),
-        n_after_assign: s.syncs.iter().filter(|x| x.class == ParamClass::AfterAssign).count(),
+        n_at_entry: s
+            .syncs
+            .iter()
+            .filter(|x| x.class == ParamClass::AtEntry)
+            .count(),
+        n_after_assign: s
+            .syncs
+            .iter()
+            .filter(|x| x.class == ParamClass::AfterAssign)
+            .count(),
         n_spontaneous: s.spontaneous_count(),
         n_repeatable: s.syncs.iter().filter(|x| x.repeatable).count(),
         predictable_at_entry: s.predictable_at_entry(),

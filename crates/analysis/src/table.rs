@@ -35,7 +35,10 @@ fn summary_to_row(s: &MethodSummary) -> Option<Vec<StaticSyncEntry>> {
     Some(
         s.syncs
             .iter()
-            .map(|info| StaticSyncEntry { sync_id: info.sync_id, repeatable: info.repeatable })
+            .map(|info| StaticSyncEntry {
+                sync_id: info.sync_id,
+                repeatable: info.repeatable,
+            })
             .collect(),
     )
 }
@@ -60,7 +63,10 @@ mod tests {
         assert_eq!(row.len(), 1);
         assert_eq!(row[0].sync_id, SyncId::new(0));
         assert!(!row[0].repeatable);
-        assert!(table.entries(MethodIdx::new(1)).is_none(), "private: no row");
+        assert!(
+            table.entries(MethodIdx::new(1)).is_none(),
+            "private: no row"
+        );
     }
 
     #[test]

@@ -98,11 +98,19 @@ fn own_syncs(stmts: &[Stmt]) -> BTreeSet<SyncId> {
 fn visit_own(stmts: &[Stmt], f: &mut impl FnMut(SyncId, &MutexExpr)) {
     for s in stmts {
         match s {
-            Stmt::Sync { sync_id, param, body } => {
+            Stmt::Sync {
+                sync_id,
+                param,
+                body,
+            } => {
                 f(*sync_id, param);
                 visit_own(body, f);
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 visit_own(then_branch, f);
                 visit_own(else_branch, f);
             }
@@ -114,11 +122,7 @@ fn visit_own(stmts: &[Stmt], f: &mut impl FnMut(SyncId, &MutexExpr)) {
 
 /// Syncids a block can resolve: own blocks plus scopes of singly-called
 /// callees invoked within it.
-fn block_scope(
-    stmts: &[Stmt],
-    graph: &CallGraph,
-    scopes: &IgnoreScopes,
-) -> BTreeSet<SyncId> {
+fn block_scope(stmts: &[Stmt], graph: &CallGraph, scopes: &IgnoreScopes) -> BTreeSet<SyncId> {
     let mut out = BTreeSet::new();
     for s in stmts {
         match s {
@@ -126,7 +130,11 @@ fn block_scope(
                 out.insert(*sync_id);
                 out.extend(block_scope(body, graph, scopes));
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 out.extend(block_scope(then_branch, graph, scopes));
                 out.extend(block_scope(else_branch, graph, scopes));
             }
@@ -180,7 +188,10 @@ fn transform_method(
         ParamClass::AfterAssign => {
             if let MutexExpr::Local(l) = param {
                 if let Some(&idx) = top_level_single_assign.get(l) {
-                    after_assign.entry(idx).or_default().push((sid, param.clone()));
+                    after_assign
+                        .entry(idx)
+                        .or_default()
+                        .push((sid, param.clone()));
                 }
                 // Otherwise: conservative — treated as spontaneous.
             }
@@ -194,17 +205,28 @@ fn transform_method(
     // branch "bypassed" in this activation may be taken in the next one.
     // Its whole body is treated like a loop body.
     let reexecutable = graph.multi_called(mi);
-    let ctx = Ctx { graph, scopes, method_scope: scopes.of(mi).clone(), reexecutable };
+    let ctx = Ctx {
+        graph,
+        scopes,
+        method_scope: scopes.of(mi).clone(),
+        reexecutable,
+    };
     let mut body = Vec::with_capacity(m.body.len() + entry_infos.len());
     for (sid, param) in entry_infos {
-        body.push(Stmt::LockInfo { sync_id: sid, param });
+        body.push(Stmt::LockInfo {
+            sync_id: sid,
+            param,
+        });
     }
     rewrite_block(
         &m.body,
         &ctx,
         &after_assign,
         &mut Vec::new(),
-        Pos { top_level: true, in_loop: reexecutable },
+        Pos {
+            top_level: true,
+            in_loop: reexecutable,
+        },
         &mut body,
     );
 
@@ -225,7 +247,11 @@ fn count_assigns(stmts: &[Stmt], out: &mut HashMap<LocalId, usize>) {
             Stmt::Sync { body, .. } | Stmt::For { body, .. } | Stmt::While { body, .. } => {
                 count_assigns(body, out)
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 count_assigns(then_branch, out);
                 count_assigns(else_branch, out);
             }
@@ -266,15 +292,40 @@ fn rewrite_block(
 ) {
     for (i, s) in stmts.iter().enumerate() {
         match s {
-            Stmt::Sync { sync_id, param, body } => {
+            Stmt::Sync {
+                sync_id,
+                param,
+                body,
+            } => {
                 let mut new_body = Vec::with_capacity(body.len());
                 held.push(*sync_id);
-                rewrite_block(body, ctx, after_assign, held, Pos { top_level: false, ..pos }, &mut new_body);
+                rewrite_block(
+                    body,
+                    ctx,
+                    after_assign,
+                    held,
+                    Pos {
+                        top_level: false,
+                        ..pos
+                    },
+                    &mut new_body,
+                );
                 held.pop();
-                out.push(Stmt::Sync { sync_id: *sync_id, param: param.clone(), body: new_body });
+                out.push(Stmt::Sync {
+                    sync_id: *sync_id,
+                    param: param.clone(),
+                    body: new_body,
+                });
             }
-            Stmt::If { cond, then_branch, else_branch } => {
-                let inner_pos = Pos { top_level: false, ..pos };
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let inner_pos = Pos {
+                    top_level: false,
+                    ..pos
+                };
                 let mut new_then = Vec::new();
                 let mut new_else = Vec::new();
                 if !pos.in_loop {
@@ -287,8 +338,22 @@ fn rewrite_block(
                         new_else.push(Stmt::IgnoreSync { sync_id: sid });
                     }
                 }
-                rewrite_block(then_branch, ctx, after_assign, held, inner_pos, &mut new_then);
-                rewrite_block(else_branch, ctx, after_assign, held, inner_pos, &mut new_else);
+                rewrite_block(
+                    then_branch,
+                    ctx,
+                    after_assign,
+                    held,
+                    inner_pos,
+                    &mut new_then,
+                );
+                rewrite_block(
+                    else_branch,
+                    ctx,
+                    after_assign,
+                    held,
+                    inner_pos,
+                    &mut new_else,
+                );
                 out.push(Stmt::If {
                     cond: cond.clone(),
                     then_branch: new_then,
@@ -298,8 +363,21 @@ fn rewrite_block(
             Stmt::For { count, body } => {
                 let inner = block_scope(body, ctx.graph, ctx.scopes);
                 let mut new_body = Vec::new();
-                rewrite_block(body, ctx, after_assign, held, Pos { top_level: false, in_loop: true }, &mut new_body);
-                out.push(Stmt::For { count: count.clone(), body: new_body });
+                rewrite_block(
+                    body,
+                    ctx,
+                    after_assign,
+                    held,
+                    Pos {
+                        top_level: false,
+                        in_loop: true,
+                    },
+                    &mut new_body,
+                );
+                out.push(Stmt::For {
+                    count: count.clone(),
+                    body: new_body,
+                });
                 if !pos.in_loop {
                     for &sid in &inner {
                         out.push(Stmt::IgnoreSync { sync_id: sid });
@@ -309,8 +387,21 @@ fn rewrite_block(
             Stmt::While { cond, body } => {
                 let inner = block_scope(body, ctx.graph, ctx.scopes);
                 let mut new_body = Vec::new();
-                rewrite_block(body, ctx, after_assign, held, Pos { top_level: false, in_loop: true }, &mut new_body);
-                out.push(Stmt::While { cond: cond.clone(), body: new_body });
+                rewrite_block(
+                    body,
+                    ctx,
+                    after_assign,
+                    held,
+                    Pos {
+                        top_level: false,
+                        in_loop: true,
+                    },
+                    &mut new_body,
+                );
+                out.push(Stmt::While {
+                    cond: cond.clone(),
+                    body: new_body,
+                });
                 if !pos.in_loop {
                     for &sid in &inner {
                         out.push(Stmt::IgnoreSync { sync_id: sid });
@@ -329,7 +420,12 @@ fn rewrite_block(
                 }
                 out.push(Stmt::Return);
             }
-            Stmt::VirtualCall { site, candidates, selector, args } => {
+            Stmt::VirtualCall {
+                site,
+                candidates,
+                selector,
+                args,
+            } => {
                 out.push(Stmt::VirtualCall {
                     site: *site,
                     candidates: candidates.clone(),
@@ -352,11 +448,17 @@ fn rewrite_block(
                 }
             }
             Stmt::Assign { local, expr } => {
-                out.push(Stmt::Assign { local: *local, expr: expr.clone() });
+                out.push(Stmt::Assign {
+                    local: *local,
+                    expr: expr.clone(),
+                });
                 if pos.top_level {
                     if let Some(infos) = after_assign.get(&i) {
                         for (sid, param) in infos {
-                            out.push(Stmt::LockInfo { sync_id: *sid, param: param.clone() });
+                            out.push(Stmt::LockInfo {
+                                sync_id: *sid,
+                                param: param.clone(),
+                            });
                         }
                     }
                 }
@@ -381,7 +483,11 @@ mod tests {
                 Stmt::Sync { body, .. } | Stmt::For { body, .. } | Stmt::While { body, .. } => {
                     find_stmts(body, pred, out)
                 }
-                Stmt::If { then_branch, else_branch, .. } => {
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
                     find_stmts(then_branch, pred, out);
                     find_stmts(else_branch, pred, out);
                 }
@@ -423,18 +529,38 @@ mod tests {
         // lockInfo for the arg-param block (syncid 0) at method entry.
         assert_eq!(
             body[0],
-            Stmt::LockInfo { sync_id: SyncId::new(0), param: MutexExpr::Arg(0) }
+            Stmt::LockInfo {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::Arg(0)
+            }
         );
         // Branches ignore each other's blocks.
-        let Stmt::If { then_branch, else_branch, .. } = &body[1] else {
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &body[1]
+        else {
             panic!("expected if")
         };
-        assert_eq!(then_branch[0], Stmt::IgnoreSync { sync_id: SyncId::new(1) });
-        assert_eq!(else_branch[0], Stmt::IgnoreSync { sync_id: SyncId::new(0) });
+        assert_eq!(
+            then_branch[0],
+            Stmt::IgnoreSync {
+                sync_id: SyncId::new(1)
+            }
+        );
+        assert_eq!(
+            else_branch[0],
+            Stmt::IgnoreSync {
+                sync_id: SyncId::new(0)
+            }
+        );
         // The spontaneous field param got no lockInfo anywhere.
-        let infos = all_matching(&t, "foo", |s| {
-            matches!(s, Stmt::LockInfo { sync_id, .. } if *sync_id == SyncId::new(1))
-        });
+        let infos = all_matching(
+            &t,
+            "foo",
+            |s| matches!(s, Stmt::LockInfo { sync_id, .. } if *sync_id == SyncId::new(1)),
+        );
         assert_eq!(infos, 0);
     }
 
@@ -443,7 +569,10 @@ mod tests {
         let obj = figure4();
         let t = transform(&obj);
         assert_eq!(obj.all_sync_ids(), t.all_sync_ids());
-        assert!(t.validate().is_empty(), "transformed object must stay valid");
+        assert!(
+            t.validate().is_empty(),
+            "transformed object must stay valid"
+        );
     }
 
     #[test]
@@ -459,7 +588,12 @@ mod tests {
         // entry lockInfo, loop, post-loop ignore.
         assert!(matches!(body[0], Stmt::LockInfo { .. }));
         assert!(matches!(body[1], Stmt::For { .. }));
-        assert_eq!(body[2], Stmt::IgnoreSync { sync_id: SyncId::new(0) });
+        assert_eq!(
+            body[2],
+            Stmt::IgnoreSync {
+                sync_id: SyncId::new(0)
+            }
+        );
     }
 
     #[test]
@@ -475,7 +609,11 @@ mod tests {
         m.done();
         let t = transform(&ob.build());
         let mut rets = Vec::new();
-        find_stmts(&t.method(MethodIdx::new(0)).body, &|s| matches!(s, Stmt::Return), &mut rets);
+        find_stmts(
+            &t.method(MethodIdx::new(0)).body,
+            &|s| matches!(s, Stmt::Return),
+            &mut rets,
+        );
         assert_eq!(rets.len(), 1);
         // The ignore for the *second* block (syncid 1) must precede the
         // return; the held first block (syncid 0) must not be ignored.
@@ -485,8 +623,12 @@ mod tests {
             &|s| matches!(s, Stmt::IgnoreSync { .. }),
             &mut ignores,
         );
-        assert!(ignores.contains(&&Stmt::IgnoreSync { sync_id: SyncId::new(1) }));
-        assert!(!ignores.contains(&&Stmt::IgnoreSync { sync_id: SyncId::new(0) }));
+        assert!(ignores.contains(&&Stmt::IgnoreSync {
+            sync_id: SyncId::new(1)
+        }));
+        assert!(!ignores.contains(&&Stmt::IgnoreSync {
+            sync_id: SyncId::new(0)
+        }));
     }
 
     #[test]
@@ -505,7 +647,10 @@ mod tests {
         assert!(matches!(body[1], Stmt::Assign { .. }));
         assert_eq!(
             body[2],
-            Stmt::LockInfo { sync_id: SyncId::new(0), param: MutexExpr::Local(LocalId::new(0)) }
+            Stmt::LockInfo {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::Local(LocalId::new(0))
+            }
         );
     }
 
@@ -519,7 +664,10 @@ mod tests {
         m.sync(MutexExpr::Local(l), |_| {});
         m.done();
         let t = transform(&ob.build());
-        assert_eq!(all_matching(&t, "m", |s| matches!(s, Stmt::LockInfo { .. })), 0);
+        assert_eq!(
+            all_matching(&t, "m", |s| matches!(s, Stmt::LockInfo { .. })),
+            0
+        );
     }
 
     #[test]
@@ -537,8 +685,18 @@ mod tests {
         let t = transform(&ob.build());
         let body = &t.method(t.method_by_name("m").unwrap()).body;
         assert!(matches!(body[0], Stmt::VirtualCall { .. }));
-        assert_eq!(body[1], Stmt::IgnoreSync { sync_id: SyncId::new(0) });
-        assert_eq!(body[2], Stmt::IgnoreSync { sync_id: SyncId::new(1) });
+        assert_eq!(
+            body[1],
+            Stmt::IgnoreSync {
+                sync_id: SyncId::new(0)
+            }
+        );
+        assert_eq!(
+            body[2],
+            Stmt::IgnoreSync {
+                sync_id: SyncId::new(1)
+            }
+        );
     }
 
     #[test]

@@ -63,7 +63,9 @@ fn figure4_matches_papers_injection_pattern() {
     //    start;
     let transformed = transform(&figure4_object());
     let rendered = pretty::print_object(&transformed);
-    let announce = rendered.find("scheduler.lockInfo(0, a0);").expect("entry announcement");
+    let announce = rendered
+        .find("scheduler.lockInfo(0, a0);")
+        .expect("entry announcement");
     let branch = rendered.find("if (").expect("branch");
     assert!(announce < branch, "announcement must precede the branch");
     // 2. the spontaneous parameter (instance variable) gets no lockInfo;

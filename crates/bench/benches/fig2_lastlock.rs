@@ -10,7 +10,11 @@ use dmt_workload::fig2;
 use std::hint::black_box;
 
 fn main() {
-    let params = fig2::Fig2Params { n_clients: 4, requests_per_client: 2, ..Default::default() };
+    let params = fig2::Fig2Params {
+        n_clients: 4,
+        requests_per_client: 2,
+        ..Default::default()
+    };
     let pair = fig2::scenario(&params);
 
     // Sanity: the virtual-time result must hold before we time anything.

@@ -9,7 +9,11 @@ use dmt_workload::fig3;
 use std::hint::black_box;
 
 fn main() {
-    let params = fig3::Fig3Params { n_clients: 6, requests_per_client: 2, ..Default::default() };
+    let params = fig3::Fig3Params {
+        n_clients: 6,
+        requests_per_client: 2,
+        ..Default::default()
+    };
     let pair = fig3::scenario(&params);
 
     let mean = |kind: SchedulerKind| {
@@ -19,7 +23,11 @@ fn main() {
     };
     assert!(mean(SchedulerKind::Pmat) < mean(SchedulerKind::Mat));
 
-    for kind in [SchedulerKind::Mat, SchedulerKind::MatLL, SchedulerKind::Pmat] {
+    for kind in [
+        SchedulerKind::Mat,
+        SchedulerKind::MatLL,
+        SchedulerKind::Pmat,
+    ] {
         let scenario = pair.for_kind(kind);
         time_case("fig3_prediction", kind.name(), || {
             let cfg = EngineConfig::new(kind).with_seed(3);

@@ -25,10 +25,16 @@ fn main() {
         ("PMAT_analysed", SchedulerKind::Pmat, true),
     ];
     for (label, kind, analysed) in cases {
-        let scenario = if analysed { pair.analysed.clone() } else { pair.plain.clone() };
+        let scenario = if analysed {
+            pair.analysed.clone()
+        } else {
+            pair.plain.clone()
+        };
         time_case("instrumentation_overhead", label, || {
             let cfg = EngineConfig::new(kind).with_seed(5);
-            Engine::new(black_box(scenario.clone()), cfg).run().completed_requests
+            Engine::new(black_box(scenario.clone()), cfg)
+                .run()
+                .completed_requests
         });
     }
 }

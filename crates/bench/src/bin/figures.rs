@@ -58,25 +58,32 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
         }
         j.push_str(&format!("\"{}\": {v:.1}", json_escape(k)));
     }
-    j.push_str(&format!("}},\n    \"ns_per_event\": {base_total:.1}\n  }},\n"));
+    j.push_str(&format!(
+        "}},\n    \"ns_per_event\": {base_total:.1}\n  }},\n"
+    ));
     j.push_str("  \"current\": {\n    \"per_kind\": [\n");
     for (i, r) in rows.iter().enumerate() {
         j.push_str(&format!(
-            "      {{\"kind\": \"{}\", \"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}{}\n",
+            "      {{\"kind\": \"{}\", \"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}{}\n",
             json_escape(r.kind.name()),
             r.perf.events,
             r.perf.sched_events,
             r.perf.sched_actions,
+            r.perf.vm_allocs,
+            r.perf.vm_reuses,
             r.perf.wall_ns,
             r.perf.ns_per_event(),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     j.push_str(&format!(
-        "    ],\n    \"total\": {{\"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}\n  }},\n",
-        total.events, total.sched_events, total.sched_actions, total.wall_ns, total.ns_per_event(),
+        "    ],\n    \"total\": {{\"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}\n  }},\n",
+        total.events, total.sched_events, total.sched_actions, total.vm_allocs, total.vm_reuses,
+        total.wall_ns, total.ns_per_event(),
     ));
-    j.push_str(&format!("  \"ns_per_event_improvement_pct\": {improvement:.1},\n"));
+    j.push_str(&format!(
+        "  \"ns_per_event_improvement_pct\": {improvement:.1},\n"
+    ));
     j.push_str(&format!(
         "  \"parallel_sweep\": {{\"threads\": {threads}, \"serial_wall_ms\": {serial_ms:.1}, \"parallel_wall_ms\": {parallel_ms:.1}, \"speedup\": {:.2}, \"tables_identical\": {identical}}}\n",
         serial_ms / parallel_ms.max(1e-9),
@@ -101,7 +108,11 @@ fn artifact_path(name: &str, quick: bool) -> String {
 }
 
 fn obs_bench(quick: bool, csv: bool) {
-    let grid = if quick { ObsGrid::quick() } else { ObsGrid::default() };
+    let grid = if quick {
+        ObsGrid::quick()
+    } else {
+        ObsGrid::default()
+    };
     let rows = obs_experiment(&grid);
     let t = obs_table(&rows);
     if csv {
@@ -157,7 +168,11 @@ fn trace_export(out: Option<&str>, sched: Option<&str>, quick: bool) {
 }
 
 fn openloop_bench(quick: bool, csv: bool) {
-    let grid = if quick { OpenLoopGrid::quick() } else { OpenLoopGrid::default() };
+    let grid = if quick {
+        OpenLoopGrid::quick()
+    } else {
+        OpenLoopGrid::default()
+    };
     let rows = openloop_experiment(&grid);
     let t = openloop_table(&rows);
     if csv {
@@ -205,8 +220,11 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
 
-    let client_counts: Vec<usize> =
-        if quick { vec![1, 2, 4, 8] } else { vec![1, 2, 4, 8, 16, 24, 32] };
+    let client_counts: Vec<usize> = if quick {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![1, 2, 4, 8, 16, 24, 32]
+    };
     let requests = if quick { 2 } else { 4 };
 
     let emit = |t: &Table| {
@@ -247,8 +265,21 @@ fn main() {
 
     if what == "all" {
         for name in [
-            "fig1", "fig1x", "fig2", "fig3", "fig4", "analysis", "abl-mutexes", "abl-overhead",
-            "abl-wan", "abl-passive", "determinism", "openloop", "obs", "trace", "bench",
+            "fig1",
+            "fig1x",
+            "fig2",
+            "fig3",
+            "fig4",
+            "analysis",
+            "abl-mutexes",
+            "abl-overhead",
+            "abl-wan",
+            "abl-passive",
+            "determinism",
+            "openloop",
+            "obs",
+            "trace",
+            "bench",
         ] {
             run_one(name);
             println!();

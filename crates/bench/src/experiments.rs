@@ -83,7 +83,10 @@ where
             }
         }
     });
-    results.into_iter().map(|o| o.expect("every job index runs exactly once")).collect()
+    results
+        .into_iter()
+        .map(|o| o.expect("every job index runs exactly once"))
+        .collect()
 }
 
 /// Worker count for parallel sweeps: `DMT_SWEEP_THREADS` if set, else
@@ -94,7 +97,9 @@ pub fn sweep_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Baseline simulator throughput (ns/event) per scheduler on the
@@ -117,6 +122,16 @@ pub const BASELINE_NS_PER_EVENT: [(&str, f64); 5] = [
 /// Events-weighted ns/event over the whole baseline sweep (same
 /// measurement as the per-kind table above).
 pub const BASELINE_TOTAL_NS_PER_EVENT: f64 = 200.5;
+
+/// Events-weighted ns/event after the allocation-free substrate landed
+/// (pooled VM frames, interned request args, incremental state hash,
+/// slab-backed calendar event queue). Pinned 2026-08-06 from the full
+/// sweep, fastest-of-three per point. [`BASELINE_TOTAL_NS_PER_EVENT`]
+/// stays the before→after reference in `BENCH_engine.json`; this pin is
+/// what the tracing-disabled overhead guard (`tests/trace_overhead.rs`)
+/// holds the hot path against, so a regression back toward the old cost
+/// fails loudly instead of hiding inside the old pin's slack.
+pub const POOLED_TOTAL_NS_PER_EVENT: f64 = 168.0;
 
 /// The five algorithms of the paper's Figure 1.
 pub const FIG1_KINDS: [SchedulerKind; 5] = [
@@ -145,11 +160,18 @@ fn ms(x: f64) -> String {
 /// One Figure-1 sweep point: the full cluster simulation for one
 /// (clients, scheduler) pair. Self-contained so sweep points can run on
 /// any worker thread.
-fn fig1_point(n_clients: usize, requests_per_client: usize, kind: SchedulerKind) -> dmt_replica::RunResult {
+fn fig1_point(
+    n_clients: usize,
+    requests_per_client: usize,
+    kind: SchedulerKind,
+) -> dmt_replica::RunResult {
     let params = fig1::Fig1Params::default()
         .with_clients(n_clients)
         .with_seed(1000 + n_clients as u64);
-    let params = fig1::Fig1Params { requests_per_client, ..params };
+    let params = fig1::Fig1Params {
+        requests_per_client,
+        ..params
+    };
     let pair = fig1::scenario(&params);
     let cfg = EngineConfig::new(kind).with_seed(7).with_cpu_jitter(0.05);
     let res = Engine::new(pair.for_kind(kind), cfg).run();
@@ -159,8 +181,17 @@ fn fig1_point(n_clients: usize, requests_per_client: usize, kind: SchedulerKind)
 
 /// **fig1** — mean response time vs. number of clients, per scheduler
 /// (paper Figure 1). `extended` adds the MAT-LL and PMAT series.
-pub fn fig1_experiment(client_counts: &[usize], requests_per_client: usize, extended: bool) -> Table {
-    fig1_experiment_with_threads(client_counts, requests_per_client, extended, sweep_threads())
+pub fn fig1_experiment(
+    client_counts: &[usize],
+    requests_per_client: usize,
+    extended: bool,
+) -> Table {
+    fig1_experiment_with_threads(
+        client_counts,
+        requests_per_client,
+        extended,
+        sweep_threads(),
+    )
 }
 
 /// [`fig1_experiment`] with an explicit worker count (1 = serial). The
@@ -208,7 +239,10 @@ pub fn fig1_experiment_with_threads(
     );
     for (i, &n) in client_counts.iter().enumerate() {
         let mut row = vec![n.to_string()];
-        for cell in cells[i * kinds.len()..(i + 1) * kinds.len()].iter().flatten() {
+        for cell in cells[i * kinds.len()..(i + 1) * kinds.len()]
+            .iter()
+            .flatten()
+        {
             row.push(cell.clone());
         }
         t.push_row(row);
@@ -226,13 +260,24 @@ pub struct EngineBenchRow {
 
 /// **bench** — engine hot-path cost on the Figure-1 sweep (all five
 /// paper schedulers), aggregated per scheduler.
-pub fn engine_bench_experiment(client_counts: &[usize], requests_per_client: usize) -> Vec<EngineBenchRow> {
+pub fn engine_bench_experiment(
+    client_counts: &[usize],
+    requests_per_client: usize,
+) -> Vec<EngineBenchRow> {
     FIG1_KINDS
         .iter()
         .map(|&kind| {
             let mut agg = PerfCounters::default();
             for &n in client_counts {
-                agg.merge(&fig1_point(n, requests_per_client, kind).perf);
+                // Runs are deterministic but the clock is not: scheduler
+                // noise (CI neighbours, cold caches) only ever inflates
+                // wall time, so the fastest of three repeats is the
+                // faithful cost estimate.
+                let perf = (0..3)
+                    .map(|_| fig1_point(n, requests_per_client, kind).perf)
+                    .min_by_key(|p| p.wall_ns)
+                    .expect("three repeats");
+                agg.merge(&perf);
             }
             EngineBenchRow { kind, perf: agg }
         })
@@ -250,7 +295,10 @@ pub fn fig2_experiment(final_ms_values: &[f64]) -> Table {
     let means = run_jobs(final_ms_values.len() * 2, sweep_threads(), |job| {
         let f = final_ms_values[job / 2];
         let kind = kinds[job % 2];
-        let p = fig2::Fig2Params { final_ms: f, ..fig2::Fig2Params::default() };
+        let p = fig2::Fig2Params {
+            final_ms: f,
+            ..fig2::Fig2Params::default()
+        };
         let pair = fig2::scenario(&p);
         let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
         assert!(!res.deadlocked);
@@ -268,20 +316,36 @@ pub fn fig2_experiment(final_ms_values: &[f64]) -> Table {
 pub fn fig3_experiment(client_counts: &[usize]) -> Table {
     let mut t = Table::new(
         "Figure 3: lock prediction — response time on disjoint mutexes",
-        &["clients", "MAT (ms)", "MAT-LL (ms)", "PMAT (ms)", "ideal (ms)"],
+        &[
+            "clients",
+            "MAT (ms)",
+            "MAT-LL (ms)",
+            "PMAT (ms)",
+            "ideal (ms)",
+        ],
     );
-    let kinds = [SchedulerKind::Mat, SchedulerKind::MatLL, SchedulerKind::Pmat];
+    let kinds = [
+        SchedulerKind::Mat,
+        SchedulerKind::MatLL,
+        SchedulerKind::Pmat,
+    ];
     let means = run_jobs(client_counts.len() * 3, sweep_threads(), |job| {
         let n = client_counts[job / 3];
         let kind = kinds[job % 3];
-        let p = fig3::Fig3Params { n_clients: n, ..fig3::Fig3Params::default() };
+        let p = fig3::Fig3Params {
+            n_clients: n,
+            ..fig3::Fig3Params::default()
+        };
         let pair = fig3::scenario(&p);
         let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();
         assert!(!res.deadlocked);
         res.response_times.mean()
     });
     for (i, &n) in client_counts.iter().enumerate() {
-        let p = fig3::Fig3Params { n_clients: n, ..fig3::Fig3Params::default() };
+        let p = fig3::Fig3Params {
+            n_clients: n,
+            ..fig3::Fig3Params::default()
+        };
         // Ideal: full overlap — a request costs its own work plus wire.
         let ideal = p.pre_ms + p.cs_ms + 4.0 * NetConfig::lan().one_way.as_millis_f64();
         t.push_row(vec![
@@ -357,7 +421,12 @@ pub fn abl_mutexes_experiment(mutex_counts: &[u32]) -> Table {
     });
     for (i, &m) in mutex_counts.iter().enumerate() {
         let (mat, pmat) = (means[i * 2], means[i * 2 + 1]);
-        t.push_row(vec![m.to_string(), ms(mat), ms(pmat), format!("{:.2}x", mat / pmat)]);
+        t.push_row(vec![
+            m.to_string(),
+            ms(mat),
+            ms(pmat),
+            format!("{:.2}x", mat / pmat),
+        ]);
     }
     t
 }
@@ -375,18 +444,30 @@ pub fn abl_overhead_experiment() -> Table {
     let p = fig1::Fig1Params::default().with_mutexes(1).with_clients(8);
     let pair = fig1::scenario(&p);
     let mut run = |label: &str, kind: SchedulerKind, analysed: bool| {
-        let scenario = if analysed { pair.analysed.clone() } else { pair.plain.clone() };
+        let scenario = if analysed {
+            pair.analysed.clone()
+        } else {
+            pair.plain.clone()
+        };
         let total = (p.n_clients * p.requests_per_client) as f64;
         let start = Instant::now();
         let res = Engine::new(scenario, EngineConfig::new(kind).with_seed(5)).run();
         let wall = start.elapsed().as_micros() as f64 / total;
         assert!(!res.deadlocked);
-        t.push_row(vec![label.to_string(), ms(res.response_times.mean()), format!("{wall:.1}")]);
+        t.push_row(vec![
+            label.to_string(),
+            ms(res.response_times.mean()),
+            format!("{wall:.1}"),
+        ]);
     };
     run("MAT plain", SchedulerKind::Mat, false);
     run("MAT analysed", SchedulerKind::Mat, true);
     run("MAT-LL analysed", SchedulerKind::MatLL, true);
-    run("PMAT analysed (no disjointness to exploit)", SchedulerKind::Pmat, true);
+    run(
+        "PMAT analysed (no disjointness to exploit)",
+        SchedulerKind::Pmat,
+        true,
+    );
     t
 }
 
@@ -394,7 +475,13 @@ pub fn abl_overhead_experiment() -> Table {
 pub fn abl_wan_experiment(one_way_ms: &[u64]) -> Table {
     let mut t = Table::new(
         "Ablation: WAN latency — LSA vs MAT, and LSA leader takeover",
-        &["one-way (ms)", "LSA (ms)", "MAT (ms)", "LSA ctrl msgs", "LSA takeover (ms)"],
+        &[
+            "one-way (ms)",
+            "LSA (ms)",
+            "MAT (ms)",
+            "LSA ctrl msgs",
+            "LSA takeover (ms)",
+        ],
     );
     // Three independent cluster runs per latency point: LSA, MAT, and
     // the LSA leader-kill failover run.
@@ -402,10 +489,18 @@ pub fn abl_wan_experiment(one_way_ms: &[u64]) -> Table {
         let w = one_way_ms[job / 3];
         let p = fig1::Fig1Params::default().with_clients(6);
         let pair = fig1::scenario(&p);
-        let net = if w == 0 { NetConfig::lan() } else { NetConfig::wan(w) };
+        let net = if w == 0 {
+            NetConfig::lan()
+        } else {
+            NetConfig::wan(w)
+        };
         match job % 3 {
             0 | 1 => {
-                let kind = if job % 3 == 0 { SchedulerKind::Lsa } else { SchedulerKind::Mat };
+                let kind = if job % 3 == 0 {
+                    SchedulerKind::Lsa
+                } else {
+                    SchedulerKind::Mat
+                };
                 let cfg = EngineConfig::new(kind).with_seed(5).with_net(net);
                 let res = Engine::new(pair.for_kind(kind), cfg).run();
                 assert!(!res.deadlocked, "{kind} under {w}ms WAN");
@@ -427,7 +522,11 @@ pub fn abl_wan_experiment(one_way_ms: &[u64]) -> Table {
             .map(|g| ms(g.as_millis_f64()))
             .unwrap_or_else(|| "-".into());
         t.push_row(vec![
-            if w == 0 { "0.25 (LAN)".into() } else { w.to_string() },
+            if w == 0 {
+                "0.25 (LAN)".into()
+            } else {
+                w.to_string()
+            },
             ms(lsa.response_times.mean()),
             ms(mat.response_times.mean()),
             lsa.ctrl_messages.to_string(),
@@ -447,7 +546,11 @@ pub fn abl_passive_experiment() -> Table {
         "Ablation: passive replication — primary log replay",
         &["scheduler", "requests", "grants", "replay matches"],
     );
-    let p = fig1::Fig1Params { n_clients: 4, requests_per_client: 3, ..fig1::Fig1Params::default() };
+    let p = fig1::Fig1Params {
+        n_clients: 4,
+        requests_per_client: 3,
+        ..fig1::Fig1Params::default()
+    };
     let obj = fig1::build_object(&p);
     let program = compile(&obj);
     let requests: Vec<_> = fig1::client_scripts(&p)
@@ -462,7 +565,11 @@ pub fn abl_passive_experiment() -> Table {
             kind.to_string(),
             log.requests.len().to_string(),
             log.grants.len().to_string(),
-            if replayed == log.state_hash { "yes".into() } else { "NO".into() },
+            if replayed == log.state_hash {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t
@@ -547,7 +654,10 @@ mod tests {
         let serial = fig1_experiment_with_threads(&[1, 3], 2, true, 1).to_string();
         for threads in [2, 4, 16] {
             let parallel = fig1_experiment_with_threads(&[1, 3], 2, true, threads).to_string();
-            assert_eq!(serial, parallel, "{threads}-thread sweep diverged from serial");
+            assert_eq!(
+                serial, parallel,
+                "{threads}-thread sweep diverged from serial"
+            );
         }
     }
 
@@ -575,7 +685,11 @@ mod tests {
         let log = Mutex::new(Vec::new());
         let sizes = [3u64, 9, 1, 7];
         run_jobs_prioritized(4, 1, |i| sizes[i], |i| log.lock().unwrap().push(i));
-        assert_eq!(*log.lock().unwrap(), vec![1, 3, 0, 2], "descending size order");
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec![1, 3, 0, 2],
+            "descending size order"
+        );
     }
 
     #[test]

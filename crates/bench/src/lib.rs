@@ -32,9 +32,7 @@ pub mod table;
 pub mod ubench;
 
 pub use experiments::*;
-pub use obs::{
-    obs_experiment, obs_experiment_with_threads, obs_json, obs_table, ObsGrid, ObsRow,
-};
+pub use obs::{obs_experiment, obs_experiment_with_threads, obs_json, obs_table, ObsGrid, ObsRow};
 pub use openloop::{
     openloop_experiment, openloop_experiment_with_threads, openloop_json, openloop_table,
     OpenLoopGrid, OpenLoopRow,

@@ -32,14 +32,20 @@ pub struct ObsGrid {
 
 impl Default for ObsGrid {
     fn default() -> Self {
-        ObsGrid { client_counts: vec![2, 8, 24], requests_per_client: 4 }
+        ObsGrid {
+            client_counts: vec![2, 8, 24],
+            requests_per_client: 4,
+        }
     }
 }
 
 impl ObsGrid {
     /// A small grid for smoke runs (`figures obs --quick`).
     pub fn quick() -> Self {
-        ObsGrid { client_counts: vec![2, 4], requests_per_client: 2 }
+        ObsGrid {
+            client_counts: vec![2, 4],
+            requests_per_client: 2,
+        }
     }
 }
 
@@ -85,7 +91,10 @@ fn obs_point(n_clients: usize, requests_per_client: usize, kind: SchedulerKind) 
     let params = fig1::Fig1Params::default()
         .with_clients(n_clients)
         .with_seed(1000 + n_clients as u64);
-    let params = fig1::Fig1Params { requests_per_client, ..params };
+    let params = fig1::Fig1Params {
+        requests_per_client,
+        ..params
+    };
     let pair = fig1::scenario(&params);
     let cfg = EngineConfig::new(kind)
         .with_seed(7)
@@ -142,8 +151,19 @@ pub fn obs_table(rows: &[ObsRow]) -> Table {
     let mut t = Table::new(
         "Observability: queue depths & net traffic vs load (3 replicas, LAN)",
         &[
-            "clients", "sched", "samples", "depth p50", "depth p95", "depth max", "queue p50",
-            "queue p95", "queue max", "waitset max", "subs", "legs", "deliv",
+            "clients",
+            "sched",
+            "samples",
+            "depth p50",
+            "depth p95",
+            "depth max",
+            "queue p50",
+            "queue p95",
+            "queue max",
+            "waitset max",
+            "subs",
+            "legs",
+            "deliv",
         ],
     );
     for r in rows {
@@ -214,7 +234,10 @@ mod tests {
 
     #[test]
     fn depth_grows_with_load_and_seq_queues_deepest() {
-        let grid = ObsGrid { client_counts: vec![2, 8], requests_per_client: 3 };
+        let grid = ObsGrid {
+            client_counts: vec![2, 8],
+            requests_per_client: 3,
+        };
         let rows = obs_experiment_with_threads(&grid, 2);
         assert_eq!(rows.len(), 2 * ALL_KINDS.len());
         for r in &rows {

@@ -55,7 +55,11 @@ impl OpenLoopGrid {
     }
 
     fn kinds(&self) -> Vec<SchedulerKind> {
-        if self.extended { ALL_KINDS.to_vec() } else { FIG1_KINDS.to_vec() }
+        if self.extended {
+            ALL_KINDS.to_vec()
+        } else {
+            FIG1_KINDS.to_vec()
+        }
     }
 }
 
@@ -155,8 +159,17 @@ pub fn openloop_table(rows: &[OpenLoopRow]) -> Table {
     let mut t = Table::new(
         "Open loop: latency percentiles vs offered load × read mix (3 replicas, LAN)",
         &[
-            "offered req/s", "read %", "sched", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)",
-            "done", "subs", "legs", "deliv",
+            "offered req/s",
+            "read %",
+            "sched",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "mean (ms)",
+            "done",
+            "subs",
+            "legs",
+            "deliv",
         ],
     );
     for r in rows {

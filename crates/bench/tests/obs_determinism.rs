@@ -7,7 +7,10 @@
 use dmt_bench::{obs_experiment_with_threads, obs_json, ObsGrid};
 
 fn grid() -> ObsGrid {
-    ObsGrid { client_counts: vec![2, 6], requests_per_client: 3 }
+    ObsGrid {
+        client_counts: vec![2, 6],
+        requests_per_client: 3,
+    }
 }
 
 #[test]

@@ -39,7 +39,10 @@ fn tracing_does_not_change_any_simulated_outcome() {
     for kind in SchedulerKind::ALL {
         let plain = run(kind, false);
         let traced = run(kind, true);
-        assert_eq!(plain.completed_requests, traced.completed_requests, "{kind}");
+        assert_eq!(
+            plain.completed_requests, traced.completed_requests,
+            "{kind}"
+        );
         assert_eq!(plain.makespan, traced.makespan, "{kind}");
         assert_eq!(
             plain.response_times.mean(),
@@ -55,9 +58,18 @@ fn tracing_does_not_change_any_simulated_outcome() {
         assert!(plain.trace_records.is_empty(), "{kind}");
         assert!(plain.metrics.histogram("depth.total").is_none(), "{kind}");
         let has = |f: fn(&TraceEvent) -> bool| traced.trace_records.iter().any(|r| f(&r.ev));
-        assert!(has(|e| matches!(e, TraceEvent::Sched(_))), "{kind} no decisions");
-        assert!(has(|e| matches!(e, TraceEvent::GcSequenced { .. })), "{kind}");
-        assert!(has(|e| matches!(e, TraceEvent::RequestReplied { .. })), "{kind}");
+        assert!(
+            has(|e| matches!(e, TraceEvent::Sched(_))),
+            "{kind} no decisions"
+        );
+        assert!(
+            has(|e| matches!(e, TraceEvent::GcSequenced { .. })),
+            "{kind}"
+        );
+        assert!(
+            has(|e| matches!(e, TraceEvent::RequestReplied { .. })),
+            "{kind}"
+        );
         assert!(has(|e| matches!(e, TraceEvent::Depth(_))), "{kind}");
         assert!(
             traced.metrics.histogram("depth.total").unwrap().count() > 0,

@@ -1,0 +1,131 @@
+//! Zero-allocation proof for the pooled substrate: once the event
+//! queue's slab and a replica's VM pool are warm, the submit→step→reply
+//! structures recycle storage instead of asking the allocator. Asserted
+//! with a counting global allocator — stronger than pool-stat counters,
+//! because it catches any allocation on the measured path, not just the
+//! ones the pools know about.
+//!
+//! One `#[test]` on purpose: the counter is process-global, and libtest
+//! would interleave concurrent tests' allocations into each other's
+//! deltas.
+
+use dmt_lang::interp::StepOutcome;
+use dmt_lang::{
+    ast::IntExpr, ast::MutexExpr, compile, MethodIdx, MutexId, ObjectBuilder, ObjectState,
+    RequestArgs, Value, VmPool,
+};
+use dmt_sim::{EventQueue, SimDuration, SplitMix64};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The engine's delay profile, spanning same-instant steps, in-window
+/// hops, and overflow-range completions so the churn touches every
+/// queue tier (bucket lists, window advance, pairing heap).
+fn delay(r: &mut SplitMix64) -> u64 {
+    match r.next_below(4) {
+        0 | 1 => 0,
+        2 => 1_000 + r.next_below(5_000),
+        _ => 1_000_000 + r.next_below(500_000_000),
+    }
+}
+
+fn churn(q: &mut EventQueue<u32>, rng: &mut SplitMix64, ops: usize) -> u32 {
+    let mut acc = 0;
+    for _ in 0..ops {
+        let (_, e) = q.pop().expect("resident population");
+        acc ^= e;
+        q.push_after(SimDuration::from_nanos(delay(rng)), e);
+    }
+    acc
+}
+
+#[test]
+fn warm_substrate_paths_do_not_allocate() {
+    // --- Event queue: slab-backed calendar + pairing heap. ---
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut rng = SplitMix64::new(99);
+    for i in 0..256u32 {
+        q.push_after(SimDuration::from_nanos(delay(&mut rng)), i);
+    }
+    // Warm-up grows the slab, bucket lists and heap scratch to their
+    // steady-state footprint.
+    churn(&mut q, &mut rng, 20_000);
+    let before = allocations();
+    let acc = churn(&mut q, &mut rng, 20_000);
+    let queue_delta = allocations() - before;
+    std::hint::black_box(acc);
+    assert_eq!(
+        queue_delta, 0,
+        "warm event-queue churn allocated {queue_delta} times"
+    );
+
+    // --- VM pool: acquire → run to completion → release cycles. ---
+    let mut ob = ObjectBuilder::new("Steady");
+    let cell = ob.cell();
+    let mut m = ob.method("hot", 1);
+    m.for_loop(dmt_lang::ast::CountExpr::Lit(8), |b| {
+        b.sync(MutexExpr::This, |b| {
+            b.update(cell, IntExpr::Arg(0));
+        });
+    });
+    m.done();
+    let program = compile::compile(&ob.build());
+    let mut state = ObjectState::for_object(&program, MutexId::new(0));
+    let args = RequestArgs::new(vec![Value::Int(1)]);
+    let mut pool = VmPool::new();
+
+    let cycle = |pool: &mut VmPool, state: &mut ObjectState| {
+        let mut vm = pool.acquire(program.clone(), MethodIdx::new(0), &args);
+        while !matches!(vm.step(state), StepOutcome::Finished) {}
+        pool.release(vm);
+    };
+    // First cycle allocates the VM and grows its arenas; everything
+    // after runs out of the free list.
+    cycle(&mut pool, &mut state);
+    let before = allocations();
+    for _ in 0..100 {
+        cycle(&mut pool, &mut state);
+    }
+    let vm_delta = allocations() - before;
+    assert_eq!(
+        vm_delta, 0,
+        "warm VM acquire/run/release cycle allocated {vm_delta} times"
+    );
+    assert_eq!(
+        pool.allocs(),
+        1,
+        "pool should have allocated exactly one VM"
+    );
+    assert_eq!(
+        pool.reuses(),
+        100,
+        "every later cycle must reuse the pooled VM"
+    );
+}

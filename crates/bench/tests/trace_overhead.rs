@@ -2,12 +2,14 @@
 //! layer must not slow the engine's hot path down. The default
 //! configuration (tracing off, depth sampling off) runs the same
 //! Figure-1 sweep `BENCH_engine.json` measures and its ns/event is held
-//! against the pinned baseline. The disabled path is one predictable
-//! branch per potential record and zero allocation (proved separately
-//! by `SchedOutput::decision_capacity` / `Tracer::capacity` unit
-//! tests), so the measured cost should not move.
+//! against the pinned post-refactor cost. The disabled path is one
+//! predictable branch per potential record and zero allocation (proved
+//! separately by `SchedOutput::decision_capacity` / `Tracer::capacity`
+//! unit tests and the counting-allocator test in
+//! `tests/steady_state_alloc.rs`), so the measured cost should not
+//! move.
 
-use dmt_bench::{engine_bench_experiment, BASELINE_TOTAL_NS_PER_EVENT};
+use dmt_bench::{engine_bench_experiment, POOLED_TOTAL_NS_PER_EVENT};
 use dmt_replica::PerfCounters;
 
 #[test]
@@ -25,16 +27,18 @@ fn tracing_disabled_path_does_not_regress_ns_per_event() {
             total.ns_per_event()
         })
         .fold(f64::INFINITY, f64::min);
-    // The baseline was measured on a release build; leave generous
-    // headroom for machine variance there, and a far wider berth for
-    // unoptimised test builds, where the multiplier is the build mode,
-    // not the tracing layer.
-    let slack = if cfg!(debug_assertions) { 60.0 } else { 2.5 };
-    let limit = BASELINE_TOTAL_NS_PER_EVENT * slack;
+    // The pin was measured on a release build; leave headroom for
+    // machine variance there, and a far wider berth for unoptimised
+    // test builds, where the multiplier is the build mode, not the
+    // tracing layer. Tightened with the allocation-free substrate
+    // (pin 200.5 → 168.0, release slack 2.5× → 2.0×, debug 60× → 20×):
+    // a creep back toward the pre-refactor cost now trips the guard.
+    let slack = if cfg!(debug_assertions) { 20.0 } else { 2.0 };
+    let limit = POOLED_TOTAL_NS_PER_EVENT * slack;
     assert!(
         ns_per_event < limit,
         "tracing-disabled engine runs at {ns_per_event:.1} ns/event, \
-         over the {limit:.1} guard ({}× the {BASELINE_TOTAL_NS_PER_EVENT} baseline)",
+         over the {limit:.1} guard ({}× the {POOLED_TOTAL_NS_PER_EVENT} pin)",
         slack
     );
 }

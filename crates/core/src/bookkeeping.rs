@@ -36,7 +36,9 @@ impl LockTable {
     /// A table that declares every method unanalysed. Pessimistic
     /// schedulers run with this.
     pub fn unanalyzed(n_methods: usize) -> Self {
-        LockTable { per_method: vec![None; n_methods] }
+        LockTable {
+            per_method: vec![None; n_methods],
+        }
     }
 
     pub fn new(per_method: Vec<Option<Vec<StaticSyncEntry>>>) -> Self {
@@ -44,7 +46,9 @@ impl LockTable {
     }
 
     pub fn entries(&self, method: MethodIdx) -> Option<&[StaticSyncEntry]> {
-        self.per_method.get(method.index()).and_then(|e| e.as_deref())
+        self.per_method
+            .get(method.index())
+            .and_then(|e| e.as_deref())
     }
 
     pub fn n_methods(&self) -> usize {
@@ -110,7 +114,11 @@ pub struct Bookkeeping {
 
 impl Bookkeeping {
     pub fn new(table: Arc<LockTable>) -> Self {
-        Bookkeeping { threads: SlotMap::new(), table, spare: Vec::new() }
+        Bookkeeping {
+            threads: SlotMap::new(),
+            table,
+            spare: Vec::new(),
+        }
     }
 
     /// Thread creation: make the thread's local copy of the static
@@ -126,7 +134,14 @@ impl Bookkeeping {
             }
             None => false,
         };
-        let prev = self.threads.insert(tid.index(), ThreadBook { method, states, analyzed });
+        let prev = self.threads.insert(
+            tid.index(),
+            ThreadBook {
+                method,
+                states,
+                analyzed,
+            },
+        );
         debug_assert!(prev.is_none(), "thread {tid} registered twice");
     }
 
@@ -181,7 +196,9 @@ impl Bookkeeping {
         // Syncids are globally unique (paper §4.1), so looking only in
         // the thread's own method row is exact: an unlock at a foreign
         // syncid never reaches the `Held` branch that consults this flag.
-        let Some(book) = self.threads.get(tid.index()) else { return false };
+        let Some(book) = self.threads.get(tid.index()) else {
+            return false;
+        };
         self.table
             .entries(book.method)
             .and_then(|entries| entries.iter().find(|e| e.sync_id == sync_id))
@@ -195,7 +212,9 @@ impl Bookkeeping {
         sync_id: SyncId,
         f: impl FnOnce(EntryState) -> EntryState,
     ) {
-        let Some(book) = self.threads.get_mut(tid.index()) else { return };
+        let Some(book) = self.threads.get_mut(tid.index()) else {
+            return;
+        };
         let entries = self.table.entries(book.method).unwrap_or(&[]);
         match entries.iter().position(|e| e.sync_id == sync_id) {
             Some(i) => {
@@ -281,7 +300,10 @@ mod tests {
     }
 
     fn e(sid: u32) -> StaticSyncEntry {
-        StaticSyncEntry { sync_id: s(sid), repeatable: false }
+        StaticSyncEntry {
+            sync_id: s(sid),
+            repeatable: false,
+        }
     }
 
     #[test]
@@ -347,7 +369,10 @@ mod tests {
 
     #[test]
     fn repeatable_entry_stays_pinned_until_ignore() {
-        let table = table_one_method(vec![StaticSyncEntry { sync_id: s(0), repeatable: true }]);
+        let table = table_one_method(vec![StaticSyncEntry {
+            sync_id: s(0),
+            repeatable: true,
+        }]);
         let mut bk = Bookkeeping::new(table);
         bk.on_request(t(0), MethodIdx::new(0));
         bk.on_lock_info(t(0), s(0), m(4));

@@ -19,7 +19,9 @@ pub struct FreeScheduler {
 
 impl FreeScheduler {
     pub fn new() -> Self {
-        FreeScheduler { sync: SyncCore::new(true) }
+        FreeScheduler {
+            sync: SyncCore::new(true),
+        }
     }
 }
 
@@ -50,7 +52,11 @@ impl Scheduler for FreeScheduler {
             }
             SchedEvent::LockRequested { tid, mutex, .. } => {
                 if self.sync.lock(tid, mutex) == LockOutcome::Acquired {
-                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                    out.decision(|| Decision::Grant {
+                        tid,
+                        mutex,
+                        from_wait: false,
+                    });
                     out.push(SchedAction::Resume(tid));
                 } else {
                     out.decision(|| Decision::Defer {
@@ -62,13 +68,21 @@ impl Scheduler for FreeScheduler {
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
                 if let Some(g) = self.sync.unlock(tid, mutex) {
-                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                    out.decision(|| Decision::Grant {
+                        tid: g.tid,
+                        mutex,
+                        from_wait: g.from_wait,
+                    });
                     out.push(SchedAction::Resume(g.tid));
                 }
             }
             SchedEvent::WaitCalled { tid, mutex } => {
                 if let Some(g) = self.sync.wait(tid, mutex) {
-                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                    out.decision(|| Decision::Grant {
+                        tid: g.tid,
+                        mutex,
+                        from_wait: g.from_wait,
+                    });
                     out.push(SchedAction::Resume(g.tid));
                 }
             }
@@ -80,7 +94,9 @@ impl Scheduler for FreeScheduler {
             SchedEvent::ThreadFinished { tid } => {
                 debug_assert!(self.sync.holds_none(tid), "{tid} finished holding monitors");
             }
-            SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
+            SchedEvent::LockInfo { .. }
+            | SchedEvent::SyncIgnored { .. }
+            | SchedEvent::Control(_) => {}
         }
     }
 }
@@ -152,9 +168,19 @@ mod tests {
         let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         out.clear();
-        s.on_event(&SchedEvent::NestedStarted { tid: ThreadId::new(0) }, &mut out);
+        s.on_event(
+            &SchedEvent::NestedStarted {
+                tid: ThreadId::new(0),
+            },
+            &mut out,
+        );
         assert!(out.actions.is_empty());
-        s.on_event(&SchedEvent::NestedCompleted { tid: ThreadId::new(0) }, &mut out);
+        s.on_event(
+            &SchedEvent::NestedCompleted {
+                tid: ThreadId::new(0),
+            },
+            &mut out,
+        );
         assert_eq!(out.actions, vec![SchedAction::Resume(ThreadId::new(0))]);
     }
 }

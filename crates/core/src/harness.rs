@@ -78,6 +78,8 @@ pub struct Harness {
     request_log: Vec<(MethodIdx, RequestArgs, bool)>,
     finished: usize,
     dummies: usize,
+    /// Reused action bundle: warm dispatches allocate nothing.
+    scratch: SchedOutput,
 }
 
 impl Harness {
@@ -104,19 +106,28 @@ impl Harness {
             request_log: Vec::new(),
             finished: 0,
             dummies: 0,
+            scratch: SchedOutput::new(),
         }
     }
 
     /// Declares the zero-arg no-op method PDS dummies should run.
     pub fn with_dummy_method(mut self, m: MethodIdx) -> Self {
-        assert_eq!(self.program.methods[m.index()].arity, 0, "dummy method must be zero-arg");
+        assert_eq!(
+            self.program.methods[m.index()].arity,
+            0,
+            "dummy method must be zero-arg"
+        );
         self.dummy_method = Some(m);
         self
     }
 
     /// Queues a client request (delivered in submission order).
     pub fn submit(&mut self, method: MethodIdx, args: RequestArgs) {
-        self.inbox.push_back(PendingRequest { method, args, dummy: false });
+        self.inbox.push_back(PendingRequest {
+            method,
+            args,
+            dummy: false,
+        });
     }
 
     pub fn submit_by_name(&mut self, name: &str, args: RequestArgs) {
@@ -183,14 +194,20 @@ impl Harness {
         self.request_log.push((method, req.args.clone(), dummy));
         self.request_info.insert(tid.index(), req);
         self.blocked.insert(tid.index(), Blocked::Admission);
-        self.dispatch(SchedEvent::RequestArrived { tid, method, request_seq: seq, dummy });
+        self.dispatch(SchedEvent::RequestArrived {
+            tid,
+            method,
+            request_seq: seq,
+            dummy,
+        });
     }
 
     /// Feeds one event to the scheduler and applies its actions.
     fn dispatch(&mut self, ev: SchedEvent) {
-        let mut actions = SchedOutput::new();
+        let mut actions = std::mem::take(&mut self.scratch);
+        actions.clear();
         self.scheduler.on_event(&ev, &mut actions);
-        for a in actions.actions {
+        for a in actions.actions.drain(..) {
             match a {
                 SchedAction::Admit(tid) => {
                     let req = self
@@ -230,6 +247,7 @@ impl Harness {
                 }
             }
         }
+        self.scratch = actions;
     }
 
     /// Steps `tid` until it blocks or finishes.
@@ -238,7 +256,10 @@ impl Harness {
             if self.blocked.contains(tid.index()) {
                 return; // blocked by the event just dispatched
             }
-            let vm = self.vms.get_mut(tid.index()).expect("runnable thread has a VM");
+            let vm = self
+                .vms
+                .get_mut(tid.index())
+                .expect("runnable thread has a VM");
             match vm.step(&mut self.state) {
                 StepOutcome::Finished => {
                     self.finished += 1;
@@ -251,7 +272,11 @@ impl Harness {
                     }
                     Action::Lock { sync_id, mutex } => {
                         self.blocked.insert(tid.index(), Blocked::Lock(mutex));
-                        self.dispatch(SchedEvent::LockRequested { tid, sync_id, mutex });
+                        self.dispatch(SchedEvent::LockRequested {
+                            tid,
+                            sync_id,
+                            mutex,
+                        });
                         // If granted synchronously, the Resume already
                         // removed the block marker and re-queued the
                         // thread; avoid double-queueing by returning.
@@ -262,7 +287,11 @@ impl Harness {
                         return;
                     }
                     Action::Unlock { sync_id, mutex } => {
-                        self.dispatch(SchedEvent::Unlocked { tid, sync_id, mutex });
+                        self.dispatch(SchedEvent::Unlocked {
+                            tid,
+                            sync_id,
+                            mutex,
+                        });
                     }
                     Action::Wait { mutex } => {
                         assert!(
@@ -295,7 +324,11 @@ impl Harness {
                         return;
                     }
                     Action::LockInfo { sync_id, mutex } => {
-                        self.dispatch(SchedEvent::LockInfo { tid, sync_id, mutex });
+                        self.dispatch(SchedEvent::LockInfo {
+                            tid,
+                            sync_id,
+                            mutex,
+                        });
                     }
                     Action::Ignore { sync_id } => {
                         self.dispatch(SchedEvent::SyncIgnored { tid, sync_id });
@@ -317,8 +350,8 @@ impl Harness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{make_scheduler, SchedConfig, SchedulerKind};
     use crate::ids::ReplicaId;
+    use crate::scheduler::{make_scheduler, SchedConfig, SchedulerKind};
     use dmt_lang::ast::{CondExpr, IntExpr, MutexExpr};
     use dmt_lang::{compile, ObjectBuilder, Value};
 
@@ -352,7 +385,11 @@ mod tests {
         for kind in SchedulerKind::ALL {
             let res = run_counter(kind, 10);
             assert!(!res.deadlocked, "{kind} deadlocked");
-            assert!(res.finished_threads >= 10, "{kind} finished {}", res.finished_threads);
+            assert!(
+                res.finished_threads >= 10,
+                "{kind} finished {}",
+                res.finished_threads
+            );
             // Sum 1..=10 regardless of scheduler.
             assert_eq!(res.state.cells()[0], 55, "{kind} corrupted state");
             // Every real thread took exactly one lock.
@@ -382,7 +419,11 @@ mod tests {
         let res = h.run();
         assert!(!res.deadlocked);
         assert_eq!(res.state.cells()[0], 3);
-        assert!(res.dummy_threads >= 2, "expected dummies, got {}", res.dummy_threads);
+        assert!(
+            res.dummy_threads >= 2,
+            "expected dummies, got {}",
+            res.dummy_threads
+        );
     }
 
     /// Bounded-buffer object exercising condition variables.
@@ -435,7 +476,10 @@ mod tests {
         h.submit_by_name("take", RequestArgs::empty());
         h.submit_by_name("put", RequestArgs::empty());
         let res = h.run();
-        assert!(res.deadlocked, "SEQ must deadlock: nothing can notify the waiting taker");
+        assert!(
+            res.deadlocked,
+            "SEQ must deadlock: nothing can notify the waiting taker"
+        );
     }
 
     /// Object whose method computes, nests, and locks — exercises nested

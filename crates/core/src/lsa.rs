@@ -68,7 +68,9 @@ impl LsaScheduler {
     }
 
     fn has_backlog(&self, mutex: dmt_lang::MutexId) -> bool {
-        self.expected.get(mutex.index()).is_some_and(|q| !q.is_empty())
+        self.expected
+            .get(mutex.index())
+            .is_some_and(|q| !q.is_empty())
     }
 
     fn expected_mut(&mut self, mutex: dmt_lang::MutexId) -> &mut VecDeque<ThreadId> {
@@ -94,7 +96,11 @@ impl LsaScheduler {
         *slot += 1;
         self.grants_issued += 1;
         out.decision(|| Decision::Announce { tid, mutex, order });
-        out.push(SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex, tid, order }));
+        out.push(SchedAction::Broadcast(CtrlMsg::LsaGrant {
+            mutex,
+            tid,
+            order,
+        }));
     }
 
     /// Applies announced grants for `mutex` as far as possible, then (on
@@ -115,14 +121,22 @@ impl LsaScheduler {
                 let outcome = self.sync.lock(next, mutex);
                 debug_assert_eq!(outcome, LockOutcome::Acquired);
                 self.grants_issued += 1;
-                out.decision(|| Decision::Grant { tid: next, mutex, from_wait: false });
+                out.decision(|| Decision::Grant {
+                    tid: next,
+                    mutex,
+                    from_wait: false,
+                });
                 out.push(SchedAction::Resume(next));
             } else if self.sync.is_queued(next, mutex) {
                 // A notified re-acquirer sitting in the monitor queue.
                 self.expected_mut(mutex).pop_front();
                 let g = self.sync.grant_to(next, mutex).expect("free + queued");
                 self.grants_issued += 1;
-                out.decision(|| Decision::Grant { tid: next, mutex, from_wait: g.from_wait });
+                out.decision(|| Decision::Grant {
+                    tid: next,
+                    mutex,
+                    from_wait: g.from_wait,
+                });
                 out.push(SchedAction::Resume(next));
             } else {
                 // Grantee has not reached its request yet; hold.
@@ -145,7 +159,11 @@ impl LsaScheduler {
             match self.sync.lock(tid, mutex) {
                 LockOutcome::Acquired => {
                     self.announce(tid, mutex, out);
-                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                    out.decision(|| Decision::Grant {
+                        tid,
+                        mutex,
+                        from_wait: false,
+                    });
                     out.push(SchedAction::Resume(tid));
                 }
                 LockOutcome::Queued => {}
@@ -154,7 +172,11 @@ impl LsaScheduler {
         if self.sync.is_free(mutex) {
             if let Some(g) = self.sync.grant_next(mutex) {
                 self.announce(g.tid, mutex, out);
-                out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                out.decision(|| Decision::Grant {
+                    tid: g.tid,
+                    mutex,
+                    from_wait: g.from_wait,
+                });
                 out.push(SchedAction::Resume(g.tid));
             }
         }
@@ -230,13 +252,21 @@ impl Scheduler for LsaScheduler {
                     // Reentrant: forced, not announced.
                     let outcome = self.sync.lock(tid, mutex);
                     debug_assert_eq!(outcome, LockOutcome::Acquired);
-                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                    out.decision(|| Decision::Grant {
+                        tid,
+                        mutex,
+                        from_wait: false,
+                    });
                     out.push(SchedAction::Resume(tid));
                 } else if self.is_leader() && !self.has_backlog(mutex) {
                     match self.sync.lock(tid, mutex) {
                         LockOutcome::Acquired => {
                             self.announce(tid, mutex, out);
-                            out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                            out.decision(|| Decision::Grant {
+                                tid,
+                                mutex,
+                                from_wait: false,
+                            });
                             out.push(SchedAction::Resume(tid));
                         }
                         LockOutcome::Queued => {
@@ -314,13 +344,25 @@ mod tests {
         }
     }
     fn lock(tid: u32, mx: u32) -> SchedEvent {
-        SchedEvent::LockRequested { tid: t(tid), sync_id: SyncId::new(0), mutex: m(mx) }
+        SchedEvent::LockRequested {
+            tid: t(tid),
+            sync_id: SyncId::new(0),
+            mutex: m(mx),
+        }
     }
     fn unlock(tid: u32, mx: u32) -> SchedEvent {
-        SchedEvent::Unlocked { tid: t(tid), sync_id: SyncId::new(0), mutex: m(mx) }
+        SchedEvent::Unlocked {
+            tid: t(tid),
+            sync_id: SyncId::new(0),
+            mutex: m(mx),
+        }
     }
     fn grant_msg(tid: u32, mx: u32, order: u64) -> SchedEvent {
-        SchedEvent::Control(CtrlMsg::LsaGrant { mutex: m(mx), tid: t(tid), order })
+        SchedEvent::Control(CtrlMsg::LsaGrant {
+            mutex: m(mx),
+            tid: t(tid),
+            order,
+        })
     }
 
     fn leader() -> LsaScheduler {
@@ -340,7 +382,11 @@ mod tests {
         assert_eq!(
             out.actions,
             vec![
-                SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(0), order: 0 }),
+                SchedAction::Broadcast(CtrlMsg::LsaGrant {
+                    mutex: m(5),
+                    tid: t(0),
+                    order: 0
+                }),
                 SchedAction::Resume(t(0)),
             ]
         );
@@ -361,7 +407,11 @@ mod tests {
         assert_eq!(
             out.actions,
             vec![
-                SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(1), order: 1 }),
+                SchedAction::Broadcast(CtrlMsg::LsaGrant {
+                    mutex: m(5),
+                    tid: t(1),
+                    order: 1
+                }),
                 SchedAction::Resume(t(1)),
             ]
         );
@@ -422,17 +472,32 @@ mod tests {
         out.clear();
         lead.on_event(&lock(0, 3), &mut out);
         out.clear();
-        lead.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: m(3) }, &mut out);
+        lead.on_event(
+            &SchedEvent::WaitCalled {
+                tid: t(0),
+                mutex: m(3),
+            },
+            &mut out,
+        );
         lead.on_event(&lock(1, 3), &mut out);
         out.clear();
-        lead.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut out);
+        lead.on_event(
+            &SchedEvent::NotifyCalled {
+                tid: t(1),
+                mutex: m(3),
+                all: false,
+            },
+            &mut out,
+        );
         lead.on_event(&unlock(1, 3), &mut out);
         // Re-acquisition grant broadcast for t0.
-        assert!(out.actions.contains(&SchedAction::Broadcast(CtrlMsg::LsaGrant {
-            mutex: m(3),
-            tid: t(0),
-            order: 2
-        })));
+        assert!(out
+            .actions
+            .contains(&SchedAction::Broadcast(CtrlMsg::LsaGrant {
+                mutex: m(3),
+                tid: t(0),
+                order: 2
+            })));
         assert!(out.actions.contains(&SchedAction::Resume(t(0))));
 
         // Follower replays the same sequence of announcements.
@@ -445,12 +510,25 @@ mod tests {
         fol.on_event(&grant_msg(0, 3, 0), &mut fout);
         assert_eq!(fout.actions, vec![SchedAction::Resume(t(0))]);
         fout.clear();
-        fol.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: m(3) }, &mut fout);
+        fol.on_event(
+            &SchedEvent::WaitCalled {
+                tid: t(0),
+                mutex: m(3),
+            },
+            &mut fout,
+        );
         fol.on_event(&lock(1, 3), &mut fout);
         fol.on_event(&grant_msg(1, 3, 1), &mut fout);
         assert_eq!(fout.actions, vec![SchedAction::Resume(t(1))]);
         fout.clear();
-        fol.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut fout);
+        fol.on_event(
+            &SchedEvent::NotifyCalled {
+                tid: t(1),
+                mutex: m(3),
+                all: false,
+            },
+            &mut fout,
+        );
         fol.on_event(&grant_msg(0, 3, 2), &mut fout);
         assert!(fout.actions.is_empty(), "t1 still holds m3");
         fol.on_event(&unlock(1, 3), &mut fout);
@@ -481,7 +559,11 @@ mod tests {
         assert_eq!(
             out.actions,
             vec![
-                SchedAction::Broadcast(CtrlMsg::LsaGrant { mutex: m(5), tid: t(0), order: 1 }),
+                SchedAction::Broadcast(CtrlMsg::LsaGrant {
+                    mutex: m(5),
+                    tid: t(0),
+                    order: 1
+                }),
                 SchedAction::Resume(t(0)),
             ]
         );

@@ -112,7 +112,10 @@ impl MatScheduler {
             && self.sync.holds_none(tid)
             && self.queue.contains(&tid)
         {
-            out.decision(|| Decision::TokenRelease { tid, last_lock: true });
+            out.decision(|| Decision::TokenRelease {
+                tid,
+                last_lock: true,
+            });
             self.remove_from_queue(tid);
             self.exercise_head(out);
         }
@@ -136,12 +139,20 @@ impl MatScheduler {
     /// If the (possibly new) head is gate-blocked, forward its request.
     fn exercise_head(&mut self, out: &mut SchedOutput) {
         loop {
-            let Some(&head) = self.queue.front() else { return };
-            let Some(&mutex) = self.gated.get(head.index()) else { return };
+            let Some(&head) = self.queue.front() else {
+                return;
+            };
+            let Some(&mutex) = self.gated.get(head.index()) else {
+                return;
+            };
             self.gated.remove(head.index());
             match self.sync.lock(head, mutex) {
                 LockOutcome::Acquired => {
-                    out.decision(|| Decision::Grant { tid: head, mutex, from_wait: false });
+                    out.decision(|| Decision::Grant {
+                        tid: head,
+                        mutex,
+                        from_wait: false,
+                    });
                     out.push(SchedAction::Resume(head));
                     return;
                 }
@@ -208,17 +219,29 @@ impl Scheduler for MatScheduler {
                 self.drop_if_lock_done(tid, out);
                 self.exercise_head(out);
             }
-            SchedEvent::LockRequested { tid, sync_id, mutex } => {
+            SchedEvent::LockRequested {
+                tid,
+                sync_id,
+                mutex,
+            } => {
                 self.book.on_lock(tid, sync_id, mutex);
                 self.gated.insert(tid.index(), mutex);
                 if self.primary() == Some(tid) {
                     self.exercise_head(out);
                 } else {
                     // Gated until the queue rotates to it.
-                    out.decision(|| Decision::Defer { tid, mutex, reason: DeferReason::Token });
+                    out.decision(|| Decision::Defer {
+                        tid,
+                        mutex,
+                        reason: DeferReason::Token,
+                    });
                 }
             }
-            SchedEvent::Unlocked { tid, sync_id, mutex } => {
+            SchedEvent::Unlocked {
+                tid,
+                sync_id,
+                mutex,
+            } => {
                 self.book.on_unlock(tid, sync_id, mutex);
                 if let Some(g) = self.sync.unlock(tid, mutex) {
                     if g.from_wait {
@@ -226,7 +249,11 @@ impl Scheduler for MatScheduler {
                         // (see the module-docs CV caveat).
                         self.queue.push_back(g.tid);
                     }
-                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                    out.decision(|| Decision::Grant {
+                        tid: g.tid,
+                        mutex,
+                        from_wait: g.from_wait,
+                    });
                     out.push(SchedAction::Resume(g.tid));
                 }
                 self.drop_if_lock_done(tid, out);
@@ -236,11 +263,18 @@ impl Scheduler for MatScheduler {
                     if g.from_wait {
                         self.queue.push_back(g.tid);
                     }
-                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                    out.decision(|| Decision::Grant {
+                        tid: g.tid,
+                        mutex,
+                        from_wait: g.from_wait,
+                    });
                     out.push(SchedAction::Resume(g.tid));
                 }
                 if self.primary() == Some(tid) {
-                    out.decision(|| Decision::TokenRelease { tid, last_lock: false });
+                    out.decision(|| Decision::TokenRelease {
+                        tid,
+                        last_lock: false,
+                    });
                 }
                 self.remove_from_queue(tid);
                 self.exercise_head(out);
@@ -250,7 +284,10 @@ impl Scheduler for MatScheduler {
             }
             SchedEvent::NestedStarted { tid } => {
                 if self.primary() == Some(tid) {
-                    out.decision(|| Decision::TokenRelease { tid, last_lock: false });
+                    out.decision(|| Decision::TokenRelease {
+                        tid,
+                        last_lock: false,
+                    });
                 }
                 self.remove_from_queue(tid);
                 self.exercise_head(out);
@@ -268,7 +305,11 @@ impl Scheduler for MatScheduler {
                 self.book.on_finish(tid);
                 self.exercise_head(out);
             }
-            SchedEvent::LockInfo { tid, sync_id, mutex } => {
+            SchedEvent::LockInfo {
+                tid,
+                sync_id,
+                mutex,
+            } => {
                 self.book.on_lock_info(tid, sync_id, mutex);
             }
             SchedEvent::SyncIgnored { tid, sync_id } => {
@@ -300,10 +341,18 @@ mod tests {
         }
     }
     fn lock(tid: u32, sid: u32, m: u32) -> SchedEvent {
-        SchedEvent::LockRequested { tid: t(tid), sync_id: SyncId::new(sid), mutex: MutexId::new(m) }
+        SchedEvent::LockRequested {
+            tid: t(tid),
+            sync_id: SyncId::new(sid),
+            mutex: MutexId::new(m),
+        }
     }
     fn unlock(tid: u32, sid: u32, m: u32) -> SchedEvent {
-        SchedEvent::Unlocked { tid: t(tid), sync_id: SyncId::new(sid), mutex: MutexId::new(m) }
+        SchedEvent::Unlocked {
+            tid: t(tid),
+            sync_id: SyncId::new(sid),
+            mutex: MutexId::new(m),
+        }
     }
 
     fn plain() -> MatScheduler {
@@ -407,14 +456,27 @@ mod tests {
         out.clear();
         s.on_event(&lock(0, 0, 3), &mut out);
         out.clear();
-        s.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: MutexId::new(3) }, &mut out);
+        s.on_event(
+            &SchedEvent::WaitCalled {
+                tid: t(0),
+                mutex: MutexId::new(3),
+            },
+            &mut out,
+        );
         assert_eq!(s.primary(), Some(t(1)));
         assert!(out.actions.is_empty());
         // t1 (primary) locks m3, notifies, unlocks: t0 re-acquires and
         // re-enters the token queue behind t1.
         s.on_event(&lock(1, 1, 3), &mut out);
         out.clear();
-        s.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: MutexId::new(3), all: false }, &mut out);
+        s.on_event(
+            &SchedEvent::NotifyCalled {
+                tid: t(1),
+                mutex: MutexId::new(3),
+                all: false,
+            },
+            &mut out,
+        );
         s.on_event(&unlock(1, 1, 3), &mut out);
         assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(s.sync_core().owner(MutexId::new(3)), Some(t(0)));
@@ -477,7 +539,11 @@ mod tests {
         s.on_event(&lock(0, 0, 9), &mut out);
         out.clear();
         s.on_event(&unlock(0, 0, 9), &mut out);
-        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))], "handover before t0 terminates");
+        assert_eq!(
+            out.actions,
+            vec![SchedAction::Resume(t(1))],
+            "handover before t0 terminates"
+        );
         assert_eq!(s.primary(), Some(t(1)));
     }
 
@@ -492,7 +558,10 @@ mod tests {
         s.on_event(&lock(0, 0, 9), &mut out);
         out.clear();
         s.on_event(&unlock(0, 0, 9), &mut out);
-        assert!(out.actions.is_empty(), "plain MAT keeps the token after the last unlock");
+        assert!(
+            out.actions.is_empty(),
+            "plain MAT keeps the token after the last unlock"
+        );
         s.on_event(&SchedEvent::ThreadFinished { tid: t(0) }, &mut out);
         assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
     }
@@ -501,7 +570,10 @@ mod tests {
     fn last_lock_mode_skips_lockfree_threads_entirely() {
         // Method 1 has no sync blocks: a lock-free thread.
         let table = Arc::new(LockTable::new(vec![
-            Some(vec![StaticSyncEntry { sync_id: SyncId::new(0), repeatable: false }]),
+            Some(vec![StaticSyncEntry {
+                sync_id: SyncId::new(0),
+                repeatable: false,
+            }]),
             Some(vec![]),
         ]));
         let mut s = MatScheduler::new(MatMode::LastLock, table);

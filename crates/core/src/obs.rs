@@ -62,12 +62,24 @@ pub enum Decision {
     AdmitDefer { tid: ThreadId },
     /// A monitor was granted to `tid` (fresh acquisition or wait-set
     /// re-entry).
-    Grant { tid: ThreadId, mutex: MutexId, from_wait: bool },
+    Grant {
+        tid: ThreadId,
+        mutex: MutexId,
+        from_wait: bool,
+    },
     /// A lock request was parked.
-    Defer { tid: ThreadId, mutex: MutexId, reason: DeferReason },
+    Defer {
+        tid: ThreadId,
+        mutex: MutexId,
+        reason: DeferReason,
+    },
     /// A bookkeeping/prediction consult (MAT-LL last-lock analysis,
     /// PMAT §4.3 grant condition): `granted` is the verdict.
-    Predict { tid: ThreadId, mutex: MutexId, granted: bool },
+    Predict {
+        tid: ThreadId,
+        mutex: MutexId,
+        granted: bool,
+    },
     /// MAT: `tid` became the lock-granting primary (head of the token
     /// queue).
     TokenGrant { tid: ThreadId },
@@ -76,7 +88,11 @@ pub enum Decision {
     /// thread finishing or suspending.
     TokenRelease { tid: ThreadId, last_lock: bool },
     /// LSA: the leader broadcast grant number `order` for `(tid, mutex)`.
-    Announce { tid: ThreadId, mutex: MutexId, order: u64 },
+    Announce {
+        tid: ThreadId,
+        mutex: MutexId,
+        order: u64,
+    },
     /// PDS: a new round started with `pool` threads, `dummies` of which
     /// are filler requests.
     RoundStart { pool: u32, dummies: u32 },
@@ -227,7 +243,9 @@ mod tests {
         let mut called = false;
         out.decision(|| {
             called = true;
-            Decision::Admit { tid: ThreadId::new(0) }
+            Decision::Admit {
+                tid: ThreadId::new(0),
+            }
         });
         assert!(!called, "decision closure ran with recording off");
         assert_eq!(out.decisions().len(), 0);
@@ -237,7 +255,9 @@ mod tests {
     #[test]
     fn recording_output_keeps_order_and_survives_clear() {
         let mut out = SchedOutput::recording();
-        out.decision(|| Decision::Admit { tid: ThreadId::new(1) });
+        out.decision(|| Decision::Admit {
+            tid: ThreadId::new(1),
+        });
         out.decision(|| Decision::Defer {
             tid: ThreadId::new(2),
             mutex: MutexId::new(0),
@@ -248,16 +268,33 @@ mod tests {
         let cap = out.decision_capacity();
         out.clear();
         assert_eq!(out.decisions().len(), 0);
-        assert_eq!(out.decision_capacity(), cap, "clear must keep the allocation");
+        assert_eq!(
+            out.decision_capacity(),
+            cap,
+            "clear must keep the allocation"
+        );
     }
 
     #[test]
     fn mutex_projection_covers_lock_decisions() {
         let m = MutexId::new(3);
         let t = ThreadId::new(0);
-        assert_eq!(Decision::Grant { tid: t, mutex: m, from_wait: false }.mutex(), Some(m));
         assert_eq!(
-            Decision::Defer { tid: t, mutex: m, reason: DeferReason::MutexBusy }.mutex(),
+            Decision::Grant {
+                tid: t,
+                mutex: m,
+                from_wait: false
+            }
+            .mutex(),
+            Some(m)
+        );
+        assert_eq!(
+            Decision::Defer {
+                tid: t,
+                mutex: m,
+                reason: DeferReason::MutexBusy
+            }
+            .mutex(),
             Some(m)
         );
         assert_eq!(Decision::TokenGrant { tid: t }.mutex(), None);
@@ -265,7 +302,12 @@ mod tests {
 
     #[test]
     fn depth_sample_totals() {
-        let d = DepthSample { admission: 1, lock_queued: 2, wait_set: 3, sched_queue: 4 };
+        let d = DepthSample {
+            admission: 1,
+            lock_queued: 2,
+            wait_set: 3,
+            sched_queue: 4,
+        };
         assert_eq!(d.total(), 10);
         assert_eq!(DepthSample::default().total(), 0);
     }

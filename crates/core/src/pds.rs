@@ -145,7 +145,9 @@ impl PdsScheduler {
     /// persists until the round resolves.
     fn fill_slots(&mut self, out: &mut SchedOutput) {
         while self.pool.len() < self.cfg.batch_size {
-            let Some(entry) = self.waiting_room.pop_front() else { break };
+            let Some(entry) = self.waiting_room.pop_front() else {
+                break;
+            };
             let tid = entry.tid();
             match entry {
                 RoomEntry::Fresh(_) => {
@@ -167,8 +169,11 @@ impl PdsScheduler {
                     // May still be running its post-wake computation (no
                     // pending yet) or already gated at its next lock.
                     let has_pending = self.member(tid).pending.is_some();
-                    self.member(tid).st =
-                        if has_pending { St::Collected } else { St::Running };
+                    self.member(tid).st = if has_pending {
+                        St::Collected
+                    } else {
+                        St::Running
+                    };
                     self.member(tid).grants_used = 0;
                 }
             }
@@ -187,7 +192,10 @@ impl PdsScheduler {
     }
 
     fn settled(&self, tid: ThreadId) -> bool {
-        matches!(self.mref(tid).st, St::Collected | St::CoreBlocked | St::Finished)
+        matches!(
+            self.mref(tid).st,
+            St::Collected | St::CoreBlocked | St::Finished
+        )
     }
 
     /// The §3.3 quorum: every member settled, the pool at full strength
@@ -207,13 +215,21 @@ impl PdsScheduler {
                     && self.mref(m).grants_used < self.cfg.locks_per_round
             });
             let Some(tid) = candidate else { break };
-            let mutex = self.member(tid).pending.take().expect("collected member has request");
+            let mutex = self
+                .member(tid)
+                .pending
+                .take()
+                .expect("collected member has request");
             self.member(tid).grants_used += 1;
             granted_any = true;
             match self.sync.lock(tid, mutex) {
                 LockOutcome::Acquired => {
                     self.member(tid).st = St::Running;
-                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                    out.decision(|| Decision::Grant {
+                        tid,
+                        mutex,
+                        from_wait: false,
+                    });
                     out.push(SchedAction::Resume(tid));
                 }
                 LockOutcome::Queued => {
@@ -249,14 +265,18 @@ impl PdsScheduler {
             });
             if exhausted_exist {
                 for &m in &self.pool {
-                    self.threads.get_mut(m.index()).expect("pool member").grants_used = 0;
+                    self.threads
+                        .get_mut(m.index())
+                        .expect("pool member")
+                        .grants_used = 0;
                 }
                 continue;
             }
             // Round complete: evict finished members and refill.
             let before = self.pool.len();
             let threads = &self.threads;
-            self.pool.retain(|tid| threads[tid.index()].st != St::Finished);
+            self.pool
+                .retain(|tid| threads[tid.index()].st != St::Finished);
             if self.pool.len() == before {
                 return;
             }
@@ -265,7 +285,11 @@ impl PdsScheduler {
 
     /// A grant released a thread from the monitor layer.
     fn on_grant(&mut self, g: crate::sync_core::Grant, out: &mut SchedOutput) {
-        out.decision(|| Decision::Grant { tid: g.tid, mutex: g.mutex, from_wait: g.from_wait });
+        out.decision(|| Decision::Grant {
+            tid: g.tid,
+            mutex: g.mutex,
+            from_wait: g.from_wait,
+        });
         if g.from_wait {
             // A notified waiter re-acquired its monitor: it was Out; it
             // resumes holding the monitor, so it rejoins the pool at once
@@ -303,8 +327,11 @@ impl Scheduler for PdsScheduler {
     fn depths(&self) -> DepthSample {
         let mut d = self.sync.depths();
         d.admission = self.waiting_room.len() as u32;
-        d.sched_queue =
-            self.pool.iter().filter(|&&m| self.mref(m).st == St::Collected).count() as u32;
+        d.sched_queue = self
+            .pool
+            .iter()
+            .filter(|&&m| self.mref(m).st == St::Collected)
+            .count() as u32;
         d
     }
 
@@ -318,7 +345,12 @@ impl Scheduler for PdsScheduler {
                 }
                 let prev = self.threads.insert(
                     tid.index(),
-                    Member { st: St::Queued, pending: None, grants_used: 0, dummy },
+                    Member {
+                        st: St::Queued,
+                        pending: None,
+                        grants_used: 0,
+                        dummy,
+                    },
                 );
                 debug_assert!(prev.is_none(), "{tid} arrived twice");
                 self.waiting_room.push_back(RoomEntry::Fresh(tid));
@@ -332,7 +364,11 @@ impl Scheduler for PdsScheduler {
                 if self.sync.holds(tid, mutex) {
                     let outcome = self.sync.lock(tid, mutex);
                     debug_assert_eq!(outcome, LockOutcome::Acquired);
-                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                    out.decision(|| Decision::Grant {
+                        tid,
+                        mutex,
+                        from_wait: false,
+                    });
                     out.push(SchedAction::Resume(tid));
                     return;
                 }
@@ -349,7 +385,11 @@ impl Scheduler for PdsScheduler {
                     }
                     other => panic!("{tid} locked in unexpected state {other:?}"),
                 }
-                out.decision(|| Decision::Defer { tid, mutex, reason: DeferReason::Barrier });
+                out.decision(|| Decision::Defer {
+                    tid,
+                    mutex,
+                    reason: DeferReason::Barrier,
+                });
                 self.after_change(out);
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
@@ -410,7 +450,9 @@ impl Scheduler for PdsScheduler {
                 }
                 self.after_change(out);
             }
-            SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
+            SchedEvent::LockInfo { .. }
+            | SchedEvent::SyncIgnored { .. }
+            | SchedEvent::Control(_) => {}
         }
     }
 }
@@ -440,17 +482,28 @@ mod tests {
         }
     }
     fn lock(tid: u32, m: u32) -> SchedEvent {
-        SchedEvent::LockRequested { tid: t(tid), sync_id: SyncId::new(0), mutex: MutexId::new(m) }
+        SchedEvent::LockRequested {
+            tid: t(tid),
+            sync_id: SyncId::new(0),
+            mutex: MutexId::new(m),
+        }
     }
     fn unlock(tid: u32, m: u32) -> SchedEvent {
-        SchedEvent::Unlocked { tid: t(tid), sync_id: SyncId::new(0), mutex: MutexId::new(m) }
+        SchedEvent::Unlocked {
+            tid: t(tid),
+            sync_id: SyncId::new(0),
+            mutex: MutexId::new(m),
+        }
     }
     fn finish(tid: u32) -> SchedEvent {
         SchedEvent::ThreadFinished { tid: t(tid) }
     }
 
     fn cfg(batch: usize) -> PdsConfig {
-        PdsConfig { batch_size: batch, locks_per_round: 1 }
+        PdsConfig {
+            batch_size: batch,
+            locks_per_round: 1,
+        }
     }
 
     #[test]
@@ -462,7 +515,11 @@ mod tests {
         assert!(!out.actions.contains(&SchedAction::RequestDummy));
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        let dummies = out.actions.iter().filter(|a| **a == SchedAction::RequestDummy).count();
+        let dummies = out
+            .actions
+            .iter()
+            .filter(|a| **a == SchedAction::RequestDummy)
+            .count();
         assert_eq!(dummies, 2);
         out.clear();
         s.on_event(&arrive_dummy(1), &mut out);
@@ -473,7 +530,10 @@ mod tests {
         s.on_event(&finish(1), &mut out);
         assert!(out.actions.is_empty());
         s.on_event(&finish(2), &mut out);
-        assert!(out.actions.contains(&SchedAction::Resume(t(0))), "quorum reached: grant fires");
+        assert!(
+            out.actions.contains(&SchedAction::Resume(t(0))),
+            "quorum reached: grant fires"
+        );
     }
 
     #[test]
@@ -484,9 +544,15 @@ mod tests {
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
-        assert!(out.actions.is_empty(), "grant must wait for the quorum (§3.3)");
+        assert!(
+            out.actions.is_empty(),
+            "grant must wait for the quorum (§3.3)"
+        );
         s.on_event(&lock(1, 6), &mut out);
-        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
+        assert_eq!(
+            out.actions,
+            vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]
+        );
     }
 
     #[test]
@@ -521,7 +587,10 @@ mod tests {
         s.on_event(&lock(0, 5), &mut out);
         assert!(out.actions.is_empty());
         s.on_event(&lock(2, 6), &mut out);
-        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(2))]);
+        assert_eq!(
+            out.actions,
+            vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(2))]
+        );
     }
 
     #[test]
@@ -538,7 +607,10 @@ mod tests {
         // second Admit action.
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
         assert!(out.actions.contains(&SchedAction::Resume(t(0))));
-        assert!(!out.actions.iter().any(|a| matches!(a, SchedAction::Admit(_))));
+        assert!(!out
+            .actions
+            .iter()
+            .any(|a| matches!(a, SchedAction::Admit(_))));
         assert_eq!(s.pool(), &[t(0), t(1)]);
         out.clear();
         s.on_event(&lock(0, 5), &mut out);
@@ -599,14 +671,23 @@ mod tests {
         s.on_event(&unlock(1, 2), &mut out);
         out.clear();
         s.on_event(&lock(0, 3), &mut out);
-        assert!(out.actions.is_empty(), "second round needs the full pool settled");
+        assert!(
+            out.actions.is_empty(),
+            "second round needs the full pool settled"
+        );
         s.on_event(&lock(1, 4), &mut out);
-        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
+        assert_eq!(
+            out.actions,
+            vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]
+        );
     }
 
     #[test]
     fn locks_per_round_two_grants_back_to_back() {
-        let mut s = PdsScheduler::new(PdsConfig { batch_size: 2, locks_per_round: 2 });
+        let mut s = PdsScheduler::new(PdsConfig {
+            batch_size: 2,
+            locks_per_round: 2,
+        });
         let mut out = SchedOutput::new();
         s.on_event(&arrive(0), &mut out);
         s.on_event(&arrive(1), &mut out);
@@ -621,7 +702,10 @@ mod tests {
         s.on_event(&unlock(1, 2), &mut out);
         out.clear();
         s.on_event(&lock(1, 4), &mut out);
-        assert_eq!(out.actions, vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]);
+        assert_eq!(
+            out.actions,
+            vec![SchedAction::Resume(t(0)), SchedAction::Resume(t(1))]
+        );
     }
 
     #[test]

@@ -86,13 +86,19 @@ impl PmatScheduler {
         // age, so the sweep visits blocked requests oldest-first without
         // materialising a temporary list.
         for i in 0..self.pending.bound() {
-            let Some(&mutex) = self.pending.get(i) else { continue };
+            let Some(&mutex) = self.pending.get(i) else {
+                continue;
+            };
             if !self.sync.is_free(mutex) {
                 continue;
             }
             // Monitor-layer re-acquirers first, FIFO.
             if let Some(g) = self.sync.grant_next(mutex) {
-                out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                out.decision(|| Decision::Grant {
+                    tid: g.tid,
+                    mutex,
+                    from_wait: g.from_wait,
+                });
                 out.push(SchedAction::Resume(g.tid));
                 continue;
             }
@@ -101,7 +107,11 @@ impl PmatScheduler {
                 self.pending.remove(i);
                 let outcome = self.sync.lock(tid, mutex);
                 debug_assert_eq!(outcome, LockOutcome::Acquired);
-                out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                out.decision(|| Decision::Grant {
+                    tid,
+                    mutex,
+                    from_wait: false,
+                });
                 out.push(SchedAction::Resume(tid));
             }
         }
@@ -112,7 +122,11 @@ impl PmatScheduler {
         if self.sync.is_free(mutex) {
             if let Some(g) = self.sync.grant_next(mutex) {
                 debug_assert!(g.from_wait);
-                out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: true });
+                out.decision(|| Decision::Grant {
+                    tid: g.tid,
+                    mutex,
+                    from_wait: true,
+                });
                 out.push(SchedAction::Resume(g.tid));
             }
         }
@@ -152,12 +166,20 @@ impl Scheduler for PmatScheduler {
                 out.decision(|| Decision::Admit { tid });
                 out.push(SchedAction::Admit(tid));
             }
-            SchedEvent::LockRequested { tid, sync_id, mutex } => {
+            SchedEvent::LockRequested {
+                tid,
+                sync_id,
+                mutex,
+            } => {
                 self.book.on_lock(tid, sync_id, mutex);
                 if self.sync.holds(tid, mutex) {
                     let outcome = self.sync.lock(tid, mutex);
                     debug_assert_eq!(outcome, LockOutcome::Acquired);
-                    out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                    out.decision(|| Decision::Grant {
+                        tid,
+                        mutex,
+                        from_wait: false,
+                    });
                     out.push(SchedAction::Resume(tid));
                     return;
                 }
@@ -171,7 +193,11 @@ impl Scheduler for PmatScheduler {
                 });
                 self.recheck(out);
             }
-            SchedEvent::Unlocked { tid, sync_id, mutex } => {
+            SchedEvent::Unlocked {
+                tid,
+                sync_id,
+                mutex,
+            } => {
                 self.book.on_unlock(tid, sync_id, mutex);
                 self.sync.unlock(tid, mutex);
                 self.drain_reacquirers(mutex, out);
@@ -202,7 +228,11 @@ impl Scheduler for PmatScheduler {
                 // "t_u is removed from the list".
                 self.recheck(out);
             }
-            SchedEvent::LockInfo { tid, sync_id, mutex } => {
+            SchedEvent::LockInfo {
+                tid,
+                sync_id,
+                mutex,
+            } => {
                 self.book.on_lock_info(tid, sync_id, mutex);
                 // "t_u becomes predicted" may now hold.
                 self.recheck(out);
@@ -232,7 +262,10 @@ mod tests {
         SyncId::new(v)
     }
     fn e(sid: u32) -> StaticSyncEntry {
-        StaticSyncEntry { sync_id: s_(sid), repeatable: false }
+        StaticSyncEntry {
+            sync_id: s_(sid),
+            repeatable: false,
+        }
     }
 
     /// One method with a single sync block (syncid 0).
@@ -249,13 +282,25 @@ mod tests {
         }
     }
     fn info(tid: u32, sid: u32, mx: u32) -> SchedEvent {
-        SchedEvent::LockInfo { tid: t(tid), sync_id: s_(sid), mutex: m(mx) }
+        SchedEvent::LockInfo {
+            tid: t(tid),
+            sync_id: s_(sid),
+            mutex: m(mx),
+        }
     }
     fn lock(tid: u32, sid: u32, mx: u32) -> SchedEvent {
-        SchedEvent::LockRequested { tid: t(tid), sync_id: s_(sid), mutex: m(mx) }
+        SchedEvent::LockRequested {
+            tid: t(tid),
+            sync_id: s_(sid),
+            mutex: m(mx),
+        }
     }
     fn unlock(tid: u32, sid: u32, mx: u32) -> SchedEvent {
-        SchedEvent::Unlocked { tid: t(tid), sync_id: s_(sid), mutex: m(mx) }
+        SchedEvent::Unlocked {
+            tid: t(tid),
+            sync_id: s_(sid),
+            mutex: m(mx),
+        }
     }
     fn finish(tid: u32) -> SchedEvent {
         SchedEvent::ThreadFinished { tid: t(tid) }
@@ -323,7 +368,11 @@ mod tests {
 
     #[test]
     fn grants_same_mutex_in_age_order() {
-        let table = Arc::new(LockTable::new(vec![Some(vec![e(0)]), Some(vec![e(1)]), Some(vec![e(2)])]));
+        let table = Arc::new(LockTable::new(vec![
+            Some(vec![e(0)]),
+            Some(vec![e(1)]),
+            Some(vec![e(2)]),
+        ]));
         let mut s = PmatScheduler::new(table);
         let mut out = SchedOutput::new();
         for (i, method) in [(0u32, 0u32), (1, 1), (2, 2)] {
@@ -344,12 +393,19 @@ mod tests {
         s.on_event(&info(2, 2, 5), &mut out);
         s.on_event(&lock(2, 2, 5), &mut out);
         s.on_event(&lock(1, 1, 5), &mut out);
-        assert!(out.actions.is_empty(), "older conflicting announcements block");
+        assert!(
+            out.actions.is_empty(),
+            "older conflicting announcements block"
+        );
         s.on_event(&lock(0, 0, 5), &mut out);
         assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
         s.on_event(&unlock(0, 0, 5), &mut out);
-        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))], "age order, not request order");
+        assert_eq!(
+            out.actions,
+            vec![SchedAction::Resume(t(1))],
+            "age order, not request order"
+        );
         out.clear();
         s.on_event(&unlock(1, 1, 5), &mut out);
         assert_eq!(out.actions, vec![SchedAction::Resume(t(2))]);
@@ -411,7 +467,10 @@ mod tests {
         out.clear();
         s.on_event(&SchedEvent::NestedStarted { tid: t(0) }, &mut out);
         s.on_event(&lock(1, 0, 9), &mut out);
-        assert!(out.actions.is_empty(), "suspension does not remove t0 from the queue");
+        assert!(
+            out.actions.is_empty(),
+            "suspension does not remove t0 from the queue"
+        );
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
         assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         out.clear();
@@ -437,7 +496,13 @@ mod tests {
         out.clear();
         s.on_event(&lock(0, 0, 3), &mut out);
         out.clear();
-        s.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: m(3) }, &mut out);
+        s.on_event(
+            &SchedEvent::WaitCalled {
+                tid: t(0),
+                mutex: m(3),
+            },
+            &mut out,
+        );
         assert_eq!(s.sync_core().wait_set(m(3)), vec![t(0)]);
         // t0 pins m3 in its table but sits in m3's wait set, so the
         // notifier t1 may take the monitor — the producer/consumer
@@ -445,7 +510,14 @@ mod tests {
         s.on_event(&lock(1, 1, 3), &mut out);
         assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
         out.clear();
-        s.on_event(&SchedEvent::NotifyCalled { tid: t(1), mutex: m(3), all: false }, &mut out);
+        s.on_event(
+            &SchedEvent::NotifyCalled {
+                tid: t(1),
+                mutex: m(3),
+                all: false,
+            },
+            &mut out,
+        );
         s.on_event(&unlock(1, 1, 3), &mut out);
         // t0 re-acquires on the notifier's release.
         assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);

@@ -86,7 +86,11 @@ impl SatScheduler {
             if fresh {
                 out.decision(|| Decision::Admit { tid: next });
             }
-            out.push(if fresh { SchedAction::Admit(next) } else { SchedAction::Resume(next) });
+            out.push(if fresh {
+                SchedAction::Admit(next)
+            } else {
+                SchedAction::Resume(next)
+            });
         }
     }
 
@@ -138,10 +142,18 @@ impl Scheduler for SatScheduler {
                 }
             }
             SchedEvent::LockRequested { tid, mutex, .. } => {
-                debug_assert_eq!(self.active, Some(tid), "only the active thread runs under SAT");
+                debug_assert_eq!(
+                    self.active,
+                    Some(tid),
+                    "only the active thread runs under SAT"
+                );
                 match self.sync.lock(tid, mutex) {
                     LockOutcome::Acquired => {
-                        out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                        out.decision(|| Decision::Grant {
+                            tid,
+                            mutex,
+                            from_wait: false,
+                        });
                         out.push(SchedAction::Resume(tid));
                     }
                     LockOutcome::Queued => {
@@ -161,14 +173,22 @@ impl Scheduler for SatScheduler {
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
                 if let Some(g) = self.sync.unlock(tid, mutex) {
-                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                    out.decision(|| Decision::Grant {
+                        tid: g.tid,
+                        mutex,
+                        from_wait: g.from_wait,
+                    });
                     self.on_grant(g.tid);
                 }
             }
             SchedEvent::WaitCalled { tid, mutex } => {
                 debug_assert_eq!(self.active, Some(tid));
                 if let Some(g) = self.sync.wait(tid, mutex) {
-                    out.decision(|| Decision::Grant { tid: g.tid, mutex, from_wait: g.from_wait });
+                    out.decision(|| Decision::Grant {
+                        tid: g.tid,
+                        mutex,
+                        from_wait: g.from_wait,
+                    });
                     self.on_grant(g.tid);
                 }
                 self.set(tid, St::WaitBlocked);
@@ -200,7 +220,9 @@ impl Scheduler for SatScheduler {
                 self.active = None;
                 self.activate_next(out);
             }
-            SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
+            SchedEvent::LockInfo { .. }
+            | SchedEvent::SyncIgnored { .. }
+            | SchedEvent::Control(_) => {}
         }
     }
 }
@@ -222,10 +244,18 @@ mod tests {
         }
     }
     fn lock(tid: u32, m: u32) -> SchedEvent {
-        SchedEvent::LockRequested { tid: t(tid), sync_id: SyncId::new(0), mutex: MutexId::new(m) }
+        SchedEvent::LockRequested {
+            tid: t(tid),
+            sync_id: SyncId::new(0),
+            mutex: MutexId::new(m),
+        }
     }
     fn unlock(tid: u32, m: u32) -> SchedEvent {
-        SchedEvent::Unlocked { tid: t(tid), sync_id: SyncId::new(0), mutex: MutexId::new(m) }
+        SchedEvent::Unlocked {
+            tid: t(tid),
+            sync_id: SyncId::new(0),
+            mutex: MutexId::new(m),
+        }
     }
 
     #[test]
@@ -264,7 +294,10 @@ mod tests {
         assert_eq!(out.actions, vec![SchedAction::Admit(t(1))]);
         out.clear();
         s.on_event(&lock(1, 5), &mut out);
-        assert!(out.actions.is_empty(), "t1 blocks; nothing else to activate");
+        assert!(
+            out.actions.is_empty(),
+            "t1 blocks; nothing else to activate"
+        );
         // t0 returns, becomes active again, releases m5 → t1 ready; t0
         // still active, so t1 resumes only at t0's next suspension.
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
@@ -287,14 +320,24 @@ mod tests {
         // t0 locks m and waits → t1 activates.
         s.on_event(&lock(0, 3), &mut out);
         out.clear();
-        s.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: MutexId::new(3) }, &mut out);
+        s.on_event(
+            &SchedEvent::WaitCalled {
+                tid: t(0),
+                mutex: MutexId::new(3),
+            },
+            &mut out,
+        );
         assert_eq!(out.actions, vec![SchedAction::Admit(t(1))]);
         out.clear();
         // t1 locks m, notifies, unlocks → t0 re-acquires, queues ready.
         s.on_event(&lock(1, 3), &mut out);
         out.clear();
         s.on_event(
-            &SchedEvent::NotifyCalled { tid: t(1), mutex: MutexId::new(3), all: false },
+            &SchedEvent::NotifyCalled {
+                tid: t(1),
+                mutex: MutexId::new(3),
+                all: false,
+            },
             &mut out,
         );
         assert!(out.actions.is_empty());

@@ -130,7 +130,10 @@ pub struct PdsConfig {
 
 impl Default for PdsConfig {
     fn default() -> Self {
-        PdsConfig { batch_size: 4, locks_per_round: 1 }
+        PdsConfig {
+            batch_size: 4,
+            locks_per_round: 1,
+        }
     }
 }
 
@@ -220,8 +223,14 @@ pub fn make_scheduler(cfg: &SchedConfig) -> Box<dyn Scheduler> {
         SchedulerKind::Sat => Box::new(crate::sat::SatScheduler::new()),
         SchedulerKind::Lsa => Box::new(crate::lsa::LsaScheduler::new(cfg.replica, cfg.leader)),
         SchedulerKind::Pds => Box::new(crate::pds::PdsScheduler::new(cfg.pds)),
-        SchedulerKind::Mat => Box::new(crate::mat::MatScheduler::new(crate::mat::MatMode::Plain, cfg.lock_table.clone())),
-        SchedulerKind::MatLL => Box::new(crate::mat::MatScheduler::new(crate::mat::MatMode::LastLock, cfg.lock_table.clone())),
+        SchedulerKind::Mat => Box::new(crate::mat::MatScheduler::new(
+            crate::mat::MatMode::Plain,
+            cfg.lock_table.clone(),
+        )),
+        SchedulerKind::MatLL => Box::new(crate::mat::MatScheduler::new(
+            crate::mat::MatMode::LastLock,
+            cfg.lock_table.clone(),
+        )),
         SchedulerKind::Pmat => Box::new(crate::pmat::PmatScheduler::new(cfg.lock_table.clone())),
     }
 }
@@ -242,7 +251,10 @@ mod tests {
     #[test]
     fn deterministic_set_excludes_free() {
         assert!(!SchedulerKind::DETERMINISTIC.contains(&SchedulerKind::Free));
-        assert_eq!(SchedulerKind::DETERMINISTIC.len(), SchedulerKind::ALL.len() - 1);
+        assert_eq!(
+            SchedulerKind::DETERMINISTIC.len(),
+            SchedulerKind::ALL.len() - 1
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct SeqScheduler {
 
 impl SeqScheduler {
     pub fn new() -> Self {
-        SeqScheduler { sync: SyncCore::new(true), active: None, pending: VecDeque::new() }
+        SeqScheduler {
+            sync: SyncCore::new(true),
+            active: None,
+            pending: VecDeque::new(),
+        }
     }
 
     fn admit_next(&mut self, out: &mut SchedOutput) {
@@ -71,7 +75,11 @@ impl Scheduler for SeqScheduler {
                 // With a single thread every monitor is free or reentrant.
                 let outcome = self.sync.lock(tid, mutex);
                 assert_eq!(outcome, LockOutcome::Acquired, "SEQ lock can never contend");
-                out.decision(|| Decision::Grant { tid, mutex, from_wait: false });
+                out.decision(|| Decision::Grant {
+                    tid,
+                    mutex,
+                    from_wait: false,
+                });
                 out.push(SchedAction::Resume(tid));
             }
             SchedEvent::Unlocked { tid, mutex, .. } => {
@@ -102,7 +110,9 @@ impl Scheduler for SeqScheduler {
                 self.active = None;
                 self.admit_next(out);
             }
-            SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
+            SchedEvent::LockInfo { .. }
+            | SchedEvent::SyncIgnored { .. }
+            | SchedEvent::Control(_) => {}
         }
     }
 }
@@ -147,7 +157,11 @@ mod tests {
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(
-            &SchedEvent::LockRequested { tid: t(0), sync_id: SyncId::new(0), mutex: MutexId::new(3) },
+            &SchedEvent::LockRequested {
+                tid: t(0),
+                sync_id: SyncId::new(0),
+                mutex: MutexId::new(3),
+            },
             &mut out,
         );
         assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
@@ -161,7 +175,10 @@ mod tests {
         s.on_event(&arrive(1), &mut out);
         out.clear();
         s.on_event(&SchedEvent::NestedStarted { tid: t(0) }, &mut out);
-        assert!(out.actions.is_empty(), "SEQ must not admit during nested calls");
+        assert!(
+            out.actions.is_empty(),
+            "SEQ must not admit during nested calls"
+        );
         s.on_event(&SchedEvent::NestedCompleted { tid: t(0) }, &mut out);
         assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
     }
@@ -173,11 +190,21 @@ mod tests {
         s.on_event(&arrive(0), &mut out);
         out.clear();
         s.on_event(
-            &SchedEvent::LockRequested { tid: t(0), sync_id: SyncId::new(0), mutex: MutexId::new(3) },
+            &SchedEvent::LockRequested {
+                tid: t(0),
+                sync_id: SyncId::new(0),
+                mutex: MutexId::new(3),
+            },
             &mut out,
         );
         out.clear();
-        s.on_event(&SchedEvent::WaitCalled { tid: t(0), mutex: MutexId::new(3) }, &mut out);
+        s.on_event(
+            &SchedEvent::WaitCalled {
+                tid: t(0),
+                mutex: MutexId::new(3),
+            },
+            &mut out,
+        );
         assert!(out.actions.is_empty());
         assert_eq!(s.sync_core().wait_set(MutexId::new(3)), vec![t(0)]);
     }

@@ -19,7 +19,10 @@ pub struct SlotMap<T> {
 
 impl<T> Default for SlotMap<T> {
     fn default() -> Self {
-        SlotMap { slots: Vec::new(), len: 0 }
+        SlotMap {
+            slots: Vec::new(),
+            len: 0,
+        }
     }
 }
 
@@ -85,17 +88,26 @@ impl<T> SlotMap<T> {
 
     /// Occupied slots in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
-        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
     }
 
     /// Mutable variant of [`SlotMap::iter`].
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
-        self.slots.iter_mut().enumerate().filter_map(|(i, s)| s.as_mut().map(|v| (i, v)))
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (i, v)))
     }
 
     /// Ascending ids of occupied slots.
     pub fn keys(&self) -> impl Iterator<Item = usize> + '_ {
-        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| i))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
     }
 
     /// Upper bound on ids ever inserted (capacity of the dense range).
@@ -161,7 +173,10 @@ impl DenseSet {
 
     /// Members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.bits.iter().enumerate().filter_map(|(i, &b)| b.then_some(i))
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
     }
 }
 
@@ -206,7 +221,8 @@ mod tests {
     fn slotmap_get_or_insert_with() {
         let mut m: SlotMap<Vec<u32>> = SlotMap::new();
         m.get_or_insert_with(2, Vec::new).push(7);
-        m.get_or_insert_with(2, || panic!("occupied slot must not refill")).push(8);
+        m.get_or_insert_with(2, || panic!("occupied slot must not refill"))
+            .push(8);
         assert_eq!(m[2], vec![7, 8]);
         assert_eq!(m.len(), 1);
         assert_eq!(m.bound(), 3);

@@ -137,7 +137,10 @@ impl SyncCore {
                     st.queue.iter().all(|w| w.tid != tid),
                     "{tid} queued twice on {m}"
                 );
-                st.queue.push_back(Waiter { tid, reacquire: None });
+                st.queue.push_back(Waiter {
+                    tid,
+                    reacquire: None,
+                });
                 self.queued_total += 1;
                 LockOutcome::Queued
             }
@@ -192,10 +195,17 @@ impl SyncCore {
             Some((owner, _)) if owner == tid => {}
             other => panic!("{tid} notifying {m} owned by {other:?}"),
         }
-        let n = if all { st.wait_set.len() } else { usize::from(!st.wait_set.is_empty()) };
+        let n = if all {
+            st.wait_set.len()
+        } else {
+            usize::from(!st.wait_set.is_empty())
+        };
         for _ in 0..n {
             let (w, saved) = st.wait_set.pop_front().expect("wait set size checked");
-            st.queue.push_back(Waiter { tid: w, reacquire: Some(saved) });
+            st.queue.push_back(Waiter {
+                tid: w,
+                reacquire: Some(saved),
+            });
         }
         self.waiting_total -= n as u32;
         self.queued_total += n as u32;
@@ -220,7 +230,11 @@ impl SyncCore {
         st.owner = Some((w.tid, w.reacquire.unwrap_or(1)));
         self.queued_total -= 1;
         self.held_inc(w.tid);
-        Some(Grant { tid: w.tid, mutex: m, from_wait: w.reacquire.is_some() })
+        Some(Grant {
+            tid: w.tid,
+            mutex: m,
+            from_wait: w.reacquire.is_some(),
+        })
     }
 
     /// Manual-mode granting of a *specific* queued thread (LSA followers
@@ -236,7 +250,11 @@ impl SyncCore {
         st.owner = Some((w.tid, w.reacquire.unwrap_or(1)));
         self.queued_total -= 1;
         self.held_inc(w.tid);
-        Some(Grant { tid: w.tid, mutex: m, from_wait: w.reacquire.is_some() })
+        Some(Grant {
+            tid: w.tid,
+            mutex: m,
+            from_wait: w.reacquire.is_some(),
+        })
     }
 
     pub fn owner(&self, m: MutexId) -> Option<ThreadId> {
@@ -260,7 +278,8 @@ impl SyncCore {
 
     /// Is `tid` queued on `m`?
     pub fn is_queued(&self, tid: ThreadId, m: MutexId) -> bool {
-        self.peek(m).is_some_and(|s| s.queue.iter().any(|w| w.tid == tid))
+        self.peek(m)
+            .is_some_and(|s| s.queue.iter().any(|w| w.tid == tid))
     }
 
     /// Threads currently parked in `m`'s wait set, in `wait` order.
@@ -272,7 +291,8 @@ impl SyncCore {
 
     /// Is `tid` currently parked in `m`'s wait set?
     pub fn is_waiting(&self, tid: ThreadId, m: MutexId) -> bool {
-        self.peek(m).is_some_and(|s| s.wait_set.iter().any(|&(t, _)| t == tid))
+        self.peek(m)
+            .is_some_and(|s| s.wait_set.iter().any(|&(t, _)| t == tid))
     }
 
     /// Does `tid` hold no monitor at all? O(1) via the per-thread held
@@ -342,7 +362,14 @@ mod tests {
         assert_eq!(c.lock(t(3), m(0)), LockOutcome::Queued);
         assert_eq!(c.queued(m(0)), vec![t(2), t(3)]);
         let g = c.unlock(t(1), m(0));
-        assert_eq!(g, Some(Grant { tid: t(2), mutex: m(0), from_wait: false }));
+        assert_eq!(
+            g,
+            Some(Grant {
+                tid: t(2),
+                mutex: m(0),
+                from_wait: false
+            })
+        );
         assert_eq!(c.owner(m(0)), Some(t(2)));
         let g = c.unlock(t(2), m(0));
         assert_eq!(g.unwrap().tid, t(3));
@@ -374,7 +401,14 @@ mod tests {
         assert_eq!(c.notify(t(2), m(0), false), 1);
         assert_eq!(c.queued(m(0)), vec![t(1)]);
         let g = c.unlock(t(2), m(0));
-        assert_eq!(g, Some(Grant { tid: t(1), mutex: m(0), from_wait: true }));
+        assert_eq!(
+            g,
+            Some(Grant {
+                tid: t(1),
+                mutex: m(0),
+                from_wait: true
+            })
+        );
         // Needs two unlocks to release (count was restored).
         assert!(c.unlock(t(1), m(0)).is_none());
         assert_eq!(c.owner(m(0)), Some(t(1)));

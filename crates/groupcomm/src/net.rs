@@ -37,12 +37,18 @@ pub struct NetConfig {
 impl NetConfig {
     /// The paper's evaluation setting: clients and replicas in one LAN.
     pub fn lan() -> Self {
-        NetConfig { one_way: SimDuration::from_micros(250), jitter: 0.4 }
+        NetConfig {
+            one_way: SimDuration::from_micros(250),
+            jitter: 0.4,
+        }
     }
 
     /// A WAN profile for the §3.5 claim that LSA's chatter hurts there.
     pub fn wan(one_way_ms: u64) -> Self {
-        NetConfig { one_way: SimDuration::from_millis(one_way_ms), jitter: 0.2 }
+        NetConfig {
+            one_way: SimDuration::from_millis(one_way_ms),
+            jitter: 0.2,
+        }
     }
 }
 
@@ -87,7 +93,11 @@ impl<M: Clone> GroupComm<M> {
             rng: SplitMix64::new(seed),
             next_seq: 0,
             nodes: (0..n_nodes)
-                .map(|_| NodeState { alive: true, next_deliver: 0, reorder: BTreeMap::new() })
+                .map(|_| NodeState {
+                    alive: true,
+                    next_deliver: 0,
+                    reorder: BTreeMap::new(),
+                })
                 .collect(),
             stats: NetStats::default(),
             fifo_horizon: BTreeMap::new(),
@@ -143,9 +153,18 @@ impl<M: Clone> GroupComm<M> {
     /// message and per-node arrival delays (dead nodes excluded). The
     /// caller schedules an [`GroupComm::arrive`] per entry.
     pub fn sequence(&mut self, msg: M) -> (Sequenced<M>, Vec<(NodeId, SimDuration)>) {
+        let mut hops = Vec::with_capacity(self.nodes.len());
+        let sm = self.sequence_into(msg, &mut hops);
+        (sm, hops)
+    }
+
+    /// Allocation-free [`GroupComm::sequence`]: the per-node arrival
+    /// delays land in the caller-owned `hops` buffer (cleared first), so
+    /// an engine reusing one buffer pays nothing per broadcast.
+    pub fn sequence_into(&mut self, msg: M, hops: &mut Vec<(NodeId, SimDuration)>) -> Sequenced<M> {
+        hops.clear();
         let seq = self.next_seq;
         self.next_seq += 1;
-        let mut hops = Vec::with_capacity(self.nodes.len());
         for i in 0..self.nodes.len() {
             if self.nodes[i].alive {
                 let d = self.hop_latency();
@@ -153,7 +172,7 @@ impl<M: Clone> GroupComm<M> {
                 hops.push((NodeId::new(i as u32), d));
             }
         }
-        (Sequenced { seq, msg }, hops)
+        Sequenced { seq, msg }
     }
 
     /// A stamped message physically arrives at `node`. Returns the batch
@@ -161,23 +180,46 @@ impl<M: Clone> GroupComm<M> {
     /// predecessor is still in flight, possibly several if this arrival
     /// plugged a gap). Arrivals at dead nodes are dropped.
     pub fn arrive(&mut self, node: NodeId, sm: Sequenced<M>) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        self.arrive_into(node, sm, &mut out);
+        out
+    }
+
+    /// Allocation-free [`GroupComm::arrive`]: deliveries land in the
+    /// caller-owned `out` buffer (cleared first). An in-order arrival —
+    /// the steady state — is delivered directly, never touching the
+    /// reorder map; only genuine gaps buffer.
+    pub fn arrive_into(&mut self, node: NodeId, sm: Sequenced<M>, out: &mut Vec<Delivery<M>>) {
+        out.clear();
         let st = &mut self.nodes[node.index()];
         if !st.alive {
-            return Vec::new();
+            return;
         }
         assert!(
             sm.seq >= st.next_deliver,
             "duplicate sequence {} at {node:?}",
             sm.seq
         );
-        st.reorder.insert(sm.seq, sm.msg);
-        let mut out = Vec::new();
+        if sm.seq > st.next_deliver {
+            st.reorder.insert(sm.seq, sm.msg);
+            return;
+        }
+        out.push(Delivery {
+            node,
+            seq: sm.seq,
+            msg: sm.msg,
+        });
+        st.next_deliver += 1;
+        self.stats.deliveries += 1;
         while let Some(msg) = st.reorder.remove(&st.next_deliver) {
-            out.push(Delivery { node, seq: st.next_deliver, msg });
+            out.push(Delivery {
+                node,
+                seq: st.next_deliver,
+                msg,
+            });
             st.next_deliver += 1;
             self.stats.deliveries += 1;
         }
-        out
     }
 
     /// How many messages `node` has delivered so far.
@@ -239,7 +281,9 @@ mod tests {
     #[test]
     fn long_gap_release() {
         let mut g = gc(1, 1);
-        let stamped: Vec<_> = (0..5).map(|i| g.sequence(["a", "b", "c", "d", "e"][i]).0).collect();
+        let stamped: Vec<_> = (0..5)
+            .map(|i| g.sequence(["a", "b", "c", "d", "e"][i]).0)
+            .collect();
         let n = NodeId::new(0);
         for sm in stamped.iter().skip(1).rev() {
             assert!(g.arrive(n, sm.clone()).is_empty());

@@ -26,7 +26,11 @@ mod tests {
 
     #[test]
     fn total_legs_adds_up() {
-        let s = NetStats { submissions: 3, broadcast_legs: 9, deliveries: 9 };
+        let s = NetStats {
+            submissions: 3,
+            broadcast_legs: 9,
+            deliveries: 9,
+        };
         assert_eq!(s.total_legs(), 12);
     }
 }

@@ -43,13 +43,20 @@ pub enum MutexExpr {
     Field(FieldId),
     /// `pool[args[index_arg] % len]`: a mutex selected from a contiguous
     /// pool by a client-supplied index. Announceable at method entry.
-    Pool { base: u32, len: u32, index_arg: usize },
+    Pool {
+        base: u32,
+        len: u32,
+        index_arg: usize,
+    },
     /// `pool[state[cell] % len]`: selected from mutable object state —
     /// spontaneous, and loop-variant if the cell changes.
     PoolByCell { base: u32, len: u32, cell: CellId },
     /// Return value of a method call — spontaneous. At runtime the call is
     /// modelled as deterministically resolving to an instance variable.
-    CallResult { site: CallSiteId, resolves_to: FieldId },
+    CallResult {
+        site: CallSiteId,
+        resolves_to: FieldId,
+    },
 }
 
 /// Type alias documenting intent where an expression is used as the
@@ -143,7 +150,11 @@ pub enum Stmt {
     /// `synchronized (param) { body }`. The `sync_id` is the globally
     /// unique static identity of this block (paper §4.1); the builder
     /// assigns ids in source order and the analysis relies on them.
-    Sync { sync_id: SyncId, param: LockParam, body: Vec<Stmt> },
+    Sync {
+        sync_id: SyncId,
+        param: LockParam,
+        body: Vec<Stmt>,
+    },
     /// `param.wait()`. Must be executed while holding `param`'s monitor.
     Wait(LockParam),
     /// `param.notify()` / `param.notifyAll()`.
@@ -156,7 +167,12 @@ pub enum Stmt {
     /// `state[base + args[index_arg] % len] += delta` — a critical write
     /// to a cell selected by a client argument (the Figure-1 pattern:
     /// each pool mutex guards the equally-indexed cell).
-    UpdateIndexed { base: u32, len: u32, index_arg: usize, delta: IntExpr },
+    UpdateIndexed {
+        base: u32,
+        len: u32,
+        index_arg: usize,
+        delta: IntExpr,
+    },
     /// `state[cell] = value`.
     SetCell { cell: CellId, value: IntExpr },
     /// Assignment to a lock-parameter local variable; tracked by the
@@ -164,7 +180,11 @@ pub enum Stmt {
     /// the last time", §4.2).
     Assign { local: LocalId, expr: MutexExpr },
     /// Two-armed branch.
-    If { cond: CondExpr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    If {
+        cond: CondExpr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
     /// Bounded loop (`for`). Trip count known at entry from a literal or a
     /// request argument.
     For { count: CountExpr, body: Vec<Stmt> },
@@ -172,7 +192,10 @@ pub enum Stmt {
     While { cond: CondExpr, body: Vec<Stmt> },
     /// Call of another method on the same object, statically bound
     /// (`final` in the paper's restriction set).
-    Call { method: MethodIdx, args: Vec<ArgExpr> },
+    Call {
+        method: MethodIdx,
+        args: Vec<ArgExpr>,
+    },
     /// Dynamically dispatched call. `candidates` is the repository of
     /// possible implementations (§4.4); `selector` picks one
     /// deterministically at runtime.
@@ -250,14 +273,7 @@ impl ObjectImpl {
         let mut seen_sync = std::collections::HashSet::new();
         for (mi, m) in self.methods.iter().enumerate() {
             let ctx = format!("{}::{}", self.name, m.name);
-            validate_block(
-                &m.body,
-                m,
-                self,
-                &ctx,
-                &mut seen_sync,
-                &mut problems,
-            );
+            validate_block(&m.body, m, self, &ctx, &mut seen_sync, &mut problems);
             let _ = mi;
         }
         problems
@@ -265,18 +281,18 @@ impl ObjectImpl {
 
     /// Walks every statement of every method, depth-first, source order.
     pub fn visit_stmts<'a>(&'a self, mut f: impl FnMut(MethodIdx, &'a Stmt)) {
-        fn walk<'a>(
-            stmts: &'a [Stmt],
-            mi: MethodIdx,
-            f: &mut impl FnMut(MethodIdx, &'a Stmt),
-        ) {
+        fn walk<'a>(stmts: &'a [Stmt], mi: MethodIdx, f: &mut impl FnMut(MethodIdx, &'a Stmt)) {
             for s in stmts {
                 f(mi, s);
                 match s {
-                    Stmt::Sync { body, .. }
-                    | Stmt::For { body, .. }
-                    | Stmt::While { body, .. } => walk(body, mi, f),
-                    Stmt::If { then_branch, else_branch, .. } => {
+                    Stmt::Sync { body, .. } | Stmt::For { body, .. } | Stmt::While { body, .. } => {
+                        walk(body, mi, f)
+                    }
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         walk(then_branch, mi, f);
                         walk(else_branch, mi, f);
                     }
@@ -311,17 +327,26 @@ fn validate_mutex_expr(
     match e {
         MutexExpr::Arg(i) => {
             if *i >= m.arity {
-                problems.push(format!("{ctx}: lock parameter uses arg {i} but arity is {}", m.arity));
+                problems.push(format!(
+                    "{ctx}: lock parameter uses arg {i} but arity is {}",
+                    m.arity
+                ));
             }
         }
         MutexExpr::Local(l) => {
             if l.0 >= m.n_locals {
-                problems.push(format!("{ctx}: lock parameter uses local {l} but method has {} locals", m.n_locals));
+                problems.push(format!(
+                    "{ctx}: lock parameter uses local {l} but method has {} locals",
+                    m.n_locals
+                ));
             }
         }
         MutexExpr::Field(f) | MutexExpr::CallResult { resolves_to: f, .. } => {
             if f.0 >= obj.n_fields {
-                problems.push(format!("{ctx}: lock parameter uses field {f} but object has {} fields", obj.n_fields));
+                problems.push(format!(
+                    "{ctx}: lock parameter uses field {f} but object has {} fields",
+                    obj.n_fields
+                ));
             }
         }
         MutexExpr::Pool { len, index_arg, .. } => {
@@ -354,7 +379,11 @@ fn validate_block(
 ) {
     for s in stmts {
         match s {
-            Stmt::Sync { sync_id, param, body } => {
+            Stmt::Sync {
+                sync_id,
+                param,
+                body,
+            } => {
                 if !seen_sync.insert(*sync_id) {
                     problems.push(format!("{ctx}: duplicate sync id {sync_id}"));
                 }
@@ -375,7 +404,12 @@ fn validate_block(
                     problems.push(format!("{ctx}: state cell {cell} out of range"));
                 }
             }
-            Stmt::UpdateIndexed { base, len, index_arg, .. } => {
+            Stmt::UpdateIndexed {
+                base,
+                len,
+                index_arg,
+                ..
+            } => {
                 if *len == 0 || base + len > obj.n_cells {
                     problems.push(format!("{ctx}: indexed cell range out of bounds"));
                 }
@@ -383,7 +417,11 @@ fn validate_block(
                     problems.push(format!("{ctx}: indexed cell arg {index_arg} out of range"));
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 validate_block(then_branch, m, obj, ctx, seen_sync, problems);
                 validate_block(else_branch, m, obj, ctx, seen_sync, problems);
             }
@@ -405,7 +443,9 @@ fn validate_block(
                     }
                 }
             }
-            Stmt::VirtualCall { candidates, args, .. } => {
+            Stmt::VirtualCall {
+                candidates, args, ..
+            } => {
                 if candidates.is_empty() {
                     problems.push(format!("{ctx}: virtual call with empty candidate set"));
                 }
@@ -433,7 +473,14 @@ mod tests {
     use super::*;
 
     fn leaf_method(name: &str, body: Vec<Stmt>) -> Method {
-        Method { name: name.into(), arity: 1, n_locals: 1, public: true, is_final: true, body }
+        Method {
+            name: name.into(),
+            arity: 1,
+            n_locals: 1,
+            public: true,
+            is_final: true,
+            body,
+        }
     }
 
     #[test]
@@ -447,7 +494,10 @@ mod tests {
                 vec![Stmt::Sync {
                     sync_id: SyncId::new(0),
                     param: MutexExpr::Arg(0),
-                    body: vec![Stmt::Update { cell: CellId::new(0), delta: IntExpr::Lit(1) }],
+                    body: vec![Stmt::Update {
+                        cell: CellId::new(0),
+                        delta: IntExpr::Lit(1),
+                    }],
                 }],
             )],
         };
@@ -476,14 +526,21 @@ mod tests {
 
     #[test]
     fn validate_catches_duplicate_syncid() {
-        let mk = |sid| Stmt::Sync { sync_id: SyncId::new(sid), param: MutexExpr::This, body: vec![] };
+        let mk = |sid| Stmt::Sync {
+            sync_id: SyncId::new(sid),
+            param: MutexExpr::This,
+            body: vec![],
+        };
         let obj = ObjectImpl {
             name: "O".into(),
             n_cells: 0,
             n_fields: 0,
             methods: vec![leaf_method("m", vec![mk(1), mk(1)])],
         };
-        assert!(obj.validate().iter().any(|p| p.contains("duplicate sync id")));
+        assert!(obj
+            .validate()
+            .iter()
+            .any(|p| p.contains("duplicate sync id")));
     }
 
     #[test]
@@ -494,7 +551,10 @@ mod tests {
             n_fields: 0,
             methods: vec![leaf_method(
                 "m",
-                vec![Stmt::Update { cell: CellId::new(3), delta: IntExpr::Lit(1) }],
+                vec![Stmt::Update {
+                    cell: CellId::new(3),
+                    delta: IntExpr::Lit(1),
+                }],
             )],
         };
         assert!(obj.validate().iter().any(|p| p.contains("cell c3")));
@@ -510,7 +570,13 @@ mod tests {
             is_final: true,
             body: vec![],
         };
-        let caller = leaf_method("caller", vec![Stmt::Call { method: MethodIdx::new(1), args: vec![] }]);
+        let caller = leaf_method(
+            "caller",
+            vec![Stmt::Call {
+                method: MethodIdx::new(1),
+                args: vec![],
+            }],
+        );
         let obj = ObjectImpl {
             name: "O".into(),
             n_cells: 0,
@@ -526,7 +592,12 @@ mod tests {
         pub_m.public = true;
         let mut priv_m = leaf_method("b", vec![]);
         priv_m.public = false;
-        let obj = ObjectImpl { name: "O".into(), n_cells: 0, n_fields: 0, methods: vec![pub_m, priv_m] };
+        let obj = ObjectImpl {
+            name: "O".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![pub_m, priv_m],
+        };
         assert_eq!(obj.start_methods(), vec![MethodIdx::new(0)]);
         assert_eq!(obj.method_by_name("b"), Some(MethodIdx::new(1)));
         assert_eq!(obj.method_by_name("zzz"), None);

@@ -6,7 +6,9 @@
 //! order (matching the deterministic numbering the analysis expects) and
 //! checks structural validity on `build()`.
 
-use crate::ast::{ArgExpr, CondExpr, CountExpr, DurExpr, IntExpr, Method, MutexExpr, ObjectImpl, Stmt};
+use crate::ast::{
+    ArgExpr, CondExpr, CountExpr, DurExpr, IntExpr, Method, MutexExpr, ObjectImpl, Stmt,
+};
 use crate::ids::{CallSiteId, CellId, LocalId, MethodIdx, ServiceId, SyncId};
 
 /// Builds an [`ObjectImpl`].
@@ -46,7 +48,9 @@ impl ObjectBuilder {
     pub fn fields(&mut self, n: u32) -> Vec<crate::ids::FieldId> {
         let start = self.n_fields;
         self.n_fields += n;
-        (start..self.n_fields).map(crate::ids::FieldId::new).collect()
+        (start..self.n_fields)
+            .map(crate::ids::FieldId::new)
+            .collect()
     }
 
     pub fn field(&mut self) -> crate::ids::FieldId {
@@ -153,7 +157,10 @@ impl<'a> MethodBuilder<'a> {
     }
 
     pub fn add(&mut self, cell: CellId, delta: i64) -> &mut Self {
-        self.push(Stmt::Update { cell, delta: IntExpr::Lit(delta) })
+        self.push(Stmt::Update {
+            cell,
+            delta: IntExpr::Lit(delta),
+        })
     }
 
     pub fn set_cell(&mut self, cell: CellId, value: IntExpr) -> &mut Self {
@@ -168,7 +175,12 @@ impl<'a> MethodBuilder<'a> {
         index_arg: usize,
         delta: IntExpr,
     ) -> &mut Self {
-        self.push(Stmt::UpdateIndexed { base, len, index_arg, delta })
+        self.push(Stmt::UpdateIndexed {
+            base,
+            len,
+            index_arg,
+            delta,
+        })
     }
 
     pub fn assign(&mut self, local: LocalId, expr: MutexExpr) -> &mut Self {
@@ -198,7 +210,12 @@ impl<'a> MethodBuilder<'a> {
         args: Vec<ArgExpr>,
     ) -> &mut Self {
         let site = self.obj.fresh_call_site();
-        self.push(Stmt::VirtualCall { site, candidates, selector, args })
+        self.push(Stmt::VirtualCall {
+            site,
+            candidates,
+            selector,
+            args,
+        })
     }
 
     pub fn ret(&mut self) -> &mut Self {
@@ -211,7 +228,11 @@ impl<'a> MethodBuilder<'a> {
         self.stack.push(Vec::new());
         f(self);
         let body = self.stack.pop().expect("sync block not open");
-        self.push(Stmt::Sync { sync_id, param, body })
+        self.push(Stmt::Sync {
+            sync_id,
+            param,
+            body,
+        })
     }
 
     /// Adds an `if` with both branches built by closures.
@@ -227,7 +248,11 @@ impl<'a> MethodBuilder<'a> {
         self.stack.push(Vec::new());
         else_f(self);
         let else_branch = self.stack.pop().unwrap();
-        self.push(Stmt::If { cond, then_branch, else_branch })
+        self.push(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
     }
 
     pub fn if_then(&mut self, cond: CondExpr, then_f: impl FnOnce(&mut Self)) -> &mut Self {
@@ -268,7 +293,12 @@ impl<'a> MethodBuilder<'a> {
     /// Finishes the method, registering it with the object builder, and
     /// returns its index.
     pub fn done(mut self) -> MethodIdx {
-        assert_eq!(self.stack.len(), 1, "unclosed block in method {}", self.name);
+        assert_eq!(
+            self.stack.len(),
+            1,
+            "unclosed block in method {}",
+            self.name
+        );
         let body = self.stack.pop().unwrap();
         let idx = MethodIdx::new(self.obj.methods.len() as u32);
         self.obj.methods.push(Method {
@@ -339,9 +369,18 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(5) },
-                Action::Notify { mutex: MutexId::new(5), all: true },
-                Action::Unlock { sync_id: SyncId::new(0), mutex: MutexId::new(5) },
+                Action::Lock {
+                    sync_id: SyncId::new(0),
+                    mutex: MutexId::new(5)
+                },
+                Action::Notify {
+                    mutex: MutexId::new(5),
+                    all: true
+                },
+                Action::Unlock {
+                    sync_id: SyncId::new(0),
+                    mutex: MutexId::new(5)
+                },
             ]
         );
         assert_eq!(state.cell(count), 1);

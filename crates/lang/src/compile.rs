@@ -19,29 +19,71 @@ use std::sync::Arc;
 #[derive(Clone, Debug, PartialEq)]
 pub enum Instr {
     Compute(DurExpr),
-    Lock { sync_id: SyncId, param: MutexExpr },
+    Lock {
+        sync_id: SyncId,
+        param: MutexExpr,
+    },
     /// Unlocks the monitor recorded when the matching `Lock` executed
     /// (the parameter expression may have been reassigned since; Java
     /// unlocks the object that was locked, not the expression re-read).
-    Unlock { sync_id: SyncId },
+    Unlock {
+        sync_id: SyncId,
+    },
     Wait(MutexExpr),
-    Notify { param: MutexExpr, all: bool },
-    Nested { service: ServiceId, dur: DurExpr },
-    Update { cell: CellId, delta: IntExpr },
-    UpdateIndexed { base: u32, len: u32, index_arg: usize, delta: IntExpr },
-    SetCell { cell: CellId, value: IntExpr },
-    Assign { local: LocalId, expr: MutexExpr },
-    LockInfo { sync_id: SyncId, param: MutexExpr },
-    IgnoreSync { sync_id: SyncId },
+    Notify {
+        param: MutexExpr,
+        all: bool,
+    },
+    Nested {
+        service: ServiceId,
+        dur: DurExpr,
+    },
+    Update {
+        cell: CellId,
+        delta: IntExpr,
+    },
+    UpdateIndexed {
+        base: u32,
+        len: u32,
+        index_arg: usize,
+        delta: IntExpr,
+    },
+    SetCell {
+        cell: CellId,
+        value: IntExpr,
+    },
+    Assign {
+        local: LocalId,
+        expr: MutexExpr,
+    },
+    LockInfo {
+        sync_id: SyncId,
+        param: MutexExpr,
+    },
+    IgnoreSync {
+        sync_id: SyncId,
+    },
     /// Jump to `target` if `cond` evaluates false.
-    BranchIfFalse { cond: CondExpr, target: usize },
+    BranchIfFalse {
+        cond: CondExpr,
+        target: usize,
+    },
     Jump(usize),
     /// Initialise loop counter `slot` with the trip count.
-    LoopInit { slot: u16, count: CountExpr },
+    LoopInit {
+        slot: u16,
+        count: CountExpr,
+    },
     /// If the counter is zero jump to `exit`; otherwise decrement and
     /// fall through into the loop body.
-    LoopTest { slot: u16, exit: usize },
-    Call { method: MethodIdx, args: Vec<ArgExpr> },
+    LoopTest {
+        slot: u16,
+        exit: usize,
+    },
+    Call {
+        method: MethodIdx,
+        args: Vec<ArgExpr>,
+    },
     CallVirtual {
         site: CallSiteId,
         candidates: Vec<MethodIdx>,
@@ -93,8 +135,9 @@ impl CompiledObject {
         fn expr_bound(e: &MutexExpr) -> u32 {
             match e {
                 MutexExpr::Konst(m) => m.0 + 1,
-                MutexExpr::Pool { base, len, .. }
-                | MutexExpr::PoolByCell { base, len, .. } => base + len,
+                MutexExpr::Pool { base, len, .. } | MutexExpr::PoolByCell { base, len, .. } => {
+                    base + len
+                }
                 _ => 0,
             }
         }
@@ -120,7 +163,10 @@ impl CompiledObject {
 /// compiling an invalid object is a harness bug, not a runtime condition.
 pub fn compile(obj: &ObjectImpl) -> Arc<CompiledObject> {
     let problems = obj.validate();
-    assert!(problems.is_empty(), "cannot compile invalid object: {problems:?}");
+    assert!(
+        problems.is_empty(),
+        "cannot compile invalid object: {problems:?}"
+    );
     let methods = obj
         .methods
         .iter()
@@ -180,40 +226,62 @@ impl Ctx {
     fn emit_stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::Compute(d) => self.code.push(Instr::Compute(d.clone())),
-            Stmt::Sync { sync_id, param, body } => {
-                self.code.push(Instr::Lock { sync_id: *sync_id, param: param.clone() });
+            Stmt::Sync {
+                sync_id,
+                param,
+                body,
+            } => {
+                self.code.push(Instr::Lock {
+                    sync_id: *sync_id,
+                    param: param.clone(),
+                });
                 self.sync_stack.push(*sync_id);
                 self.emit_block(body);
                 self.sync_stack.pop();
                 self.code.push(Instr::Unlock { sync_id: *sync_id });
             }
             Stmt::Wait(p) => self.code.push(Instr::Wait(p.clone())),
-            Stmt::Notify { param, all } => {
-                self.code.push(Instr::Notify { param: param.clone(), all: *all })
-            }
-            Stmt::Nested { service, dur } => {
-                self.code.push(Instr::Nested { service: *service, dur: dur.clone() })
-            }
-            Stmt::Update { cell, delta } => {
-                self.code.push(Instr::Update { cell: *cell, delta: delta.clone() })
-            }
-            Stmt::UpdateIndexed { base, len, index_arg, delta } => {
-                self.code.push(Instr::UpdateIndexed {
-                    base: *base,
-                    len: *len,
-                    index_arg: *index_arg,
-                    delta: delta.clone(),
-                })
-            }
-            Stmt::SetCell { cell, value } => {
-                self.code.push(Instr::SetCell { cell: *cell, value: value.clone() })
-            }
-            Stmt::Assign { local, expr } => {
-                self.code.push(Instr::Assign { local: *local, expr: expr.clone() })
-            }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::Notify { param, all } => self.code.push(Instr::Notify {
+                param: param.clone(),
+                all: *all,
+            }),
+            Stmt::Nested { service, dur } => self.code.push(Instr::Nested {
+                service: *service,
+                dur: dur.clone(),
+            }),
+            Stmt::Update { cell, delta } => self.code.push(Instr::Update {
+                cell: *cell,
+                delta: delta.clone(),
+            }),
+            Stmt::UpdateIndexed {
+                base,
+                len,
+                index_arg,
+                delta,
+            } => self.code.push(Instr::UpdateIndexed {
+                base: *base,
+                len: *len,
+                index_arg: *index_arg,
+                delta: delta.clone(),
+            }),
+            Stmt::SetCell { cell, value } => self.code.push(Instr::SetCell {
+                cell: *cell,
+                value: value.clone(),
+            }),
+            Stmt::Assign { local, expr } => self.code.push(Instr::Assign {
+                local: *local,
+                expr: expr.clone(),
+            }),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let else_label = self.new_label();
-                self.code.push(Instr::BranchIfFalse { cond: cond.clone(), target: else_label });
+                self.code.push(Instr::BranchIfFalse {
+                    cond: cond.clone(),
+                    target: else_label,
+                });
                 self.emit_block(then_branch);
                 if else_branch.is_empty() {
                     self.place(else_label);
@@ -228,11 +296,17 @@ impl Ctx {
             Stmt::For { count, body } => {
                 let slot = self.next_slot;
                 self.next_slot += 1;
-                self.code.push(Instr::LoopInit { slot, count: count.clone() });
+                self.code.push(Instr::LoopInit {
+                    slot,
+                    count: count.clone(),
+                });
                 let test_label = self.new_label();
                 let exit_label = self.new_label();
                 self.place(test_label);
-                self.code.push(Instr::LoopTest { slot, exit: exit_label });
+                self.code.push(Instr::LoopTest {
+                    slot,
+                    exit: exit_label,
+                });
                 self.emit_block(body);
                 self.code.push(Instr::Jump(test_label));
                 self.place(exit_label);
@@ -241,28 +315,34 @@ impl Ctx {
                 let test_label = self.new_label();
                 let exit_label = self.new_label();
                 self.place(test_label);
-                self.code.push(Instr::BranchIfFalse { cond: cond.clone(), target: exit_label });
+                self.code.push(Instr::BranchIfFalse {
+                    cond: cond.clone(),
+                    target: exit_label,
+                });
                 self.emit_block(body);
                 self.code.push(Instr::Jump(test_label));
                 self.place(exit_label);
             }
-            Stmt::Call { method, args } => {
-                self.code.push(Instr::Call { method: *method, args: args.clone() })
-            }
-            Stmt::VirtualCall { site, candidates, selector, args } => {
-                self.code.push(Instr::CallVirtual {
-                    site: *site,
-                    candidates: candidates.clone(),
-                    selector: selector.clone(),
-                    args: args.clone(),
-                })
-            }
-            Stmt::LockInfo { sync_id, param } => {
-                self.code.push(Instr::LockInfo { sync_id: *sync_id, param: param.clone() })
-            }
-            Stmt::IgnoreSync { sync_id } => {
-                self.code.push(Instr::IgnoreSync { sync_id: *sync_id })
-            }
+            Stmt::Call { method, args } => self.code.push(Instr::Call {
+                method: *method,
+                args: args.clone(),
+            }),
+            Stmt::VirtualCall {
+                site,
+                candidates,
+                selector,
+                args,
+            } => self.code.push(Instr::CallVirtual {
+                site: *site,
+                candidates: candidates.clone(),
+                selector: selector.clone(),
+                args: args.clone(),
+            }),
+            Stmt::LockInfo { sync_id, param } => self.code.push(Instr::LockInfo {
+                sync_id: *sync_id,
+                param: param.clone(),
+            }),
+            Stmt::IgnoreSync { sync_id } => self.code.push(Instr::IgnoreSync { sync_id: *sync_id }),
             Stmt::Return => {
                 // Unlock every enclosing synchronized block, innermost
                 // first, then return — Java's implicit monitorexit cascade.
@@ -381,8 +461,14 @@ mod tests {
 
     #[test]
     fn nested_loops_get_distinct_slots() {
-        let inner = Stmt::For { count: CountExpr::Lit(2), body: vec![] };
-        let obj = obj_with(vec![Stmt::For { count: CountExpr::Lit(3), body: vec![inner] }]);
+        let inner = Stmt::For {
+            count: CountExpr::Lit(2),
+            body: vec![],
+        };
+        let obj = obj_with(vec![Stmt::For {
+            count: CountExpr::Lit(3),
+            body: vec![inner],
+        }]);
         let c = compile(&obj);
         let slots: Vec<u16> = c.methods[0]
             .code
@@ -410,8 +496,20 @@ mod tests {
         let c = compile(&obj);
         let code = &c.methods[0].code;
         // Lock s0, Lock s1, Unlock s1, Unlock s0, Ret, (dead: Unlock s1, Unlock s0, Ret)
-        assert!(matches!(code[0], Instr::Lock { sync_id: SyncId(0), .. }));
-        assert!(matches!(code[1], Instr::Lock { sync_id: SyncId(1), .. }));
+        assert!(matches!(
+            code[0],
+            Instr::Lock {
+                sync_id: SyncId(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            code[1],
+            Instr::Lock {
+                sync_id: SyncId(1),
+                ..
+            }
+        ));
         assert!(matches!(code[2], Instr::Unlock { sync_id: SyncId(1) }));
         assert!(matches!(code[3], Instr::Unlock { sync_id: SyncId(0) }));
         assert!(matches!(code[4], Instr::Ret));
@@ -434,7 +532,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot compile invalid object")]
     fn compiling_invalid_object_panics() {
-        let obj = obj_with(vec![Stmt::Update { cell: CellId::new(99), delta: IntExpr::Lit(1) }]);
+        let obj = obj_with(vec![Stmt::Update {
+            cell: CellId::new(99),
+            delta: IntExpr::Lit(1),
+        }]);
         compile(&obj);
     }
 

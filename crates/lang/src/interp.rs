@@ -16,23 +16,75 @@ use std::sync::Arc;
 
 /// The shared state of one object replica: replicated integer cells plus
 /// the monitor-reference fields used as spontaneous lock parameters.
+///
+/// The divergence-detection hash is maintained *incrementally*: every
+/// mutation goes through [`ObjectState::set_cell`] / [`set_field`], which
+/// XOR out the old slot contribution and XOR in the new one, so
+/// [`state_hash`] is O(1) regardless of how many cells the object has.
+/// All fields are private to protect that invariant.
+///
+/// [`set_field`]: ObjectState::set_field
+/// [`state_hash`]: ObjectState::state_hash
 #[derive(Clone, Debug, PartialEq)]
 pub struct ObjectState {
     /// The monitor of the object itself (`this`).
-    pub this_mutex: MutexId,
+    this_mutex: MutexId,
     cells: Vec<i64>,
     fields: Vec<MutexId>,
+    /// Order-independent XOR-fold over `mix(slot, value)` of every slot.
+    hash: u64,
 }
+
+/// Mixes one `(slot, value)` pair into a 64-bit contribution (SplitMix64
+/// finalizer). The hash of a state is the XOR of all slot contributions —
+/// XOR makes every mutation an O(1) out-then-in update, and the strong
+/// per-slot mixing is what keeps the fold from collapsing (a plain XOR of
+/// raw values would cancel identical cells).
+#[inline]
+fn mix(slot: u64, value: u64) -> u64 {
+    let mut z =
+        slot.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ value.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Disjoint slot spaces for the three state components.
+#[inline]
+fn cell_slot(i: usize) -> u64 {
+    (i as u64) << 1
+}
+#[inline]
+fn field_slot(i: usize) -> u64 {
+    ((i as u64) << 1) | 1
+}
+const THIS_SLOT: u64 = u64::MAX;
 
 impl ObjectState {
     pub fn new(this_mutex: MutexId, n_cells: u32, fields: Vec<MutexId>) -> Self {
-        ObjectState { this_mutex, cells: vec![0; n_cells as usize], fields }
+        let mut s = ObjectState {
+            this_mutex,
+            cells: vec![0; n_cells as usize],
+            fields,
+            hash: 0,
+        };
+        s.hash = s.full_rehash();
+        s
     }
 
     /// Builds the state shape an object implementation expects, with all
     /// fields pointing at `this`.
     pub fn for_object(obj: &CompiledObject, this_mutex: MutexId) -> Self {
-        ObjectState::new(this_mutex, obj.n_cells, vec![this_mutex; obj.n_fields as usize])
+        ObjectState::new(
+            this_mutex,
+            obj.n_cells,
+            vec![this_mutex; obj.n_fields as usize],
+        )
+    }
+
+    /// The monitor of the object itself (`this`).
+    pub fn this_mutex(&self) -> MutexId {
+        self.this_mutex
     }
 
     pub fn cell(&self, c: CellId) -> i64 {
@@ -40,7 +92,9 @@ impl ObjectState {
     }
 
     pub fn set_cell(&mut self, c: CellId, v: i64) {
-        self.cells[c.index()] = v;
+        let slot = &mut self.cells[c.index()];
+        self.hash ^= mix(cell_slot(c.index()), *slot as u64) ^ mix(cell_slot(c.index()), v as u64);
+        *slot = v;
     }
 
     pub fn field(&self, f: FieldId) -> MutexId {
@@ -48,29 +102,32 @@ impl ObjectState {
     }
 
     pub fn set_field(&mut self, f: FieldId, m: MutexId) {
-        self.fields[f.index()] = m;
+        let slot = &mut self.fields[f.index()];
+        self.hash ^=
+            mix(field_slot(f.index()), slot.0 as u64) ^ mix(field_slot(f.index()), m.0 as u64);
+        *slot = m;
     }
 
     pub fn cells(&self) -> &[i64] {
         &self.cells
     }
 
-    /// FNV-1a hash over the full replicated state; replicas compare these
-    /// to detect divergence.
+    /// Hash over the full replicated state; replicas compare these to
+    /// detect divergence. O(1): maintained incrementally under mutation.
     pub fn state_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |x: u64| {
-            for b in x.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x1_0000_0000_01b3);
-            }
-        };
-        eat(self.this_mutex.0 as u64);
-        for &c in &self.cells {
-            eat(c as u64);
+        self.hash
+    }
+
+    /// Recomputes the hash from scratch. The incremental hash must always
+    /// equal this — exposed so tests (and paranoid callers) can check the
+    /// equivalence.
+    pub fn full_rehash(&self) -> u64 {
+        let mut h = mix(THIS_SLOT, self.this_mutex.0 as u64);
+        for (i, &c) in self.cells.iter().enumerate() {
+            h ^= mix(cell_slot(i), c as u64);
         }
-        for &f in &self.fields {
-            eat(f.0 as u64);
+        for (i, &f) in self.fields.iter().enumerate() {
+            h ^= mix(field_slot(i), f.0 as u64);
         }
         h
     }
@@ -110,22 +167,42 @@ pub enum StepOutcome {
     Finished,
 }
 
-struct Frame {
+/// Per-frame bookkeeping: where this frame's arguments, locals, loop
+/// counters and taken monitors begin in the VM-wide arenas. The frame's
+/// segment of each arena runs from its base to either the next frame's
+/// base or the arena's end (frames form a stack, so the executing frame's
+/// segments are always the arena tails).
+#[derive(Clone, Copy)]
+struct FrameMeta {
     method: MethodIdx,
     pc: usize,
-    args: RequestArgs,
-    locals: Vec<Value>,
-    loop_slots: Vec<u32>,
-    /// Monitors taken by `Lock` in this frame, with their syncids, in
-    /// acquisition order (so `Unlock` releases what was actually locked
-    /// even if the parameter expression was reassigned in between).
-    sync_stack: Vec<(SyncId, MutexId)>,
+    args_base: usize,
+    locals_base: usize,
+    loops_base: usize,
+    /// Monitors taken by `Lock` in this frame live at
+    /// `sync_stack[sync_base..]`, with their sync ids, in acquisition
+    /// order (so `Unlock` releases what was actually locked even if the
+    /// parameter expression was reassigned in between).
+    sync_base: usize,
 }
 
 /// The interpreter state of one logical thread.
+///
+/// Frames are flattened: instead of every `Frame` owning four heap
+/// vectors, all frames share four VM-wide arenas indexed by per-frame
+/// base offsets. A call appends to the arena tails, a return truncates
+/// back to the frame's bases — so after warm-up (and always, on a VM
+/// recycled through [`VmPool`]) pushing and popping frames allocates
+/// nothing.
 pub struct ThreadVm {
     program: Arc<CompiledObject>,
-    frames: Vec<Frame>,
+    frames: Vec<FrameMeta>,
+    /// Argument arena: the root request's args followed by each nested
+    /// call's evaluated arguments.
+    args: Vec<Value>,
+    locals: Vec<Value>,
+    loop_slots: Vec<u32>,
+    sync_stack: Vec<(SyncId, MutexId)>,
     /// Count of `step` calls, exposed for tests and runaway detection.
     steps: u64,
 }
@@ -138,7 +215,35 @@ const INTERNAL_STEP_LIMIT: usize = 1_000_000;
 impl ThreadVm {
     /// Creates a VM poised at the first instruction of `method`.
     pub fn new(program: Arc<CompiledObject>, method: MethodIdx, args: RequestArgs) -> Self {
-        let m = &program.methods[method.index()];
+        let mut vm = ThreadVm {
+            program,
+            frames: Vec::new(),
+            args: Vec::new(),
+            locals: Vec::new(),
+            loop_slots: Vec::new(),
+            sync_stack: Vec::new(),
+            steps: 0,
+        };
+        vm.start(method, &args);
+        vm
+    }
+
+    /// Re-arms this VM for a new request, recycling every buffer the
+    /// previous request grew. This is what makes [`VmPool`] reuse
+    /// allocation-free in steady state.
+    pub fn reset(&mut self, program: Arc<CompiledObject>, method: MethodIdx, args: &RequestArgs) {
+        self.program = program;
+        self.frames.clear();
+        self.args.clear();
+        self.locals.clear();
+        self.loop_slots.clear();
+        self.sync_stack.clear();
+        self.steps = 0;
+        self.start(method, args);
+    }
+
+    fn start(&mut self, method: MethodIdx, args: &RequestArgs) {
+        let m = &self.program.methods[method.index()];
         assert_eq!(
             args.len(),
             m.arity,
@@ -147,15 +252,8 @@ impl ThreadVm {
             m.arity,
             args.len()
         );
-        let frame = Frame {
-            method,
-            pc: 0,
-            locals: vec![Value::Int(0); m.n_locals as usize],
-            loop_slots: vec![0; m.n_loop_slots as usize],
-            args,
-            sync_stack: Vec::new(),
-        };
-        ThreadVm { program, frames: vec![frame], steps: 0 }
+        self.args.extend_from_slice(args.values());
+        self.push_frame(method, 0);
     }
 
     pub fn steps(&self) -> u64 {
@@ -166,10 +264,7 @@ impl ThreadVm {
     /// acquisition order (outermost first). Reentrant acquisitions appear
     /// once per `Lock`.
     pub fn held_monitors(&self) -> Vec<MutexId> {
-        self.frames
-            .iter()
-            .flat_map(|f| f.sync_stack.iter().map(|&(_, m)| m))
-            .collect()
+        self.sync_stack.iter().map(|&(_, m)| m).collect()
     }
 
     /// Advances the thread to its next synchronisation-relevant action.
@@ -180,177 +275,333 @@ impl ThreadVm {
     pub fn step(&mut self, state: &mut ObjectState) -> StepOutcome {
         self.steps += 1;
         for _ in 0..INTERNAL_STEP_LIMIT {
-            let Some(frame) = self.frames.last_mut() else {
+            let Some(&FrameMeta {
+                method,
+                pc,
+                args_base,
+                locals_base,
+                loops_base,
+                sync_base,
+            }) = self.frames.last()
+            else {
                 return StepOutcome::Finished;
             };
-            let code = &self.program.methods[frame.method.index()].code;
-            debug_assert!(frame.pc < code.len(), "pc ran off method end");
-            let instr = &code[frame.pc];
+            let fi = self.frames.len() - 1;
+            // Borrows only the `program` field; the arms below mutate the
+            // (disjoint) arena fields, so no handle clone is needed.
+            let code = &self.program.methods[method.index()].code;
+            debug_assert!(pc < code.len(), "pc ran off method end");
+            let instr = &code[pc];
+            // The executing frame's arena segments are the arena tails.
+            let fargs = &self.args[args_base..];
+            let flocals = &self.locals[locals_base..];
             match instr {
                 Instr::Compute(d) => {
-                    let dur_ns = eval_dur(d, &frame.args);
-                    frame.pc += 1;
+                    let dur_ns = eval_dur(d, fargs);
+                    self.frames[fi].pc = pc + 1;
                     return StepOutcome::Action(Action::Compute { dur_ns });
                 }
                 Instr::Lock { sync_id, param } => {
-                    let mutex = eval_mutex(param, frame, state);
-                    frame.sync_stack.push((*sync_id, mutex));
-                    frame.pc += 1;
-                    return StepOutcome::Action(Action::Lock { sync_id: *sync_id, mutex });
+                    let mutex = eval_mutex(param, fargs, flocals, state);
+                    let sync_id = *sync_id;
+                    self.sync_stack.push((sync_id, mutex));
+                    self.frames[fi].pc = pc + 1;
+                    return StepOutcome::Action(Action::Lock { sync_id, mutex });
                 }
                 Instr::Unlock { sync_id } => {
-                    let (sid, mutex) = frame
-                        .sync_stack
-                        .pop()
-                        .expect("unlock without matching lock");
+                    debug_assert!(self.sync_stack.len() > sync_base, "unlock crosses frame");
+                    let (sid, mutex) = self.sync_stack.pop().expect("unlock without matching lock");
                     debug_assert_eq!(sid, *sync_id, "unbalanced sync stack");
-                    frame.pc += 1;
-                    return StepOutcome::Action(Action::Unlock { sync_id: sid, mutex });
+                    self.frames[fi].pc = pc + 1;
+                    return StepOutcome::Action(Action::Unlock {
+                        sync_id: sid,
+                        mutex,
+                    });
                 }
                 Instr::Wait(param) => {
-                    let mutex = eval_mutex(param, frame, state);
-                    frame.pc += 1;
+                    let mutex = eval_mutex(param, fargs, flocals, state);
+                    self.frames[fi].pc = pc + 1;
                     return StepOutcome::Action(Action::Wait { mutex });
                 }
                 Instr::Notify { param, all } => {
-                    let mutex = eval_mutex(param, frame, state);
+                    let mutex = eval_mutex(param, fargs, flocals, state);
                     let all = *all;
-                    frame.pc += 1;
+                    self.frames[fi].pc = pc + 1;
                     return StepOutcome::Action(Action::Notify { mutex, all });
                 }
                 Instr::Nested { service, dur } => {
-                    let dur_ns = eval_dur(dur, &frame.args);
+                    let dur_ns = eval_dur(dur, fargs);
                     let service = *service;
-                    frame.pc += 1;
+                    self.frames[fi].pc = pc + 1;
                     return StepOutcome::Action(Action::Nested { service, dur_ns });
                 }
                 Instr::LockInfo { sync_id, param } => {
-                    let mutex = eval_mutex(param, frame, state);
+                    let mutex = eval_mutex(param, fargs, flocals, state);
                     let sync_id = *sync_id;
-                    frame.pc += 1;
+                    self.frames[fi].pc = pc + 1;
                     return StepOutcome::Action(Action::LockInfo { sync_id, mutex });
                 }
                 Instr::IgnoreSync { sync_id } => {
                     let sync_id = *sync_id;
-                    frame.pc += 1;
+                    self.frames[fi].pc = pc + 1;
                     return StepOutcome::Action(Action::Ignore { sync_id });
                 }
                 // ---- internal instructions: no scheduler involvement ----
                 Instr::Update { cell, delta } => {
-                    let d = eval_int(delta, &frame.args, state);
+                    let d = eval_int(delta, fargs, state);
                     state.set_cell(*cell, state.cell(*cell).wrapping_add(d));
-                    frame.pc += 1;
+                    self.frames[fi].pc = pc + 1;
                 }
-                Instr::UpdateIndexed { base, len, index_arg, delta } => {
-                    let idx = frame.args.get(*index_arg).as_int().rem_euclid(*len as i64) as u32;
+                Instr::UpdateIndexed {
+                    base,
+                    len,
+                    index_arg,
+                    delta,
+                } => {
+                    let idx = arg_at(fargs, *index_arg).as_int().rem_euclid(*len as i64) as u32;
                     let cell = CellId::new(base + idx);
-                    let d = eval_int(delta, &frame.args, state);
+                    let d = eval_int(delta, fargs, state);
                     state.set_cell(cell, state.cell(cell).wrapping_add(d));
-                    frame.pc += 1;
+                    self.frames[fi].pc = pc + 1;
                 }
                 Instr::SetCell { cell, value } => {
-                    let v = eval_int(value, &frame.args, state);
+                    let v = eval_int(value, fargs, state);
                     state.set_cell(*cell, v);
-                    frame.pc += 1;
+                    self.frames[fi].pc = pc + 1;
                 }
                 Instr::Assign { local, expr } => {
-                    let m = eval_mutex(expr, frame, state);
-                    frame.locals[local.index()] = Value::Mutex(m);
-                    frame.pc += 1;
+                    let m = eval_mutex(expr, fargs, flocals, state);
+                    self.locals[locals_base + local.index()] = Value::Mutex(m);
+                    self.frames[fi].pc = pc + 1;
                 }
                 Instr::BranchIfFalse { cond, target } => {
-                    if eval_cond(cond, frame, state) {
-                        frame.pc += 1;
+                    self.frames[fi].pc = if eval_cond(cond, fargs, state) {
+                        pc + 1
                     } else {
-                        frame.pc = *target;
-                    }
+                        *target
+                    };
                 }
-                Instr::Jump(target) => frame.pc = *target,
+                Instr::Jump(target) => self.frames[fi].pc = *target,
                 Instr::LoopInit { slot, count } => {
                     let n = match count {
                         CountExpr::Lit(n) => *n,
-                        CountExpr::Arg(i) => frame.args.get(*i).as_int().max(0) as u32,
+                        CountExpr::Arg(i) => arg_at(fargs, *i).as_int().max(0) as u32,
                     };
-                    frame.loop_slots[*slot as usize] = n;
-                    frame.pc += 1;
+                    self.loop_slots[loops_base + *slot as usize] = n;
+                    self.frames[fi].pc = pc + 1;
                 }
                 Instr::LoopTest { slot, exit } => {
-                    let c = &mut frame.loop_slots[*slot as usize];
+                    let c = &mut self.loop_slots[loops_base + *slot as usize];
                     if *c == 0 {
-                        frame.pc = *exit;
+                        self.frames[fi].pc = *exit;
                     } else {
                         *c -= 1;
-                        frame.pc += 1;
+                        self.frames[fi].pc = pc + 1;
                     }
                 }
                 Instr::Call { method, args } => {
-                    let callee_args = eval_call_args(args, frame, state);
-                    let method = *method;
-                    frame.pc += 1;
-                    self.push_frame(method, callee_args);
+                    let callee = *method;
+                    let callee_base = eval_call_args(
+                        &mut self.args,
+                        &self.locals,
+                        args,
+                        args_base,
+                        locals_base,
+                        state,
+                    );
+                    self.frames[fi].pc = pc + 1;
+                    self.push_frame(callee, callee_base);
                 }
-                Instr::CallVirtual { candidates, selector, args, .. } => {
-                    let sel = eval_int(selector, &frame.args, state);
+                Instr::CallVirtual {
+                    candidates,
+                    selector,
+                    args,
+                    ..
+                } => {
+                    let sel = eval_int(selector, fargs, state);
                     let idx = (sel.rem_euclid(candidates.len() as i64)) as usize;
                     let target = candidates[idx];
-                    let callee_args = eval_call_args(args, frame, state);
-                    frame.pc += 1;
-                    self.push_frame(target, callee_args);
+                    let callee_base = eval_call_args(
+                        &mut self.args,
+                        &self.locals,
+                        args,
+                        args_base,
+                        locals_base,
+                        state,
+                    );
+                    self.frames[fi].pc = pc + 1;
+                    self.push_frame(target, callee_base);
                 }
                 Instr::Ret => {
-                    let frame = self.frames.pop().expect("ret without frame");
+                    let f = self.frames.pop().expect("ret without frame");
                     assert!(
-                        frame.sync_stack.is_empty(),
+                        self.sync_stack.len() == f.sync_base,
                         "returning while holding monitors {:?}",
-                        frame.sync_stack
+                        &self.sync_stack[f.sync_base..]
                     );
+                    self.args.truncate(f.args_base);
+                    self.locals.truncate(f.locals_base);
+                    self.loop_slots.truncate(f.loops_base);
                     if self.frames.is_empty() {
                         return StepOutcome::Finished;
                     }
                 }
             }
         }
-        panic!("thread exceeded {INTERNAL_STEP_LIMIT} internal steps: non-terminating internal loop");
+        panic!(
+            "thread exceeded {INTERNAL_STEP_LIMIT} internal steps: non-terminating internal loop"
+        );
     }
 
-    fn push_frame(&mut self, method: MethodIdx, args: RequestArgs) {
+    /// Pushes a frame whose arguments already occupy `args[args_base..]`.
+    fn push_frame(&mut self, method: MethodIdx, args_base: usize) {
         let m = &self.program.methods[method.index()];
-        assert_eq!(args.len(), m.arity, "call arity mismatch for {}", m.name);
-        self.frames.push(Frame {
+        assert_eq!(
+            self.args.len() - args_base,
+            m.arity,
+            "call arity mismatch for {}",
+            m.name
+        );
+        let (n_locals, n_loops) = (m.n_locals as usize, m.n_loop_slots as usize);
+        let locals_base = self.locals.len();
+        let loops_base = self.loop_slots.len();
+        let sync_base = self.sync_stack.len();
+        self.locals.resize(locals_base + n_locals, Value::Int(0));
+        self.loop_slots.resize(loops_base + n_loops, 0);
+        self.frames.push(FrameMeta {
             method,
             pc: 0,
-            locals: vec![Value::Int(0); m.n_locals as usize],
-            loop_slots: vec![0; m.n_loop_slots as usize],
-            args,
-            sync_stack: Vec::new(),
+            args_base,
+            locals_base,
+            loops_base,
+            sync_base,
         });
     }
 }
 
-fn eval_dur(d: &DurExpr, args: &RequestArgs) -> u64 {
-    match d {
-        DurExpr::Nanos(n) => *n,
-        DurExpr::Arg(i) => args.get(*i).as_dur_nanos(),
+/// A reset-on-reuse free list of [`ThreadVm`]s. A replica acquires a VM
+/// per admitted request and releases it when the thread finishes; after
+/// the pool warms up to the peak number of concurrently live threads,
+/// admission stops allocating entirely. The `allocs`/`reuses` counters
+/// make that claim checkable from the outside.
+#[derive(Default)]
+pub struct VmPool {
+    free: Vec<ThreadVm>,
+    allocs: u64,
+    reuses: u64,
+}
+
+impl VmPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a VM poised at the first instruction of `method`,
+    /// recycling a released VM when one is idle.
+    pub fn acquire(
+        &mut self,
+        program: Arc<CompiledObject>,
+        method: MethodIdx,
+        args: &RequestArgs,
+    ) -> ThreadVm {
+        match self.free.pop() {
+            Some(mut vm) => {
+                self.reuses += 1;
+                vm.reset(program, method, args);
+                vm
+            }
+            None => {
+                self.allocs += 1;
+                ThreadVm::new(program, method, args.clone())
+            }
+        }
+    }
+
+    /// Returns a finished VM's buffers to the pool.
+    pub fn release(&mut self, vm: ThreadVm) {
+        self.free.push(vm);
+    }
+
+    /// VMs constructed from scratch (pool misses).
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Acquisitions served by recycling a released VM.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// VMs currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
     }
 }
 
-fn eval_int(e: &IntExpr, args: &RequestArgs, state: &ObjectState) -> i64 {
+/// Fetches argument `i` from a frame's segment of the args arena. Panics
+/// on out-of-range: the analysis guarantees arity, so a miss is a harness
+/// bug worth failing loudly on.
+#[inline]
+fn arg_at(args: &[Value], i: usize) -> Value {
+    *args
+        .get(i)
+        .unwrap_or_else(|| panic!("request argument {i} missing (have {})", args.len()))
+}
+
+/// Evaluates a call's argument expressions into the tail of the args
+/// arena (one at a time — the caller's own segment stays readable while
+/// the callee's grows behind it) and returns the callee's `args_base`.
+/// A free function over the two arenas so the caller's borrow of the
+/// program (the instruction being executed) stays live across the call.
+fn eval_call_args(
+    args: &mut Vec<Value>,
+    locals: &[Value],
+    exprs: &[ArgExpr],
+    args_base: usize,
+    locals_base: usize,
+    state: &ObjectState,
+) -> usize {
+    let callee_base = args.len();
+    for a in exprs {
+        let v = match a {
+            ArgExpr::Const(v) => *v,
+            ArgExpr::CallerArg(i) => arg_at(&args[args_base..callee_base], *i),
+            ArgExpr::Local(l) => locals[locals_base + l.index()],
+            ArgExpr::Field(f) => Value::Mutex(state.field(*f)),
+        };
+        args.push(v);
+    }
+    callee_base
+}
+
+fn eval_dur(d: &DurExpr, args: &[Value]) -> u64 {
+    match d {
+        DurExpr::Nanos(n) => *n,
+        DurExpr::Arg(i) => arg_at(args, *i).as_dur_nanos(),
+    }
+}
+
+fn eval_int(e: &IntExpr, args: &[Value], state: &ObjectState) -> i64 {
     match e {
         IntExpr::Lit(v) => *v,
-        IntExpr::Arg(i) => args.get(*i).as_int(),
+        IntExpr::Arg(i) => arg_at(args, *i).as_int(),
         IntExpr::Cell(c) => state.cell(*c),
     }
 }
 
-fn eval_mutex(e: &MutexExpr, frame: &Frame, state: &ObjectState) -> MutexId {
+fn eval_mutex(e: &MutexExpr, args: &[Value], locals: &[Value], state: &ObjectState) -> MutexId {
     match e {
         MutexExpr::This => state.this_mutex,
         MutexExpr::Konst(m) => *m,
-        MutexExpr::Arg(i) => frame.args.get(*i).as_mutex(),
-        MutexExpr::Local(l) => frame.locals[l.index()].as_mutex(),
+        MutexExpr::Arg(i) => arg_at(args, *i).as_mutex(),
+        MutexExpr::Local(l) => locals[l.index()].as_mutex(),
         MutexExpr::Field(f) => state.field(*f),
-        MutexExpr::Pool { base, len, index_arg } => {
-            let idx = frame.args.get(*index_arg).as_int().rem_euclid(*len as i64) as u32;
+        MutexExpr::Pool {
+            base,
+            len,
+            index_arg,
+        } => {
+            let idx = arg_at(args, *index_arg).as_int().rem_euclid(*len as i64) as u32;
             MutexId::new(base + idx)
         }
         MutexExpr::PoolByCell { base, len, cell } => {
@@ -361,28 +612,17 @@ fn eval_mutex(e: &MutexExpr, frame: &Frame, state: &ObjectState) -> MutexId {
     }
 }
 
-fn eval_cond(c: &CondExpr, frame: &Frame, state: &ObjectState) -> bool {
+fn eval_cond(c: &CondExpr, args: &[Value], state: &ObjectState) -> bool {
     match c {
         CondExpr::Konst(b) => *b,
-        CondExpr::ArgFlag(i) => frame.args.get(*i).as_bool(),
-        CondExpr::ArgIntLt(i, k) => frame.args.get(*i).as_int() < *k,
+        CondExpr::ArgFlag(i) => arg_at(args, *i).as_bool(),
+        CondExpr::ArgIntLt(i, k) => arg_at(args, *i).as_int() < *k,
         CondExpr::CellEq(cell, k) => state.cell(*cell) == *k,
         CondExpr::CellLt(cell, k) => state.cell(*cell) < *k,
         CondExpr::CellGe(cell, k) => state.cell(*cell) >= *k,
-        CondExpr::ParamEqField(i, f) => frame.args.get(*i).as_mutex() == state.field(*f),
-        CondExpr::Not(inner) => !eval_cond(inner, frame, state),
+        CondExpr::ParamEqField(i, f) => arg_at(args, *i).as_mutex() == state.field(*f),
+        CondExpr::Not(inner) => !eval_cond(inner, args, state),
     }
-}
-
-fn eval_call_args(args: &[ArgExpr], frame: &Frame, state: &ObjectState) -> RequestArgs {
-    args.iter()
-        .map(|a| match a {
-            ArgExpr::Const(v) => *v,
-            ArgExpr::CallerArg(i) => frame.args.get(*i),
-            ArgExpr::Local(l) => frame.locals[l.index()],
-            ArgExpr::Field(f) => Value::Mutex(state.field(*f)),
-        })
-        .collect()
 }
 
 /// Runs a VM to completion with every action auto-granted, returning the
@@ -437,7 +677,10 @@ mod tests {
                 Stmt::Sync {
                     sync_id: SyncId::new(0),
                     param: MutexExpr::This,
-                    body: vec![Stmt::Update { cell: CellId::new(0), delta: IntExpr::Lit(5) }],
+                    body: vec![Stmt::Update {
+                        cell: CellId::new(0),
+                        delta: IntExpr::Lit(5),
+                    }],
                 },
             ],
             0,
@@ -448,8 +691,14 @@ mod tests {
             trace,
             vec![
                 Action::Compute { dur_ns: 2_000_000 },
-                Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(1000) },
-                Action::Unlock { sync_id: SyncId::new(0), mutex: MutexId::new(1000) },
+                Action::Lock {
+                    sync_id: SyncId::new(0),
+                    mutex: MutexId::new(1000)
+                },
+                Action::Unlock {
+                    sync_id: SyncId::new(0),
+                    mutex: MutexId::new(1000)
+                },
             ]
         );
         assert_eq!(state.cell(CellId::new(0)), 5);
@@ -460,7 +709,10 @@ mod tests {
         let body = vec![Stmt::If {
             cond: CondExpr::ArgFlag(0),
             then_branch: vec![Stmt::Compute(DurExpr::millis(1))],
-            else_branch: vec![Stmt::Nested { service: ServiceId::new(0), dur: DurExpr::millis(12) }],
+            else_branch: vec![Stmt::Nested {
+                service: ServiceId::new(0),
+                dur: DurExpr::millis(12),
+            }],
         }];
         let obj = make(body, 1, 0);
         let (t_true, _) = run(obj.clone(), vec![Value::Bool(true)]);
@@ -468,7 +720,10 @@ mod tests {
         let (t_false, _) = run(obj, vec![Value::Bool(false)]);
         assert_eq!(
             t_false,
-            vec![Action::Nested { service: ServiceId::new(0), dur_ns: 12_000_000 }]
+            vec![Action::Nested {
+                service: ServiceId::new(0),
+                dur_ns: 12_000_000
+            }]
         );
     }
 
@@ -477,7 +732,10 @@ mod tests {
         let obj = make(
             vec![Stmt::For {
                 count: CountExpr::Lit(3),
-                body: vec![Stmt::Update { cell: CellId::new(1), delta: IntExpr::Lit(2) }],
+                body: vec![Stmt::Update {
+                    cell: CellId::new(1),
+                    delta: IntExpr::Lit(2),
+                }],
             }],
             0,
             0,
@@ -511,7 +769,11 @@ mod tests {
         let obj = make(
             vec![Stmt::Sync {
                 sync_id: SyncId::new(0),
-                param: MutexExpr::Pool { base: 100, len: 10, index_arg: 0 },
+                param: MutexExpr::Pool {
+                    base: 100,
+                    len: 10,
+                    index_arg: 0,
+                },
                 body: vec![],
             }],
             1,
@@ -520,13 +782,19 @@ mod tests {
         let (trace, _) = run(obj.clone(), vec![Value::Int(7)]);
         assert_eq!(
             trace[0],
-            Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(107) }
+            Action::Lock {
+                sync_id: SyncId::new(0),
+                mutex: MutexId::new(107)
+            }
         );
         // Index wraps modulo pool size.
         let (trace, _) = run(obj, vec![Value::Int(13)]);
         assert_eq!(
             trace[0],
-            Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(103) }
+            Action::Lock {
+                sync_id: SyncId::new(0),
+                mutex: MutexId::new(103)
+            }
         );
     }
 
@@ -536,11 +804,17 @@ mod tests {
         // locked even though nothing reassigns here.
         let obj = make(
             vec![
-                Stmt::Assign { local: LocalId::new(0), expr: MutexExpr::Arg(0) },
+                Stmt::Assign {
+                    local: LocalId::new(0),
+                    expr: MutexExpr::Arg(0),
+                },
                 Stmt::Sync {
                     sync_id: SyncId::new(0),
                     param: MutexExpr::Local(LocalId::new(0)),
-                    body: vec![Stmt::Assign { local: LocalId::new(0), expr: MutexExpr::This }],
+                    body: vec![Stmt::Assign {
+                        local: LocalId::new(0),
+                        expr: MutexExpr::This,
+                    }],
                 },
             ],
             1,
@@ -550,9 +824,15 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(55) },
+                Action::Lock {
+                    sync_id: SyncId::new(0),
+                    mutex: MutexId::new(55)
+                },
                 // Reassignment inside the block must not change what is unlocked.
-                Action::Unlock { sync_id: SyncId::new(0), mutex: MutexId::new(55) },
+                Action::Unlock {
+                    sync_id: SyncId::new(0),
+                    mutex: MutexId::new(55)
+                },
             ]
         );
     }
@@ -563,11 +843,14 @@ mod tests {
             vec![Stmt::Sync {
                 sync_id: SyncId::new(0),
                 param: MutexExpr::This,
-                body: vec![Stmt::If {
-                    cond: CondExpr::ArgFlag(0),
-                    then_branch: vec![Stmt::Return],
-                    else_branch: vec![],
-                }, Stmt::Compute(DurExpr::millis(1))],
+                body: vec![
+                    Stmt::If {
+                        cond: CondExpr::ArgFlag(0),
+                        then_branch: vec![Stmt::Return],
+                        else_branch: vec![],
+                    },
+                    Stmt::Compute(DurExpr::millis(1)),
+                ],
             }],
             1,
             0,
@@ -599,7 +882,10 @@ mod tests {
             n_locals: 0,
             public: true,
             is_final: true,
-            body: vec![Stmt::Call { method: MethodIdx::new(1), args: vec![ArgExpr::CallerArg(0)] }],
+            body: vec![Stmt::Call {
+                method: MethodIdx::new(1),
+                args: vec![ArgExpr::CallerArg(0)],
+            }],
         };
         let obj = compile(&ObjectImpl {
             name: "T".into(),
@@ -617,8 +903,14 @@ mod tests {
         assert_eq!(
             trace,
             vec![
-                Action::Lock { sync_id: SyncId::new(1), mutex: MutexId::new(42) },
-                Action::Unlock { sync_id: SyncId::new(1), mutex: MutexId::new(42) },
+                Action::Lock {
+                    sync_id: SyncId::new(1),
+                    mutex: MutexId::new(42)
+                },
+                Action::Unlock {
+                    sync_id: SyncId::new(1),
+                    mutex: MutexId::new(42)
+                },
             ]
         );
     }
@@ -654,8 +946,11 @@ mod tests {
         });
         let run_sel = |sel: i64| {
             let mut state = ObjectState::for_object(&obj, MutexId::new(1));
-            let mut vm =
-                ThreadVm::new(obj.clone(), MethodIdx::new(0), RequestArgs::new(vec![Value::Int(sel)]));
+            let mut vm = ThreadVm::new(
+                obj.clone(),
+                MethodIdx::new(0),
+                RequestArgs::new(vec![Value::Int(sel)]),
+            );
             run_to_completion(&mut vm, &mut state)
         };
         assert_eq!(run_sel(0), vec![Action::Compute { dur_ns: 1_000_000 }]);
@@ -685,17 +980,25 @@ mod tests {
         let mut vm = ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
         assert_eq!(
             vm.step(&mut state),
-            StepOutcome::Action(Action::Lock { sync_id: SyncId::new(0), mutex: MutexId::new(9) })
+            StepOutcome::Action(Action::Lock {
+                sync_id: SyncId::new(0),
+                mutex: MutexId::new(9)
+            })
         );
         assert_eq!(
             vm.step(&mut state),
-            StepOutcome::Action(Action::Wait { mutex: MutexId::new(9) })
+            StepOutcome::Action(Action::Wait {
+                mutex: MutexId::new(9)
+            })
         );
         // Engine: another thread sets the cell, notifies, VM resumes.
         state.set_cell(CellId::new(0), 1);
         assert_eq!(
             vm.step(&mut state),
-            StepOutcome::Action(Action::Unlock { sync_id: SyncId::new(0), mutex: MutexId::new(9) })
+            StepOutcome::Action(Action::Unlock {
+                sync_id: SyncId::new(0),
+                mutex: MutexId::new(9)
+            })
         );
         assert_eq!(vm.step(&mut state), StepOutcome::Finished);
     }
@@ -726,7 +1029,10 @@ mod tests {
     #[should_panic(expected = "non-terminating internal loop")]
     fn internal_infinite_loop_detected() {
         let obj = make(
-            vec![Stmt::While { cond: CondExpr::Konst(true), body: vec![] }],
+            vec![Stmt::While {
+                cond: CondExpr::Konst(true),
+                body: vec![],
+            }],
             0,
             0,
         );
@@ -750,5 +1056,195 @@ mod tests {
     fn arity_mismatch_panics() {
         let obj = make(vec![], 1, 0);
         ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
+    }
+
+    /// Nested-sync method used by the pool-reuse tests: lock(m1) { lock(m2)
+    /// { compute } }.
+    fn nested_sync_obj() -> Arc<CompiledObject> {
+        make(
+            vec![Stmt::Sync {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::Konst(MutexId::new(1)),
+                body: vec![Stmt::Sync {
+                    sync_id: SyncId::new(1),
+                    param: MutexExpr::Konst(MutexId::new(2)),
+                    body: vec![Stmt::Compute(DurExpr::millis(1))],
+                }],
+            }],
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn pool_reuse_reports_reentrant_monitors_across_nested_frames() {
+        // A recycled VM must report held monitors exactly like a fresh one,
+        // including reentrant/nested acquisitions spread across call frames.
+        let callee = Method {
+            name: "callee".into(),
+            arity: 0,
+            n_locals: 0,
+            public: false,
+            is_final: true,
+            body: vec![Stmt::Sync {
+                sync_id: SyncId::new(1),
+                // Reentrant: the caller already holds this monitor.
+                param: MutexExpr::Konst(MutexId::new(7)),
+                body: vec![Stmt::Compute(DurExpr::millis(1))],
+            }],
+        };
+        let caller = Method {
+            name: "caller".into(),
+            arity: 0,
+            n_locals: 0,
+            public: true,
+            is_final: true,
+            body: vec![Stmt::Sync {
+                sync_id: SyncId::new(0),
+                param: MutexExpr::Konst(MutexId::new(7)),
+                body: vec![Stmt::Call {
+                    method: MethodIdx::new(1),
+                    args: vec![],
+                }],
+            }],
+        };
+        let obj = compile(&ObjectImpl {
+            name: "T".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![caller, callee],
+        });
+        let mut pool = VmPool::new();
+        let mut state = ObjectState::for_object(&obj, MutexId::new(0));
+        // First request: run to completion, release the VM.
+        let mut vm = pool.acquire(obj.clone(), MethodIdx::new(0), &RequestArgs::empty());
+        run_to_completion(&mut vm, &mut state);
+        assert!(vm.held_monitors().is_empty());
+        pool.release(vm);
+        // Second request reuses the buffers; pause it mid-nesting.
+        let mut vm = pool.acquire(obj.clone(), MethodIdx::new(0), &RequestArgs::empty());
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(pool.allocs(), 1);
+        vm.step(&mut state); // lock m7 in caller
+        vm.step(&mut state); // lock m7 again in callee (reentrant, new frame)
+        assert_eq!(vm.held_monitors(), vec![MutexId::new(7), MutexId::new(7)]);
+        // Finish cleanly: unlock, unlock, compute, return.
+        let trace = run_to_completion(&mut vm, &mut state);
+        assert!(vm.held_monitors().is_empty());
+        assert!(
+            trace
+                .iter()
+                .filter(|a| matches!(a, Action::Unlock { .. }))
+                .count()
+                == 2
+        );
+    }
+
+    #[test]
+    fn pool_reuse_matches_fresh_vm_traces() {
+        let obj = nested_sync_obj();
+        let mut fresh_state = ObjectState::for_object(&obj, MutexId::new(0));
+        let mut fresh = ThreadVm::new(obj.clone(), MethodIdx::new(0), RequestArgs::empty());
+        let expected = run_to_completion(&mut fresh, &mut fresh_state);
+
+        let mut pool = VmPool::new();
+        let mut state = ObjectState::for_object(&obj, MutexId::new(0));
+        for round in 0..3 {
+            let mut vm = pool.acquire(obj.clone(), MethodIdx::new(0), &RequestArgs::empty());
+            let trace = run_to_completion(&mut vm, &mut state);
+            assert_eq!(trace, expected, "round {round} diverged after reuse");
+            pool.release(vm);
+        }
+        assert_eq!(pool.allocs(), 1);
+        assert_eq!(pool.reuses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-terminating internal loop")]
+    fn internal_step_limit_still_fires_after_reuse() {
+        // One terminating method and one internal infinite loop in the same
+        // object: the recycled VM must still trip the runaway guard.
+        let looper = Method {
+            name: "looper".into(),
+            arity: 0,
+            n_locals: 0,
+            public: true,
+            is_final: true,
+            body: vec![Stmt::While {
+                cond: CondExpr::Konst(true),
+                body: vec![],
+            }],
+        };
+        let fine = Method {
+            name: "fine".into(),
+            arity: 0,
+            n_locals: 0,
+            public: true,
+            is_final: true,
+            body: vec![Stmt::Compute(DurExpr::millis(1))],
+        };
+        let obj = compile(&ObjectImpl {
+            name: "T".into(),
+            n_cells: 0,
+            n_fields: 0,
+            methods: vec![fine, looper],
+        });
+        let mut pool = VmPool::new();
+        let mut state = ObjectState::for_object(&obj, MutexId::new(0));
+        let mut vm = pool.acquire(obj.clone(), MethodIdx::new(0), &RequestArgs::empty());
+        run_to_completion(&mut vm, &mut state);
+        pool.release(vm);
+        let mut vm = pool.acquire(obj, MethodIdx::new(1), &RequestArgs::empty());
+        vm.step(&mut state);
+    }
+
+    #[test]
+    fn incremental_hash_matches_full_rehash_under_random_mutation() {
+        // Tiny SplitMix64 clone (dmt-lang has no deps) driving randomized
+        // set_cell/set_field sequences; the incremental hash must track the
+        // from-scratch fold exactly at every step.
+        let mut z: u64 = 0x9E37_79B9_0000_0001;
+        let mut next = move || {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^ (x >> 31)
+        };
+        let mut s = ObjectState::new(MutexId::new(42), 16, vec![MutexId::new(42); 8]);
+        assert_eq!(s.state_hash(), s.full_rehash());
+        for _ in 0..2_000 {
+            if next() % 3 == 0 {
+                let f = (next() % 8) as usize;
+                s.set_field(FieldId::new(f as u32), MutexId::new((next() % 100) as u32));
+            } else {
+                let c = (next() % 16) as usize;
+                s.set_cell(CellId::new(c as u32), next() as i64);
+            }
+            assert_eq!(s.state_hash(), s.full_rehash(), "incremental hash drifted");
+        }
+        // Writing a slot back to its current value must be a no-op.
+        let before = s.state_hash();
+        let v = s.cell(CellId::new(3));
+        s.set_cell(CellId::new(3), v);
+        assert_eq!(s.state_hash(), before);
+    }
+
+    #[test]
+    fn equal_states_hash_equal_after_different_histories() {
+        // The fold is order-independent: two states reaching the same
+        // contents by different mutation orders must agree.
+        let mut a = ObjectState::new(MutexId::new(1), 4, vec![MutexId::new(1); 2]);
+        let mut b = a.clone();
+        a.set_cell(CellId::new(0), 10);
+        a.set_cell(CellId::new(1), 20);
+        a.set_field(FieldId::new(0), MutexId::new(9));
+        b.set_field(FieldId::new(0), MutexId::new(9));
+        b.set_cell(CellId::new(1), 99);
+        b.set_cell(CellId::new(1), 20);
+        b.set_cell(CellId::new(0), 10);
+        assert_eq!(a, b);
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(a.state_hash(), a.full_rehash());
     }
 }

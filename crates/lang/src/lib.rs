@@ -36,5 +36,5 @@ pub use ast::{CondExpr, CountExpr, DurExpr, LockParam, Method, MutexExpr, Object
 pub use builder::{MethodBuilder, ObjectBuilder};
 pub use compile::{CompiledObject, Instr};
 pub use ids::{CellId, FieldId, MethodIdx, MutexId, ServiceId, SyncId};
-pub use interp::{Action, ObjectState, StepOutcome, ThreadVm};
+pub use interp::{Action, ObjectState, StepOutcome, ThreadVm, VmPool};
 pub use value::{RequestArgs, Value};

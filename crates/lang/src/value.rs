@@ -7,6 +7,7 @@
 
 use crate::ids::MutexId;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// A value a client can pass to a start method (or a method can pass on to
 /// a callee).
@@ -85,19 +86,35 @@ impl From<MutexId> for Value {
     }
 }
 
-/// The argument vector of one remote method invocation.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// The argument vector of one remote method invocation, interned behind a
+/// refcounted handle: the group-communication layer fans every request out
+/// to all replicas, and with `Arc<[Value]>` each hop's `clone()` is a
+/// refcount bump instead of a vector copy. The vector is immutable after
+/// construction — clients build it once, replicas only read it.
+#[derive(Clone, Debug, PartialEq)]
 pub struct RequestArgs {
-    values: Vec<Value>,
+    values: Arc<[Value]>,
 }
+
+/// `Arc<[T]>` heap-allocates its refcount header even for an empty slice,
+/// and `RequestArgs::empty()` sits on the per-request hot path — share one
+/// allocation for all empty argument vectors.
+static EMPTY_ARGS: OnceLock<Arc<[Value]>> = OnceLock::new();
 
 impl RequestArgs {
     pub fn new(values: Vec<Value>) -> Self {
-        RequestArgs { values }
+        if values.is_empty() {
+            return Self::empty();
+        }
+        RequestArgs {
+            values: values.into(),
+        }
     }
 
     pub fn empty() -> Self {
-        RequestArgs { values: Vec::new() }
+        RequestArgs {
+            values: EMPTY_ARGS.get_or_init(|| Arc::new([])).clone(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -120,15 +137,17 @@ impl RequestArgs {
     pub fn values(&self) -> &[Value] {
         &self.values
     }
+}
 
-    pub fn push(&mut self, v: Value) {
-        self.values.push(v);
+impl Default for RequestArgs {
+    fn default() -> Self {
+        Self::empty()
     }
 }
 
 impl FromIterator<Value> for RequestArgs {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
-        RequestArgs { values: iter.into_iter().collect() }
+        RequestArgs::new(iter.into_iter().collect())
     }
 }
 
@@ -176,5 +195,20 @@ mod tests {
     fn args_from_iter() {
         let args: RequestArgs = [Value::Int(1), Value::Int(2)].into_iter().collect();
         assert_eq!(args.values(), &[Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn empty_args_share_one_allocation() {
+        let a = RequestArgs::empty();
+        let b = RequestArgs::new(Vec::new());
+        assert!(Arc::ptr_eq(&a.values, &b.values));
+    }
+
+    #[test]
+    fn clone_is_interned() {
+        let a = RequestArgs::new(vec![Value::Int(7)]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.values, &b.values));
+        assert_eq!(b.get(0).as_int(), 7);
     }
 }

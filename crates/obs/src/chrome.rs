@@ -37,7 +37,11 @@ fn decision_args(d: &Decision) -> String {
         Decision::Admit { tid } | Decision::AdmitDefer { tid } => {
             format!("{{\"tid\":{}}}", tid.index())
         }
-        Decision::Grant { tid, mutex, from_wait } => format!(
+        Decision::Grant {
+            tid,
+            mutex,
+            from_wait,
+        } => format!(
             "{{\"tid\":{},\"mutex\":{},\"from_wait\":{}}}",
             tid.index(),
             mutex.index(),
@@ -49,7 +53,11 @@ fn decision_args(d: &Decision) -> String {
             mutex.index(),
             reason.name()
         ),
-        Decision::Predict { tid, mutex, granted } => format!(
+        Decision::Predict {
+            tid,
+            mutex,
+            granted,
+        } => format!(
             "{{\"tid\":{},\"mutex\":{},\"granted\":{}}}",
             tid.index(),
             mutex.index(),
@@ -193,11 +201,18 @@ mod tests {
                 replica: TraceRecord::NO_REPLICA,
                 ev: TraceEvent::GcSequenced { seq: 0 },
             },
-            TraceRecord { t_ns: 2750, replica: 0, ev: TraceEvent::GcDeliver { seq: 0 } },
             TraceRecord {
                 t_ns: 2750,
                 replica: 0,
-                ev: TraceEvent::RequestArrived { tid: t(0), dummy: false },
+                ev: TraceEvent::GcDeliver { seq: 0 },
+            },
+            TraceRecord {
+                t_ns: 2750,
+                replica: 0,
+                ev: TraceEvent::RequestArrived {
+                    tid: t(0),
+                    dummy: false,
+                },
             },
             TraceRecord {
                 t_ns: 2750,
@@ -223,8 +238,16 @@ mod tests {
                     sched_queue: 3,
                 }),
             },
-            TraceRecord { t_ns: 4000, replica: 0, ev: TraceEvent::RequestFinished { tid: t(0) } },
-            TraceRecord { t_ns: 4100, replica: 0, ev: TraceEvent::RequestReplied { tid: t(0) } },
+            TraceRecord {
+                t_ns: 4000,
+                replica: 0,
+                ev: TraceEvent::RequestFinished { tid: t(0) },
+            },
+            TraceRecord {
+                t_ns: 4100,
+                replica: 0,
+                ev: TraceEvent::RequestReplied { tid: t(0) },
+            },
         ];
         let a = chrome_trace_json(&records);
         let b = chrome_trace_json(&records);
@@ -235,7 +258,10 @@ mod tests {
         assert!(a.contains("\"ts\":2.750"), "{a}");
         assert!(a.contains("\"reason\":\"token\""));
         assert!(a.contains("\"ph\":\"C\""));
-        assert!(a.contains("\"pid\":-1"), "cluster records use the cluster pid");
+        assert!(
+            a.contains("\"pid\":-1"),
+            "cluster records use the cluster pid"
+        );
         // Every record appears as one line.
         assert_eq!(a.lines().count(), records.len() + 2);
     }

@@ -99,7 +99,11 @@ impl MetricsRegistry {
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let mut histograms = self.hists.clone();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        MetricsSnapshot { counters, gauges, histograms }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
     }
 }
 
@@ -114,7 +118,10 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 
     pub fn gauge(&self, name: &str) -> Option<i64> {
@@ -122,7 +129,10 @@ impl MetricsSnapshot {
     }
 
     pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
-        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
     }
 
     /// Commutative merge: counters add, gauges keep the maximum (the

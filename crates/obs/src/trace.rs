@@ -58,12 +58,18 @@ pub struct Tracer {
 impl Tracer {
     /// A disabled tracer: never allocates, never records.
     pub fn disabled() -> Self {
-        Tracer { enabled: false, records: Vec::new() }
+        Tracer {
+            enabled: false,
+            records: Vec::new(),
+        }
     }
 
     /// An enabled tracer with a preallocated record buffer.
     pub fn enabled() -> Self {
-        Tracer { enabled: true, records: Vec::with_capacity(4096) }
+        Tracer {
+            enabled: true,
+            records: Vec::with_capacity(4096),
+        }
     }
 
     #[inline]
@@ -76,7 +82,11 @@ impl Tracer {
     #[inline]
     pub fn record(&mut self, t_ns: u64, replica: u32, f: impl FnOnce() -> TraceEvent) {
         if self.enabled {
-            self.records.push(TraceRecord { t_ns, replica, ev: f() });
+            self.records.push(TraceRecord {
+                t_ns,
+                replica,
+                ev: f(),
+            });
         }
     }
 
@@ -117,7 +127,14 @@ mod tests {
         t.record(20, 1, || TraceEvent::GcDeliver { seq: 0 });
         let r = t.records();
         assert_eq!(r.len(), 2);
-        assert_eq!(r[0], TraceRecord { t_ns: 10, replica: 0, ev: TraceEvent::GcSubmit { source: 7 } });
+        assert_eq!(
+            r[0],
+            TraceRecord {
+                t_ns: 10,
+                replica: 0,
+                ev: TraceEvent::GcSubmit { source: 7 }
+            }
+        );
         assert_eq!(r[1].t_ns, 20);
         assert!(t.capacity() >= 2);
     }

@@ -21,7 +21,10 @@ pub enum CheckOutcome {
     Converged,
     /// A pair disagreed (the replication bug deterministic scheduling
     /// prevents — expected for FREE).
-    Diverged { pair: (usize, usize), divergence: Divergence },
+    Diverged {
+        pair: (usize, usize),
+        divergence: Divergence,
+    },
     /// The run itself failed (deadlock / cap) — no verdict.
     Stalled,
 }
@@ -55,7 +58,9 @@ pub fn check_determinism(
     seed: u64,
     cpu_jitter: f64,
 ) -> (RunResult, CheckOutcome) {
-    let cfg = EngineConfig::new(kind).with_seed(seed).with_cpu_jitter(cpu_jitter);
+    let cfg = EngineConfig::new(kind)
+        .with_seed(seed)
+        .with_cpu_jitter(cpu_jitter);
     let res = Engine::new(scenario, cfg).run();
     if res.deadlocked {
         return (res, CheckOutcome::Stalled);
@@ -64,7 +69,10 @@ pub fn check_determinism(
     for i in 0..res.traces.len() {
         for j in (i + 1)..res.traces.len() {
             if let Some(d) = compare(&res.traces[i], &res.traces[j], level) {
-                let outcome = CheckOutcome::Diverged { pair: (i, j), divergence: d };
+                let outcome = CheckOutcome::Diverged {
+                    pair: (i, j),
+                    divergence: d,
+                };
                 return (res, outcome);
             }
         }
@@ -112,8 +120,7 @@ mod tests {
     #[test]
     fn deterministic_schedulers_converge_under_jitter() {
         for kind in SchedulerKind::DETERMINISTIC {
-            let (_, outcome) =
-                check_determinism(order_sensitive_scenario(4, 4), kind, 23, 0.30);
+            let (_, outcome) = check_determinism(order_sensitive_scenario(4, 4), kind, 23, 0.30);
             assert!(outcome.converged(), "{kind}: {outcome:?}");
         }
     }
@@ -124,8 +131,12 @@ mod tests {
         // scheduling must produce at least one replica divergence.
         let mut diverged = false;
         for seed in 0..12 {
-            let (_, outcome) =
-                check_determinism(order_sensitive_scenario(6, 4), SchedulerKind::Free, seed, 0.5);
+            let (_, outcome) = check_determinism(
+                order_sensitive_scenario(6, 4),
+                SchedulerKind::Free,
+                seed,
+                0.5,
+            );
             if matches!(outcome, CheckOutcome::Diverged { .. }) {
                 diverged = true;
                 break;
@@ -137,8 +148,12 @@ mod tests {
     #[test]
     fn convergence_holds_across_seeds() {
         for seed in [1, 7, 99] {
-            let (_, outcome) =
-                check_determinism(order_sensitive_scenario(3, 3), SchedulerKind::Mat, seed, 0.4);
+            let (_, outcome) = check_determinism(
+                order_sensitive_scenario(3, 3),
+                SchedulerKind::Mat,
+                seed,
+                0.4,
+            );
             assert!(outcome.converged(), "seed {seed}: {outcome:?}");
         }
     }

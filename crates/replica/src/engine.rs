@@ -16,8 +16,10 @@ use dmt_core::{
     DenseSet, ReplicaId, SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler,
     SchedulerKind, SlotMap, ThreadId,
 };
-use dmt_groupcomm::{GroupComm, NetConfig, NodeId, Sequenced};
-use dmt_lang::{Action, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm};
+use dmt_groupcomm::{Delivery, GroupComm, NetConfig, NodeId, Sequenced};
+use dmt_lang::{
+    Action, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm, VmPool,
+};
 use dmt_obs::{MetricsRegistry, MetricsSnapshot, TraceEvent, TraceRecord, Tracer};
 use dmt_sim::{EventQueue, Histogram, LogHistogram, SimDuration, SimTime, SplitMix64};
 
@@ -129,6 +131,13 @@ pub struct PerfCounters {
     pub sched_actions: u64,
     /// Host wall-clock of [`Engine::run`], nanoseconds.
     pub wall_ns: u64,
+    /// Thread VMs constructed from scratch (pool misses), summed across
+    /// replicas. In steady state only the warm-up admissions miss.
+    pub vm_allocs: u64,
+    /// Thread VMs recycled through the per-replica pools. A warm replica
+    /// serves every admission from here — the checkable face of the
+    /// "zero steady-state allocations" claim.
+    pub vm_reuses: u64,
 }
 
 impl PerfCounters {
@@ -145,6 +154,8 @@ impl PerfCounters {
         self.sched_events += other.sched_events;
         self.sched_actions += other.sched_actions;
         self.wall_ns += other.wall_ns;
+        self.vm_allocs += other.vm_allocs;
+        self.vm_reuses += other.vm_reuses;
     }
 }
 
@@ -243,6 +254,9 @@ struct Rep {
     sched: Box<dyn Scheduler>,
     state: ObjectState,
     vms: SlotMap<ThreadVm>,
+    /// Reset-on-reuse free list: finished threads return their VM here,
+    /// admissions recycle it (allocation-free once warm).
+    vm_pool: VmPool,
     request_info: SlotMap<PendingRequest>,
     blocked: SlotMap<Blocked>,
     trace: ExecutionTrace,
@@ -267,15 +281,34 @@ struct Rep {
 #[derive(Debug)]
 enum Ev {
     SeqArrive(GcMsg),
-    NodeArrive { node: usize, sm: Sequenced<GcMsg> },
-    Step { replica: usize, tid: ThreadId },
-    NestedDone { tid: ThreadId, call_no: u32, dur_ns: u64 },
-    ClientReply { client: u32 },
+    NodeArrive {
+        node: usize,
+        sm: Sequenced<GcMsg>,
+    },
+    Step {
+        replica: usize,
+        tid: ThreadId,
+    },
+    NestedDone {
+        tid: ThreadId,
+        call_no: u32,
+        dur_ns: u64,
+    },
+    ClientReply {
+        client: u32,
+    },
     /// Open-loop submission: request `req_no` of `client` enters the
     /// total-order layer now, whatever the state of earlier requests.
-    ClientSubmit { client: u32, req_no: u32 },
-    Kill { replica: usize },
-    LeaderDetect { new_leader: usize },
+    ClientSubmit {
+        client: u32,
+        req_no: u32,
+    },
+    Kill {
+        replica: usize,
+    },
+    LeaderDetect {
+        new_leader: usize,
+    },
 }
 
 /// FIFO-source id space offset for clients (replicas use their index).
@@ -314,6 +347,10 @@ pub struct Engine {
     /// Reused scheduler-output buffer for [`Engine::dispatch`]
     /// (decision recording pre-armed when tracing is on).
     scratch: SchedOutput,
+    /// Reused broadcast fan-out buffer for [`GroupComm::sequence_into`].
+    hops_scratch: Vec<(NodeId, SimDuration)>,
+    /// Reused in-order delivery buffer for [`GroupComm::arrive_into`].
+    deliv_scratch: Vec<Delivery<GcMsg>>,
     metrics: MetricsRegistry,
     tracer: Tracer,
     /// Histogram handles for queue-depth sampling (None = sampling off).
@@ -344,6 +381,7 @@ impl Engine {
                     sched: dmt_core::make_scheduler(&sc),
                     state: ObjectState::for_object(&scenario.program, scenario.this_mutex()),
                     vms: SlotMap::new(),
+                    vm_pool: VmPool::new(),
                     request_info: SlotMap::new(),
                     blocked: SlotMap::new(),
                     trace: ExecutionTrace::default(),
@@ -358,7 +396,9 @@ impl Engine {
                 }
             })
             .collect();
-        let req_state = (0..scenario.clients.len()).map(|_| SlotMap::new()).collect();
+        let req_state = (0..scenario.clients.len())
+            .map(|_| SlotMap::new())
+            .collect();
         let mut metrics = MetricsRegistry::new();
         let depth_ids = cfg.sample_depths.then(|| DepthIds {
             admission: metrics.histogram("depth.admission"),
@@ -367,7 +407,11 @@ impl Engine {
             sched_queue: metrics.histogram("depth.sched_queue"),
             total: metrics.histogram("depth.total"),
         });
-        let tracer = if cfg.trace { Tracer::enabled() } else { Tracer::disabled() };
+        let tracer = if cfg.trace {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        };
         let mut scratch = SchedOutput::new();
         scratch.set_recording(cfg.trace);
         Engine {
@@ -392,6 +436,8 @@ impl Engine {
             rng,
             perf: PerfCounters::default(),
             scratch,
+            hops_scratch: Vec::new(),
+            deliv_scratch: Vec::new(),
             metrics,
             tracer,
             depth_ids,
@@ -426,14 +472,20 @@ impl Engine {
     /// The lowest-numbered live replica: designated nested-invocation
     /// invoker and dummy submitter.
     fn designated(&self) -> usize {
-        self.reps.iter().position(|r| r.alive).expect("no replica left alive")
+        self.reps
+            .iter()
+            .position(|r| r.alive)
+            .expect("no replica left alive")
     }
 
     /// Submits through the group communication system with per-source
     /// FIFO (clients and replicas each keep their submissions in order).
     fn submit_to_gc(&mut self, source: u64, msg: GcMsg) {
         let t = self.now_ns();
-        self.tracer.record(t, TraceRecord::NO_REPLICA, || TraceEvent::GcSubmit { source });
+        self.tracer
+            .record(t, TraceRecord::NO_REPLICA, || TraceEvent::GcSubmit {
+                source,
+            });
         let d = self.gc.submit_delay_fifo(source, self.queue.now());
         self.queue.push_after(d, Ev::SeqArrive(msg));
     }
@@ -445,14 +497,20 @@ impl Engine {
         let (method, args) = self.scenario.clients[c].requests[req_no as usize].clone();
         self.req_state[c].insert(
             req_no as usize,
-            ReqState { submitted: self.queue.now(), first_finish: None },
+            ReqState {
+                submitted: self.queue.now(),
+                first_finish: None,
+            },
         );
-        self.submit_to_gc(CLIENT_SRC + c as u64, GcMsg::Request {
-            id: RequestId { client, req_no },
-            method,
-            args,
-            dummy: false,
-        });
+        self.submit_to_gc(
+            CLIENT_SRC + c as u64,
+            GcMsg::Request {
+                id: RequestId { client, req_no },
+                method,
+                args,
+                dummy: false,
+            },
+        );
     }
 
     /// Runs the scenario to completion.
@@ -468,7 +526,10 @@ impl Engine {
                     for (req_no, &at) in schedule.iter().enumerate() {
                         self.queue.push_at(
                             at,
-                            Ev::ClientSubmit { client: c as u32, req_no: req_no as u32 },
+                            Ev::ClientSubmit {
+                                client: c as u32,
+                                req_no: req_no as u32,
+                            },
                         );
                     }
                 }
@@ -496,6 +557,10 @@ impl Engine {
             self.handle(ev);
         }
         self.perf.wall_ns = wall_start.elapsed().as_nanos() as u64;
+        for rep in &self.reps {
+            self.perf.vm_allocs += rep.vm_pool.allocs();
+            self.perf.vm_reuses += rep.vm_pool.reuses();
+        }
         let makespan = self.queue.now();
         let total_real: u64 = self.scenario.total_requests() as u64;
         if self.completed_requests < total_real && !deadlocked {
@@ -539,7 +604,8 @@ impl Engine {
         let lat = self.metrics.histogram("latency.request_ns");
         self.metrics.merge_histogram(lat, &self.latency);
         let makespan_g = self.metrics.gauge("engine.makespan_ns");
-        self.metrics.set_gauge(makespan_g, makespan.as_nanos() as i64);
+        self.metrics
+            .set_gauge(makespan_g, makespan.as_nanos() as i64);
         RunResult {
             traces: self.reps.iter().map(|r| r.trace.clone()).collect(),
             response_times: self.response_times,
@@ -561,20 +627,37 @@ impl Engine {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::SeqArrive(msg) => {
-                let (sm, hops) = self.gc.sequence(msg);
+                let mut hops = std::mem::take(&mut self.hops_scratch);
+                let sm = self.gc.sequence_into(msg, &mut hops);
                 let t = self.now_ns();
                 self.tracer
-                    .record(t, TraceRecord::NO_REPLICA, || TraceEvent::GcSequenced { seq: sm.seq });
-                for (node, d) in hops {
-                    self.queue
-                        .push_after(d, Ev::NodeArrive { node: node.index(), sm: sm.clone() });
+                    .record(t, TraceRecord::NO_REPLICA, || TraceEvent::GcSequenced {
+                        seq: sm.seq,
+                    });
+                for &(node, d) in &hops {
+                    // `sm.clone()` is a refcount bump: request args are
+                    // interned behind an Arc, so per-replica fan-out does
+                    // not copy argument vectors.
+                    self.queue.push_after(
+                        d,
+                        Ev::NodeArrive {
+                            node: node.index(),
+                            sm: sm.clone(),
+                        },
+                    );
                 }
+                self.hops_scratch = hops;
             }
             Ev::NodeArrive { node, sm } => {
-                let deliveries = self.gc.arrive(NodeId::new(node as u32), sm);
-                for d in deliveries {
+                // `deliver` never re-enters `arrive_into`, so draining the
+                // reused buffer before handing messages down is safe.
+                let mut deliveries = std::mem::take(&mut self.deliv_scratch);
+                self.gc
+                    .arrive_into(NodeId::new(node as u32), sm, &mut deliveries);
+                for d in deliveries.drain(..) {
                     self.deliver(node, d.seq, d.msg);
                 }
+                self.deliv_scratch = deliveries;
             }
             Ev::Step { replica, tid } => {
                 if self.reps[replica].alive {
@@ -584,7 +667,11 @@ impl Engine {
                     }
                 }
             }
-            Ev::NestedDone { tid, call_no, dur_ns } => {
+            Ev::NestedDone {
+                tid,
+                call_no,
+                dur_ns,
+            } => {
                 let _ = dur_ns;
                 if self.mark_replied(tid, call_no) {
                     let src = self.designated() as u64;
@@ -612,7 +699,9 @@ impl Engine {
                     if !self.reps[i].alive {
                         continue;
                     }
-                    self.reps[i].sched.on_leader_change(ReplicaId::new(new_leader as u32));
+                    self.reps[i]
+                        .sched
+                        .on_leader_change(ReplicaId::new(new_leader as u32));
                     let mut out = std::mem::take(&mut self.scratch);
                     self.reps[i].sched.kick(&mut out);
                     self.observe_dispatch(i, &out);
@@ -634,7 +723,8 @@ impl Engine {
         // Leader failover (affects LSA; harmless for the others).
         if replica == self.leader {
             let new_leader = self.designated();
-            self.queue.push_after(self.cfg.detect_delay, Ev::LeaderDetect { new_leader });
+            self.queue
+                .push_after(self.cfg.detect_delay, Ev::LeaderDetect { new_leader });
         }
         // Nested-invocation failover: the new invoker re-issues the
         // external calls it has locally outstanding.
@@ -646,8 +736,14 @@ impl Engine {
             .filter(|&(tid, call_no, _)| !self.is_replied(tid, call_no))
             .collect();
         for (tid, call_no, dur_ns) in pending {
-            self.queue
-                .push_after(SimDuration::from_nanos(dur_ns), Ev::NestedDone { tid, call_no, dur_ns });
+            self.queue.push_after(
+                SimDuration::from_nanos(dur_ns),
+                Ev::NestedDone {
+                    tid,
+                    call_no,
+                    dur_ns,
+                },
+            );
         }
     }
 
@@ -678,35 +774,57 @@ impl Engine {
             return;
         }
         let t = self.now_ns();
-        self.tracer.record(t, replica as u32, || TraceEvent::GcDeliver { seq });
+        self.tracer
+            .record(t, replica as u32, || TraceEvent::GcDeliver { seq });
         match msg {
-            GcMsg::Request { id, method, args, dummy } => {
+            GcMsg::Request {
+                id,
+                method,
+                args,
+                dummy,
+            } => {
                 let rep = &mut self.reps[replica];
                 let tid = ThreadId::new(rep.next_tid);
                 rep.next_tid += 1;
-                self.tracer.record(t, replica as u32, || TraceEvent::RequestArrived { tid, dummy });
+                self.tracer
+                    .record(t, replica as u32, || TraceEvent::RequestArrived {
+                        tid,
+                        dummy,
+                    });
                 let rep = &mut self.reps[replica];
                 rep.request_info.insert(
                     tid.index(),
-                    PendingRequest { method, args, id: (!dummy).then_some(id) },
+                    PendingRequest {
+                        method,
+                        args,
+                        id: (!dummy).then_some(id),
+                    },
                 );
                 rep.blocked.insert(tid.index(), Blocked::Admission);
                 self.dispatch(
                     replica,
-                    SchedEvent::RequestArrived { tid, method, request_seq: seq, dummy },
+                    SchedEvent::RequestArrived {
+                        tid,
+                        method,
+                        request_seq: seq,
+                        dummy,
+                    },
                 );
             }
             GcMsg::NestedReply { tid, call_no } => {
                 let rep = &mut self.reps[replica];
                 if self.cfg.quiescent_delivery && !rep.running.is_empty() {
-                    rep.buffered.push_back((seq, GcMsg::NestedReply { tid, call_no }));
+                    rep.buffered
+                        .push_back((seq, GcMsg::NestedReply { tid, call_no }));
                     return;
                 }
                 if rep.awaiting.get(tid.index()).map(|&(k, _)| k) == Some(call_no) {
                     rep.awaiting.remove(tid.index());
                     self.dispatch(replica, SchedEvent::NestedCompleted { tid });
                 } else {
-                    rep.reply_buffer.get_or_insert_with(tid.index(), Vec::new).push(call_no);
+                    rep.reply_buffer
+                        .get_or_insert_with(tid.index(), Vec::new)
+                        .push(call_no);
                 }
             }
             GcMsg::Ctrl { from, msg } => {
@@ -740,7 +858,8 @@ impl Engine {
         if self.tracer.is_enabled() {
             let t = self.now_ns();
             for &d in out.decisions() {
-                self.tracer.record(t, replica as u32, || TraceEvent::Sched(d));
+                self.tracer
+                    .record(t, replica as u32, || TraceEvent::Sched(d));
             }
         }
         if let Some(ids) = self.depth_ids {
@@ -751,7 +870,8 @@ impl Engine {
             self.metrics.record(ids.sched_queue, d.sched_queue as u64);
             self.metrics.record(ids.total, d.total() as u64);
             let t = self.now_ns();
-            self.tracer.record(t, replica as u32, || TraceEvent::Depth(d));
+            self.tracer
+                .record(t, replica as u32, || TraceEvent::Depth(d));
         }
     }
 
@@ -762,15 +882,28 @@ impl Engine {
             match a {
                 SchedAction::Admit(tid) => {
                     let rep = &mut self.reps[replica];
-                    let req = rep.request_info.remove(tid.index()).expect("admit without request");
+                    let req = rep
+                        .request_info
+                        .remove(tid.index())
+                        .expect("admit without request");
                     let was = rep.blocked.remove(tid.index());
                     debug_assert_eq!(was, Some(Blocked::Admission));
-                    let vm = ThreadVm::new(self.scenario.program.clone(), req.method, req.args);
+                    let vm =
+                        rep.vm_pool
+                            .acquire(self.scenario.program.clone(), req.method, &req.args);
                     rep.vms.insert(tid.index(), vm);
                     // Remember the request id for completion accounting.
-                    rep.request_info.insert(tid.index(), PendingRequest { method: req.method, args: RequestArgs::empty(), id: req.id });
+                    rep.request_info.insert(
+                        tid.index(),
+                        PendingRequest {
+                            method: req.method,
+                            args: RequestArgs::empty(),
+                            id: req.id,
+                        },
+                    );
                     rep.running.insert(tid.index());
-                    self.queue.push_after(SimDuration::ZERO, Ev::Step { replica, tid });
+                    self.queue
+                        .push_after(SimDuration::ZERO, Ev::Step { replica, tid });
                 }
                 SchedAction::Resume(tid) => {
                     let rep = &mut self.reps[replica];
@@ -783,13 +916,17 @@ impl Engine {
                         None => panic!("Resume for running thread {tid}"),
                     }
                     rep.running.insert(tid.index());
-                    self.queue.push_after(SimDuration::ZERO, Ev::Step { replica, tid });
+                    self.queue
+                        .push_after(SimDuration::ZERO, Ev::Step { replica, tid });
                 }
                 SchedAction::Broadcast(msg) => {
                     self.ctrl_messages += 1;
                     self.submit_to_gc(
                         replica as u64,
-                        GcMsg::Ctrl { from: ReplicaId::new(replica as u32), msg },
+                        GcMsg::Ctrl {
+                            from: ReplicaId::new(replica as u32),
+                            msg,
+                        },
                     );
                 }
                 SchedAction::RequestDummy => {
@@ -802,14 +939,20 @@ impl Engine {
                         panic!("scheduler requested a dummy but the scenario has no dummy method");
                     };
                     self.dummy_requests += 1;
-                    let id = RequestId { client: u32::MAX, req_no: self.dummy_counter };
+                    let id = RequestId {
+                        client: u32::MAX,
+                        req_no: self.dummy_counter,
+                    };
                     self.dummy_counter += 1;
-                    self.submit_to_gc(replica as u64, GcMsg::Request {
-                        id,
-                        method,
-                        args: RequestArgs::empty(),
-                        dummy: true,
-                    });
+                    self.submit_to_gc(
+                        replica as u64,
+                        GcMsg::Request {
+                            id,
+                            method,
+                            args: RequestArgs::empty(),
+                            dummy: true,
+                        },
+                    );
                 }
             }
         }
@@ -839,12 +982,26 @@ impl Engine {
                     }
                     Action::Lock { sync_id, mutex } => {
                         rep.blocked.insert(tid.index(), Blocked::Lock(mutex));
-                        self.dispatch(replica, SchedEvent::LockRequested { tid, sync_id, mutex });
+                        self.dispatch(
+                            replica,
+                            SchedEvent::LockRequested {
+                                tid,
+                                sync_id,
+                                mutex,
+                            },
+                        );
                         self.unmark_if_blocked(replica, tid);
                         return;
                     }
                     Action::Unlock { sync_id, mutex } => {
-                        self.dispatch(replica, SchedEvent::Unlocked { tid, sync_id, mutex });
+                        self.dispatch(
+                            replica,
+                            SchedEvent::Unlocked {
+                                tid,
+                                sync_id,
+                                mutex,
+                            },
+                        );
                     }
                     Action::Wait { mutex } => {
                         rep.blocked.insert(tid.index(), Blocked::Wait(mutex));
@@ -883,7 +1040,11 @@ impl Engine {
                         if replica == self.designated() && !self.is_replied(tid, call_no) {
                             self.queue.push_after(
                                 SimDuration::from_nanos(dur_ns),
-                                Ev::NestedDone { tid, call_no, dur_ns },
+                                Ev::NestedDone {
+                                    tid,
+                                    call_no,
+                                    dur_ns,
+                                },
                             );
                         }
                         if buffered {
@@ -893,7 +1054,14 @@ impl Engine {
                         return;
                     }
                     Action::LockInfo { sync_id, mutex } => {
-                        self.dispatch(replica, SchedEvent::LockInfo { tid, sync_id, mutex });
+                        self.dispatch(
+                            replica,
+                            SchedEvent::LockInfo {
+                                tid,
+                                sync_id,
+                                mutex,
+                            },
+                        );
                     }
                     Action::Ignore { sync_id } => {
                         self.dispatch(replica, SchedEvent::SyncIgnored { tid, sync_id });
@@ -906,11 +1074,14 @@ impl Engine {
     fn finish_thread(&mut self, replica: usize, tid: ThreadId) {
         let now = self.queue.now();
         let rep = &mut self.reps[replica];
-        rep.vms.remove(tid.index());
+        if let Some(vm) = rep.vms.remove(tid.index()) {
+            rep.vm_pool.release(vm);
+        }
         rep.trace.finished_threads += 1;
         let req = rep.request_info.remove(tid.index()).and_then(|r| r.id);
-        self.tracer
-            .record(now.as_nanos(), replica as u32, || TraceEvent::RequestFinished { tid });
+        self.tracer.record(now.as_nanos(), replica as u32, || {
+            TraceEvent::RequestFinished { tid }
+        });
         self.dispatch(replica, SchedEvent::ThreadFinished { tid });
         // First-reply semantics: the fastest replica answers the client.
         if let Some(id) = req {
@@ -922,10 +1093,9 @@ impl Engine {
                 st.first_finish = Some(now);
                 let replied = now + reply_leg;
                 let rt = replied - st.submitted;
-                self.tracer
-                    .record(replied.as_nanos(), replica as u32, || TraceEvent::RequestReplied {
-                        tid,
-                    });
+                self.tracer.record(replied.as_nanos(), replica as u32, || {
+                    TraceEvent::RequestReplied { tid }
+                });
                 self.completed_requests += 1;
                 if let (Some(kt), None) = (self.kill_time, self.takeover_gap) {
                     if now >= kt {
@@ -942,7 +1112,8 @@ impl Engine {
                 // Open-loop clients submit on their schedule; only the
                 // closed loop chains request `k+1` on reply `k`.
                 if !self.scenario.clients[id.client as usize].is_open_loop() {
-                    self.queue.push_after(reply_leg, Ev::ClientReply { client: id.client });
+                    self.queue
+                        .push_after(reply_leg, Ev::ClientReply { client: id.client });
                 }
             }
         }
@@ -978,7 +1149,9 @@ mod tests {
             .map(|_| {
                 ClientScript::repeated(
                     inc,
-                    (0..reqs_per_client).map(|i| RequestArgs::new(vec![Value::Int(i as i64 + 1)])).collect(),
+                    (0..reqs_per_client)
+                        .map(|i| RequestArgs::new(vec![Value::Int(i as i64 + 1)]))
+                        .collect(),
                 )
             })
             .collect();
@@ -986,7 +1159,13 @@ mod tests {
     }
 
     fn run(kind: SchedulerKind, scenario: Scenario, seed: u64) -> RunResult {
-        Engine::new(scenario, EngineConfig::new(kind).with_seed(seed).with_cpu_jitter(0.05)).run()
+        Engine::new(
+            scenario,
+            EngineConfig::new(kind)
+                .with_seed(seed)
+                .with_cpu_jitter(0.05),
+        )
+        .run()
     }
 
     #[test]
@@ -998,7 +1177,14 @@ mod tests {
             assert_eq!(res.response_times.len(), 20);
             // Sum of 1..=5 per client × 4 clients = 60 on every replica.
             for tr in &res.traces {
-                assert_eq!(tr.finished_threads, 20 + if kind == SchedulerKind::Pds { res.dummy_requests } else { 0 });
+                assert_eq!(
+                    tr.finished_threads,
+                    20 + if kind == SchedulerKind::Pds {
+                        res.dummy_requests
+                    } else {
+                        0
+                    }
+                );
             }
         }
     }
@@ -1057,11 +1243,7 @@ mod tests {
     #[test]
     fn pds_uses_dummies_when_starved() {
         // One slow client, big pool: dummies must appear.
-        let res = run(
-            SchedulerKind::Pds,
-            counter_scenario(1, 3),
-            17,
-        );
+        let res = run(SchedulerKind::Pds, counter_scenario(1, 3), 17);
         assert!(!res.deadlocked);
         assert!(res.dummy_requests > 0);
     }
@@ -1138,8 +1320,15 @@ mod tests {
             5,
         );
         assert!(!res.deadlocked);
-        let lat: Vec<u64> = res.latencies.iter().map(|l| l.latency().as_nanos()).collect();
-        assert!(lat.windows(2).all(|w| w[1] > w[0]), "latency must grow: {lat:?}");
+        let lat: Vec<u64> = res
+            .latencies
+            .iter()
+            .map(|l| l.latency().as_nanos())
+            .collect();
+        assert!(
+            lat.windows(2).all(|w| w[1] > w[0]),
+            "latency must grow: {lat:?}"
+        );
         // Each queued predecessor adds ≥ its 100 µs compute segment.
         assert!(
             lat[7] - lat[0] >= 7 * 90_000,

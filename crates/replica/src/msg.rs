@@ -16,7 +16,12 @@ pub struct RequestId {
 #[derive(Clone, Debug)]
 pub enum GcMsg {
     /// A client request (or a PDS filler dummy).
-    Request { id: RequestId, method: MethodIdx, args: RequestArgs, dummy: bool },
+    Request {
+        id: RequestId,
+        method: MethodIdx,
+        args: RequestArgs,
+        dummy: bool,
+    },
     /// The designated invoker's broadcast of a nested-invocation reply.
     /// `call_no` is the per-thread nested-call counter the reply answers.
     NestedReply { tid: ThreadId, call_no: u32 },
@@ -46,7 +51,10 @@ pub struct ClientScript {
 impl ClientScript {
     /// A closed-loop script from explicit `(method, args)` pairs.
     pub fn closed(requests: Vec<(MethodIdx, RequestArgs)>) -> Self {
-        ClientScript { requests, arrivals: None }
+        ClientScript {
+            requests,
+            arrivals: None,
+        }
     }
 
     pub fn repeated(method: MethodIdx, args: Vec<RequestArgs>) -> Self {
@@ -64,7 +72,10 @@ impl ClientScript {
             arrivals.len(),
             "open-loop schedule must cover every request"
         );
-        ClientScript { requests, arrivals: Some(arrivals) }
+        ClientScript {
+            requests,
+            arrivals: Some(arrivals),
+        }
     }
 
     /// True if this client submits on a schedule instead of reply-to-send.

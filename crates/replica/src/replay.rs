@@ -16,7 +16,8 @@
 
 use dmt_core::harness::{Harness, HarnessResult};
 use dmt_core::{
-    SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler, SchedulerKind, SlotMap, SyncCore, ThreadId,
+    SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler, SchedulerKind, SlotMap, SyncCore,
+    ThreadId,
 };
 use dmt_lang::{CompiledObject, MethodIdx, MutexId, RequestArgs};
 use std::collections::VecDeque;
@@ -68,7 +69,10 @@ pub fn record_primary(
         h.submit(m, a);
     }
     let res: HarnessResult = h.run();
-    assert!(!res.deadlocked, "primary execution deadlocked; nothing to replay");
+    assert!(
+        !res.deadlocked,
+        "primary execution deadlocked; nothing to replay"
+    );
     PrimaryLog {
         requests: res.request_log,
         grants: res.lock_trace,
@@ -109,7 +113,11 @@ impl ReplayScheduler {
             }
             expected[m.index()].push_back(tid);
         }
-        ReplayScheduler { sync: SyncCore::new(false), expected, pending: SlotMap::new() }
+        ReplayScheduler {
+            sync: SyncCore::new(false),
+            expected,
+            pending: SlotMap::new(),
+        }
     }
 
     fn drain(&mut self, mutex: MutexId, out: &mut SchedOutput) {
@@ -175,7 +183,9 @@ impl Scheduler for ReplayScheduler {
             SchedEvent::ThreadFinished { tid } => {
                 debug_assert!(self.sync.holds_none(tid));
             }
-            SchedEvent::LockInfo { .. } | SchedEvent::SyncIgnored { .. } | SchedEvent::Control(_) => {}
+            SchedEvent::LockInfo { .. }
+            | SchedEvent::SyncIgnored { .. }
+            | SchedEvent::Control(_) => {}
         }
     }
 }
@@ -222,8 +232,16 @@ mod tests {
         // PDS logs include dummies; the backup must recreate the same
         // thread numbering or the grant log would point at wrong threads.
         let (program, mix, noop) = program();
-        let log = record_primary(program.clone(), SchedulerKind::Pds, requests(mix, 3), Some(noop));
-        assert!(log.requests.iter().any(|&(_, _, d)| d), "expected dummies in the log");
+        let log = record_primary(
+            program.clone(),
+            SchedulerKind::Pds,
+            requests(mix, 3),
+            Some(noop),
+        );
+        assert!(
+            log.requests.iter().any(|&(_, _, d)| d),
+            "expected dummies in the log"
+        );
         let replayed = replay_on_backup(program, &log);
         assert_eq!(replayed, log.state_hash);
     }
@@ -264,6 +282,9 @@ mod tests {
         assert!(log.grants.len() >= 2);
         log.grants.swap(0, 1);
         let replayed = replay_on_backup(program, &log);
-        assert_ne!(replayed, log.state_hash, "tampered order must change the state");
+        assert_ne!(
+            replayed, log.state_hash,
+            "tampered order must change the state"
+        );
     }
 }

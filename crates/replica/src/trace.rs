@@ -60,10 +60,16 @@ pub enum Divergence {
 /// the replicas are consistent.
 pub fn compare(a: &ExecutionTrace, b: &ExecutionTrace, level: MatchLevel) -> Option<Divergence> {
     if a.finished_threads != b.finished_threads {
-        return Some(Divergence::FinishedCount { a: a.finished_threads, b: b.finished_threads });
+        return Some(Divergence::FinishedCount {
+            a: a.finished_threads,
+            b: b.finished_threads,
+        });
     }
     if a.state_hash != b.state_hash {
-        return Some(Divergence::StateHash { a: a.state_hash, b: b.state_hash });
+        return Some(Divergence::StateHash {
+            a: a.state_hash,
+            b: b.state_hash,
+        });
     }
     match level {
         MatchLevel::GlobalOrder => {
@@ -111,7 +117,11 @@ mod tests {
     }
 
     fn trace(pairs: &[(u32, u32)], hash: u64) -> ExecutionTrace {
-        let mut tr = ExecutionTrace { state_hash: hash, finished_threads: 2, ..Default::default() };
+        let mut tr = ExecutionTrace {
+            state_hash: hash,
+            finished_threads: 2,
+            ..Default::default()
+        };
         for &(tid, mx) in pairs {
             tr.record_grant(t(tid), m(mx));
         }
@@ -130,7 +140,10 @@ mod tests {
     fn state_mismatch_detected_first() {
         let a = trace(&[(0, 1)], 7);
         let b = trace(&[(0, 1)], 8);
-        assert_eq!(compare(&a, &b, MatchLevel::GlobalOrder), Some(Divergence::StateHash { a: 7, b: 8 }));
+        assert_eq!(
+            compare(&a, &b, MatchLevel::GlobalOrder),
+            Some(Divergence::StateHash { a: 7, b: 8 })
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! The real-thread deterministic runtime.
 
 use dmt_core::{
-    make_scheduler, ReplicaId, SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler, SchedulerKind,
-    ThreadId,
+    make_scheduler, ReplicaId, SchedAction, SchedConfig, SchedEvent, SchedOutput, Scheduler,
+    SchedulerKind, ThreadId,
 };
 use dmt_lang::{MethodIdx, MutexId, SyncId};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -17,7 +17,10 @@ struct Permit {
 
 impl Permit {
     fn new() -> Self {
-        Permit { flag: Mutex::new(false), cv: Condvar::new() }
+        Permit {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
     }
 
     fn give(&self) {
@@ -40,6 +43,8 @@ struct RtState {
     grant_log: Vec<(ThreadId, MutexId)>,
     /// Last blocking kind per thread, to label grants like the engine.
     blocked_on: dmt_core::SlotMap<MutexId>,
+    /// Reused action bundle: one warm dispatch allocates nothing.
+    scratch: SchedOutput,
 }
 
 struct Inner {
@@ -60,9 +65,10 @@ impl Inner {
     /// Feeds one event and applies the resulting actions (permits).
     fn dispatch(&self, ev: SchedEvent) {
         let mut st = self.lock_state();
-        let mut out = SchedOutput::new();
+        let mut out = std::mem::take(&mut st.scratch);
+        out.clear();
         st.sched.on_event(&ev, &mut out);
-        for a in out.actions {
+        for a in out.actions.drain(..) {
             match a {
                 SchedAction::Admit(tid) | SchedAction::Resume(tid) => {
                     if let Some(m) = st.blocked_on.remove(tid.index()) {
@@ -80,6 +86,7 @@ impl Inner {
                 }
             }
         }
+        st.scratch = out;
     }
 
     fn mark_blocked(&self, tid: ThreadId, m: MutexId) {
@@ -121,35 +128,50 @@ impl DetHandle<'_> {
     pub fn sync<R>(&self, m: MutexId, f: impl FnOnce() -> R) -> R {
         let sync_id = self.fresh_sync();
         self.inner.mark_blocked(self.tid, m);
-        self.inner
-            .dispatch(SchedEvent::LockRequested { tid: self.tid, sync_id, mutex: m });
+        self.inner.dispatch(SchedEvent::LockRequested {
+            tid: self.tid,
+            sync_id,
+            mutex: m,
+        });
         self.inner.permits[self.tid.index()].take();
         let r = f();
-        self.inner.dispatch(SchedEvent::Unlocked { tid: self.tid, sync_id, mutex: m });
+        self.inner.dispatch(SchedEvent::Unlocked {
+            tid: self.tid,
+            sync_id,
+            mutex: m,
+        });
         r
     }
 
     /// `m.wait()` — must be called inside [`DetHandle::sync`] on `m`.
     pub fn wait(&self, m: MutexId) {
         self.inner.mark_blocked(self.tid, m);
-        self.inner.dispatch(SchedEvent::WaitCalled { tid: self.tid, mutex: m });
+        self.inner.dispatch(SchedEvent::WaitCalled {
+            tid: self.tid,
+            mutex: m,
+        });
         self.inner.permits[self.tid.index()].take();
     }
 
     /// `m.notifyAll()` — must be called inside [`DetHandle::sync`] on `m`.
     pub fn notify_all(&self, m: MutexId) {
-        self.inner
-            .dispatch(SchedEvent::NotifyCalled { tid: self.tid, mutex: m, all: true });
+        self.inner.dispatch(SchedEvent::NotifyCalled {
+            tid: self.tid,
+            mutex: m,
+            all: true,
+        });
     }
 
     /// A nested invocation of `dur` (the thread leaves the scheduled set,
     /// performs the external call, and re-enters when the scheduler
     /// resumes it).
     pub fn nested(&self, dur: Duration) {
-        self.inner.dispatch(SchedEvent::NestedStarted { tid: self.tid });
+        self.inner
+            .dispatch(SchedEvent::NestedStarted { tid: self.tid });
         std::thread::sleep(dur);
         self.inner.lock_state().blocked_on.remove(self.tid.index());
-        self.inner.dispatch(SchedEvent::NestedCompleted { tid: self.tid });
+        self.inner
+            .dispatch(SchedEvent::NestedCompleted { tid: self.tid });
         self.inner.permits[self.tid.index()].take();
     }
 
@@ -171,7 +193,11 @@ pub struct DetRuntime {
 
 impl DetRuntime {
     pub fn new(kind: SchedulerKind) -> Self {
-        DetRuntime { kind, n_cells: 16, pds_batch: 2 }
+        DetRuntime {
+            kind,
+            n_cells: 16,
+            pds_batch: 2,
+        }
     }
 
     pub fn with_cells(mut self, n: usize) -> Self {
@@ -195,6 +221,7 @@ impl DetRuntime {
                 sched: make_scheduler(&cfg),
                 grant_log: Vec::new(),
                 blocked_on: dmt_core::SlotMap::new(),
+                scratch: SchedOutput::new(),
             }),
             permits: (0..n_threads).map(|_| Arc::new(Permit::new())).collect(),
             cells: (0..self.n_cells).map(|_| AtomicI64::new(0)).collect(),
@@ -218,8 +245,11 @@ impl DetRuntime {
                 scope.spawn(move || {
                     let tid = ThreadId::new(t as u32);
                     inner.permits[t].take(); // wait for Admit
-                    let handle =
-                        DetHandle { inner, tid, next_sync: std::cell::Cell::new(0) };
+                    let handle = DetHandle {
+                        inner,
+                        tid,
+                        next_sync: std::cell::Cell::new(0),
+                    };
                     body(t, &handle);
                     inner.dispatch(SchedEvent::ThreadFinished { tid });
                 });
@@ -229,7 +259,11 @@ impl DetRuntime {
         let st = inner.state.into_inner().unwrap();
         RtReport {
             grant_log: st.grant_log,
-            cells: inner.cells.iter().map(|c| c.load(Ordering::SeqCst)).collect(),
+            cells: inner
+                .cells
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect(),
         }
     }
 }
@@ -276,7 +310,10 @@ mod tests {
             assert_eq!(base.grant_log.len(), 12, "{kind}");
             for noise in 2..6u64 {
                 let r = counter_run(kind, noise);
-                assert_eq!(r.grant_log, base.grant_log, "{kind} grant order changed under noise");
+                assert_eq!(
+                    r.grant_log, base.grant_log,
+                    "{kind} grant order changed under noise"
+                );
                 assert_eq!(r.cells, base.cells, "{kind} state changed under noise");
             }
         }
@@ -301,13 +338,15 @@ mod tests {
     fn disjoint_mutexes_run_concurrently_under_pmat_order() {
         // Threads on distinct mutexes: grant log per mutex is one thread's
         // grants; totals must match.
-        let rep = DetRuntime::new(SchedulerKind::Free).with_cells(4).run(4, |t, h| {
-            for _ in 0..5 {
-                h.sync(m(t as u32), || {
-                    h.set_cell(t, h.cell(t) + 1);
-                });
-            }
-        });
+        let rep = DetRuntime::new(SchedulerKind::Free)
+            .with_cells(4)
+            .run(4, |t, h| {
+                for _ in 0..5 {
+                    h.sync(m(t as u32), || {
+                        h.set_cell(t, h.cell(t) + 1);
+                    });
+                }
+            });
         assert_eq!(rep.cells, vec![5, 5, 5, 5]);
         assert_eq!(rep.grant_log.len(), 20);
     }
@@ -339,24 +378,28 @@ mod tests {
     #[test]
     fn nested_invocations_release_the_schedule() {
         // Under SAT the nested call must let the other thread run.
-        let rep = DetRuntime::new(SchedulerKind::Sat).with_cells(2).run(2, |t, h| {
-            if t == 0 {
-                h.nested(Duration::from_millis(5));
-                h.sync(m(1), || h.set_cell(0, 1));
-            } else {
-                h.sync(m(1), || h.set_cell(1, 1));
-            }
-        });
+        let rep = DetRuntime::new(SchedulerKind::Sat)
+            .with_cells(2)
+            .run(2, |t, h| {
+                if t == 0 {
+                    h.nested(Duration::from_millis(5));
+                    h.sync(m(1), || h.set_cell(0, 1));
+                } else {
+                    h.sync(m(1), || h.set_cell(1, 1));
+                }
+            });
         assert_eq!(rep.cells, vec![1, 1]);
     }
 
     #[test]
     fn seq_runs_threads_strictly_in_order() {
-        let rep = DetRuntime::new(SchedulerKind::Seq).with_cells(1).run(3, |t, h| {
-            h.sync(m(0), || {
-                h.set_cell(0, 10 * h.cell(0) + t as i64 + 1);
+        let rep = DetRuntime::new(SchedulerKind::Seq)
+            .with_cells(1)
+            .run(3, |t, h| {
+                h.sync(m(0), || {
+                    h.set_cell(0, 10 * h.cell(0) + t as i64 + 1);
+                });
             });
-        });
         // SEQ: thread 0, then 1, then 2 → digits 1,2,3.
         assert_eq!(rep.cells[0], 123);
         let tids: Vec<u32> = rep.grant_log.iter().map(|&(t, _)| t.0).collect();

@@ -5,41 +5,99 @@
 //! FIFO tie-break is what makes whole-simulation replay bit-exact — a
 //! plain `BinaryHeap<(SimTime, E)>` would fall back to comparing payloads
 //! (or be unstable), silently coupling replay to payload representation.
+//!
+//! # Implementation: slab-backed calendar queue
+//!
+//! The original implementation was a `BinaryHeap<Entry<E>>`: correct, but
+//! every push pays an O(log n) sift plus (amortised) heap growth, and the
+//! engine pushes one event per event it pops. This version is a bucketed
+//! calendar queue over a node slab:
+//!
+//! * **Slab + free list.** All entries live in one `Vec<Node<E>>`; freed
+//!   nodes are chained into a free list and recycled, so a warmed-up queue
+//!   never allocates on push — the buffer grows to the high-water mark of
+//!   pending events and stays there.
+//! * **Near future: buckets.** A window of `N_BUCKETS` buckets, each
+//!   `BUCKET_NS` wide, covers the next ~262 µs of virtual time. Each
+//!   bucket is a singly linked list kept sorted by `(time, seq)` with a
+//!   tail pointer: the overwhelmingly common pushes — at the current
+//!   instant (`push_after(ZERO)`) or monotonically forward — append at the
+//!   tail in O(1); only a push that lands *behind* an existing same-bucket
+//!   entry walks the (short) bucket list. A 256-bit occupancy bitmap lets
+//!   `pop` skip empty buckets word-at-a-time.
+//! * **Far future: pairing heap.** Events beyond the window are melded
+//!   into a pairing heap over the same slab (O(1) push, amortised
+//!   O(log n) pop). When the window drains, it jumps straight to the
+//!   earliest overflow event and the heap prefix inside the new window is
+//!   drained into the buckets — in sorted order, so every transfer is a
+//!   tail append.
+//!
+//! Ordering is decided *only* by `(time, seq)` comparisons in both tiers,
+//! so the FIFO tie-break contract of the old heap is preserved exactly;
+//! the differential test at the bottom of this file drives both
+//! implementations with the same SplitMix64-generated schedules and
+//! asserts identical pop streams.
 
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-struct Entry<E> {
-    at: SimTime,
+const NIL: u32 = u32::MAX;
+
+/// Buckets per calendar window. 256 keeps the occupancy bitmap at four
+/// words and the whole bucket directory inside two cache lines' worth of
+/// scanning.
+const N_BUCKETS: usize = 256;
+
+/// log2 of the bucket width in nanoseconds: 1.024 µs buckets. Engine
+/// delays cluster at zero (thread steps), ~100 µs (compute segments) and
+/// ~250 µs (network legs): the first is a same-bucket tail append, the
+/// other two land in-window or one window ahead.
+const BUCKET_SHIFT: u32 = 10;
+const BUCKET_NS: u64 = 1 << BUCKET_SHIFT;
+
+/// Virtual-time span covered by the bucket window (~262 µs).
+const WINDOW_NS: u64 = BUCKET_NS * N_BUCKETS as u64;
+
+struct Node<E> {
+    at: u64,
     seq: u64,
-    event: E,
+    /// `None` only while the node sits on the free list.
+    event: Option<E>,
+    /// Bucket list: next entry in `(at, seq)` order. Pairing heap: next
+    /// sibling. Free list: next free node.
+    next: u32,
+    /// Pairing heap only: first child.
+    child: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+#[derive(Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    // Reversed: BinaryHeap is a max-heap, we want the earliest entry on top.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+
+const EMPTY_BUCKET: Bucket = Bucket {
+    head: NIL,
+    tail: NIL,
+};
 
 /// A deterministic discrete-event queue. `pop` advances the clock.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    nodes: Vec<Node<E>>,
+    /// Free-list head into `nodes`.
+    free: u32,
+    buckets: Vec<Bucket>,
+    /// Occupancy bitmap over `buckets` (bit set ⇔ bucket non-empty).
+    occ: [u64; N_BUCKETS / 64],
+    /// Left edge (nanos) of bucket 0.
+    win_start: u64,
+    /// First bucket that may be non-empty (monotone within a window).
+    cursor: usize,
+    in_buckets: usize,
+    /// Pairing-heap root for events at or beyond `win_start + WINDOW_NS`.
+    overflow: u32,
+    n_overflow: usize,
+    /// Reused scratch for the pairing heap's two-pass merge.
+    pair_scratch: Vec<u32>,
     seq: u64,
     now: SimTime,
 }
@@ -52,7 +110,20 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            nodes: Vec::new(),
+            free: NIL,
+            buckets: vec![EMPTY_BUCKET; N_BUCKETS],
+            occ: [0; N_BUCKETS / 64],
+            win_start: 0,
+            cursor: 0,
+            in_buckets: 0,
+            overflow: NIL,
+            n_overflow: 0,
+            pair_scratch: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current virtual time: the timestamp of the last popped event.
@@ -63,21 +134,71 @@ impl<E> EventQueue<E> {
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.in_buckets + self.n_overflow
     }
 
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// `(at, seq)` of node `a` orders strictly before node `b`.
+    #[inline]
+    fn before(&self, a: u32, b: u32) -> bool {
+        let (na, nb) = (&self.nodes[a as usize], &self.nodes[b as usize]);
+        (na.at, na.seq) < (nb.at, nb.seq)
+    }
+
+    fn alloc(&mut self, at: u64, seq: u64, event: E) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            let n = &mut self.nodes[i as usize];
+            self.free = n.next;
+            n.at = at;
+            n.seq = seq;
+            n.event = Some(event);
+            n.next = NIL;
+            n.child = NIL;
+            i
+        } else {
+            self.nodes.push(Node {
+                at,
+                seq,
+                event: Some(event),
+                next: NIL,
+                child: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn release(&mut self, i: u32) {
+        let n = &mut self.nodes[i as usize];
+        debug_assert!(n.event.is_none(), "release with live payload");
+        n.next = self.free;
+        self.free = i;
     }
 
     /// Schedules `event` at the absolute instant `at`. Panics if `at` lies
     /// in the past — an engine is never allowed to rewrite history.
     pub fn push_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduling into the past ({at:?} < {:?})", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past ({at:?} < {:?})",
+            self.now
+        );
+        let at_ns = at.as_nanos();
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let idx = self.alloc(at_ns, seq, event);
+        debug_assert!(at_ns >= self.win_start, "push behind the calendar window");
+        if at_ns - self.win_start < WINDOW_NS {
+            self.insert_bucket(idx);
+        } else {
+            self.overflow = self.meld(self.overflow, idx);
+            self.n_overflow += 1;
+        }
     }
 
     /// Schedules `event` after a relative delay from the current time.
@@ -86,30 +207,284 @@ impl<E> EventQueue<E> {
         self.push_at(self.now + delay, event);
     }
 
+    fn insert_bucket(&mut self, idx: u32) {
+        let at = self.nodes[idx as usize].at;
+        let b = ((at - self.win_start) >> BUCKET_SHIFT) as usize;
+        debug_assert!(b < N_BUCKETS);
+        // A push at the current instant can land in a bucket the cursor
+        // already walked past (it was empty then); pull the cursor back —
+        // re-scanning empties costs a few bitmap words, never correctness.
+        if b < self.cursor {
+            self.cursor = b;
+        }
+        let bucket = self.buckets[b];
+        if bucket.head == NIL {
+            self.buckets[b] = Bucket {
+                head: idx,
+                tail: idx,
+            };
+            self.occ[b >> 6] |= 1 << (b & 63);
+        } else if self.before(bucket.tail, idx) {
+            // Monotone pushes (and all same-instant ties, seq ascending)
+            // append at the tail: the steady-state O(1) path.
+            self.nodes[bucket.tail as usize].next = idx;
+            self.buckets[b].tail = idx;
+        } else if self.before(idx, bucket.head) {
+            self.nodes[idx as usize].next = bucket.head;
+            self.buckets[b].head = idx;
+        } else {
+            // Out-of-order within one ~1 µs bucket: short sorted walk.
+            let mut prev = bucket.head;
+            loop {
+                let next = self.nodes[prev as usize].next;
+                debug_assert_ne!(next, NIL, "tail comparison above bounds the walk");
+                if self.before(idx, next) {
+                    self.nodes[idx as usize].next = next;
+                    self.nodes[prev as usize].next = idx;
+                    break;
+                }
+                prev = next;
+            }
+        }
+        self.in_buckets += 1;
+    }
+
+    /// First non-empty bucket at or after `from`, via the occupancy bitmap.
+    #[inline]
+    fn first_occupied(&self, from: usize) -> Option<usize> {
+        if from >= N_BUCKETS {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut bits = self.occ[w] & (!0u64 << (from & 63));
+        loop {
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == N_BUCKETS / 64 {
+                return None;
+            }
+            bits = self.occ[w];
+        }
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Ties pop in insertion order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| {
-            debug_assert!(e.at >= self.now);
-            self.now = e.at;
-            (e.at, e.event)
-        })
+        if self.in_buckets == 0 {
+            if self.overflow == NIL {
+                return None;
+            }
+            self.advance_window();
+        }
+        let b = self.first_occupied(self.cursor).expect("in_buckets > 0");
+        self.cursor = b;
+        let idx = self.buckets[b].head;
+        let node = &mut self.nodes[idx as usize];
+        let at = SimTime::from_nanos(node.at);
+        let event = node.event.take().expect("bucketed node has a payload");
+        let next = node.next;
+        self.buckets[b].head = next;
+        if next == NIL {
+            self.buckets[b].tail = NIL;
+            self.occ[b >> 6] &= !(1 << (b & 63));
+        }
+        self.in_buckets -= 1;
+        self.release(idx);
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, event))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if self.in_buckets > 0 {
+            let b = self.first_occupied(self.cursor).expect("in_buckets > 0");
+            return Some(SimTime::from_nanos(
+                self.nodes[self.buckets[b].head as usize].at,
+            ));
+        }
+        if self.overflow != NIL {
+            return Some(SimTime::from_nanos(self.nodes[self.overflow as usize].at));
+        }
+        None
     }
 
-    /// Drops every pending event (clock is left where it is).
+    /// Drops every pending event (clock is left where it is) and resets
+    /// the insertion sequence to 0. The reset is safe for replay: `seq`
+    /// only ever disambiguates *coexisting* same-instant entries, and an
+    /// empty queue has none — restarting at 0 keeps a reused queue's pop
+    /// order a pure function of the pushes made after `clear`,
+    /// independent of how much traffic preceded it.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.nodes.clear();
+        self.free = NIL;
+        self.buckets.iter_mut().for_each(|b| *b = EMPTY_BUCKET);
+        self.occ = [0; N_BUCKETS / 64];
+        self.win_start = self.now.as_nanos() & !(BUCKET_NS - 1);
+        self.cursor = 0;
+        self.in_buckets = 0;
+        self.overflow = NIL;
+        self.n_overflow = 0;
+        self.seq = 0;
+    }
+
+    /// Moves the bucket window to the earliest overflow event and drains
+    /// the overflow prefix that falls inside it into the buckets. Only
+    /// called with empty buckets and a non-empty overflow heap.
+    fn advance_window(&mut self) {
+        debug_assert_eq!(self.in_buckets, 0);
+        debug_assert_ne!(self.overflow, NIL);
+        let min_at = self.nodes[self.overflow as usize].at;
+        self.win_start = min_at & !(BUCKET_NS - 1);
+        self.cursor = 0;
+        while self.overflow != NIL {
+            let root = self.overflow;
+            let at = self.nodes[root as usize].at;
+            if at - self.win_start >= WINDOW_NS {
+                break;
+            }
+            self.overflow = self.pop_heap_root();
+            self.n_overflow -= 1;
+            // Roots come off the heap in (at, seq) order, so every insert
+            // below is a tail append.
+            self.nodes[root as usize].next = NIL;
+            self.nodes[root as usize].child = NIL;
+            self.insert_bucket(root);
+        }
+    }
+
+    /// Pairing-heap meld; either side may be NIL.
+    fn meld(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        let (root, child) = if self.before(a, b) { (a, b) } else { (b, a) };
+        self.nodes[child as usize].next = self.nodes[root as usize].child;
+        self.nodes[root as usize].child = child;
+        root
+    }
+
+    /// Removes the heap root and returns the new root (two-pass pairing).
+    fn pop_heap_root(&mut self) -> u32 {
+        let root = self.overflow;
+        let mut child = self.nodes[root as usize].child;
+        self.nodes[root as usize].child = NIL;
+        // First pass: meld adjacent sibling pairs left to right.
+        let mut scratch = std::mem::take(&mut self.pair_scratch);
+        scratch.clear();
+        while child != NIL {
+            let a = child;
+            let b = self.nodes[a as usize].next;
+            let after = if b == NIL {
+                NIL
+            } else {
+                self.nodes[b as usize].next
+            };
+            self.nodes[a as usize].next = NIL;
+            if b != NIL {
+                self.nodes[b as usize].next = NIL;
+            }
+            scratch.push(self.meld(a, b));
+            child = after;
+        }
+        // Second pass: fold right to left.
+        let mut new_root = NIL;
+        while let Some(h) = scratch.pop() {
+            new_root = self.meld(new_root, h);
+        }
+        self.pair_scratch = scratch;
+        new_root
+    }
+}
+
+/// The original `BinaryHeap` implementation, kept as the ordering oracle
+/// for the differential test below (and nothing else).
+#[cfg(test)]
+mod reference {
+    use crate::time::{SimDuration, SimTime};
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    struct Entry<E> {
+        at: SimTime,
+        seq: u64,
+        event: E,
+    }
+
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        // Reversed: BinaryHeap is a max-heap, earliest entry on top.
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> HeapQueue<E> {
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        pub fn push_at(&mut self, at: SimTime, event: E) {
+            assert!(at >= self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry { at, seq, event });
+        }
+
+        pub fn push_after(&mut self, delay: SimDuration, event: E) {
+            self.push_at(self.now + delay, event);
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|e| {
+                self.now = e.at;
+                (e.at, e.event)
+            })
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::HeapQueue;
     use super::*;
+    use crate::rng::SplitMix64;
 
     fn ms(v: u64) -> SimDuration {
         SimDuration::from_millis(v)
@@ -176,6 +551,19 @@ mod tests {
     }
 
     #[test]
+    fn peek_sees_overflow_events() {
+        let mut q = EventQueue::new();
+        q.push_after(SimDuration::from_secs(5), ());
+        assert_eq!(
+            q.peek_time(),
+            Some(SimTime::ZERO + SimDuration::from_secs(5))
+        );
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn clear_empties_queue() {
         let mut q = EventQueue::new();
         q.push_after(ms(1), ());
@@ -183,6 +571,36 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_resets_insertion_sequence() {
+        // After clear, same-instant FIFO must restart from a clean slate:
+        // the pop order of post-clear pushes is independent of pre-clear
+        // traffic. Two queues with different histories but identical
+        // post-clear pushes must agree event for event.
+        let mut a = EventQueue::new();
+        for i in 0..57 {
+            a.push_after(ms(1), i);
+        }
+        a.pop();
+        a.clear();
+        let mut b = EventQueue::new();
+        b.push_after(ms(1), 0);
+        b.pop();
+        b.clear();
+        for q in [&mut a, &mut b] {
+            for i in 0..10 {
+                q.push_after(ms(2), i);
+            }
+        }
+        let pa: Vec<_> = std::iter::from_fn(|| a.pop()).collect();
+        let pb: Vec<_> = std::iter::from_fn(|| b.pop()).collect();
+        assert_eq!(pa, pb);
+        assert_eq!(
+            pa.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -197,5 +615,116 @@ mod tests {
         assert_eq!(e, 3);
         let (_, e) = q.pop().unwrap();
         assert_eq!(e, 2);
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        // Mix of in-window and far-overflow events, pushed out of order.
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_nanos(3_000_000_000), "far-b");
+        q.push_after(SimDuration::from_nanos(100), "near");
+        q.push_at(SimTime::from_nanos(2_999_999_000), "far-a");
+        q.push_at(SimTime::from_nanos(3_000_000_000), "far-b2");
+        q.push_at(SimTime::from_nanos(40_000_000), "mid");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["near", "mid", "far-a", "far-b", "far-b2"]);
+    }
+
+    #[test]
+    fn slab_is_recycled_across_churn() {
+        // Steady-state churn must not grow the slab beyond its high-water
+        // mark: capacity is bounded by the peak number of pending events.
+        let mut q = EventQueue::new();
+        for round in 0..1000u64 {
+            q.push_after(SimDuration::from_nanos(1 + round % 7), round);
+            q.push_after(SimDuration::from_micros(300), round); // overflow tier
+            q.pop();
+            q.pop();
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.nodes.len() <= 4,
+            "slab grew to {} despite churn",
+            q.nodes.len()
+        );
+    }
+
+    /// One op of the differential schedule.
+    fn differential_run(seed: u64, ops: usize) {
+        let mut rng = SplitMix64::new(seed);
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut payload = 0u64;
+        for _ in 0..ops {
+            let r = rng.next_u64() % 100;
+            if r < 60 {
+                // Push with a delay profile spanning all tiers: heavy
+                // same-instant ties, sub-bucket, in-window, overflow.
+                let delay = match rng.next_u64() % 8 {
+                    0 | 1 | 2 => 0,                                    // same instant
+                    3 => rng.next_u64() % BUCKET_NS,                   // same bucket
+                    4 => rng.next_u64() % WINDOW_NS,                   // in window
+                    5 => WINDOW_NS + rng.next_u64() % (4 * WINDOW_NS), // near overflow
+                    6 => rng.next_u64() % 50_000_000,                  // ~50 ms
+                    _ => rng.next_u64() % 3_600_000_000_000,           // ~1 h horizon
+                };
+                let d = SimDuration::from_nanos(delay);
+                cal.push_after(d, payload);
+                heap.push_after(d, payload);
+                payload += 1;
+            } else {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "pop stream diverged (seed {seed})");
+            }
+            assert_eq!(cal.len(), heap.len(), "length diverged (seed {seed})");
+            assert_eq!(cal.now(), heap.now(), "clock diverged (seed {seed})");
+        }
+        // Drain both completely: the tails must agree too.
+        loop {
+            let a = cal.pop();
+            let b = heap.pop();
+            assert_eq!(a, b, "drain diverged (seed {seed})");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn differential_against_reference_heap() {
+        for seed in 0..20 {
+            differential_run(0xD1F_F000 + seed, 2_000);
+        }
+    }
+
+    #[test]
+    fn differential_heavy_same_instant_ties() {
+        // Bursts of same-instant pushes interleaved with partial drains —
+        // the pattern the engine produces with zero-delay Step events.
+        let mut rng = SplitMix64::new(99);
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut payload = 0u64;
+        for _ in 0..200 {
+            let burst = 1 + rng.next_u64() % 40;
+            let gap = SimDuration::from_nanos(rng.next_u64() % 2_000_000);
+            for _ in 0..burst {
+                cal.push_after(gap, payload);
+                heap.push_after(gap, payload);
+                payload += 1;
+            }
+            let drains = rng.next_u64() % (burst + 2);
+            for _ in 0..drains {
+                assert_eq!(cal.pop(), heap.pop());
+            }
+        }
+        loop {
+            let a = cal.pop();
+            assert_eq!(a, heap.pop());
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

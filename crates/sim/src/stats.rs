@@ -23,7 +23,13 @@ pub struct Summary {
 
 impl Summary {
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     pub fn add(&mut self, x: f64) {
@@ -93,9 +99,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -114,11 +118,17 @@ pub struct Histogram {
 
 impl Histogram {
     pub fn new() -> Self {
-        Histogram { samples: Vec::new(), sorted: true }
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        Histogram { samples: Vec::with_capacity(cap), sorted: true }
+        Histogram {
+            samples: Vec::with_capacity(cap),
+            sorted: true,
+        }
     }
 
     pub fn add(&mut self, x: f64) {
@@ -443,7 +453,11 @@ mod tests {
     fn log_histogram_buckets_are_monotonic_and_cover_u64() {
         let mut prev = 0usize;
         for bits in 0..64 {
-            for v in [1u64 << bits, (1u64 << bits) + 1, (1u64 << bits).wrapping_sub(1)] {
+            for v in [
+                1u64 << bits,
+                (1u64 << bits) + 1,
+                (1u64 << bits).wrapping_sub(1),
+            ] {
                 if v == 0 {
                     continue;
                 }
@@ -460,7 +474,10 @@ mod tests {
             let b = LogHistogram::bucket_of(v);
             assert!(b >= last, "bucket order broken at {v}");
             last = b;
-            assert!(LogHistogram::bucket_upper(b) >= v, "upper edge below value {v}");
+            assert!(
+                LogHistogram::bucket_upper(b) >= v,
+                "upper edge below value {v}"
+            );
         }
         assert_eq!(LogHistogram::bucket_of(u64::MAX), N_BUCKETS - 1);
         assert_eq!(LogHistogram::bucket_upper(N_BUCKETS - 1), u64::MAX);

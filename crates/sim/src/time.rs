@@ -228,7 +228,10 @@ mod tests {
         assert_eq!((d * 3).as_millis_f64(), 30.0);
         assert_eq!((d / 4).as_millis_f64(), 2.5);
         assert_eq!((d - SimDuration::from_millis(4)).as_millis_f64(), 6.0);
-        assert_eq!(d.saturating_sub(SimDuration::from_millis(20)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_millis(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -239,7 +242,14 @@ mod tests {
             SimTime::from_nanos(3),
         ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_nanos(3), SimTime::from_nanos(5)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_nanos(3),
+                SimTime::from_nanos(5)
+            ]
+        );
     }
 
     #[test]

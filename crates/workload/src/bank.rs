@@ -49,17 +49,31 @@ pub fn build_object(p: &BankParams) -> ObjectImpl {
     ob.cells(n + 1);
     // transfer(lo, hi, amount): lock pool[lo] then pool[hi] (client sorts).
     let mut t = ob.method("transfer", 3);
-    t.sync(MutexExpr::Pool { base: 0, len: n, index_arg: 0 }, |b| {
-        b.compute(DurExpr::Nanos((p.cs_ms * 1e6) as u64));
-        b.sync(MutexExpr::Pool { base: 0, len: n, index_arg: 1 }, |b| {
-            // Move `amount` from account lo to account hi. (Direction is
-            // fixed lo→hi; the workload only needs conserved total.)
-            b.update_indexed(0, n, 0, IntExpr::Arg(2));
-            b.update_indexed(0, n, 1, IntExpr::Arg(2));
-            b.update_indexed(0, n, 0, IntExpr::Arg(2)); // lo += a (3×)
-            b.update_indexed(0, n, 1, IntExpr::Arg(2));
-        });
-    });
+    t.sync(
+        MutexExpr::Pool {
+            base: 0,
+            len: n,
+            index_arg: 0,
+        },
+        |b| {
+            b.compute(DurExpr::Nanos((p.cs_ms * 1e6) as u64));
+            b.sync(
+                MutexExpr::Pool {
+                    base: 0,
+                    len: n,
+                    index_arg: 1,
+                },
+                |b| {
+                    // Move `amount` from account lo to account hi. (Direction is
+                    // fixed lo→hi; the workload only needs conserved total.)
+                    b.update_indexed(0, n, 0, IntExpr::Arg(2));
+                    b.update_indexed(0, n, 1, IntExpr::Arg(2));
+                    b.update_indexed(0, n, 0, IntExpr::Arg(2)); // lo += a (3×)
+                    b.update_indexed(0, n, 1, IntExpr::Arg(2));
+                },
+            );
+        },
+    );
     t.done();
     // audit(): fold balances into the checksum cell, taking each
     // account's own monitor — every read of shared state must happen
@@ -140,7 +154,13 @@ mod tests {
     #[test]
     fn nested_two_lock_discipline_is_deadlock_free() {
         // Heavier contention on few accounts.
-        let p = BankParams { n_accounts: 3, n_clients: 8, transfers_per_client: 6, audit_every: 0, ..BankParams::default() };
+        let p = BankParams {
+            n_accounts: 3,
+            n_clients: 8,
+            transfers_per_client: 6,
+            audit_every: 0,
+            ..BankParams::default()
+        };
         let pair = scenario(&p);
         for kind in [SchedulerKind::Mat, SchedulerKind::Pmat, SchedulerKind::Free] {
             let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(2)).run();

@@ -24,7 +24,13 @@ pub struct BufferParams {
 
 impl Default for BufferParams {
     fn default() -> Self {
-        BufferParams { capacity: 2, n_producers: 3, n_consumers: 3, items_per_client: 4, op_ms: 0.2 }
+        BufferParams {
+            capacity: 2,
+            n_producers: 3,
+            n_consumers: 3,
+            items_per_client: 4,
+            op_ms: 0.2,
+        }
     }
 }
 
@@ -64,12 +70,16 @@ pub fn client_scripts(p: &BufferParams) -> Vec<ClientScript> {
     let mut scripts = Vec::new();
     for _ in 0..p.n_producers {
         scripts.push(ClientScript::closed(
-            (0..p.items_per_client).map(|_| (put, RequestArgs::empty())).collect(),
+            (0..p.items_per_client)
+                .map(|_| (put, RequestArgs::empty()))
+                .collect(),
         ));
     }
     for _ in 0..p.n_consumers {
         scripts.push(ClientScript::closed(
-            (0..p.items_per_client).map(|_| (take, RequestArgs::empty())).collect(),
+            (0..p.items_per_client)
+                .map(|_| (take, RequestArgs::empty()))
+                .collect(),
         ));
     }
     scripts
@@ -106,7 +116,12 @@ mod tests {
     fn seq_deadlocks_as_the_paper_warns() {
         // A consumer that arrives before any producer blocks forever
         // under SEQ: nothing else ever runs to notify it.
-        let p = BufferParams { n_producers: 1, n_consumers: 1, items_per_client: 2, ..Default::default() };
+        let p = BufferParams {
+            n_producers: 1,
+            n_consumers: 1,
+            items_per_client: 2,
+            ..Default::default()
+        };
         let pair = scenario(&p);
         let cfg = EngineConfig::new(SchedulerKind::Seq)
             .with_seed(4)

@@ -90,13 +90,20 @@ pub fn build_object(p: &Fig1Params) -> ObjectImpl {
     for i in 0..p.iterations {
         let a = i * Fig1Params::ARGS_PER_ITER;
         m.if_then(CondExpr::ArgFlag(a), |b| {
-            b.nested(ServiceId::new(0), DurExpr::Nanos((p.nested_ms * 1e6) as u64));
+            b.nested(
+                ServiceId::new(0),
+                DurExpr::Nanos((p.nested_ms * 1e6) as u64),
+            );
         });
         m.if_then(CondExpr::ArgFlag(a + 1), |b| {
             b.compute(DurExpr::Nanos((p.compute_ms * 1e6) as u64));
         });
         m.sync(
-            MutexExpr::Pool { base: POOL_BASE, len: p.n_mutexes, index_arg: a + 2 },
+            MutexExpr::Pool {
+                base: POOL_BASE,
+                len: p.n_mutexes,
+                index_arg: a + 2,
+            },
             |b| {
                 // Order-sensitive update of the cell the mutex guards.
                 b.update_indexed(POOL_BASE, p.n_mutexes, a + 2, IntExpr::Lit(1));
@@ -137,7 +144,10 @@ pub fn client_scripts(p: &Fig1Params) -> Vec<ClientScript> {
 /// The full Figure-1 scenario in both instrumentation variants.
 pub fn scenario(p: &Fig1Params) -> ScenarioPair {
     let obj = build_object(p);
-    debug_assert_eq!(obj.method_by_name("invoke"), Some(dmt_lang::MethodIdx::new(0)));
+    debug_assert_eq!(
+        obj.method_by_name("invoke"),
+        Some(dmt_lang::MethodIdx::new(0))
+    );
     crate::make_variants(&obj, client_scripts(p), "noop")
 }
 
@@ -157,7 +167,10 @@ mod tests {
         let invoke = &report.methods[0];
         assert!(invoke.analyzable);
         assert_eq!(invoke.n_syncs, 10);
-        assert_eq!(invoke.n_at_entry, 10, "all pool params announceable at entry");
+        assert_eq!(
+            invoke.n_at_entry, 10,
+            "all pool params announceable at entry"
+        );
         assert!(invoke.predictable_at_entry);
         // 2 branch bits per iteration → 4^10 paths.
         assert_eq!(invoke.path_count, 4u64.pow(10));

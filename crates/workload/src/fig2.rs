@@ -51,10 +51,17 @@ pub fn build_object(p: &Fig2Params) -> ObjectImpl {
     ob.cells(p.n_mutexes);
     let mut m = ob.method("serve", 1);
     m.compute(DurExpr::Nanos((p.pre_ms * 1e6) as u64));
-    m.sync(MutexExpr::Pool { base: 0, len: p.n_mutexes, index_arg: 0 }, |b| {
-        b.compute(DurExpr::Nanos((p.cs_ms * 1e6) as u64));
-        b.update_indexed(0, p.n_mutexes, 0, IntExpr::Lit(1));
-    });
+    m.sync(
+        MutexExpr::Pool {
+            base: 0,
+            len: p.n_mutexes,
+            index_arg: 0,
+        },
+        |b| {
+            b.compute(DurExpr::Nanos((p.cs_ms * 1e6) as u64));
+            b.update_indexed(0, p.n_mutexes, 0, IntExpr::Lit(1));
+        },
+    );
     // The reply-building computation after the provably last lock.
     m.compute(DurExpr::Nanos((p.final_ms * 1e6) as u64));
     m.done();
@@ -72,9 +79,12 @@ pub fn client_scripts(p: &Fig2Params) -> Vec<ClientScript> {
             ClientScript::closed(
                 (0..p.requests_per_client)
                     .map(|_| {
-                        (serve, RequestArgs::new(vec![Value::Int(
-                            crng.next_below(p.n_mutexes as u64) as i64,
-                        )]))
+                        (
+                            serve,
+                            RequestArgs::new(vec![Value::Int(
+                                crng.next_below(p.n_mutexes as u64) as i64
+                            )]),
+                        )
                     })
                     .collect(),
             )
@@ -94,7 +104,11 @@ mod tests {
 
     #[test]
     fn mat_ll_beats_mat_when_final_computation_dominates() {
-        let p = Fig2Params { n_clients: 6, requests_per_client: 3, ..Fig2Params::default() };
+        let p = Fig2Params {
+            n_clients: 6,
+            requests_per_client: 3,
+            ..Fig2Params::default()
+        };
         let pair = scenario(&p);
         let run = |kind| {
             let res = Engine::new(pair.for_kind(kind), EngineConfig::new(kind).with_seed(3)).run();

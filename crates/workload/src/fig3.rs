@@ -29,7 +29,12 @@ pub struct Fig3Params {
 
 impl Default for Fig3Params {
     fn default() -> Self {
-        Fig3Params { pre_ms: 0.2, cs_ms: 2.0, n_clients: 8, requests_per_client: 4 }
+        Fig3Params {
+            pre_ms: 0.2,
+            cs_ms: 2.0,
+            n_clients: 8,
+            requests_per_client: 4,
+        }
     }
 }
 
@@ -39,10 +44,17 @@ pub fn build_object(p: &Fig3Params) -> ObjectImpl {
     ob.cells(n);
     let mut m = ob.method("serve", 1);
     m.compute(DurExpr::Nanos((p.pre_ms * 1e6) as u64));
-    m.sync(MutexExpr::Pool { base: 0, len: n, index_arg: 0 }, |b| {
-        b.compute(DurExpr::Nanos((p.cs_ms * 1e6) as u64));
-        b.update_indexed(0, n, 0, IntExpr::Lit(1));
-    });
+    m.sync(
+        MutexExpr::Pool {
+            base: 0,
+            len: n,
+            index_arg: 0,
+        },
+        |b| {
+            b.compute(DurExpr::Nanos((p.cs_ms * 1e6) as u64));
+            b.update_indexed(0, n, 0, IntExpr::Lit(1));
+        },
+    );
     m.done();
     let noop = ob.method("noop", 0);
     noop.done();
@@ -96,8 +108,12 @@ mod tests {
     #[test]
     fn pmat_converges_on_this_workload() {
         let pair = scenario(&Fig3Params::default());
-        let (res, outcome) =
-            dmt_replica::check_determinism(pair.for_kind(SchedulerKind::Pmat), SchedulerKind::Pmat, 5, 0.3);
+        let (res, outcome) = dmt_replica::check_determinism(
+            pair.for_kind(SchedulerKind::Pmat),
+            SchedulerKind::Pmat,
+            5,
+            0.3,
+        );
         assert!(!res.deadlocked);
         assert!(outcome.converged(), "{outcome:?}");
     }

@@ -104,7 +104,11 @@ pub fn build_object(p: &OpenLoopParams) -> ObjectImpl {
     let mut get = ob.method("get", 1);
     get.compute(DurExpr::micros(p.pre_us));
     get.sync(
-        MutexExpr::Pool { base: POOL_BASE, len: p.n_mutexes, index_arg: 0 },
+        MutexExpr::Pool {
+            base: POOL_BASE,
+            len: p.n_mutexes,
+            index_arg: 0,
+        },
         |b| {
             b.compute(DurExpr::micros(p.read_us));
         },
@@ -113,7 +117,11 @@ pub fn build_object(p: &OpenLoopParams) -> ObjectImpl {
     let mut put = ob.method("put", 2);
     put.compute(DurExpr::micros(p.pre_us));
     put.sync(
-        MutexExpr::Pool { base: POOL_BASE, len: p.n_mutexes, index_arg: 0 },
+        MutexExpr::Pool {
+            base: POOL_BASE,
+            len: p.n_mutexes,
+            index_arg: 0,
+        },
         |b| {
             b.compute(DurExpr::micros(p.write_us));
             // Order-sensitive: last writer wins per cell, so replica
@@ -162,8 +170,7 @@ pub fn client_scripts(p: &OpenLoopParams) -> Vec<ClientScript> {
         .into_iter()
         .map(|requests| {
             let n = requests.len();
-            let mut proc =
-                PoissonProcess::new(arrival_rng.next_u64(), per_client_rate);
+            let mut proc = PoissonProcess::new(arrival_rng.next_u64(), per_client_rate);
             ClientScript::open_loop(requests, proc.take_schedule(n))
         })
         .collect()
@@ -172,7 +179,10 @@ pub fn client_scripts(p: &OpenLoopParams) -> Vec<ClientScript> {
 /// Closed-loop scripts over the identical request mix (for pricing the
 /// client model itself; `offered_rps` is ignored).
 pub fn closed_client_scripts(p: &OpenLoopParams) -> Vec<ClientScript> {
-    request_mix(p).into_iter().map(ClientScript::closed).collect()
+    request_mix(p)
+        .into_iter()
+        .map(ClientScript::closed)
+        .collect()
 }
 
 /// The open-loop scenario in both instrumentation variants.
@@ -232,7 +242,11 @@ mod tests {
 
     #[test]
     fn closed_variant_runs_the_same_requests() {
-        let p = OpenLoopParams { n_clients: 3, requests_per_client: 5, ..Default::default() };
+        let p = OpenLoopParams {
+            n_clients: 3,
+            requests_per_client: 5,
+            ..Default::default()
+        };
         let open = client_scripts(&p);
         let closed = closed_client_scripts(&p);
         for (o, c) in open.iter().zip(&closed) {
@@ -272,8 +286,7 @@ mod tests {
         };
         let pair = scenario(&p);
         for kind in [SchedulerKind::Lsa, SchedulerKind::Mat, SchedulerKind::Pmat] {
-            let (res, outcome) =
-                dmt_replica::check_determinism(pair.for_kind(kind), kind, 9, 0.25);
+            let (res, outcome) = dmt_replica::check_determinism(pair.for_kind(kind), kind, 9, 0.25);
             assert!(!res.deadlocked, "{kind}");
             assert!(outcome.converged(), "{kind}: {outcome:?}");
         }

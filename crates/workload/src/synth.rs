@@ -55,14 +55,24 @@ pub fn random_object(seed: u64, cfg: &SynthConfig) -> ObjectImpl {
     let mut callees: Vec<MethodIdx> = Vec::new();
     for h in 0..cfg.n_helpers {
         let mut m = ob.method(format!("helper{h}"), cfg.arity).private();
-        let mut g = Gen { rng: rng.split(1000 + h as u64), cfg, fields: &fields, callees: &callees.clone() };
+        let mut g = Gen {
+            rng: rng.split(1000 + h as u64),
+            cfg,
+            fields: &fields,
+            callees: &callees.clone(),
+        };
         g.block(&mut m, cfg.max_depth);
         let idx = m.done();
         callees.push(idx);
     }
     for p in 0..cfg.n_public_methods {
         let mut m = ob.method(format!("start{p}"), cfg.arity);
-        let mut g = Gen { rng: rng.split(2000 + p as u64), cfg, fields: &fields, callees: &callees };
+        let mut g = Gen {
+            rng: rng.split(2000 + p as u64),
+            cfg,
+            fields: &fields,
+            callees: &callees,
+        };
         g.block(&mut m, cfg.max_depth);
         m.done();
     }
@@ -95,13 +105,15 @@ impl Gen<'_> {
     fn mutex_expr(&mut self) -> MutexExpr {
         match self.rng.next_below(5) {
             0 => MutexExpr::This,
-            1 => MutexExpr::Konst(dmt_lang::MutexId::new(
-                500 + self.rng.next_below(3) as u32,
-            )),
+            1 => MutexExpr::Konst(dmt_lang::MutexId::new(500 + self.rng.next_below(3) as u32)),
             2 => MutexExpr::Arg(self.mutex_arg()),
             3 => {
                 let index_arg = self.scalar_arg();
-                MutexExpr::Pool { base: 0, len: self.cfg.n_mutex_pool, index_arg }
+                MutexExpr::Pool {
+                    base: 0,
+                    len: self.cfg.n_mutex_pool,
+                    index_arg,
+                }
             }
             _ => MutexExpr::Field(*self.rng.choose(self.fields).expect("fields exist")),
         }
@@ -171,7 +183,11 @@ impl Gen<'_> {
         // accidental lock-ordering deadlock. (The handwritten bank
         // workload covers *ordered* nested locking.)
         let choices: u64 = if depth == 0 {
-            if in_sync { 3 } else { 4 }
+            if in_sync {
+                3
+            } else {
+                4
+            }
         } else if in_sync {
             6
         } else {
@@ -204,8 +220,7 @@ impl Gen<'_> {
             3 => {
                 if !self.callees.is_empty() && !in_sync {
                     let target = *self.rng.choose(self.callees).expect("nonempty");
-                    let args: Vec<ArgExpr> =
-                        (0..self.cfg.arity).map(ArgExpr::CallerArg).collect();
+                    let args: Vec<ArgExpr> = (0..self.cfg.arity).map(ArgExpr::CallerArg).collect();
                     if self.rng.next_bool(0.3) && self.callees.len() >= 2 {
                         let mut cands = self.callees.to_vec();
                         self.rng.shuffle(&mut cands);
@@ -249,7 +264,11 @@ impl Gen<'_> {
                     fields: self.fields,
                     callees: self.callees,
                 };
-                m.if_else(cond, |b| me.block_in(b, d, in_sync), |b| el.block_in(b, d, in_sync));
+                m.if_else(
+                    cond,
+                    |b| me.block_in(b, d, in_sync),
+                    |b| el.block_in(b, d, in_sync),
+                );
             }
             6 => {
                 let count = CountExpr::Lit(1 + self.rng.next_below(3) as u32);
@@ -323,7 +342,11 @@ mod tests {
             let _ = dmt_lang::compile::compile(&obj);
             let t = dmt_analysis::transform(&obj);
             assert!(t.validate().is_empty(), "seed {seed} transform invalid");
-            assert_eq!(obj.all_sync_ids(), t.all_sync_ids(), "seed {seed} syncids changed");
+            assert_eq!(
+                obj.all_sync_ids(),
+                t.all_sync_ids(),
+                "seed {seed} syncids changed"
+            );
             let _ = dmt_lang::compile::compile(&t);
             let _ = dmt_analysis::build_lock_table(&obj);
         }

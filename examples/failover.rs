@@ -36,14 +36,15 @@ fn main() {
         println!("   mean response    : {:.2} ms", res.response_times.mean());
         println!(
             "   takeover gap     : {}",
-            res.takeover_gap.map(|g| format!("{g}")).unwrap_or_else(|| "-".into())
+            res.takeover_gap
+                .map(|g| format!("{g}"))
+                .unwrap_or_else(|| "-".into())
         );
         println!("   stalled          : {}", res.deadlocked);
         // Survivors must agree.
         let survivors: Vec<_> = (0..3).filter(|&i| i != victim).collect();
         assert_eq!(
-            res.traces[survivors[0]].state_hash,
-            res.traces[survivors[1]].state_hash,
+            res.traces[survivors[0]].state_hash, res.traces[survivors[1]].state_hash,
             "{label}: survivors diverged"
         );
         println!("   survivors agree  : ✓");

@@ -33,7 +33,11 @@ fn main() {
             kind.to_string(),
             log.requests.len(),
             log.grants.len(),
-            if ok { "state reproduced ✓" } else { "MISMATCH ✗" }
+            if ok {
+                "state reproduced ✓"
+            } else {
+                "MISMATCH ✗"
+            }
         );
         assert!(ok, "{kind} replay failed");
     }

@@ -30,7 +30,9 @@ fn main() {
         .map(|c| {
             ClientScript::repeated(
                 add,
-                (1..=4).map(|i| RequestArgs::new(vec![Value::Int(c * 100 + i)])).collect(),
+                (1..=4)
+                    .map(|i| RequestArgs::new(vec![Value::Int(c * 100 + i)]))
+                    .collect(),
             )
         })
         .collect();
@@ -39,7 +41,9 @@ fn main() {
     // 3. Run the cluster under MAT (multiple active threads, one
     //    lock-granting primary) with per-replica CPU jitter — replicas
     //    run at visibly different speeds, yet stay consistent.
-    let cfg = EngineConfig::new(SchedulerKind::Mat).with_seed(42).with_cpu_jitter(0.2);
+    let cfg = EngineConfig::new(SchedulerKind::Mat)
+        .with_seed(42)
+        .with_cpu_jitter(0.2);
     let res = Engine::new(scenario, cfg).run();
 
     println!("completed requests : {}", res.completed_requests);
@@ -52,6 +56,9 @@ fn main() {
             tr.lock_order.len()
         );
     }
-    assert!(res.traces.windows(2).all(|w| w[0].state_hash == w[1].state_hash));
+    assert!(res
+        .traces
+        .windows(2)
+        .all(|w| w[0].state_hash == w[1].state_hash));
     println!("replicas converged ✓");
 }

@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier-1: cargo fmt --check =="
+cargo fmt --all -- --check
+
 echo "== tier-1: cargo build --release =="
 cargo build --release --workspace
 

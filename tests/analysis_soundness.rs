@@ -56,7 +56,11 @@ fn transformed_programs_behave_identically() {
                     single_thread_trace(&plain, MethodIdx::new(mi as u32), args.clone());
                 let (t_instr, h_instr) =
                     single_thread_trace(&instrumented, MethodIdx::new(mi as u32), args);
-                assert_eq!(h_plain, h_instr, "seed {seed} method {} state differs", m.name);
+                assert_eq!(
+                    h_plain, h_instr,
+                    "seed {seed} method {} state differs",
+                    m.name
+                );
                 assert_eq!(
                     t_plain,
                     strip_injections(&t_instr),
@@ -142,8 +146,7 @@ fn lock_tables_cover_every_executed_syncid() {
             let Some(entries) = table.entries(method) else {
                 continue; // unanalysable (recursion) — allowed
             };
-            let known: std::collections::HashSet<_> =
-                entries.iter().map(|e| e.sync_id).collect();
+            let known: std::collections::HashSet<_> = entries.iter().map(|e| e.sync_id).collect();
             let (trace, _) = single_thread_trace(&program, method, random_args(&mut arg_rng, &cfg));
             for a in trace {
                 if let Action::Lock { sync_id, .. } = a {

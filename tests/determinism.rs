@@ -50,7 +50,12 @@ fn nested_heavy_workload_convergence() {
 
 #[test]
 fn cv_workload_convergence() {
-    let p = buffer::BufferParams { n_producers: 3, n_consumers: 3, items_per_client: 3, ..Default::default() };
+    let p = buffer::BufferParams {
+        n_producers: 3,
+        n_consumers: 3,
+        items_per_client: 3,
+        ..Default::default()
+    };
     let pair = buffer::scenario(&p);
     for kind in [
         SchedulerKind::Sat,
@@ -68,7 +73,12 @@ fn cv_workload_convergence() {
 
 #[test]
 fn bank_two_lock_convergence() {
-    let p = bank::BankParams { n_accounts: 4, n_clients: 6, transfers_per_client: 4, ..Default::default() };
+    let p = bank::BankParams {
+        n_accounts: 4,
+        n_clients: 6,
+        transfers_per_client: 4,
+        ..Default::default()
+    };
     let pair = bank::scenario(&p);
     for kind in SchedulerKind::DETERMINISTIC {
         let (res, outcome) = check_determinism(pair.for_kind(kind), kind, 19, 0.3);
@@ -113,7 +123,10 @@ fn synthesized_programs_converge() {
         for kind in SchedulerKind::DETERMINISTIC {
             let (res, outcome) = check_determinism(scenario.clone(), kind, seed, 0.3);
             assert!(!res.deadlocked, "synth {seed} under {kind}");
-            assert!(outcome.converged(), "synth {seed} under {kind}: {outcome:?}");
+            assert!(
+                outcome.converged(),
+                "synth {seed} under {kind}: {outcome:?}"
+            );
         }
     }
 }
@@ -141,7 +154,9 @@ fn dense_id_hot_path_trace_regression() {
                 let run = || {
                     Engine::new(
                         pair.for_kind(kind),
-                        EngineConfig::new(kind).with_seed(seed).with_cpu_jitter(jitter),
+                        EngineConfig::new(kind)
+                            .with_seed(seed)
+                            .with_cpu_jitter(jitter),
                     )
                     .run()
                 };
@@ -172,7 +187,10 @@ fn free_diverges_on_contended_order_sensitive_state() {
     // build contention through the synth generator's 2x+k updates.
     use dmt::replica::{ClientScript, Scenario};
     use dmt::sim::SplitMix64;
-    let cfg = synth::SynthConfig { n_mutex_pool: 1, ..Default::default() };
+    let cfg = synth::SynthConfig {
+        n_mutex_pool: 1,
+        ..Default::default()
+    };
     let mut diverged = false;
     'outer: for seed in 0..10u64 {
         let obj = synth::random_object(seed, &cfg);
@@ -204,5 +222,8 @@ fn free_diverges_on_contended_order_sensitive_state() {
             }
         }
     }
-    assert!(diverged, "FREE never diverged across 40 runs — checker broken?");
+    assert!(
+        diverged,
+        "FREE never diverged across 40 runs — checker broken?"
+    );
 }

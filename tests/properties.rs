@@ -83,8 +83,14 @@ fn summary_matches_naive() {
         let nf = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / nf;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nf - 1.0);
-        assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0), "case {case}");
-        assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0), "case {case}");
+        assert!(
+            (s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (s.variance() - var).abs() < 1e-5 * var.abs().max(1.0),
+            "case {case}"
+        );
         assert_eq!(s.count(), xs.len() as u64, "case {case}");
     }
 }
@@ -238,7 +244,11 @@ fn harness_runs_are_replay_stable() {
             let b = run();
             assert!(!a.deadlocked, "synth {seed} under {kind} deadlocked");
             assert_eq!(a.lock_trace, b.lock_trace, "synth {seed} under {kind}");
-            assert_eq!(a.state.state_hash(), b.state.state_hash(), "synth {seed} under {kind}");
+            assert_eq!(
+                a.state.state_hash(),
+                b.state.state_hash(),
+                "synth {seed} under {kind}"
+            );
         }
     }
 }
