@@ -34,4 +34,4 @@ pub use lockparam::{classify, ParamClass};
 pub use paths::MethodSummary;
 pub use report::{analyze, AnalysisReport};
 pub use table::build_lock_table;
-pub use transform::transform;
+pub use transform::{audit_fusion, transform, FusionAudit, MethodFusion};

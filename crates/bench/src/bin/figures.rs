@@ -23,8 +23,12 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
     let rows = engine_bench_experiment(client_counts, requests);
 
     // Parallel-sweep wall-clock: the same Figure-1 table serially and
-    // with the sweep driver; the tables must be identical.
-    let threads = sweep_threads();
+    // with the sweep driver; the tables must be identical. Force at
+    // least two workers so the parallel path is exercised (and the
+    // recorded speedup is a real measurement) even on a single-core
+    // host, where `sweep_threads()` would degenerate to 1 and the
+    // "parallel" run would just be the serial run again.
+    let threads = sweep_threads().max(2);
     let t0 = Instant::now();
     let serial = fig1_experiment_with_threads(client_counts, requests, true, 1);
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -64,11 +68,14 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
     j.push_str("  \"current\": {\n    \"per_kind\": [\n");
     for (i, r) in rows.iter().enumerate() {
         j.push_str(&format!(
-            "      {{\"kind\": \"{}\", \"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}{}\n",
+            "      {{\"kind\": \"{}\", \"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_steps\": {}, \"fused_steps\": {}, \"batched_steps\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}{}\n",
             json_escape(r.kind.name()),
             r.perf.events,
             r.perf.sched_events,
             r.perf.sched_actions,
+            r.perf.vm_steps,
+            r.perf.fused_steps,
+            r.perf.batched_steps,
             r.perf.vm_allocs,
             r.perf.vm_reuses,
             r.perf.wall_ns,
@@ -77,9 +84,10 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
         ));
     }
     j.push_str(&format!(
-        "    ],\n    \"total\": {{\"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}\n  }},\n",
-        total.events, total.sched_events, total.sched_actions, total.vm_allocs, total.vm_reuses,
-        total.wall_ns, total.ns_per_event(),
+        "    ],\n    \"total\": {{\"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_steps\": {}, \"fused_steps\": {}, \"batched_steps\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}\n  }},\n",
+        total.events, total.sched_events, total.sched_actions, total.vm_steps, total.fused_steps,
+        total.batched_steps, total.vm_allocs, total.vm_reuses, total.wall_ns,
+        total.ns_per_event(),
     ));
     j.push_str(&format!(
         "  \"ns_per_event_improvement_pct\": {improvement:.1},\n"

@@ -133,6 +133,20 @@ pub const BASELINE_TOTAL_NS_PER_EVENT: f64 = 200.5;
 /// fails loudly instead of hiding inside the old pin's slack.
 pub const POOLED_TOTAL_NS_PER_EVENT: f64 = 168.0;
 
+/// Events-weighted ns/event after the threaded-code interpreter landed
+/// (flat op stream with pre-resolved operands, superinstruction fusion,
+/// batched request admission, split-borrow dispatch loop, incremental
+/// PDS pool counters). Pinned 2026-08-08 from the full sweep, fastest
+/// of four `figures -- bench` repeats (measured band 131.3–144.2 on a
+/// noisy single-core host; the minimum is the faithful estimate, see
+/// `engine_bench_experiment`, and the pin keeps a small margin above
+/// it). This supersedes
+/// [`POOLED_TOTAL_NS_PER_EVENT`] as the pin behind the
+/// tracing-disabled overhead guard (`tests/trace_overhead.rs`), with
+/// 2× release slack: a regression to even half-way back toward the
+/// pooled-substrate cost now fails loudly.
+pub const THREADED_TOTAL_NS_PER_EVENT: f64 = 135.0;
+
 /// The five algorithms of the paper's Figure 1.
 pub const FIG1_KINDS: [SchedulerKind; 5] = [
     SchedulerKind::Seq,

@@ -5,6 +5,10 @@
 //! warm-up, adaptive iteration count, and a median-of-batches ns/op
 //! report on stdout. Benches stay `harness = false` binaries.
 
+use dmt_lang::compile::{compile, compile_unfused, CompiledObject};
+use dmt_lang::{Action, MutexId, ObjectState, StepOutcome, VmPool};
+use dmt_workload::fig1::{build_object, client_scripts, Fig1Params};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per case. Short on purpose: benches also run
@@ -34,4 +38,143 @@ pub fn time_case<R>(group: &str, name: &str, mut f: impl FnMut() -> R) -> f64 {
     let median = samples[samples.len() / 2];
     println!("{group}/{name}: {median:.0} ns/op ({iters} iters x {BATCHES} batches)");
     median
+}
+
+// ---------------------------------------------------------------------
+// Interpreter dispatch-style microbench (`ubench interp`)
+//
+// Isolates the interpreter from the engine: the whole Figure-1 request
+// mix of a few clients is run to completion on a bare `ThreadVm` (every
+// action granted instantly, no scheduler, no event queue), once per
+// dispatch style:
+//
+//   match           — the retired per-step `match instr` loop
+//                     (`ThreadVm::step_match`, unfused program);
+//   threaded        — flat threaded-code dispatch, fusion off;
+//   threaded+fused  — the default: threaded dispatch + superinstructions.
+//
+// The three styles must be observationally identical; the equivalence
+// check runs first and its summary line is byte-stable (counts and state
+// hash only — no timings), so artifact diffs catch semantic drift while
+// the ns/op lines remain free to vary with the host.
+// ---------------------------------------------------------------------
+
+/// One dispatch style of the interpreter microbench.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    Match,
+    Threaded,
+    ThreadedFused,
+}
+
+/// The Figure-1 request mix the microbench replays: every request of
+/// every client, in script order.
+fn interp_corpus() -> (
+    Arc<CompiledObject>,
+    Arc<CompiledObject>,
+    Vec<(dmt_lang::MethodIdx, dmt_lang::RequestArgs)>,
+) {
+    let p = Fig1Params::default().with_clients(4).with_seed(11);
+    let obj = build_object(&p);
+    let fused = compile(&obj);
+    let unfused = compile_unfused(&obj);
+    let requests = client_scripts(&p)
+        .into_iter()
+        .flat_map(|s| s.requests)
+        .collect();
+    (fused, unfused, requests)
+}
+
+/// Runs the whole corpus on one persistent state; returns the action
+/// trace plus the step/fused meters.
+fn run_corpus(
+    program: &Arc<CompiledObject>,
+    requests: &[(dmt_lang::MethodIdx, dmt_lang::RequestArgs)],
+    style: Dispatch,
+) -> (Vec<Action>, ObjectState, u64, u64) {
+    let mut state = ObjectState::for_object(program, MutexId::new(0));
+    let mut trace = Vec::new();
+    let mut steps = 0;
+    let mut fused = 0;
+    // Pool the VMs exactly like the engine's per-replica pool does, so
+    // the timing measures dispatch, not frame allocation.
+    let mut pool = VmPool::new();
+    for (method, args) in requests {
+        let mut vm = pool.acquire(program.clone(), *method, args);
+        loop {
+            let out = match style {
+                Dispatch::Match => vm.step_match(&mut state),
+                _ => vm.step(&mut state),
+            };
+            match out {
+                StepOutcome::Action(a) => trace.push(a),
+                StepOutcome::Finished => break,
+                StepOutcome::Faulted(f) => panic!("corpus faulted: {f:?}"),
+            }
+        }
+        steps += vm.steps();
+        fused += vm.fused_steps();
+        pool.release(vm);
+    }
+    (trace, state, steps, fused)
+}
+
+/// The byte-stable face of the microbench: asserts the three dispatch
+/// styles produce identical action traces and state hashes, and returns
+/// the invariant summary line.
+pub fn interp_profile() -> String {
+    let (fused_prog, unfused_prog, requests) = interp_corpus();
+    let (t_match, s_match, steps, _) = run_corpus(&unfused_prog, &requests, Dispatch::Match);
+    let (t_thr, s_thr, steps_thr, _) = run_corpus(&unfused_prog, &requests, Dispatch::Threaded);
+    let (t_fus, s_fus, steps_fused, fused_steps) =
+        run_corpus(&fused_prog, &requests, Dispatch::ThreadedFused);
+    assert_eq!(t_match, t_thr, "threaded dispatch diverged from match");
+    assert_eq!(t_match, t_fus, "fusion diverged from match");
+    assert_eq!(s_match.state_hash(), s_thr.state_hash());
+    assert_eq!(s_match.state_hash(), s_fus.state_hash());
+    assert_eq!(
+        steps, steps_thr,
+        "dispatch style must not change step count"
+    );
+    format!(
+        "interp/profile: requests={} actions={} steps={} fused_steps={} steps_fused={} state_hash={:#018x}",
+        requests.len(),
+        t_match.len(),
+        steps,
+        fused_steps,
+        steps_fused,
+        s_match.state_hash(),
+    )
+}
+
+/// **interp** — dispatch-style comparison: match-loop vs threaded vs
+/// threaded+fused on the Figure-1 request mix. Prints the byte-stable
+/// equivalence line first, then ns/op per style.
+pub fn interp_bench() {
+    println!("{}", interp_profile());
+    let (fused_prog, unfused_prog, requests) = interp_corpus();
+    time_case("interp", "match", || {
+        run_corpus(&unfused_prog, &requests, Dispatch::Match).3
+    });
+    time_case("interp", "threaded", || {
+        run_corpus(&unfused_prog, &requests, Dispatch::Threaded).3
+    });
+    time_case("interp", "threaded+fused", || {
+        run_corpus(&fused_prog, &requests, Dispatch::ThreadedFused).3
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_profile_is_stable_and_styles_agree() {
+        // The assertions inside `interp_profile` are the real test; the
+        // repeat run checks the summary is deterministic run-to-run.
+        let a = interp_profile();
+        let b = interp_profile();
+        assert_eq!(a, b);
+        assert!(a.starts_with("interp/profile: requests="), "{a}");
+    }
 }

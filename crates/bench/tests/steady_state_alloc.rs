@@ -118,6 +118,32 @@ fn warm_substrate_paths_do_not_allocate() {
         vm_delta, 0,
         "warm VM acquire/run/release cycle allocated {vm_delta} times"
     );
+
+    // --- Admission ready ring: the engine's batched-admission buffer
+    // (`VecDeque<(usize, ThreadId)>`) is pushed and drained once per
+    // admitted/resumed thread. Like the queue slab, it must reach its
+    // high-water capacity during warm-up and then recycle it — batching
+    // must not trade the zero-delay queue event for a fresh allocation.
+    let mut ring: std::collections::VecDeque<(usize, dmt_core::ThreadId)> =
+        std::collections::VecDeque::new();
+    for burst in 0..4usize {
+        for t in 0..64u32 {
+            ring.push_back((burst % 3, dmt_core::ThreadId::new(t)));
+        }
+        while ring.pop_front().is_some() {}
+    }
+    let before = allocations();
+    for burst in 0..100usize {
+        for t in 0..64u32 {
+            ring.push_back((burst % 3, dmt_core::ThreadId::new(t)));
+        }
+        while ring.pop_front().is_some() {}
+    }
+    let ring_delta = allocations() - before;
+    assert_eq!(
+        ring_delta, 0,
+        "warm admission-ring churn allocated {ring_delta} times"
+    );
     assert_eq!(
         pool.allocs(),
         1,

@@ -266,6 +266,11 @@ impl Harness {
                     self.dispatch(SchedEvent::ThreadFinished { tid });
                     return;
                 }
+                // The harness drives hand-built programs; a malformed one
+                // is a test bug, so fail loudly (the replica engine, which
+                // runs client-supplied scenarios, parks the thread
+                // instead).
+                StepOutcome::Faulted(f) => panic!("{tid} hit interpreter fault: {f}"),
                 StepOutcome::Action(action) => match action {
                     Action::Compute { .. } => {
                         // Zero logical cost.

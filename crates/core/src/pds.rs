@@ -60,6 +60,9 @@ enum St {
 
 struct Member {
     st: St,
+    /// Mirror of `pool` membership so the hot path never scans the pool
+    /// vector to answer "is this thread a member?".
+    in_pool: bool,
     /// Pending lock request (Collected, or Queued re-entry).
     pending: Option<dmt_lang::MutexId>,
     grants_used: u32,
@@ -96,6 +99,13 @@ pub struct PdsScheduler {
     /// Count of non-dummy members not yet `Finished` — the O(1) answer
     /// to `real_work_left`, which runs on every event.
     real_unfinished: usize,
+    /// Pool members not yet settled (still `Running` towards their next
+    /// lock request). `barrier_met` runs after every event, so this is
+    /// maintained incrementally instead of scanning the pool.
+    pool_unsettled: usize,
+    /// Pool members in `Collected` — the O(1) answer to "does anyone
+    /// wait for a grant?" in `fill_slots`.
+    pool_collected: usize,
 }
 
 impl PdsScheduler {
@@ -110,6 +120,8 @@ impl PdsScheduler {
             pool: Vec::new(),
             dummies_in_flight: 0,
             real_unfinished: 0,
+            pool_unsettled: 0,
+            pool_collected: 0,
         }
     }
 
@@ -129,12 +141,43 @@ impl PdsScheduler {
         self.real_unfinished > 0
     }
 
+    fn settled_st(st: St) -> bool {
+        matches!(st, St::Collected | St::CoreBlocked | St::Finished)
+    }
+
+    /// The one place a member's state changes: keeps the incremental
+    /// pool counters (`pool_unsettled`, `pool_collected`) in sync.
+    fn set_st(&mut self, tid: ThreadId, st: St) {
+        let m = self.threads.get_mut(tid.index()).expect("unknown thread");
+        let old = m.st;
+        m.st = st;
+        if m.in_pool {
+            self.pool_unsettled += usize::from(!Self::settled_st(st));
+            self.pool_unsettled -= usize::from(!Self::settled_st(old));
+            self.pool_collected += usize::from(st == St::Collected);
+            self.pool_collected -= usize::from(old == St::Collected);
+        }
+    }
+
     fn leave_pool(&mut self, tid: ThreadId) {
+        let m = self.threads.get_mut(tid.index()).expect("unknown thread");
+        if !m.in_pool {
+            return;
+        }
+        m.in_pool = false;
+        let st = m.st;
+        self.pool_unsettled -= usize::from(!Self::settled_st(st));
+        self.pool_collected -= usize::from(st == St::Collected);
         self.pool.retain(|&t| t != tid);
     }
 
     fn join_pool(&mut self, tid: ThreadId) {
-        debug_assert!(!self.pool.contains(&tid));
+        let m = self.threads.get_mut(tid.index()).expect("unknown thread");
+        debug_assert!(!m.in_pool);
+        m.in_pool = true;
+        let st = m.st;
+        self.pool_unsettled += usize::from(!Self::settled_st(st));
+        self.pool_collected += usize::from(st == St::Collected);
         self.pool.push(tid);
         self.pool.sort_unstable();
     }
@@ -152,7 +195,7 @@ impl PdsScheduler {
             match entry {
                 RoomEntry::Fresh(_) => {
                     debug_assert_eq!(self.mref(tid).st, St::Queued);
-                    self.member(tid).st = St::Running;
+                    self.set_st(tid, St::Running);
                     self.member(tid).grants_used = 0;
                     out.decision(|| Decision::Admit { tid });
                     out.push(SchedAction::Admit(tid));
@@ -163,24 +206,26 @@ impl PdsScheduler {
                     // fresh entry), or was already re-admitted through an
                     // earlier entry. Admitting a suspended thread as
                     // "Running" would wedge the barrier forever.
-                    if self.mref(tid).st != St::Queued || self.pool.contains(&tid) {
+                    if self.mref(tid).st != St::Queued || self.mref(tid).in_pool {
                         continue;
                     }
                     // May still be running its post-wake computation (no
                     // pending yet) or already gated at its next lock.
                     let has_pending = self.member(tid).pending.is_some();
-                    self.member(tid).st = if has_pending {
-                        St::Collected
-                    } else {
-                        St::Running
-                    };
+                    self.set_st(
+                        tid,
+                        if has_pending {
+                            St::Collected
+                        } else {
+                            St::Running
+                        },
+                    );
                     self.member(tid).grants_used = 0;
                 }
             }
             self.join_pool(tid);
         }
-        let someone_waits = self.pool.iter().any(|&m| self.mref(m).st == St::Collected);
-        if !self.real_work_left() || !someone_waits {
+        if !self.real_work_left() || self.pool_collected == 0 {
             return;
         }
         while self.pool.len() + self.waiting_room.len() + self.dummies_in_flight
@@ -199,10 +244,15 @@ impl PdsScheduler {
     }
 
     /// The §3.3 quorum: every member settled, the pool at full strength
-    /// while real work remains.
+    /// while real work remains. O(1): `pool_unsettled` is maintained at
+    /// every state change, so the per-event check never scans the pool.
     fn barrier_met(&self) -> bool {
+        debug_assert_eq!(
+            self.pool_unsettled,
+            self.pool.iter().filter(|&&m| !self.settled(m)).count()
+        );
         !self.pool.is_empty()
-            && self.pool.iter().all(|&m| self.settled(m))
+            && self.pool_unsettled == 0
             && (self.pool.len() >= self.cfg.batch_size || !self.real_work_left())
     }
 
@@ -224,7 +274,7 @@ impl PdsScheduler {
             granted_any = true;
             match self.sync.lock(tid, mutex) {
                 LockOutcome::Acquired => {
-                    self.member(tid).st = St::Running;
+                    self.set_st(tid, St::Running);
                     out.decision(|| Decision::Grant {
                         tid,
                         mutex,
@@ -233,7 +283,7 @@ impl PdsScheduler {
                     out.push(SchedAction::Resume(tid));
                 }
                 LockOutcome::Queued => {
-                    self.member(tid).st = St::CoreBlocked;
+                    self.set_st(tid, St::CoreBlocked);
                     out.decision(|| Decision::Defer {
                         tid,
                         mutex,
@@ -273,10 +323,20 @@ impl PdsScheduler {
                 continue;
             }
             // Round complete: evict finished members and refill.
+            // (Finished members are settled and not Collected, so the
+            // incremental counters only need the membership flag
+            // cleared.)
             let before = self.pool.len();
-            let threads = &self.threads;
-            self.pool
-                .retain(|tid| threads[tid.index()].st != St::Finished);
+            let threads = &mut self.threads;
+            self.pool.retain(|tid| {
+                let m = threads.get_mut(tid.index()).expect("pool member");
+                if m.st == St::Finished {
+                    m.in_pool = false;
+                    false
+                } else {
+                    true
+                }
+            });
             if self.pool.len() == before {
                 return;
             }
@@ -295,12 +355,12 @@ impl PdsScheduler {
             // resumes holding the monitor, so it rejoins the pool at once
             // (see module docs).
             debug_assert_eq!(self.mref(g.tid).st, St::Out);
-            self.member(g.tid).st = St::Running;
+            self.set_st(g.tid, St::Running);
             self.member(g.tid).grants_used = 0;
             self.join_pool(g.tid);
         } else {
             debug_assert_eq!(self.mref(g.tid).st, St::CoreBlocked);
-            self.member(g.tid).st = St::Running;
+            self.set_st(g.tid, St::Running);
         }
         out.push(SchedAction::Resume(g.tid));
     }
@@ -327,11 +387,7 @@ impl Scheduler for PdsScheduler {
     fn depths(&self) -> DepthSample {
         let mut d = self.sync.depths();
         d.admission = self.waiting_room.len() as u32;
-        d.sched_queue = self
-            .pool
-            .iter()
-            .filter(|&&m| self.mref(m).st == St::Collected)
-            .count() as u32;
+        d.sched_queue = self.pool_collected as u32;
         d
     }
 
@@ -347,6 +403,7 @@ impl Scheduler for PdsScheduler {
                     tid.index(),
                     Member {
                         st: St::Queued,
+                        in_pool: false,
                         pending: None,
                         grants_used: 0,
                         dummy,
@@ -374,9 +431,8 @@ impl Scheduler for PdsScheduler {
                 }
                 match self.mref(tid).st {
                     St::Running => {
-                        let member = self.member(tid);
-                        member.st = St::Collected;
-                        member.pending = Some(mutex);
+                        self.set_st(tid, St::Collected);
+                        self.member(tid).pending = Some(mutex);
                     }
                     St::Queued => {
                         // Woken thread still in the waiting room: record
@@ -400,7 +456,7 @@ impl Scheduler for PdsScheduler {
             }
             SchedEvent::WaitCalled { tid, mutex } => {
                 self.leave_pool(tid);
-                self.member(tid).st = St::Out;
+                self.set_st(tid, St::Out);
                 if let Some(g) = self.sync.wait(tid, mutex) {
                     self.on_grant(g, out);
                 }
@@ -411,7 +467,7 @@ impl Scheduler for PdsScheduler {
             }
             SchedEvent::NestedStarted { tid } => {
                 self.leave_pool(tid);
-                self.member(tid).st = St::Out;
+                self.set_st(tid, St::Out);
                 self.after_change(out);
             }
             SchedEvent::NestedCompleted { tid } => {
@@ -419,7 +475,7 @@ impl Scheduler for PdsScheduler {
                 out.push(SchedAction::Resume(tid));
                 if !self.sync.holds_none(tid) {
                     // Monitor holder: must be able to reach its unlocks.
-                    self.member(tid).st = St::Running;
+                    self.set_st(tid, St::Running);
                     self.member(tid).grants_used = 0;
                     self.join_pool(tid);
                 } else {
@@ -429,20 +485,18 @@ impl Scheduler for PdsScheduler {
                     // every replica. Enqueueing at the thread's next lock
                     // request instead would race local execution against
                     // arrivals and diverge (found by the checker).
-                    self.member(tid).st = St::Queued;
+                    self.set_st(tid, St::Queued);
                     self.waiting_room.push_back(RoomEntry::Reentry(tid));
                 }
                 self.after_change(out);
             }
             SchedEvent::ThreadFinished { tid } => {
                 debug_assert!(self.sync.holds_none(tid));
-                let in_pool = self.pool.contains(&tid);
-                let member = self.member(tid);
-                let was_real = !member.dummy;
-                member.st = St::Finished;
-                if !in_pool {
+                let was_real = !self.mref(tid).dummy;
+                self.set_st(tid, St::Finished);
+                if !self.mref(tid).in_pool {
                     // Paroled thread finished outside the pool.
-                    member.pending = None;
+                    self.member(tid).pending = None;
                 }
                 if was_real {
                     debug_assert!(self.real_unfinished > 0);

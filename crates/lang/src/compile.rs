@@ -10,6 +10,7 @@
 
 use crate::ast::{ArgExpr, CondExpr, CountExpr, DurExpr, IntExpr, MutexExpr, ObjectImpl, Stmt};
 use crate::ids::{CallSiteId, CellId, LocalId, MethodIdx, ServiceId, SyncId};
+use crate::threaded::{self, ThreadedCode};
 use std::sync::Arc;
 
 /// One bytecode instruction. `Lock`/`Unlock` correspond to the beginning
@@ -108,12 +109,19 @@ pub struct CompiledMethod {
 
 /// A compiled object: all methods, ready for the interpreter. Wrapped in
 /// `Arc` by callers so every replica shares one copy.
+///
+/// `methods[..].code` keeps the analysable `Instr` form (what
+/// `dmt-analysis` and the reports walk); `flat` is the threaded-code
+/// lowering the interpreter actually dispatches on.
 #[derive(Clone, Debug)]
 pub struct CompiledObject {
     pub name: String,
     pub methods: Vec<CompiledMethod>,
     pub n_cells: u32,
     pub n_fields: u32,
+    /// Flat threaded-code stream (all methods concatenated, absolute
+    /// pcs, operand side pools). See [`crate::threaded`].
+    pub flat: ThreadedCode,
 }
 
 impl CompiledObject {
@@ -159,15 +167,29 @@ impl CompiledObject {
     }
 }
 
-/// Compiles a validated [`ObjectImpl`]. Panics if validation fails —
-/// compiling an invalid object is a harness bug, not a runtime condition.
+/// Compiles a validated [`ObjectImpl`] with superinstruction fusion on
+/// (the default everywhere). Panics if validation fails — compiling an
+/// invalid object is a harness bug, not a runtime condition.
 pub fn compile(obj: &ObjectImpl) -> Arc<CompiledObject> {
+    compile_opts(obj, true)
+}
+
+/// [`compile`] with the superinstruction fusion pass disabled. Used by
+/// the fusion-equivalence differential tests and the dispatch-style
+/// microbench; the unfused stream is also the only one
+/// [`crate::interp::ThreadVm::step_match`] (the reference match-loop
+/// interpreter) can execute, because its `Instr` pcs map 1:1 onto ops.
+pub fn compile_unfused(obj: &ObjectImpl) -> Arc<CompiledObject> {
+    compile_opts(obj, false)
+}
+
+fn compile_opts(obj: &ObjectImpl, fuse: bool) -> Arc<CompiledObject> {
     let problems = obj.validate();
     assert!(
         problems.is_empty(),
         "cannot compile invalid object: {problems:?}"
     );
-    let methods = obj
+    let methods: Vec<CompiledMethod> = obj
         .methods
         .iter()
         .map(|m| {
@@ -185,11 +207,25 @@ pub fn compile(obj: &ObjectImpl) -> Arc<CompiledObject> {
             }
         })
         .collect();
+    let flat = threaded::lower(&methods, fuse);
+    if cfg!(debug_assertions) {
+        // Fusion must never move a scheduler-visible emission point.
+        for (i, m) in methods.iter().enumerate() {
+            let unfused = threaded::lower(&methods[i..=i], false);
+            debug_assert_eq!(
+                threaded::action_profile(&flat, i, m.code.len()),
+                threaded::action_profile(&unfused, 0, m.code.len()),
+                "fusion changed the emission profile of {}",
+                m.name
+            );
+        }
+    }
     Arc::new(CompiledObject {
         name: obj.name.clone(),
         methods,
         n_cells: obj.n_cells,
         n_fields: obj.n_fields,
+        flat,
     })
 }
 

@@ -11,6 +11,7 @@
 use crate::ast::{ArgExpr, CondExpr, CountExpr, DurExpr, IntExpr, MutexExpr};
 use crate::compile::{CompiledObject, Instr};
 use crate::ids::{CellId, FieldId, MethodIdx, MutexId, ServiceId, SyncId};
+use crate::threaded::{cond, ctag, dtag, itag, mtag, Op, OpCode, COND_NEGATE};
 use crate::value::{RequestArgs, Value};
 use std::sync::Arc;
 
@@ -157,6 +158,27 @@ pub enum Action {
     Ignore { sync_id: SyncId },
 }
 
+/// A structured interpreter fault: the program is malformed in a way the
+/// compiler cannot produce but hand-built bytecode can. Faults are
+/// deterministic (a pure function of program + arguments + state, like
+/// every other step), so all replicas fault identically — the engine
+/// reports the run as failed instead of aborting the process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// `Unlock` executed with no matching `Lock` in the current frame.
+    UnlockWithoutLock { sync_id: SyncId },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::UnlockWithoutLock { sync_id } => {
+                write!(f, "unlock at {sync_id} without matching lock")
+            }
+        }
+    }
+}
+
 /// Result of stepping a VM.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -165,6 +187,9 @@ pub enum StepOutcome {
     Action(Action),
     /// The root method returned; the thread is done.
     Finished,
+    /// The program is malformed; the thread cannot continue. Re-stepping
+    /// returns the same fault.
+    Faulted(Fault),
 }
 
 /// Per-frame bookkeeping: where this frame's arguments, locals, loop
@@ -175,6 +200,8 @@ pub enum StepOutcome {
 #[derive(Clone, Copy)]
 struct FrameMeta {
     method: MethodIdx,
+    /// Absolute pc into the object's flat threaded-code stream
+    /// ([`crate::threaded::ThreadedCode::ops`]).
     pc: usize,
     args_base: usize,
     locals_base: usize,
@@ -205,6 +232,9 @@ pub struct ThreadVm {
     sync_stack: Vec<(SyncId, MutexId)>,
     /// Count of `step` calls, exposed for tests and runaway detection.
     steps: u64,
+    /// Count of superinstruction executions, exposed for the bench
+    /// per-kind `fused_steps` counter.
+    fused: u64,
 }
 
 /// Hard bound on internal (non-action) instructions executed per `step`
@@ -223,6 +253,7 @@ impl ThreadVm {
             loop_slots: Vec::new(),
             sync_stack: Vec::new(),
             steps: 0,
+            fused: 0,
         };
         vm.start(method, &args);
         vm
@@ -239,6 +270,7 @@ impl ThreadVm {
         self.loop_slots.clear();
         self.sync_stack.clear();
         self.steps = 0;
+        self.fused = 0;
         self.start(method, args);
     }
 
@@ -260,6 +292,11 @@ impl ThreadVm {
         self.steps
     }
 
+    /// Superinstruction executions since construction/reset.
+    pub fn fused_steps(&self) -> u64 {
+        self.fused
+    }
+
     /// Monitors currently held by this thread across all frames, in
     /// acquisition order (outermost first). Reentrant acquisitions appear
     /// once per `Lock`.
@@ -272,7 +309,321 @@ impl ThreadVm {
     /// steps one VM at a time, so these writes are race-free by
     /// construction — the simulation analogue of "all access is properly
     /// synchronised").
+    ///
+    /// This is the threaded-code loop: it fetches fixed-size [`Op`] words
+    /// by value from the object's flat stream, dispatches through the
+    /// dense `OpCode` jump table, and keeps the VM registers (`pc` and
+    /// the four frame bases) in locals across handler calls — the frame
+    /// record is written back only when the step returns or the frame
+    /// changes. Handlers are `#[inline(always)]` free functions over the
+    /// operand words.
     pub fn step(&mut self, state: &mut ObjectState) -> StepOutcome {
+        self.steps += 1;
+        let mut budget = INTERNAL_STEP_LIMIT;
+        // Split borrows: handlers mutate the arenas, but the program is
+        // read-only for the whole step. Naming the fields separately lets
+        // the flat stream's base pointers stay in registers across those
+        // mutations — routed through `self`, every `state.set_cell` would
+        // force the optimiser to re-load them.
+        let ThreadVm {
+            program,
+            frames,
+            args,
+            locals,
+            loop_slots,
+            sync_stack,
+            fused,
+            ..
+        } = self;
+        let flat = &program.flat;
+        'frame: loop {
+            let Some(&FrameMeta {
+                method: _,
+                pc: frame_pc,
+                args_base,
+                locals_base,
+                loops_base,
+                sync_base,
+            }) = frames.last()
+            else {
+                return StepOutcome::Finished;
+            };
+            let fi = frames.len() - 1;
+            let mut pc = frame_pc;
+            loop {
+                if budget == 0 {
+                    panic!(
+                        "thread exceeded {INTERNAL_STEP_LIMIT} internal steps: \
+                         non-terminating internal loop"
+                    );
+                }
+                budget -= 1;
+                // `Op` is `Copy`: the fetch ends the borrow of `program`
+                // immediately, so handlers mutate the arenas freely.
+                let op = flat.ops[pc];
+                match op.code {
+                    // ---- action opcodes: suspend with an Action ----
+                    OpCode::Compute => {
+                        let dur_ns = dur_op(op.t, op.a, &flat.lits, &args[args_base..]);
+                        frames[fi].pc = pc + 1;
+                        return StepOutcome::Action(Action::Compute { dur_ns });
+                    }
+                    OpCode::Lock => {
+                        let mutex = mutex_op(op, &args[args_base..], &locals[locals_base..], state);
+                        let sync_id = SyncId(op.a);
+                        sync_stack.push((sync_id, mutex));
+                        frames[fi].pc = pc + 1;
+                        return StepOutcome::Action(Action::Lock { sync_id, mutex });
+                    }
+                    OpCode::Unlock => {
+                        return unlock_tail(frames, sync_stack, fi, pc + 1, pc, sync_base, op.a);
+                    }
+                    OpCode::Wait => {
+                        let mutex = mutex_op(op, &args[args_base..], &locals[locals_base..], state);
+                        frames[fi].pc = pc + 1;
+                        return StepOutcome::Action(Action::Wait { mutex });
+                    }
+                    OpCode::NotifyOne | OpCode::NotifyAll => {
+                        let mutex = mutex_op(op, &args[args_base..], &locals[locals_base..], state);
+                        let all = op.code == OpCode::NotifyAll;
+                        frames[fi].pc = pc + 1;
+                        return StepOutcome::Action(Action::Notify { mutex, all });
+                    }
+                    OpCode::Nested => {
+                        let dur_ns = dur_op(op.t, op.b, &flat.lits, &args[args_base..]);
+                        frames[fi].pc = pc + 1;
+                        return StepOutcome::Action(Action::Nested {
+                            service: ServiceId(op.a),
+                            dur_ns,
+                        });
+                    }
+                    OpCode::LockInfo => {
+                        let mutex = mutex_op(op, &args[args_base..], &locals[locals_base..], state);
+                        let sync_id = SyncId(op.a);
+                        frames[fi].pc = pc + 1;
+                        return StepOutcome::Action(Action::LockInfo { sync_id, mutex });
+                    }
+                    OpCode::IgnoreSync => {
+                        frames[fi].pc = pc + 1;
+                        return StepOutcome::Action(Action::Ignore {
+                            sync_id: SyncId(op.a),
+                        });
+                    }
+                    // ---- internal opcodes: no scheduler involvement ----
+                    OpCode::Update => {
+                        let d = int_op(op.t, op.b, &flat.lits, &args[args_base..], state);
+                        let cell = CellId(op.a);
+                        state.set_cell(cell, state.cell(cell).wrapping_add(d));
+                        pc += 1;
+                    }
+                    OpCode::UpdateIndexed => {
+                        let fargs = &args[args_base..];
+                        let idx = arg_at(fargs, op.sa as usize)
+                            .as_int()
+                            .rem_euclid(op.b as i64) as u32;
+                        let cell = CellId::new(op.a + idx);
+                        let d = int_op(op.t, op.c, &flat.lits, fargs, state);
+                        state.set_cell(cell, state.cell(cell).wrapping_add(d));
+                        pc += 1;
+                    }
+                    OpCode::SetCell => {
+                        let v = int_op(op.t, op.b, &flat.lits, &args[args_base..], state);
+                        state.set_cell(CellId(op.a), v);
+                        pc += 1;
+                    }
+                    OpCode::Assign => {
+                        let m = mutex_op(op, &args[args_base..], &locals[locals_base..], state);
+                        locals[locals_base + op.a as usize] = Value::Mutex(m);
+                        pc += 1;
+                    }
+                    OpCode::BranchIfFalse => {
+                        pc = if cond_op(op, &flat.lits, &args[args_base..], state) {
+                            pc + 1
+                        } else {
+                            op.a as usize
+                        };
+                    }
+                    OpCode::Jump => pc = op.a as usize,
+                    OpCode::LoopInit => {
+                        let n = if op.t == ctag::LIT {
+                            op.a
+                        } else {
+                            arg_at(&args[args_base..], op.a as usize).as_int().max(0) as u32
+                        };
+                        loop_slots[loops_base + op.sa as usize] = n;
+                        pc += 1;
+                    }
+                    OpCode::LoopTest => {
+                        let c = &mut loop_slots[loops_base + op.sa as usize];
+                        if *c == 0 {
+                            pc = op.a as usize;
+                        } else {
+                            *c -= 1;
+                            pc += 1;
+                        }
+                    }
+                    OpCode::Call => {
+                        let callee = MethodIdx(op.a);
+                        let (s, n) = (op.b as usize, op.c as usize);
+                        let callee_base = eval_call_args(
+                            args,
+                            locals,
+                            &flat.arg_pool[s..s + n],
+                            args_base,
+                            locals_base,
+                            state,
+                        );
+                        frames[fi].pc = pc + 1;
+                        push_frame_on(
+                            program,
+                            frames,
+                            args,
+                            locals,
+                            loop_slots,
+                            sync_stack,
+                            callee,
+                            callee_base,
+                        );
+                        continue 'frame;
+                    }
+                    OpCode::CallVirtual => {
+                        let spec = flat.vcalls[op.a as usize];
+                        let sel = int_op(
+                            spec.sel_tag,
+                            spec.sel_op,
+                            &flat.lits,
+                            &args[args_base..],
+                            state,
+                        );
+                        let idx = sel.rem_euclid(spec.cand_len as i64) as usize;
+                        let target = flat.cand_pool[spec.cand_start as usize + idx];
+                        let (s, n) = (spec.args_start as usize, spec.args_len as usize);
+                        let callee_base = eval_call_args(
+                            args,
+                            locals,
+                            &flat.arg_pool[s..s + n],
+                            args_base,
+                            locals_base,
+                            state,
+                        );
+                        frames[fi].pc = pc + 1;
+                        push_frame_on(
+                            program,
+                            frames,
+                            args,
+                            locals,
+                            loop_slots,
+                            sync_stack,
+                            target,
+                            callee_base,
+                        );
+                        continue 'frame;
+                    }
+                    OpCode::Ret => {
+                        let f = frames.pop().expect("ret without frame");
+                        assert!(
+                            sync_stack.len() == f.sync_base,
+                            "returning while holding monitors {:?}",
+                            &sync_stack[f.sync_base..]
+                        );
+                        args.truncate(f.args_base);
+                        locals.truncate(f.locals_base);
+                        loop_slots.truncate(f.loops_base);
+                        if frames.is_empty() {
+                            return StepOutcome::Finished;
+                        }
+                        continue 'frame;
+                    }
+                    // ---- superinstructions ----
+                    OpCode::UpdateUnlock => {
+                        *fused += 1;
+                        let d = int_op(op.t, op.b, &flat.lits, &args[args_base..], state);
+                        let cell = CellId(op.a);
+                        state.set_cell(cell, state.cell(cell).wrapping_add(d));
+                        let sid = flat.ops[pc + 1].a;
+                        return unlock_tail(frames, sync_stack, fi, pc + 2, pc + 1, sync_base, sid);
+                    }
+                    OpCode::UpdateIndexedUnlock => {
+                        *fused += 1;
+                        let fargs = &args[args_base..];
+                        let idx = arg_at(fargs, op.sa as usize)
+                            .as_int()
+                            .rem_euclid(op.b as i64) as u32;
+                        let cell = CellId::new(op.a + idx);
+                        let d = int_op(op.t, op.c, &flat.lits, fargs, state);
+                        state.set_cell(cell, state.cell(cell).wrapping_add(d));
+                        let sid = flat.ops[pc + 1].a;
+                        return unlock_tail(frames, sync_stack, fi, pc + 2, pc + 1, sync_base, sid);
+                    }
+                    OpCode::SetCellUnlock => {
+                        *fused += 1;
+                        let v = int_op(op.t, op.b, &flat.lits, &args[args_base..], state);
+                        state.set_cell(CellId(op.a), v);
+                        let sid = flat.ops[pc + 1].a;
+                        return unlock_tail(frames, sync_stack, fi, pc + 2, pc + 1, sync_base, sid);
+                    }
+                    OpCode::BrFalseCompute => {
+                        *fused += 1;
+                        if cond_op(op, &flat.lits, &args[args_base..], state) {
+                            let carrier = flat.ops[pc + 1];
+                            let dur_ns =
+                                dur_op(carrier.t, carrier.a, &flat.lits, &args[args_base..]);
+                            frames[fi].pc = pc + 2;
+                            return StepOutcome::Action(Action::Compute { dur_ns });
+                        }
+                        pc = op.a as usize;
+                    }
+                    OpCode::BrFalseNested => {
+                        *fused += 1;
+                        if cond_op(op, &flat.lits, &args[args_base..], state) {
+                            let carrier = flat.ops[pc + 1];
+                            let dur_ns =
+                                dur_op(carrier.t, carrier.b, &flat.lits, &args[args_base..]);
+                            frames[fi].pc = pc + 2;
+                            return StepOutcome::Action(Action::Nested {
+                                service: ServiceId(carrier.a),
+                                dur_ns,
+                            });
+                        }
+                        pc = op.a as usize;
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`unlock_tail`] over this VM's arenas (the `step_match` reference
+    /// loop has no split borrows to thread through).
+    #[inline(always)]
+    fn do_unlock(
+        &mut self,
+        fi: usize,
+        next_pc: usize,
+        fault_pc: usize,
+        sync_base: usize,
+        sync_id: u32,
+    ) -> StepOutcome {
+        unlock_tail(
+            &mut self.frames,
+            &mut self.sync_stack,
+            fi,
+            next_pc,
+            fault_pc,
+            sync_base,
+            sync_id,
+        )
+    }
+
+    /// The retired per-step `match instr` dispatch, kept as the reference
+    /// implementation for differential tests and the dispatch-style
+    /// microbench (`ubench interp`). Executes the `Instr` form, so it is
+    /// only valid on unfused programs (where `Instr` pcs map 1:1 onto
+    /// flat ops — [`crate::compile::compile_unfused`]).
+    pub fn step_match(&mut self, state: &mut ObjectState) -> StepOutcome {
+        assert_eq!(
+            self.program.flat.fused_pairs, 0,
+            "step_match requires an unfused program (compile_unfused)"
+        );
         self.steps += 1;
         for _ in 0..INTERNAL_STEP_LIMIT {
             let Some(&FrameMeta {
@@ -287,12 +638,13 @@ impl ThreadVm {
                 return StepOutcome::Finished;
             };
             let fi = self.frames.len() - 1;
-            // Borrows only the `program` field; the arms below mutate the
-            // (disjoint) arena fields, so no handle clone is needed.
+            // Frame pcs are absolute into the flat stream; the 1:1
+            // unfused lowering makes `pc - entry` the `Instr` index.
+            let entry = self.program.flat.entries[method.index()] as usize;
+            let ipc = pc - entry;
             let code = &self.program.methods[method.index()].code;
-            debug_assert!(pc < code.len(), "pc ran off method end");
-            let instr = &code[pc];
-            // The executing frame's arena segments are the arena tails.
+            debug_assert!(ipc < code.len(), "pc ran off method end");
+            let instr = &code[ipc];
             let fargs = &self.args[args_base..];
             let flocals = &self.locals[locals_base..];
             match instr {
@@ -309,14 +661,7 @@ impl ThreadVm {
                     return StepOutcome::Action(Action::Lock { sync_id, mutex });
                 }
                 Instr::Unlock { sync_id } => {
-                    debug_assert!(self.sync_stack.len() > sync_base, "unlock crosses frame");
-                    let (sid, mutex) = self.sync_stack.pop().expect("unlock without matching lock");
-                    debug_assert_eq!(sid, *sync_id, "unbalanced sync stack");
-                    self.frames[fi].pc = pc + 1;
-                    return StepOutcome::Action(Action::Unlock {
-                        sync_id: sid,
-                        mutex,
-                    });
+                    return self.do_unlock(fi, pc + 1, pc, sync_base, sync_id.0);
                 }
                 Instr::Wait(param) => {
                     let mutex = eval_mutex(param, fargs, flocals, state);
@@ -346,7 +691,6 @@ impl ThreadVm {
                     self.frames[fi].pc = pc + 1;
                     return StepOutcome::Action(Action::Ignore { sync_id });
                 }
-                // ---- internal instructions: no scheduler involvement ----
                 Instr::Update { cell, delta } => {
                     let d = eval_int(delta, fargs, state);
                     state.set_cell(*cell, state.cell(*cell).wrapping_add(d));
@@ -378,10 +722,10 @@ impl ThreadVm {
                     self.frames[fi].pc = if eval_cond(cond, fargs, state) {
                         pc + 1
                     } else {
-                        *target
+                        entry + *target
                     };
                 }
-                Instr::Jump(target) => self.frames[fi].pc = *target,
+                Instr::Jump(target) => self.frames[fi].pc = entry + *target,
                 Instr::LoopInit { slot, count } => {
                     let n = match count {
                         CountExpr::Lit(n) => *n,
@@ -393,7 +737,7 @@ impl ThreadVm {
                 Instr::LoopTest { slot, exit } => {
                     let c = &mut self.loop_slots[loops_base + *slot as usize];
                     if *c == 0 {
-                        self.frames[fi].pc = *exit;
+                        self.frames[fi].pc = entry + *exit;
                     } else {
                         *c -= 1;
                         self.frames[fi].pc = pc + 1;
@@ -455,28 +799,82 @@ impl ThreadVm {
 
     /// Pushes a frame whose arguments already occupy `args[args_base..]`.
     fn push_frame(&mut self, method: MethodIdx, args_base: usize) {
-        let m = &self.program.methods[method.index()];
-        assert_eq!(
-            self.args.len() - args_base,
-            m.arity,
-            "call arity mismatch for {}",
-            m.name
-        );
-        let (n_locals, n_loops) = (m.n_locals as usize, m.n_loop_slots as usize);
-        let locals_base = self.locals.len();
-        let loops_base = self.loop_slots.len();
-        let sync_base = self.sync_stack.len();
-        self.locals.resize(locals_base + n_locals, Value::Int(0));
-        self.loop_slots.resize(loops_base + n_loops, 0);
-        self.frames.push(FrameMeta {
+        push_frame_on(
+            &self.program,
+            &mut self.frames,
+            &self.args,
+            &mut self.locals,
+            &mut self.loop_slots,
+            &self.sync_stack,
             method,
-            pc: 0,
             args_base,
-            locals_base,
-            loops_base,
-            sync_base,
+        );
+    }
+}
+
+/// Shared monitor-exit tail of `Unlock` and the fused `*Unlock`
+/// superinstructions: pops the sync stack, or faults deterministically
+/// when the frame holds no monitor (`fault_pc` re-faults on re-step).
+#[inline(always)]
+fn unlock_tail(
+    frames: &mut [FrameMeta],
+    sync_stack: &mut Vec<(SyncId, MutexId)>,
+    fi: usize,
+    next_pc: usize,
+    fault_pc: usize,
+    sync_base: usize,
+    sync_id: u32,
+) -> StepOutcome {
+    if sync_stack.len() <= sync_base {
+        frames[fi].pc = fault_pc;
+        return StepOutcome::Faulted(Fault::UnlockWithoutLock {
+            sync_id: SyncId(sync_id),
         });
     }
+    let (sid, mutex) = sync_stack.pop().expect("checked above");
+    debug_assert_eq!(sid.0, sync_id, "unbalanced sync stack");
+    frames[fi].pc = next_pc;
+    StepOutcome::Action(Action::Unlock {
+        sync_id: sid,
+        mutex,
+    })
+}
+
+/// Frame push over explicit arenas, callable from `step`'s split-borrow
+/// loop (which cannot take `&mut self` while the hoisted program borrow
+/// is live).
+#[allow(clippy::too_many_arguments)]
+fn push_frame_on(
+    program: &CompiledObject,
+    frames: &mut Vec<FrameMeta>,
+    args: &[Value],
+    locals: &mut Vec<Value>,
+    loop_slots: &mut Vec<u32>,
+    sync_stack: &[(SyncId, MutexId)],
+    method: MethodIdx,
+    args_base: usize,
+) {
+    let m = &program.methods[method.index()];
+    assert_eq!(
+        args.len() - args_base,
+        m.arity,
+        "call arity mismatch for {}",
+        m.name
+    );
+    let (n_locals, n_loops) = (m.n_locals as usize, m.n_loop_slots as usize);
+    let locals_base = locals.len();
+    let loops_base = loop_slots.len();
+    let sync_base = sync_stack.len();
+    locals.resize(locals_base + n_locals, Value::Int(0));
+    loop_slots.resize(loops_base + n_loops, 0);
+    frames.push(FrameMeta {
+        method,
+        pc: program.flat.entries[method.index()] as usize,
+        args_base,
+        locals_base,
+        loops_base,
+        sync_base,
+    });
 }
 
 /// A reset-on-reuse free list of [`ThreadVm`]s. A replica acquires a VM
@@ -612,6 +1010,68 @@ fn eval_mutex(e: &MutexExpr, args: &[Value], locals: &[Value], state: &ObjectSta
     }
 }
 
+/// Duration operand of a threaded op: literal-pool index or argument
+/// index, per [`dtag`].
+#[inline(always)]
+fn dur_op(t: u8, operand: u32, lits: &[i64], args: &[Value]) -> u64 {
+    if t == dtag::LIT {
+        lits[operand as usize] as u64
+    } else {
+        arg_at(args, operand as usize).as_dur_nanos()
+    }
+}
+
+/// Integer operand of a threaded op, per [`itag`].
+#[inline(always)]
+fn int_op(t: u8, operand: u32, lits: &[i64], args: &[Value], state: &ObjectState) -> i64 {
+    match t {
+        itag::LIT => lits[operand as usize],
+        itag::ARG => arg_at(args, operand as usize).as_int(),
+        _ => state.cell(CellId(operand)),
+    }
+}
+
+/// Mutex operand of a threaded op, per [`mtag`] (packing documented on
+/// `threaded::pack_mutex`).
+#[inline(always)]
+fn mutex_op(op: Op, args: &[Value], locals: &[Value], state: &ObjectState) -> MutexId {
+    match op.t {
+        mtag::THIS => state.this_mutex,
+        mtag::KONST => MutexId(op.b),
+        mtag::ARG => arg_at(args, op.b as usize).as_mutex(),
+        mtag::LOCAL => locals[op.b as usize].as_mutex(),
+        mtag::FIELD => state.field(FieldId(op.b)),
+        mtag::POOL => {
+            let idx = arg_at(args, op.sa as usize)
+                .as_int()
+                .rem_euclid(op.c as i64) as u32;
+            MutexId::new(op.b + idx)
+        }
+        mtag::POOL_BY_CELL => {
+            let idx = state.cell(CellId(op.d)).rem_euclid(op.c as i64) as u32;
+            MutexId::new(op.b + idx)
+        }
+        // CALL_RESULT resolves to the field the analysis pinned it to.
+        _ => state.field(FieldId(op.b)),
+    }
+}
+
+/// Condition operand of a threaded op, per [`cond`]; `COND_NEGATE` in the
+/// tag folds any `Not` wrappers into a polarity flip.
+#[inline(always)]
+fn cond_op(op: Op, lits: &[i64], args: &[Value], state: &ObjectState) -> bool {
+    let v = match op.t & !COND_NEGATE {
+        cond::KONST => op.b != 0,
+        cond::ARG_FLAG => arg_at(args, op.b as usize).as_bool(),
+        cond::ARG_INT_LT => arg_at(args, op.b as usize).as_int() < lits[op.c as usize],
+        cond::CELL_EQ => state.cell(CellId(op.b)) == lits[op.c as usize],
+        cond::CELL_LT => state.cell(CellId(op.b)) < lits[op.c as usize],
+        cond::CELL_GE => state.cell(CellId(op.b)) >= lits[op.c as usize],
+        _ => arg_at(args, op.b as usize).as_mutex() == state.field(FieldId(op.c)),
+    };
+    v ^ (op.t & COND_NEGATE != 0)
+}
+
 fn eval_cond(c: &CondExpr, args: &[Value], state: &ObjectState) -> bool {
     match c {
         CondExpr::Konst(b) => *b,
@@ -635,6 +1095,7 @@ pub fn run_to_completion(vm: &mut ThreadVm, state: &mut ObjectState) -> Vec<Acti
         match vm.step(state) {
             StepOutcome::Action(a) => trace.push(a),
             StepOutcome::Finished => return trace,
+            StepOutcome::Faulted(f) => panic!("interpreter fault: {f}"),
         }
     }
 }
@@ -643,7 +1104,7 @@ pub fn run_to_completion(vm: &mut ThreadVm, state: &mut ObjectState) -> Vec<Acti
 mod tests {
     use super::*;
     use crate::ast::{Method, ObjectImpl, Stmt};
-    use crate::compile::compile;
+    use crate::compile::{compile, compile_unfused};
     use crate::ids::LocalId;
 
     fn make(body: Vec<Stmt>, arity: usize, n_locals: u32) -> Arc<CompiledObject> {
@@ -1246,5 +1707,115 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.state_hash(), b.state_hash());
         assert_eq!(a.state_hash(), a.full_rehash());
+    }
+
+    /// Hand-lowers a malformed stream — `Unlock` with no matching `Lock`
+    /// — which no `ObjectImpl` can express (the builder always pairs
+    /// them), to exercise the structured fault path.
+    fn malformed_unlock_obj() -> Arc<CompiledObject> {
+        let obj = make(vec![Stmt::Compute(DurExpr::millis(1))], 0, 0);
+        let mut obj = (*obj).clone();
+        // Overwrite both forms: Instr for step_match symmetry, flat for
+        // the threaded loop.
+        obj.methods[0].code[0] = Instr::Unlock {
+            sync_id: SyncId::new(3),
+        };
+        obj.flat = crate::threaded::lower(&obj.methods, false);
+        Arc::new(obj)
+    }
+
+    #[test]
+    fn unlock_without_lock_faults_instead_of_aborting() {
+        let obj = malformed_unlock_obj();
+        let mut state = ObjectState::for_object(&obj, MutexId::new(0));
+        let mut vm = ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
+        let fault = Fault::UnlockWithoutLock {
+            sync_id: SyncId::new(3),
+        };
+        assert_eq!(vm.step(&mut state), StepOutcome::Faulted(fault));
+        // Re-stepping is deterministic: same fault, no progress.
+        assert_eq!(vm.step(&mut state), StepOutcome::Faulted(fault));
+        assert_eq!(format!("{fault}"), "unlock at s3 without matching lock");
+    }
+
+    #[test]
+    fn step_match_reports_the_same_fault() {
+        let obj = malformed_unlock_obj();
+        let mut state = ObjectState::for_object(&obj, MutexId::new(0));
+        let mut vm = ThreadVm::new(obj, MethodIdx::new(0), RequestArgs::empty());
+        let fault = Fault::UnlockWithoutLock {
+            sync_id: SyncId::new(3),
+        };
+        assert_eq!(vm.step_match(&mut state), StepOutcome::Faulted(fault));
+    }
+
+    #[test]
+    fn step_match_agrees_with_threaded_step() {
+        // The retired match-dispatch reference and the threaded loop must
+        // produce identical traces and state on an unfused program.
+        let body = vec![
+            Stmt::Compute(DurExpr::millis(1)),
+            Stmt::If {
+                cond: CondExpr::ArgFlag(0),
+                then_branch: vec![Stmt::Nested {
+                    service: ServiceId::new(0),
+                    dur: DurExpr::millis(2),
+                }],
+                else_branch: vec![],
+            },
+            Stmt::For {
+                count: CountExpr::Lit(3),
+                body: vec![Stmt::Sync {
+                    sync_id: SyncId::new(0),
+                    param: MutexExpr::Pool {
+                        base: 10,
+                        len: 4,
+                        index_arg: 1,
+                    },
+                    body: vec![Stmt::Update {
+                        cell: CellId::new(0),
+                        delta: IntExpr::Lit(1),
+                    }],
+                }],
+            },
+        ];
+        let obj = compile_unfused(&ObjectImpl {
+            name: "T".into(),
+            n_cells: 1,
+            n_fields: 0,
+            methods: vec![Method {
+                name: "m".into(),
+                arity: 2,
+                n_locals: 0,
+                public: true,
+                is_final: true,
+                body,
+            }],
+        });
+        for args in [
+            vec![Value::Bool(true), Value::Int(2)],
+            vec![Value::Bool(false), Value::Int(7)],
+        ] {
+            let mut st_a = ObjectState::for_object(&obj, MutexId::new(99));
+            let mut vm_a = ThreadVm::new(
+                obj.clone(),
+                MethodIdx::new(0),
+                RequestArgs::new(args.clone()),
+            );
+            let threaded_trace = run_to_completion(&mut vm_a, &mut st_a);
+
+            let mut st_b = ObjectState::for_object(&obj, MutexId::new(99));
+            let mut vm_b = ThreadVm::new(obj.clone(), MethodIdx::new(0), RequestArgs::new(args));
+            let mut match_trace = Vec::new();
+            loop {
+                match vm_b.step_match(&mut st_b) {
+                    StepOutcome::Action(a) => match_trace.push(a),
+                    StepOutcome::Finished => break,
+                    StepOutcome::Faulted(f) => panic!("unexpected fault {f}"),
+                }
+            }
+            assert_eq!(threaded_trace, match_trace);
+            assert_eq!(st_a.state_hash(), st_b.state_hash());
+        }
     }
 }

@@ -30,11 +30,12 @@ pub mod builder;
 pub mod compile;
 pub mod ids;
 pub mod interp;
+pub mod threaded;
 pub mod value;
 
 pub use ast::{CondExpr, CountExpr, DurExpr, LockParam, Method, MutexExpr, ObjectImpl, Stmt};
 pub use builder::{MethodBuilder, ObjectBuilder};
-pub use compile::{CompiledObject, Instr};
+pub use compile::{compile_unfused, CompiledObject, Instr};
 pub use ids::{CellId, FieldId, MethodIdx, MutexId, ServiceId, SyncId};
-pub use interp::{Action, ObjectState, StepOutcome, ThreadVm, VmPool};
+pub use interp::{Action, Fault, ObjectState, StepOutcome, ThreadVm, VmPool};
 pub use value::{RequestArgs, Value};

@@ -18,7 +18,7 @@ use dmt_core::{
 };
 use dmt_groupcomm::{Delivery, GroupComm, NetConfig, NodeId, Sequenced};
 use dmt_lang::{
-    Action, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm, VmPool,
+    Action, Fault, MethodIdx, MutexId, ObjectState, RequestArgs, StepOutcome, ThreadVm, VmPool,
 };
 use dmt_obs::{MetricsRegistry, MetricsSnapshot, TraceEvent, TraceRecord, Tracer};
 use dmt_sim::{EventQueue, Histogram, LogHistogram, SimDuration, SimTime, SplitMix64};
@@ -56,6 +56,13 @@ pub struct EngineConfig {
     /// scheduler dispatch into the metrics registry (the `figures obs`
     /// experiment). Off by default for the same reason.
     pub sample_depths: bool,
+    /// Run admitted/resumed threads through the inline ready ring instead
+    /// of a zero-delay calendar-queue event each (see DESIGN.md §"Batched
+    /// admission"). Outcome-identical by construction — the gate only
+    /// batches decision runs whose queue order is provably the ring's
+    /// FIFO order — so it defaults to on; [`Self::without_batching`]
+    /// exists for the differential tests and the dispatch-cost figures.
+    pub batch_admission: bool,
 }
 
 impl EngineConfig {
@@ -73,7 +80,15 @@ impl EngineConfig {
             quiescent_delivery: false,
             trace: false,
             sample_depths: false,
+            batch_admission: true,
         }
+    }
+
+    /// Reference admission semantics: every admitted/resumed thread costs
+    /// its own zero-delay calendar-queue event.
+    pub fn without_batching(mut self) -> Self {
+        self.batch_admission = false;
+        self
     }
 
     pub fn with_tracing(mut self) -> Self {
@@ -138,6 +153,17 @@ pub struct PerfCounters {
     /// serves every admission from here — the checkable face of the
     /// "zero steady-state allocations" claim.
     pub vm_reuses: u64,
+    /// Interpreter steps taken (one per emitted action / completion),
+    /// summed over every VM of every replica.
+    pub vm_steps: u64,
+    /// Superinstructions executed by those steps — the fusion pass's
+    /// measured (not just static) hit count.
+    pub fused_steps: u64,
+    /// Admitted/resumed threads run through the inline ready ring
+    /// instead of their own zero-delay queue event. Each still counts in
+    /// [`Self::events`] (it replaces exactly one queue pop), keeping
+    /// ns/event comparable across batching modes.
+    pub batched_steps: u64,
 }
 
 impl PerfCounters {
@@ -156,6 +182,9 @@ impl PerfCounters {
         self.wall_ns += other.wall_ns;
         self.vm_allocs += other.vm_allocs;
         self.vm_reuses += other.vm_reuses;
+        self.vm_steps += other.vm_steps;
+        self.fused_steps += other.fused_steps;
+        self.batched_steps += other.batched_steps;
     }
 }
 
@@ -238,6 +267,12 @@ enum Blocked {
     Lock(MutexId),
     Wait(MutexId),
     Nested,
+    /// The interpreter faulted (malformed program). The thread is parked
+    /// permanently: the run ends deadlocked with this entry in
+    /// [`RunResult::stuck_threads`] instead of aborting the process, and
+    /// identically so on every replica (the fault is part of the
+    /// deterministic execution).
+    Faulted(Fault),
 }
 
 struct PendingRequest {
@@ -344,6 +379,13 @@ pub struct Engine {
     takeover_gap: Option<SimDuration>,
     rng: SplitMix64,
     perf: PerfCounters,
+    /// Admission batching ring: threads admitted/resumed while no other
+    /// event is due at the current instant run from here, FIFO, after the
+    /// current handler — one calendar-queue drain for the whole decision
+    /// run instead of one zero-delay push/pop per thread. The gate in
+    /// [`Engine::schedule_step`] makes this order provably identical to
+    /// the queue's (time, seq) order.
+    ready: std::collections::VecDeque<(usize, ThreadId)>,
     /// Reused scheduler-output buffer for [`Engine::dispatch`]
     /// (decision recording pre-armed when tracing is on).
     scratch: SchedOutput,
@@ -435,6 +477,7 @@ impl Engine {
             takeover_gap: None,
             rng,
             perf: PerfCounters::default(),
+            ready: std::collections::VecDeque::new(),
             scratch,
             hops_scratch: Vec::new(),
             deliv_scratch: Vec::new(),
@@ -555,11 +598,34 @@ impl Engine {
             }
             self.perf.events += 1;
             self.handle(ev);
+            // Drain the admission batch: every entry was gated on "no
+            // other event due now", so FIFO order here is exactly the
+            // (time, seq) order the queue would have produced — minus the
+            // per-thread zero-delay push/pop. Handlers may append while
+            // we drain (cascading grants); the ring is always empty by
+            // the time the loop condition pops the queue again.
+            while let Some((replica, tid)) = self.ready.pop_front() {
+                self.perf.events += 1;
+                self.perf.batched_steps += 1;
+                if self.reps[replica].alive {
+                    self.step_thread(replica, tid);
+                    if self.cfg.quiescent_delivery {
+                        self.try_drain(replica);
+                    }
+                }
+            }
         }
         self.perf.wall_ns = wall_start.elapsed().as_nanos() as u64;
         for rep in &self.reps {
             self.perf.vm_allocs += rep.vm_pool.allocs();
             self.perf.vm_reuses += rep.vm_pool.reuses();
+            // Threads still live at the end (stuck or killed replicas)
+            // never went through `finish_thread`; sweep their meters here
+            // so vm_steps/fused_steps are complete.
+            for (_, vm) in rep.vms.iter() {
+                self.perf.vm_steps += vm.steps();
+                self.perf.fused_steps += vm.fused_steps();
+            }
         }
         let makespan = self.queue.now();
         let total_real: u64 = self.scenario.total_requests() as u64;
@@ -590,6 +656,9 @@ impl Engine {
             ("engine.events", self.perf.events),
             ("engine.sched_events", self.perf.sched_events),
             ("engine.sched_actions", self.perf.sched_actions),
+            ("engine.vm_steps", self.perf.vm_steps),
+            ("engine.fused_steps", self.perf.fused_steps),
+            ("engine.batched_steps", self.perf.batched_steps),
             ("engine.wall_ns", self.perf.wall_ns),
             ("engine.completed_requests", self.completed_requests),
             ("engine.dummy_requests", self.dummy_requests),
@@ -744,6 +813,27 @@ impl Engine {
                     dur_ns,
                 },
             );
+        }
+    }
+
+    /// Schedules an admitted/resumed thread's first step. The batching
+    /// gate: the thread joins the inline ready ring only when no queue
+    /// event is due at the current instant — then the ring's FIFO order
+    /// *is* the (time, seq) order the queue would produce, because every
+    /// later arrival at this instant gets a later sequence number. If an
+    /// event is already due now (it holds an earlier seq and must run
+    /// first), fall back to the reference zero-delay push, which sorts
+    /// after it and before everything later. Net effect: identical
+    /// execution order, one queue drain per decision run instead of one
+    /// push/pop per thread.
+    #[inline]
+    fn schedule_step(&mut self, replica: usize, tid: ThreadId) {
+        let now = self.queue.now();
+        if self.cfg.batch_admission && self.queue.peek_time().is_none_or(|t| t > now) {
+            self.ready.push_back((replica, tid));
+        } else {
+            self.queue
+                .push_after(SimDuration::ZERO, Ev::Step { replica, tid });
         }
     }
 
@@ -902,8 +992,7 @@ impl Engine {
                         },
                     );
                     rep.running.insert(tid.index());
-                    self.queue
-                        .push_after(SimDuration::ZERO, Ev::Step { replica, tid });
+                    self.schedule_step(replica, tid);
                 }
                 SchedAction::Resume(tid) => {
                     let rep = &mut self.reps[replica];
@@ -913,11 +1002,11 @@ impl Engine {
                         }
                         Some(Blocked::Nested) => {}
                         Some(Blocked::Admission) => panic!("Resume before Admit for {tid}"),
+                        Some(Blocked::Faulted(f)) => panic!("Resume for faulted thread {tid}: {f}"),
                         None => panic!("Resume for running thread {tid}"),
                     }
                     rep.running.insert(tid.index());
-                    self.queue
-                        .push_after(SimDuration::ZERO, Ev::Step { replica, tid });
+                    self.schedule_step(replica, tid);
                 }
                 SchedAction::Broadcast(msg) => {
                     self.ctrl_messages += 1;
@@ -962,15 +1051,27 @@ impl Engine {
     fn step_thread(&mut self, replica: usize, tid: ThreadId) {
         loop {
             let rep = &mut self.reps[replica];
-            if rep.blocked.contains(tid.index()) || !rep.vms.contains(tid.index()) {
+            if rep.blocked.contains(tid.index()) {
                 rep.running.remove(tid.index());
                 return;
             }
-            let vm = rep.vms.get_mut(tid.index()).expect("checked above");
+            let Some(vm) = rep.vms.get_mut(tid.index()) else {
+                rep.running.remove(tid.index());
+                return;
+            };
             match vm.step(&mut rep.state) {
                 StepOutcome::Finished => {
                     self.reps[replica].running.remove(tid.index());
                     self.finish_thread(replica, tid);
+                    return;
+                }
+                StepOutcome::Faulted(f) => {
+                    // Malformed program: park the thread for good. The run
+                    // ends deadlocked with a stuck-thread report instead
+                    // of aborting the process, deterministically on every
+                    // replica.
+                    rep.blocked.insert(tid.index(), Blocked::Faulted(f));
+                    rep.running.remove(tid.index());
                     return;
                 }
                 StepOutcome::Action(action) => match action {
@@ -1075,6 +1176,10 @@ impl Engine {
         let now = self.queue.now();
         let rep = &mut self.reps[replica];
         if let Some(vm) = rep.vms.remove(tid.index()) {
+            // Harvest the interpreter meters before reset-on-reuse wipes
+            // them (still-live VMs are swept at end of run instead).
+            self.perf.vm_steps += vm.steps();
+            self.perf.fused_steps += vm.fused_steps();
             rep.vm_pool.release(vm);
         }
         rep.trace.finished_threads += 1;
