@@ -5,6 +5,7 @@
 //! cargo run -p dmt-bench --release --bin figures -- fig1 [--quick] [--csv]
 //! cargo run -p dmt-bench --release --bin figures -- bench     # BENCH_engine.json
 //! cargo run -p dmt-bench --release --bin figures -- openloop  # BENCH_openloop.json
+//! cargo run -p dmt-bench --release --bin figures -- faults    # BENCH_faults.json
 //! cargo run -p dmt-bench --release --bin figures -- obs       # BENCH_obs.json
 //! cargo run -p dmt-bench --release --bin figures -- trace --out trace.json [--sched MAT]
 //! ```
@@ -195,6 +196,26 @@ fn openloop_bench(quick: bool, csv: bool) {
     eprintln!("wrote {path}");
 }
 
+fn faults_bench(quick: bool, csv: bool) {
+    let grid = if quick {
+        FaultGrid::quick()
+    } else {
+        FaultGrid::default()
+    };
+    let rows = faults_experiment(&grid);
+    let t = faults_table(&rows);
+    if csv {
+        println!("# {}", t.title);
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+    let j = faults_json(&grid, &rows);
+    let path = artifact_path("BENCH_faults.json", quick);
+    std::fs::write(&path, &j).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `--out` and `--sched` take a value; skip it when locating the
@@ -258,6 +279,7 @@ fn main() {
         "determinism" => emit(&determinism_experiment()),
         "bench" => engine_bench(&client_counts, requests, quick),
         "openloop" => openloop_bench(quick, csv),
+        "faults" => faults_bench(quick, csv),
         "obs" => obs_bench(quick, csv),
         "trace" => trace_export(out, sched, quick),
         other => {
@@ -265,7 +287,7 @@ fn main() {
             eprintln!(
                 "known: fig1 fig1x fig2 fig3 fig4 analysis abl-mutexes \
                  abl-overhead abl-wan abl-passive determinism bench openloop \
-                 obs trace all"
+                 faults obs trace all"
             );
             std::process::exit(2);
         }
@@ -285,6 +307,7 @@ fn main() {
             "abl-passive",
             "determinism",
             "openloop",
+            "faults",
             "obs",
             "trace",
             "bench",

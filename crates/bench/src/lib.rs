@@ -26,12 +26,17 @@
 //! index, so parallelism affects wall-clock only, never output bytes.
 
 pub mod experiments;
+pub mod faults;
 pub mod obs;
 pub mod openloop;
 pub mod table;
 pub mod ubench;
 
 pub use experiments::*;
+pub use faults::{
+    faults_experiment, faults_experiment_with_threads, faults_json, faults_table, FaultGrid,
+    FaultRow, FaultScenario, FAULT_SCENARIOS,
+};
 pub use obs::{obs_experiment, obs_experiment_with_threads, obs_json, obs_table, ObsGrid, ObsRow};
 pub use openloop::{
     openloop_experiment, openloop_experiment_with_threads, openloop_json, openloop_table,

@@ -93,6 +93,21 @@ impl SchedulerKind {
     pub fn uses_prediction(self) -> bool {
         matches!(self, SchedulerKind::MatLL | SchedulerKind::Pmat)
     }
+
+    /// Can a crashed replica rejoin mid-run via quiescent state transfer?
+    ///
+    /// Recovery hands the rejoining replica a *fresh* scheduler instance,
+    /// which is only sound when the algorithm's decision state is empty at
+    /// quiescence (no runnable or blocked threads anywhere). That holds
+    /// for the admission/token algorithms — SEQ, SAT, MAT, MAT-LL, PMAT —
+    /// and trivially for FREE. It does *not* hold for LSA (the leader's
+    /// announcement sequence numbers persist across quiescence) or PDS
+    /// (round counters advance monotonically), so a rejoined replica
+    /// would desynchronise from the survivors. See DESIGN.md §11 for the
+    /// proof obligations this encodes.
+    pub fn supports_recovery(self) -> bool {
+        !matches!(self, SchedulerKind::Lsa | SchedulerKind::Pds)
+    }
 }
 
 impl std::fmt::Display for SchedulerKind {

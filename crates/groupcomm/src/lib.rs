@@ -10,10 +10,30 @@
 //! strictly by sequence number, so all nodes see the same stream — the
 //! property every deterministic scheduler in `dmt-core` builds on.
 //!
-//! The consensus protocol itself is abstracted away (the sequencer never
-//! fails); *replica* failures — what the LSA failover experiment needs —
-//! are modelled by [`GroupComm::kill`], which stops deliveries to the
-//! dead node. Latency draws are deterministic per seed, so experiments
+//! ## Replication roles
+//!
+//! * **Sequencer** — the totally-ordered broadcast primitive itself. It is
+//!   abstracted as reliable (the consensus protocol of the underlying GCS
+//!   never fails in our model); its only job is stamping submissions with
+//!   consecutive sequence numbers and fanning them out to live nodes.
+//! * **Replica nodes** — the consumers. Each holds back out-of-order
+//!   arrivals and delivers strictly by sequence number, with *at-most-once*
+//!   semantics: duplicate arrivals are counted ([`NetStats::dup_dropped`])
+//!   and suppressed, because the deterministic schedulers above assume
+//!   each ordered message spawns exactly one request thread.
+//!
+//! ## Failure model hooks (DESIGN.md §11)
+//!
+//! *Replica* failures — crash/recovery, LSA failover — are modelled by
+//! [`GroupComm::kill`] (fences the node off the broadcast) and
+//! [`GroupComm::revive`] (re-admits it at an explicit sequence position;
+//! the engine pairs this with a passive-replication state transfer since
+//! messages sequenced during the outage were never fanned out to the dead
+//! node). [`GroupComm::set_node_latency`] builds WAN/LAN mixed groups, and
+//! [`GroupComm::set_dedup`] deliberately breaks at-most-once delivery so
+//! the resilience suite can prove the determinism checker catches
+//! non-idempotent duplicate delivery. Latency draws are deterministic per
+//! seed — one RNG draw per hop regardless of overrides — so experiments
 //! replay bit-exactly.
 
 pub mod net;

@@ -72,16 +72,31 @@ struct NodeState<M> {
     next_deliver: u64,
     /// Out-of-order arrivals held back until their predecessors arrive.
     reorder: BTreeMap<u64, M>,
+    /// Per-node base one-way latency override (WAN/LAN mixed groups);
+    /// `None` uses [`NetConfig::one_way`].
+    one_way_override: Option<SimDuration>,
 }
 
 /// The group communication service. The caller (the simulation engine)
 /// owns the clock: methods return *delays*, the caller schedules events.
+///
+/// Failure model hooks (DESIGN.md §11): [`GroupComm::kill`] fences a
+/// node off the broadcast, [`GroupComm::revive`] re-admits it at an
+/// explicit sequence position (the engine pairs this with a state
+/// transfer), [`GroupComm::set_node_latency`] builds WAN/LAN mixed
+/// groups, and [`GroupComm::set_dedup`] disables at-most-once delivery
+/// to demonstrate that the determinism checker catches non-idempotent
+/// duplicate delivery.
 pub struct GroupComm<M> {
     cfg: NetConfig,
     rng: SplitMix64,
     next_seq: u64,
     nodes: Vec<NodeState<M>>,
     stats: NetStats,
+    /// At-most-once delivery (the default). When disabled, duplicate
+    /// arrivals of an already-delivered sequence number are re-delivered —
+    /// a deliberately broken mode for adversarial testing.
+    dedup: bool,
     /// Latest sequencer-arrival instant per FIFO source.
     fifo_horizon: BTreeMap<u64, dmt_sim::SimTime>,
 }
@@ -97,9 +112,11 @@ impl<M: Clone> GroupComm<M> {
                     alive: true,
                     next_deliver: 0,
                     reorder: BTreeMap::new(),
+                    one_way_override: None,
                 })
                 .collect(),
             stats: NetStats::default(),
+            dedup: true,
             fifo_horizon: BTreeMap::new(),
         }
     }
@@ -118,9 +135,58 @@ impl<M: Clone> GroupComm<M> {
         self.nodes[node.index()].reorder.clear();
     }
 
+    /// Re-admits a dead node to the broadcast, resuming delivery at
+    /// `next_deliver`. Messages sequenced while the node was dead were
+    /// never fanned out to it, so the caller must position `next_deliver`
+    /// past the gap — the engine's recovery protocol passes
+    /// [`GroupComm::sequenced_count`] and transfers the missed state
+    /// out-of-band (passive-replication catch-up). Panics if the node is
+    /// still alive or if `next_deliver` would re-open the unfillable gap.
+    pub fn revive(&mut self, node: NodeId, next_deliver: u64) {
+        let st = &mut self.nodes[node.index()];
+        assert!(!st.alive, "revive of live node {node:?}");
+        assert!(
+            next_deliver >= st.next_deliver,
+            "revive would rewind {node:?} from {} to {next_deliver}",
+            st.next_deliver
+        );
+        st.alive = true;
+        st.next_deliver = next_deliver;
+        st.reorder.clear();
+    }
+
+    /// Overrides the base one-way latency of every hop that terminates at
+    /// `node` (WAN/LAN mixed groups: e.g. two co-located replicas plus one
+    /// remote). Jitter still applies multiplicatively. `None` restores the
+    /// group-wide [`NetConfig::one_way`].
+    pub fn set_node_latency(&mut self, node: NodeId, one_way: Option<SimDuration>) {
+        self.nodes[node.index()].one_way_override = one_way;
+    }
+
+    /// Enables or disables at-most-once delivery (enabled by default).
+    /// Disabling it models a faulty transport that re-delivers duplicates;
+    /// the determinism checker is expected to flag the resulting
+    /// divergence (see `tests_resilience`).
+    pub fn set_dedup(&mut self, dedup: bool) {
+        self.dedup = dedup;
+    }
+
     fn hop_latency(&mut self) -> SimDuration {
         let u = self.rng.next_f64();
         let ns = self.cfg.one_way.as_nanos() as f64 * (1.0 + self.cfg.jitter * u);
+        SimDuration::from_nanos(ns.round() as u64)
+    }
+
+    /// Like [`GroupComm::hop_latency`] but for a hop terminating at a
+    /// specific node, honouring its latency override. Consumes exactly one
+    /// RNG draw either way, so enabling overrides on some nodes never
+    /// perturbs the latency stream of the others.
+    fn hop_latency_to(&mut self, node_idx: usize) -> SimDuration {
+        let base = self.nodes[node_idx]
+            .one_way_override
+            .unwrap_or(self.cfg.one_way);
+        let u = self.rng.next_f64();
+        let ns = base.as_nanos() as f64 * (1.0 + self.cfg.jitter * u);
         SimDuration::from_nanos(ns.round() as u64)
     }
 
@@ -167,7 +233,7 @@ impl<M: Clone> GroupComm<M> {
         self.next_seq += 1;
         for i in 0..self.nodes.len() {
             if self.nodes[i].alive {
-                let d = self.hop_latency();
+                let d = self.hop_latency_to(i);
                 self.stats.broadcast_legs += 1;
                 hops.push((NodeId::new(i as u32), d));
             }
@@ -189,19 +255,40 @@ impl<M: Clone> GroupComm<M> {
     /// caller-owned `out` buffer (cleared first). An in-order arrival —
     /// the steady state — is delivered directly, never touching the
     /// reorder map; only genuine gaps buffer.
+    ///
+    /// Delivery is at-most-once: a duplicate arrival (sequence number
+    /// already delivered, or already waiting in the hold-back buffer) is
+    /// counted in [`NetStats::dup_dropped`] and suppressed — unless
+    /// [`GroupComm::set_dedup`]`(false)` put the transport in its broken
+    /// mode, in which case an already-delivered message is delivered
+    /// *again* (the adversarial case the determinism checker must catch).
     pub fn arrive_into(&mut self, node: NodeId, sm: Sequenced<M>, out: &mut Vec<Delivery<M>>) {
         out.clear();
         let st = &mut self.nodes[node.index()];
         if !st.alive {
             return;
         }
-        assert!(
-            sm.seq >= st.next_deliver,
-            "duplicate sequence {} at {node:?}",
-            sm.seq
-        );
+        if sm.seq < st.next_deliver {
+            if self.dedup {
+                self.stats.dup_dropped += 1;
+                return;
+            }
+            // Broken-dedup mode: re-deliver the duplicate out of order.
+            out.push(Delivery {
+                node,
+                seq: sm.seq,
+                msg: sm.msg,
+            });
+            self.stats.deliveries += 1;
+            return;
+        }
         if sm.seq > st.next_deliver {
+            if st.reorder.contains_key(&sm.seq) {
+                self.stats.dup_dropped += 1;
+                return;
+            }
             st.reorder.insert(sm.seq, sm.msg);
+            self.stats.held_back += 1;
             return;
         }
         out.push(Delivery {
@@ -344,12 +431,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate sequence")]
-    fn duplicate_delivery_is_detected() {
+    fn duplicate_delivery_is_dropped_and_counted() {
         let mut g = gc(1, 1);
         let (a, _) = g.sequence("a");
-        g.arrive(NodeId::new(0), a.clone());
-        g.arrive(NodeId::new(0), a);
+        let n = NodeId::new(0);
+        assert_eq!(g.arrive(n, a.clone()).len(), 1);
+        assert!(g.arrive(n, a).is_empty(), "duplicate must be suppressed");
+        assert_eq!(g.stats().dup_dropped, 1);
+        assert_eq!(g.stats().deliveries, 1);
+        assert_eq!(g.delivered_count(n), 1);
+    }
+
+    #[test]
+    fn duplicate_of_held_back_message_is_dropped() {
+        let mut g = gc(1, 1);
+        let (_a, _) = g.sequence("a");
+        let (b, _) = g.sequence("b");
+        let n = NodeId::new(0);
+        assert!(g.arrive(n, b.clone()).is_empty(), "gap: held back");
+        assert_eq!(g.stats().held_back, 1);
+        assert!(g.arrive(n, b).is_empty(), "duplicate of buffered msg");
+        assert_eq!(g.stats().dup_dropped, 1);
+        assert_eq!(g.stats().held_back, 1, "second copy is not re-buffered");
+    }
+
+    #[test]
+    fn broken_dedup_redelivers_duplicates() {
+        let mut g = gc(1, 1);
+        g.set_dedup(false);
+        let (a, _) = g.sequence("a");
+        let n = NodeId::new(0);
+        assert_eq!(g.arrive(n, a.clone()).len(), 1);
+        let dup = g.arrive(n, a);
+        assert_eq!(dup.len(), 1, "broken transport re-delivers");
+        assert_eq!(dup[0].seq, 0);
+        assert_eq!(g.stats().deliveries, 2);
+        assert_eq!(g.stats().dup_dropped, 0);
+    }
+
+    #[test]
+    fn revive_resumes_at_explicit_position() {
+        let mut g = gc(2, 1);
+        let n0 = NodeId::new(0);
+        let n1 = NodeId::new(1);
+        let (a, _) = g.sequence("a");
+        g.arrive(n0, a.clone());
+        g.arrive(n1, a);
+        g.kill(n1);
+        // Sequenced while n1 is dead: never fanned out to it.
+        let (b, hops) = g.sequence("b");
+        assert_eq!(hops.len(), 1);
+        g.arrive(n0, b);
+        // Recovery: state transfer covers seq 1, delivery resumes at 2.
+        g.revive(n1, g.sequenced_count());
+        assert!(g.is_alive(n1));
+        let (c, hops) = g.sequence("c");
+        assert_eq!(hops.len(), 2, "revived node rejoins the broadcast");
+        let out = g.arrive(n1, c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 2);
+        assert_eq!(g.delivered_count(n1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "revive of live node")]
+    fn revive_of_live_node_panics() {
+        let mut g = gc(1, 1);
+        g.revive(NodeId::new(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "revive would rewind")]
+    fn revive_cannot_rewind() {
+        let mut g = gc(1, 1);
+        let n = NodeId::new(0);
+        let (a, _) = g.sequence("a");
+        g.arrive(n, a);
+        g.kill(n);
+        g.revive(n, 0);
     }
 
     #[test]
@@ -357,5 +516,26 @@ mod tests {
         let mut lan: GroupComm<&str> = GroupComm::new(1, NetConfig::lan(), 1);
         let mut wan: GroupComm<&str> = GroupComm::new(1, NetConfig::wan(20), 1);
         assert!(wan.submit_delay() > lan.submit_delay() * 10);
+    }
+
+    #[test]
+    fn node_latency_override_shapes_only_that_node() {
+        let mut g = gc(2, 5);
+        let mut g_plain = gc(2, 5);
+        g.set_node_latency(NodeId::new(1), Some(SimDuration::from_millis(40)));
+        let (_, hops_mixed) = g.sequence("x");
+        let (_, hops_plain) = g_plain.sequence("x");
+        // Node 0's draw is byte-identical with and without the override on
+        // node 1 (one RNG draw per leg either way).
+        assert_eq!(hops_mixed[0].1, hops_plain[0].1);
+        assert!(
+            hops_mixed[1].1 > hops_plain[1].1 * 10,
+            "overridden node sees WAN latency"
+        );
+        // Restoring the override restores the original latency model.
+        g.set_node_latency(NodeId::new(1), None);
+        let (_, h2) = g.sequence("y");
+        let (_, h2p) = g_plain.sequence("y");
+        assert_eq!(h2, h2p);
     }
 }

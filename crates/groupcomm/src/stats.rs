@@ -11,6 +11,13 @@ pub struct NetStats {
     pub broadcast_legs: u64,
     /// In-order deliveries performed at nodes.
     pub deliveries: u64,
+    /// Duplicate arrivals suppressed by at-most-once delivery (already
+    /// delivered or already buffered). Zero on a well-behaved network;
+    /// positive under the duplicate-delivery adversary.
+    pub dup_dropped: u64,
+    /// Out-of-order arrivals parked in a hold-back buffer before their
+    /// predecessors arrived (a reorder-pressure measure).
+    pub held_back: u64,
 }
 
 impl NetStats {
@@ -30,6 +37,7 @@ mod tests {
             submissions: 3,
             broadcast_legs: 9,
             deliveries: 9,
+            ..NetStats::default()
         };
         assert_eq!(s.total_legs(), 12);
     }

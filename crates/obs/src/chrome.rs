@@ -155,6 +155,32 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                     tid.index()
                 );
             }
+            TraceEvent::ReplicaCrashed => {
+                let _ = write!(
+                    line,
+                    "{{\"name\":\"replica-crashed\",\"ph\":\"i\",\"s\":\"p\",\"cat\":\"fault\",\"ts\":{},\"pid\":{},\"tid\":0}}",
+                    ts(r.t_ns),
+                    pid
+                );
+            }
+            TraceEvent::ReplicaRecovered { from_seq } => {
+                let _ = write!(
+                    line,
+                    "{{\"name\":\"replica-recovered\",\"ph\":\"i\",\"s\":\"p\",\"cat\":\"fault\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"from_seq\":{}}}}}",
+                    ts(r.t_ns),
+                    pid,
+                    from_seq
+                );
+            }
+            TraceEvent::LeaderFailover { new_leader } => {
+                let _ = write!(
+                    line,
+                    "{{\"name\":\"leader-failover\",\"ph\":\"i\",\"s\":\"p\",\"cat\":\"fault\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"new_leader\":{}}}}}",
+                    ts(r.t_ns),
+                    pid,
+                    new_leader
+                );
+            }
             TraceEvent::Depth(d) => {
                 let _ = write!(
                     line,
@@ -248,6 +274,21 @@ mod tests {
                 replica: 0,
                 ev: TraceEvent::RequestReplied { tid: t(0) },
             },
+            TraceRecord {
+                t_ns: 5000,
+                replica: 2,
+                ev: TraceEvent::ReplicaCrashed,
+            },
+            TraceRecord {
+                t_ns: 5100,
+                replica: 0,
+                ev: TraceEvent::LeaderFailover { new_leader: 1 },
+            },
+            TraceRecord {
+                t_ns: 9000,
+                replica: 2,
+                ev: TraceEvent::ReplicaRecovered { from_seq: 17 },
+            },
         ];
         let a = chrome_trace_json(&records);
         let b = chrome_trace_json(&records);
@@ -262,6 +303,9 @@ mod tests {
             a.contains("\"pid\":-1"),
             "cluster records use the cluster pid"
         );
+        assert!(a.contains("\"name\":\"replica-crashed\""));
+        assert!(a.contains("\"from_seq\":17"));
+        assert!(a.contains("\"new_leader\":1"));
         // Every record appears as one line.
         assert_eq!(a.lines().count(), records.len() + 2);
     }

@@ -31,6 +31,14 @@ pub enum TraceEvent {
     RequestReplied { tid: ThreadId },
     /// Queue-depth sample taken after a scheduler event was applied.
     Depth(DepthSample),
+    /// The replica crashed (fault injection or scripted kill).
+    ReplicaCrashed,
+    /// The replica completed passive-replication catch-up and rejoined
+    /// the group, resuming delivery at sequence number `from_seq`.
+    ReplicaRecovered { from_seq: u64 },
+    /// Leader failover completed: this replica now treats `new_leader`
+    /// as the LSA leader.
+    LeaderFailover { new_leader: u32 },
 }
 
 /// One stamped record: virtual nanoseconds, producing replica (clients

@@ -51,6 +51,56 @@ pub fn match_level(kind: SchedulerKind) -> MatchLevel {
     }
 }
 
+/// Post-fault re-convergence check (DESIGN.md §11's invariant R1/R2).
+///
+/// After a faulted run, replicas fall into three classes:
+///
+/// * **survivors** — alive and never recovered: must agree pairwise at
+///   the scheduler's full [`match_level`] (same criterion as the
+///   fault-free check);
+/// * **recovered** — crashed and rejoined via state transfer: their
+///   traces legitimately miss the requests executed during the outage,
+///   so they owe (and are checked for) *state-hash agreement only*
+///   against every other live replica;
+/// * **dead** — still down at end of run: excluded (their traces are the
+///   pre-crash prefix).
+///
+/// A deadlocked/capped run yields [`CheckOutcome::Stalled`] — no verdict.
+/// Duplicate-delivery with a broken transport is expected to surface here
+/// as a `FinishedCount` or `StateHash` divergence: that the checker
+/// *flags* it is itself a tested property (see `tests_resilience`).
+pub fn check_fault_convergence(res: &RunResult, kind: SchedulerKind) -> CheckOutcome {
+    if res.deadlocked {
+        return CheckOutcome::Stalled;
+    }
+    let level = match_level(kind);
+    let n = res.traces.len();
+    for i in 0..n {
+        if !res.alive[i] {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if !res.alive[j] {
+                continue;
+            }
+            let hash_only = res.recovered[i] || res.recovered[j];
+            let d = if hash_only {
+                let (a, b) = (res.traces[i].state_hash, res.traces[j].state_hash);
+                (a != b).then_some(Divergence::StateHash { a, b })
+            } else {
+                compare(&res.traces[i], &res.traces[j], level)
+            };
+            if let Some(divergence) = d {
+                return CheckOutcome::Diverged {
+                    pair: (i, j),
+                    divergence,
+                };
+            }
+        }
+    }
+    CheckOutcome::Converged
+}
+
 /// Runs `scenario` under `kind` with jitter and checks replica agreement.
 pub fn check_determinism(
     scenario: Scenario,

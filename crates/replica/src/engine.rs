@@ -10,6 +10,7 @@
 //! differ, which is exactly what the determinism checker needs: a
 //! deterministic scheduler must produce identical traces anyway.
 
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, FaultRecordKind};
 use crate::msg::{ClientScript, GcMsg, RequestId, Scenario};
 use crate::trace::ExecutionTrace;
 use dmt_core::{
@@ -63,6 +64,19 @@ pub struct EngineConfig {
     /// FIFO order — so it defaults to on; [`Self::without_batching`]
     /// exists for the differential tests and the dispatch-cost figures.
     pub batch_admission: bool,
+    /// Deterministic failure schedule (crashes, recoveries, message-layer
+    /// adversaries), injected as ordinary calendar-queue events at run
+    /// start. Empty by default. See [`FaultPlan`] and DESIGN.md §11.
+    pub faults: FaultPlan,
+    /// Disable the group-comm layer's at-most-once delivery, so the
+    /// duplicate-delivery adversary's copies actually reach replicas — a
+    /// deliberately broken transport the determinism checker must catch.
+    /// Off by default (duplicates are dropped and counted).
+    pub broken_dedup: bool,
+    /// Per-replica one-way latency overrides (WAN/LAN mixes): listed
+    /// replicas use the given base latency instead of `net.one_way`;
+    /// everyone else — and, crucially, their RNG draws — is untouched.
+    pub node_latency: Vec<(usize, SimDuration)>,
 }
 
 impl EngineConfig {
@@ -81,6 +95,9 @@ impl EngineConfig {
             trace: false,
             sample_depths: false,
             batch_admission: true,
+            faults: FaultPlan::default(),
+            broken_dedup: false,
+            node_latency: Vec::new(),
         }
     }
 
@@ -128,6 +145,26 @@ impl EngineConfig {
 
     pub fn with_kill(mut self, replica: usize, at: SimDuration) -> Self {
         self.kill_at = Some((replica, at));
+        self
+    }
+
+    /// Installs a deterministic failure schedule (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Breaks the transport's at-most-once delivery (adversarial mode).
+    pub fn with_broken_dedup(mut self) -> Self {
+        self.broken_dedup = true;
+        self
+    }
+
+    /// Places `replica` behind a slower (or faster) link: its hops use
+    /// `one_way` as the base latency instead of the cluster-wide
+    /// `net.one_way` (WAN/LAN mix scenarios).
+    pub fn with_node_latency(mut self, replica: usize, one_way: SimDuration) -> Self {
+        self.node_latency.push((replica, one_way));
         self
     }
 }
@@ -236,6 +273,16 @@ pub struct RunResult {
     /// Threads still blocked when the run ended: (replica, thread,
     /// reason). Empty on a clean run.
     pub stuck_threads: Vec<(usize, u32, String)>,
+    /// Per-replica liveness at end of run (`false` = still crashed).
+    pub alive: Vec<bool>,
+    /// Per-replica flag: went through crash *and* catch-up at least once.
+    /// Convergence for these is asserted on state hash only — their
+    /// traces legitimately miss the requests executed during the outage
+    /// (see [`crate::checker::check_fault_convergence`]).
+    pub recovered: Vec<bool>,
+    /// Fault-lifecycle log (crash / failover / deferred / recovered), in
+    /// virtual-time order. Empty when no faults were injected.
+    pub fault_log: Vec<FaultRecord>,
     /// Host-side cost of this run (simulator throughput meters).
     pub perf: PerfCounters,
     /// Unified metrics snapshot: engine perf counters, group-comm
@@ -344,7 +391,20 @@ enum Ev {
     LeaderDetect {
         new_leader: usize,
     },
+    /// Entry `idx` of the [`FaultPlan`] fires now.
+    Fault {
+        idx: usize,
+    },
+    /// A deferred recovery attempt re-checks the quiescence gate.
+    TryRecover {
+        replica: usize,
+    },
 }
+
+/// Backoff between recovery attempts while the cluster is non-quiescent.
+/// Fixed (not tuned per run) so the retry cadence is part of the
+/// deterministic schedule.
+const RECOVERY_RETRY: SimDuration = SimDuration::from_millis(1);
 
 /// FIFO-source id space offset for clients (replicas use their index).
 const CLIENT_SRC: u64 = 1_000_000;
@@ -379,6 +439,21 @@ pub struct Engine {
     takeover_gap: Option<SimDuration>,
     rng: SplitMix64,
     perf: PerfCounters,
+    /// Fault-lifecycle log (part of [`RunResult`]).
+    fault_log: Vec<FaultRecord>,
+    /// Replicas that completed crash + catch-up at least once.
+    recovered_flags: Vec<bool>,
+    /// Duplicate-delivery adversary: while `now < dup_until[n]`, every
+    /// broadcast leg to replica `n` is fanned out twice, the copy
+    /// trailing by `dup_copy_delay[n]`.
+    dup_until: Vec<SimTime>,
+    dup_copy_delay: Vec<SimDuration>,
+    /// Reordering adversary: while `now < delay_until[n]`, every second
+    /// leg to replica `n` (parity in `delay_flip[n]`) is delayed by
+    /// `delay_extra[n]`, forcing hold-back buffering.
+    delay_until: Vec<SimTime>,
+    delay_extra: Vec<SimDuration>,
+    delay_flip: Vec<bool>,
     /// Admission batching ring: threads admitted/resumed while no other
     /// event is due at the current instant run from here, FIFO, after the
     /// current handler — one calendar-queue drain for the whole decision
@@ -412,7 +487,12 @@ struct DepthIds {
 impl Engine {
     pub fn new(scenario: Scenario, cfg: EngineConfig) -> Self {
         let mut rng = SplitMix64::new(cfg.seed);
-        let gc = GroupComm::new(cfg.n_replicas, cfg.net, rng.split(0).next_u64());
+        let n = cfg.n_replicas;
+        let mut gc = GroupComm::new(cfg.n_replicas, cfg.net, rng.split(0).next_u64());
+        gc.set_dedup(!cfg.broken_dedup);
+        for &(node, one_way) in &cfg.node_latency {
+            gc.set_node_latency(NodeId::new(node as u32), Some(one_way));
+        }
         let reps = (0..cfg.n_replicas)
             .map(|i| {
                 let sc = SchedConfig::new(cfg.scheduler, ReplicaId::new(i as u32))
@@ -477,6 +557,13 @@ impl Engine {
             takeover_gap: None,
             rng,
             perf: PerfCounters::default(),
+            fault_log: Vec::new(),
+            recovered_flags: vec![false; n],
+            dup_until: vec![SimTime::ZERO; n],
+            dup_copy_delay: vec![SimDuration::ZERO; n],
+            delay_until: vec![SimTime::ZERO; n],
+            delay_extra: vec![SimDuration::ZERO; n],
+            delay_flip: vec![false; n],
             ready: std::collections::VecDeque::new(),
             scratch,
             hops_scratch: Vec::new(),
@@ -587,6 +674,12 @@ impl Engine {
         if let Some((replica, at)) = self.cfg.kill_at {
             self.queue.push_after(at, Ev::Kill { replica });
         }
+        // Faults are ordinary calendar events: same (time, seq) total
+        // order, same replayability, as the workload they perturb.
+        for idx in 0..self.cfg.faults.events.len() {
+            let at = self.cfg.faults.events[idx].at;
+            self.queue.push_after(at, Ev::Fault { idx });
+        }
 
         let wall_start = std::time::Instant::now();
         let cap = SimTime::ZERO + self.cfg.max_time;
@@ -666,6 +759,8 @@ impl Engine {
             ("net.submissions", net.submissions),
             ("net.broadcast_legs", net.broadcast_legs),
             ("net.deliveries", net.deliveries),
+            ("net.dup_dropped", net.dup_dropped),
+            ("net.held_back", net.held_back),
         ] {
             let id = self.metrics.counter(name);
             self.metrics.set_counter(id, v);
@@ -687,6 +782,9 @@ impl Engine {
             deadlocked,
             takeover_gap: self.takeover_gap,
             stuck_threads,
+            alive: self.reps.iter().map(|r| r.alive).collect(),
+            recovered: self.recovered_flags,
+            fault_log: self.fault_log,
             perf: self.perf,
             metrics: self.metrics.snapshot(),
             trace_records: self.tracer.into_records(),
@@ -703,17 +801,41 @@ impl Engine {
                     .record(t, TraceRecord::NO_REPLICA, || TraceEvent::GcSequenced {
                         seq: sm.seq,
                     });
+                let now = self.queue.now();
                 for &(node, d) in &hops {
+                    let n = node.index();
+                    // Reordering adversary: every second leg to a node
+                    // under a delay window straggles, so later sequence
+                    // numbers overtake it and the hold-back buffer earns
+                    // its keep. Parity-based — no RNG draw consumed.
+                    let mut d_eff = d;
+                    if now < self.delay_until[n] {
+                        self.delay_flip[n] = !self.delay_flip[n];
+                        if self.delay_flip[n] {
+                            d_eff += self.delay_extra[n];
+                        }
+                    }
                     // `sm.clone()` is a refcount bump: request args are
                     // interned behind an Arc, so per-replica fan-out does
                     // not copy argument vectors.
                     self.queue.push_after(
-                        d,
+                        d_eff,
                         Ev::NodeArrive {
-                            node: node.index(),
+                            node: n,
                             sm: sm.clone(),
                         },
                     );
+                    // Duplicate-delivery adversary: the copy trails the
+                    // original by a fixed offset (again no RNG draw).
+                    if now < self.dup_until[n] {
+                        self.queue.push_after(
+                            d_eff + self.dup_copy_delay[n],
+                            Ev::NodeArrive {
+                                node: n,
+                                sm: sm.clone(),
+                            },
+                        );
+                    }
                 }
                 self.hops_scratch = hops;
             }
@@ -762,8 +884,44 @@ impl Engine {
             Ev::Kill { replica } => {
                 self.kill_replica(replica);
             }
+            Ev::Fault { idx } => {
+                let fe = self.cfg.faults.events[idx];
+                match fe.kind {
+                    FaultKind::Crash { replica } => self.kill_replica(replica),
+                    FaultKind::Recover { replica } => self.try_recover(replica),
+                    FaultKind::DuplicateWindow {
+                        replica,
+                        until,
+                        copy_delay,
+                    } => {
+                        self.dup_until[replica] = SimTime::ZERO + until;
+                        self.dup_copy_delay[replica] = copy_delay;
+                    }
+                    FaultKind::DelayWindow {
+                        replica,
+                        until,
+                        extra,
+                    } => {
+                        self.delay_until[replica] = SimTime::ZERO + until;
+                        self.delay_extra[replica] = extra;
+                    }
+                }
+            }
+            Ev::TryRecover { replica } => {
+                self.try_recover(replica);
+            }
             Ev::LeaderDetect { new_leader } => {
                 self.leader = new_leader;
+                let t = self.now_ns();
+                self.tracer
+                    .record(t, TraceRecord::NO_REPLICA, || TraceEvent::LeaderFailover {
+                        new_leader: new_leader as u32,
+                    });
+                self.fault_log.push(FaultRecord {
+                    at: self.queue.now(),
+                    replica: new_leader,
+                    kind: FaultRecordKind::LeaderFailover { new_leader },
+                });
                 for i in 0..self.reps.len() {
                     if !self.reps[i].alive {
                         continue;
@@ -789,6 +947,14 @@ impl Engine {
         self.reps[replica].alive = false;
         self.gc.kill(NodeId::new(replica as u32));
         self.kill_time = Some(self.queue.now());
+        let t = self.now_ns();
+        self.tracer
+            .record(t, replica as u32, || TraceEvent::ReplicaCrashed);
+        self.fault_log.push(FaultRecord {
+            at: self.queue.now(),
+            replica,
+            kind: FaultRecordKind::Crashed,
+        });
         // Leader failover (affects LSA; harmless for the others).
         if replica == self.leader {
             let new_leader = self.designated();
@@ -814,6 +980,91 @@ impl Engine {
                 },
             );
         }
+    }
+
+    /// Quiescence-gated recovery: a crashed replica rejoins by cloning
+    /// the designated survivor's object state (passive-replication
+    /// catch-up) and re-entering the broadcast at the current sequence
+    /// number. Messages sequenced during the outage were never fanned out
+    /// to the dead node — the state transfer *is* the catch-up, so the
+    /// donor must have processed everything sequenced so far (quiescent:
+    /// no runnable, blocked, or buffered work, and its delivered count
+    /// equals the global sequenced count). A non-quiescent attempt re-arms
+    /// itself [`RECOVERY_RETRY`] later; both outcomes are logged, so the
+    /// retry cadence is visible in [`RunResult::fault_log`].
+    ///
+    /// The rejoining replica gets a *fresh* scheduler configured with the
+    /// current leader — sound only for kinds whose decision state is empty
+    /// at quiescence (asserted via
+    /// [`SchedulerKind::supports_recovery`]; DESIGN.md §11 carries the
+    /// per-kind argument).
+    fn try_recover(&mut self, replica: usize) {
+        if self.reps[replica].alive {
+            return;
+        }
+        assert!(
+            self.cfg.scheduler.supports_recovery(),
+            "{} does not support mid-run recovery (scheduler state is not \
+             empty at quiescence — see DESIGN.md §11)",
+            self.cfg.scheduler
+        );
+        let donor = self.designated();
+        let quiescent = {
+            let d = &self.reps[donor];
+            d.running.is_empty()
+                && d.blocked.is_empty()
+                && d.buffered.is_empty()
+                && self.gc.delivered_count(NodeId::new(donor as u32)) == self.gc.sequenced_count()
+        };
+        if !quiescent {
+            self.fault_log.push(FaultRecord {
+                at: self.queue.now(),
+                replica,
+                kind: FaultRecordKind::RecoveryDeferred,
+            });
+            self.queue
+                .push_after(RECOVERY_RETRY, Ev::TryRecover { replica });
+            return;
+        }
+        let from_seq = self.gc.sequenced_count();
+        let donor_state = self.reps[donor].state.clone();
+        let donor_next_tid = self.reps[donor].next_tid;
+        let donor_nested = self.reps[donor].nested_issued.clone();
+        let sc = SchedConfig::new(self.cfg.scheduler, ReplicaId::new(replica as u32))
+            .with_lock_table(self.scenario.lock_table.clone())
+            .with_pds(self.cfg.pds)
+            .with_leader(ReplicaId::new(self.leader as u32));
+        let rep = &mut self.reps[replica];
+        // Harvest interpreter meters of the threads that died with the
+        // crash before dropping their VMs, so perf totals stay complete.
+        for (_, vm) in rep.vms.iter() {
+            self.perf.vm_steps += vm.steps();
+            self.perf.fused_steps += vm.fused_steps();
+        }
+        rep.sched = dmt_core::make_scheduler(&sc);
+        rep.state = donor_state;
+        rep.next_tid = donor_next_tid;
+        rep.nested_issued = donor_nested;
+        rep.vms = SlotMap::new();
+        rep.blocked = SlotMap::new();
+        rep.request_info = SlotMap::new();
+        rep.reply_buffer = SlotMap::new();
+        rep.awaiting = SlotMap::new();
+        rep.running = DenseSet::new();
+        rep.buffered.clear();
+        rep.alive = true;
+        self.recovered_flags[replica] = true;
+        self.gc.revive(NodeId::new(replica as u32), from_seq);
+        let t = self.now_ns();
+        self.tracer
+            .record(t, replica as u32, || TraceEvent::ReplicaRecovered {
+                from_seq,
+            });
+        self.fault_log.push(FaultRecord {
+            at: self.queue.now(),
+            replica,
+            kind: FaultRecordKind::Recovered { from_seq, donor },
+        });
     }
 
     /// Schedules an admitted/resumed thread's first step. The batching
@@ -1377,6 +1628,126 @@ mod tests {
         assert_eq!(res.completed_requests, 24);
         assert!(res.takeover_gap.is_some());
         assert_eq!(res.traces[1].state_hash, res.traces[2].state_hash);
+    }
+
+    #[test]
+    fn crash_and_recover_reconverges_to_identical_state() {
+        use crate::fault::{FaultPlan, FaultRecordKind};
+        let scenario = counter_scenario(3, 6);
+        let plan = FaultPlan::new()
+            .crash(SimDuration::from_millis(2), 2)
+            .recover(SimDuration::from_millis(4), 2);
+        let cfg = EngineConfig::new(SchedulerKind::Mat)
+            .with_seed(7)
+            .with_faults(plan);
+        let res = Engine::new(scenario, cfg).run();
+        assert!(!res.deadlocked);
+        assert_eq!(res.completed_requests, 18);
+        assert_eq!(res.alive, vec![true, true, true]);
+        assert_eq!(res.recovered, vec![false, false, true]);
+        // All three replicas — including the recovered one — end with the
+        // same state hash.
+        assert_eq!(res.traces[0].state_hash, res.traces[1].state_hash);
+        assert_eq!(res.traces[0].state_hash, res.traces[2].state_hash);
+        // Lifecycle log: a crash, then (possibly deferred) a recovery.
+        assert!(matches!(res.fault_log[0].kind, FaultRecordKind::Crashed));
+        let rec = res
+            .fault_log
+            .iter()
+            .find(|r| matches!(r.kind, FaultRecordKind::Recovered { .. }))
+            .expect("recovery must complete");
+        assert_eq!(rec.replica, 2);
+    }
+
+    #[test]
+    fn recovery_is_deterministic_across_reruns() {
+        use crate::fault::FaultPlan;
+        let mk = || {
+            let plan = FaultPlan::new()
+                .crash(SimDuration::from_millis(1), 1)
+                .recover(SimDuration::from_millis(3), 1);
+            Engine::new(
+                counter_scenario(3, 5),
+                EngineConfig::new(SchedulerKind::Sat)
+                    .with_seed(11)
+                    .with_cpu_jitter(0.2)
+                    .with_faults(plan),
+            )
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.fault_log, b.fault_log, "fault timeline must replay");
+        assert_eq!(a.makespan, b.makespan);
+        for (ta, tb) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(ta.state_hash, tb.state_hash);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support mid-run recovery")]
+    fn recovery_under_pds_is_rejected() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new()
+            .crash(SimDuration::from_millis(1), 2)
+            .recover(SimDuration::from_millis(2), 2);
+        let _ = Engine::new(
+            counter_scenario(2, 8),
+            EngineConfig::new(SchedulerKind::Pds)
+                .with_seed(3)
+                .with_faults(plan),
+        )
+        .run();
+    }
+
+    #[test]
+    fn duplicate_adversary_is_masked_by_dedup() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new().duplicate_window(
+            SimDuration::ZERO,
+            SimDuration::from_secs(10),
+            1,
+            SimDuration::from_micros(120),
+        );
+        let res = Engine::new(
+            counter_scenario(3, 5),
+            EngineConfig::new(SchedulerKind::Mat)
+                .with_seed(9)
+                .with_faults(plan),
+        )
+        .run();
+        assert!(!res.deadlocked);
+        assert!(
+            res.net_counter("dup_dropped") > 0,
+            "adversary must actually generate duplicates"
+        );
+        assert_eq!(res.traces[0].state_hash, res.traces[1].state_hash);
+        assert_eq!(res.traces[0].state_hash, res.traces[2].state_hash);
+    }
+
+    #[test]
+    fn reorder_adversary_exercises_holdback_and_converges() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new().delay_window(
+            SimDuration::ZERO,
+            SimDuration::from_secs(10),
+            0,
+            SimDuration::from_millis(2),
+        );
+        let res = Engine::new(
+            counter_scenario(3, 5),
+            EngineConfig::new(SchedulerKind::Seq)
+                .with_seed(21)
+                .with_faults(plan),
+        )
+        .run();
+        assert!(!res.deadlocked);
+        assert!(
+            res.net_counter("held_back") > 0,
+            "straggler legs must force hold-back buffering"
+        );
+        assert_eq!(res.traces[0].state_hash, res.traces[1].state_hash);
+        assert_eq!(res.traces[0].state_hash, res.traces[2].state_hash);
     }
 
     /// The counter scenario rebuilt with an open-loop arrival schedule.

@@ -13,7 +13,11 @@
 //! * [`arrival`] — deterministic open-loop arrival processes:
 //!   [`PoissonProcess`] draws exponential inter-arrival gaps from a seeded
 //!   stream, in integer virtual nanoseconds, so an offered-load schedule
-//!   is a pure function of `(seed, rate)` — no wall clock anywhere,
+//!   is a pure function of `(seed, rate)` — no wall clock anywhere; the
+//!   [`OnOffProcess`] MMPP-2 variant adds bursty on/off traffic with the
+//!   same determinism guarantee,
+//! * [`zipf`] — [`ZipfSampler`], deterministic skewed key popularity
+//!   (`1/k^s`) with a precomputed CDF and one-RNG-draw sampling,
 //! * [`stats`] — streaming statistics used by the benchmark harness:
 //!   exact-sample [`Histogram`], Welford [`Summary`], and the
 //!   fixed-bucket log-scale [`LogHistogram`] (32 linear sub-buckets per
@@ -29,9 +33,11 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod zipf;
 
-pub use arrival::{poisson_schedule, PoissonProcess};
+pub use arrival::{onoff_schedule, poisson_schedule, OnOffProcess, PoissonProcess};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use stats::{Histogram, LogHistogram, Summary};
 pub use time::{SimDuration, SimTime};
+pub use zipf::ZipfSampler;

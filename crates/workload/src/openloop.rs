@@ -14,9 +14,13 @@
 //!   read, `put(key, val)` holds it longer and updates the cell (an
 //!   order-sensitive write, so the determinism checker still bites);
 //! * an **open-loop client model**: every client draws a deterministic
-//!   Poisson arrival schedule ([`dmt_sim::PoissonProcess`]) and submits
-//!   on it, replies or not, at an aggregate offered rate of
-//!   `offered_rps` requests per virtual second.
+//!   arrival schedule — memoryless ([`dmt_sim::PoissonProcess`], the
+//!   default) or bursty on/off ([`dmt_sim::OnOffProcess`], via
+//!   [`OpenLoopParams::with_bursts`]) — and submits on it, replies or
+//!   not, at an aggregate offered rate of `offered_rps` requests per
+//!   virtual second. Key popularity is uniform by default or Zipf-skewed
+//!   ([`OpenLoopParams::with_zipf`]), concentrating contention on the
+//!   hot low-numbered cells.
 //!
 //! All randomness (operation mix, key choice, write values, arrival
 //! gaps) is drawn client-side from split [`SplitMix64`] streams and
@@ -30,7 +34,23 @@ use crate::ScenarioPair;
 use dmt_lang::ast::{DurExpr, IntExpr, MutexExpr, ObjectImpl};
 use dmt_lang::{ObjectBuilder, RequestArgs, Value};
 use dmt_replica::ClientScript;
-use dmt_sim::{PoissonProcess, SplitMix64};
+use dmt_sim::{OnOffProcess, PoissonProcess, SplitMix64, ZipfSampler};
+
+/// How each client times its submissions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalModel {
+    /// Memoryless arrivals at the client's share of `offered_rps` — the
+    /// smooth baseline the original suite measured.
+    Poisson,
+    /// MMPP-style on/off bursts ([`dmt_sim::OnOffProcess`]): the client
+    /// alternates exponential ON dwells (mean `mean_on_ns`) emitting
+    /// arrivals with silent OFF dwells (mean `mean_off_ns`). The ON-phase
+    /// rate is scaled by `(mean_on + mean_off) / mean_on`, so the
+    /// *time-averaged* offered load still equals `offered_rps` — burst
+    /// grids compare against the Poisson baseline at identical load, only
+    /// the clumping differs.
+    OnOff { mean_on_ns: u64, mean_off_ns: u64 },
+}
 
 /// Parameters of the open-loop read/write-mix workload.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +58,7 @@ pub struct OpenLoopParams {
     pub n_clients: usize,
     pub requests_per_client: usize,
     /// Aggregate offered load across all clients, requests per virtual
-    /// second (each client runs an independent Poisson stream at
+    /// second (each client runs an independent arrival stream averaging
     /// `offered_rps / n_clients`).
     pub offered_rps: f64,
     /// Probability that a request is a `get` (the rest are `put`s).
@@ -51,6 +71,14 @@ pub struct OpenLoopParams {
     pub read_us: u64,
     /// Critical-section length of a `put`, µs.
     pub write_us: u64,
+    /// Arrival timing model ([`ArrivalModel::Poisson`] by default).
+    pub arrival: ArrivalModel,
+    /// Zipf exponent for key popularity. `0.0` (default) keeps the
+    /// original uniform draw — bit-for-bit, via the same
+    /// `next_below` call, so historical schedules are unchanged;
+    /// any `s > 0` switches to a [`dmt_sim::ZipfSampler`] favouring
+    /// low-numbered keys (still exactly one RNG draw per key).
+    pub zipf_s: f64,
     pub seed: u64,
 }
 
@@ -65,6 +93,8 @@ impl Default for OpenLoopParams {
             pre_us: 200,
             read_us: 300,
             write_us: 800,
+            arrival: ArrivalModel::Poisson,
+            zipf_s: 0.0,
             seed: 42,
         }
     }
@@ -83,6 +113,23 @@ impl OpenLoopParams {
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Switch arrivals to on/off bursts with the given mean dwell times
+    /// (milliseconds of virtual time). Average offered load is preserved;
+    /// see [`ArrivalModel::OnOff`].
+    pub fn with_bursts(mut self, mean_on_ms: u64, mean_off_ms: u64) -> Self {
+        self.arrival = ArrivalModel::OnOff {
+            mean_on_ns: mean_on_ms * 1_000_000,
+            mean_off_ns: mean_off_ms * 1_000_000,
+        };
+        self
+    }
+
+    /// Skew key popularity with Zipf exponent `s` (0 = uniform).
+    pub fn with_zipf(mut self, s: f64) -> Self {
+        self.zipf_s = s;
         self
     }
 
@@ -142,13 +189,22 @@ pub fn build_object(p: &OpenLoopParams) -> ObjectImpl {
 fn request_mix(p: &OpenLoopParams) -> Vec<Vec<(dmt_lang::MethodIdx, RequestArgs)>> {
     let get = dmt_lang::MethodIdx::new(0);
     let put = dmt_lang::MethodIdx::new(1);
+    // Uniform keys keep the historical `next_below` call (so pre-existing
+    // schedules — and the golden artifacts built on them — stay
+    // bit-identical); Zipf keys substitute a CDF inversion that also
+    // consumes exactly one draw per key.
+    let zipf = (p.zipf_s > 0.0).then(|| ZipfSampler::new(p.n_mutexes as usize, p.zipf_s));
     let mut rng = SplitMix64::new(p.seed);
     (0..p.n_clients)
         .map(|c| {
             let mut crng = rng.split(c as u64);
             (0..p.requests_per_client)
                 .map(|_| {
-                    let key = Value::Int(crng.next_below(p.n_mutexes as u64) as i64);
+                    let k = match &zipf {
+                        None => crng.next_below(p.n_mutexes as u64),
+                        Some(z) => z.sample(&mut crng),
+                    };
+                    let key = Value::Int(k as i64);
                     if crng.next_bool(p.read_fraction) {
                         (get, RequestArgs::new(vec![key]))
                     } else {
@@ -162,7 +218,8 @@ fn request_mix(p: &OpenLoopParams) -> Vec<Vec<(dmt_lang::MethodIdx, RequestArgs)
 }
 
 /// Open-loop client scripts: the shared request mix on per-client
-/// Poisson schedules at `offered_rps / n_clients` each.
+/// arrival schedules (Poisson or on/off bursts) averaging
+/// `offered_rps / n_clients` each.
 pub fn client_scripts(p: &OpenLoopParams) -> Vec<ClientScript> {
     let per_client_rate = p.offered_rps / p.n_clients as f64;
     let mut arrival_rng = SplitMix64::new(p.seed ^ 0x6f70_656e_6c6f_6f70); // "openloop"
@@ -170,8 +227,23 @@ pub fn client_scripts(p: &OpenLoopParams) -> Vec<ClientScript> {
         .into_iter()
         .map(|requests| {
             let n = requests.len();
-            let mut proc = PoissonProcess::new(arrival_rng.next_u64(), per_client_rate);
-            ClientScript::open_loop(requests, proc.take_schedule(n))
+            let seed = arrival_rng.next_u64();
+            let schedule = match p.arrival {
+                ArrivalModel::Poisson => {
+                    PoissonProcess::new(seed, per_client_rate).take_schedule(n)
+                }
+                ArrivalModel::OnOff {
+                    mean_on_ns,
+                    mean_off_ns,
+                } => {
+                    // Peak up the ON rate by the inverse duty cycle so
+                    // the long-run average matches the Poisson baseline.
+                    let duty = mean_on_ns as f64 / (mean_on_ns + mean_off_ns) as f64;
+                    OnOffProcess::new(seed, per_client_rate / duty, 0.0, mean_on_ns, mean_off_ns)
+                        .take_schedule(n)
+                }
+            };
+            ClientScript::open_loop(requests, schedule)
         })
         .collect()
 }
@@ -271,6 +343,100 @@ mod tests {
             assert!(!res.deadlocked, "{kind}");
             assert_eq!(res.completed_requests, 12, "{kind}");
             assert_eq!(res.latency.count(), 12, "{kind}");
+        }
+    }
+
+    #[test]
+    fn burst_arrivals_clump_but_preserve_the_mix() {
+        let p = OpenLoopParams {
+            requests_per_client: 200,
+            ..Default::default()
+        };
+        let smooth = client_scripts(&p);
+        let bursty = client_scripts(&p.with_bursts(20, 80));
+        // Same requests (mix is split from arrivals), different timing.
+        for (s, b) in smooth.iter().zip(&bursty) {
+            assert_eq!(s.requests, b.requests);
+            assert_ne!(s.arrivals, b.arrivals);
+            let sched = b.arrivals.as_ref().unwrap();
+            assert!(sched.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Burstiness: squared coefficient of variation of inter-arrival
+        // gaps well above the Poisson CV² ≈ 1.
+        let cv2 = |scripts: &[ClientScript]| {
+            let gaps: Vec<f64> = scripts
+                .iter()
+                .flat_map(|s| {
+                    let a = s.arrivals.as_ref().unwrap();
+                    a.windows(2)
+                        .map(|w| (w[1].as_nanos() - w[0].as_nanos()) as f64)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        assert!(cv2(&bursty) > 1.8 * cv2(&smooth), "bursts not clumpy");
+        // Deterministic: same params, same schedules.
+        assert_eq!(
+            client_scripts(&p.with_bursts(20, 80))[0].arrivals,
+            bursty[0].arrivals
+        );
+    }
+
+    #[test]
+    fn zipf_skews_keys_without_extra_draws() {
+        let p = OpenLoopParams {
+            requests_per_client: 400,
+            read_fraction: 1.0, // gets only: key is arg 0 everywhere
+            ..Default::default()
+        };
+        let key_of = |r: &RequestArgs| match r.values()[0] {
+            Value::Int(k) => k as u64,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        let count_low = |scripts: &[ClientScript]| {
+            scripts
+                .iter()
+                .flat_map(|s| s.requests.iter())
+                .filter(|(_, a)| key_of(a) < 4)
+                .count()
+        };
+        let uniform = client_scripts(&p);
+        let skewed = client_scripts(&p.with_zipf(1.2));
+        let total = p.total_requests();
+        // Uniform: ~4/64 of keys in [0, 4). Zipf 1.2: the head dominates.
+        assert!(count_low(&uniform) < total / 8);
+        assert!(count_low(&skewed) > total / 3, "zipf head too light");
+        // The arrival schedules are untouched by the key model (split
+        // streams), and the mix stays deterministic.
+        for (u, s) in uniform.iter().zip(&skewed) {
+            assert_eq!(u.arrivals, s.arrivals);
+        }
+        assert_eq!(
+            client_scripts(&p.with_zipf(1.2))[0].requests,
+            skewed[0].requests
+        );
+    }
+
+    #[test]
+    fn bursty_zipf_workload_completes_and_converges() {
+        let p = OpenLoopParams {
+            n_clients: 3,
+            requests_per_client: 4,
+            offered_rps: 2000.0,
+            n_mutexes: 8,
+            ..Default::default()
+        }
+        .with_bursts(5, 15)
+        .with_zipf(1.0);
+        let pair = scenario(&p);
+        for kind in [SchedulerKind::Sat, SchedulerKind::Mat, SchedulerKind::Pmat] {
+            let (res, outcome) = dmt_replica::check_determinism(pair.for_kind(kind), kind, 7, 0.3);
+            assert!(!res.deadlocked, "{kind}");
+            assert_eq!(res.completed_requests, 12, "{kind}");
+            assert!(outcome.converged(), "{kind}: {outcome:?}");
         }
     }
 

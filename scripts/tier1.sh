@@ -23,4 +23,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "== smoke: figures --quick =="
 cargo run --release -p dmt-bench --bin figures -- --quick
 
+# Fast resilience subset: the fault-suite goldens (re-convergence,
+# BENCH_faults.json byte-identity across worker counts, the broken-
+# transport negative control). The #[ignore]d full grid stays out of
+# tier-1; run it with `cargo test -p dmt-bench --test resilience -- --ignored`.
+echo "== smoke: resilience goldens =="
+cargo test -q -p dmt-bench --test resilience
+
 echo "tier1: OK"
