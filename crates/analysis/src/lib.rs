@@ -19,12 +19,17 @@
 //!   scheduler's bookkeeping module is initialised with,
 //! * [`report`] — analysis statistics for the `tab-analysis` experiment,
 //! * [`pretty`] — a printer for original vs. transformed sources (the
-//!   Figure 4 golden test renders through it).
+//!   Figure 4 golden test renders through it),
+//! * [`racepred`] — the *dynamic* counterpart: replays a recorded
+//!   Grant/Release trace (`dmt-obs`), rebuilds critical sections and the
+//!   lock graph, and predicts deadlock cycles and schedule-sensitive
+//!   reorderings a different deterministic schedule could realise.
 
 pub mod callgraph;
 pub mod lockparam;
 pub mod paths;
 pub mod pretty;
+pub mod racepred;
 pub mod report;
 pub mod table;
 pub mod transform;
@@ -32,6 +37,7 @@ pub mod transform;
 pub use callgraph::CallGraph;
 pub use lockparam::{classify, ParamClass};
 pub use paths::MethodSummary;
+pub use racepred::{predict_races, CriticalSection, RaceReport};
 pub use report::{analyze, AnalysisReport};
 pub use table::build_lock_table;
 pub use transform::{audit_fusion, transform, FusionAudit, MethodFusion};

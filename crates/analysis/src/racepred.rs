@@ -1,0 +1,434 @@
+//! Lock-order / race prediction over recorded traces.
+//!
+//! The static passes in this crate predict lock sets *forward* from the
+//! AST; this module works *backward* from a recorded execution, in the
+//! spirit of the dynamic predictive-race-detection literature
+//! (PAPERS.md, *Cross-thread critical sections and efficient dynamic
+//! race prediction methods*): replay one replica's Grant/Release
+//! stream, rebuild every critical section, build the lock graph, and
+//! report what a *different* deterministic schedule could have done
+//! with the same program —
+//!
+//! * **findings**: cycles in the lock graph (strongly connected
+//!   components with ≥ 2 mutexes, or a self-loop). The witnessed run
+//!   completed, but a schedule that interleaves the inverted nestings
+//!   deadlocks — the classic AB/BA prediction. A trace with no nested
+//!   holds has no edges and therefore zero findings.
+//! * **statistics**: schedule-sensitive adjacent pairs — consecutive
+//!   critical sections on the same mutex owned by different threads
+//!   whose surrounding hold sets are disjoint, i.e. acquisitions a
+//!   different deterministic scheduler is free to reorder without
+//!   violating any lock-order constraint visible in the trace. These
+//!   are not defects (per-mutex order *is* the deterministic contract);
+//!   they quantify how much ordering freedom the schedule family has.
+//!
+//! Everything is replayed in record order with id-sorted outputs, so
+//! the rendered report is byte-stable and golden-testable.
+
+use dmt_core::{Decision, ThreadId};
+use dmt_lang::MutexId;
+use dmt_obs::{TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// One reconstructed critical section on one mutex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalSection {
+    pub tid: ThreadId,
+    pub mutex: MutexId,
+    /// Grant stamp (virtual ns).
+    pub start_ns: u64,
+    /// Release stamp (virtual ns).
+    pub end_ns: u64,
+    /// Mutexes the thread already held at the grant.
+    pub held_at_entry: Vec<MutexId>,
+}
+
+/// The replayed lock graph and its predictions.
+#[derive(Debug, Clone, Default)]
+pub struct RaceReport {
+    /// Replica whose stream was replayed.
+    pub replica: u32,
+    /// Closed critical sections, in close order.
+    pub sections: Vec<CriticalSection>,
+    /// Lock-order edges `held → acquired` with multiplicities, sorted.
+    pub edges: Vec<(MutexId, MutexId, u64)>,
+    /// Lock-graph cycles (id-sorted mutex sets): the findings. Each is
+    /// a potential deadlock under a schedule that interleaves the
+    /// inverted nestings.
+    pub cycles: Vec<Vec<MutexId>>,
+    /// Per-mutex count of reorderable adjacent cross-thread critical-
+    /// section pairs (see module docs), id-sorted.
+    pub reorderable: Vec<(MutexId, u64)>,
+}
+
+impl RaceReport {
+    /// Number of findings (predicted deadlock cycles).
+    pub fn findings(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Total reorderable adjacent pairs across all mutexes.
+    pub fn reorderable_total(&self) -> u64 {
+        self.reorderable.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Byte-stable text rendering (golden-tested in dmt-bench).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "race-prediction report (replica {})", self.replica);
+        let n_mutexes = {
+            let mut ids: Vec<u32> = self
+                .sections
+                .iter()
+                .map(|s| s.mutex.index() as u32)
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        let _ = writeln!(
+            out,
+            "critical sections: {} across {} mutexes",
+            self.sections.len(),
+            n_mutexes
+        );
+        let _ = writeln!(out, "lock-order edges: {}", self.edges.len());
+        for &(held, acquired, count) in &self.edges {
+            let _ = writeln!(
+                out,
+                "  m{} -> m{} x{}",
+                held.index(),
+                acquired.index(),
+                count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "lock-order cycles (potential deadlocks): {}",
+            self.cycles.len()
+        );
+        for cycle in &self.cycles {
+            let names: Vec<String> = cycle.iter().map(|m| format!("m{}", m.index())).collect();
+            let _ = writeln!(out, "  cycle: {}", names.join(" <-> "));
+        }
+        let _ = writeln!(
+            out,
+            "schedule-sensitive adjacent pairs: {}",
+            self.reorderable_total()
+        );
+        for &(m, n) in &self.reorderable {
+            let _ = writeln!(out, "  m{}: {}", m.index(), n);
+        }
+        out
+    }
+}
+
+/// Replays `records` (events of `replica` only) and predicts.
+pub fn predict_races(records: &[TraceRecord], replica: u32) -> RaceReport {
+    // (tid, mutex) → (start, depth, held-at-entry).
+    let mut open: BTreeMap<(u32, u32), (u64, u32, Vec<MutexId>)> = BTreeMap::new();
+    let mut sections: Vec<CriticalSection> = Vec::new();
+    let mut edges: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+
+    for rec in records.iter().filter(|r| r.replica == replica) {
+        match rec.ev {
+            TraceEvent::Sched(Decision::Grant { tid, mutex, .. }) => {
+                let k = (tid.0, mutex.index() as u32);
+                if let Some(entry) = open.get_mut(&k) {
+                    entry.1 += 1; // reentrant
+                    continue;
+                }
+                let held: Vec<MutexId> = open
+                    .range((tid.0, 0)..=(tid.0, u32::MAX))
+                    .map(|(&(_, m), _)| MutexId::new(m))
+                    .collect();
+                for &h in &held {
+                    *edges
+                        .entry((h.index() as u32, mutex.index() as u32))
+                        .or_default() += 1;
+                }
+                open.insert(k, (rec.t_ns, 1, held));
+            }
+            TraceEvent::MutexReleased { tid, mutex } => {
+                let k = (tid.0, mutex.index() as u32);
+                if let Some(entry) = open.get_mut(&k) {
+                    entry.1 -= 1;
+                    if entry.1 == 0 {
+                        let (start_ns, _, held_at_entry) = open.remove(&k).unwrap();
+                        sections.push(CriticalSection {
+                            tid,
+                            mutex,
+                            start_ns,
+                            end_ns: rec.t_ns,
+                            held_at_entry,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let edge_list: Vec<(MutexId, MutexId, u64)> = edges
+        .iter()
+        .map(|(&(h, a), &c)| (MutexId::new(h), MutexId::new(a), c))
+        .collect();
+    let cycles = find_cycles(&edges);
+    let reorderable = reorderable_pairs(&sections);
+
+    RaceReport {
+        replica,
+        sections,
+        edges: edge_list,
+        cycles,
+        reorderable,
+    }
+}
+
+/// Strongly connected components of the lock graph with ≥ 2 nodes (or a
+/// self-loop): each is a family of cyclic lock-order dependencies.
+/// Iterative Tarjan over id-sorted adjacency, so output order is
+/// deterministic; each SCC's mutex set is emitted id-sorted, and SCCs
+/// are sorted by their smallest member.
+fn find_cycles(edges: &BTreeMap<(u32, u32), u64>) -> Vec<Vec<MutexId>> {
+    let mut nodes: Vec<u32> = edges
+        .keys()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    nodes.sort_unstable();
+    let index_of: BTreeMap<u32, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(a, b) in edges.keys() {
+        adj[index_of[&a]].push(index_of[&b]);
+    }
+
+    // Iterative Tarjan.
+    const UNSET: usize = usize::MAX;
+    let n = nodes.len();
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // Work stack: (node, next-child position).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        work.push((start, 0));
+        while let Some(&mut (v, ref mut child)) = work.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNSET {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+                work.pop();
+                if let Some(&mut (parent, _)) = work.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+
+    let mut cycles: Vec<Vec<MutexId>> = sccs
+        .into_iter()
+        .filter(|scc| {
+            scc.len() >= 2 || {
+                let v = scc[0];
+                edges.contains_key(&(nodes[v], nodes[v]))
+            }
+        })
+        .map(|scc| {
+            let mut ids: Vec<u32> = scc.into_iter().map(|v| nodes[v]).collect();
+            ids.sort_unstable();
+            ids.into_iter().map(MutexId::new).collect()
+        })
+        .collect();
+    cycles.sort();
+    cycles
+}
+
+/// Counts, per mutex, consecutive critical-section pairs owned by
+/// different threads whose entry hold sets are disjoint — reorderable
+/// by a different deterministic schedule without violating any
+/// trace-visible lock-order constraint.
+fn reorderable_pairs(sections: &[CriticalSection]) -> Vec<(MutexId, u64)> {
+    let mut per_mutex: BTreeMap<u32, Vec<&CriticalSection>> = BTreeMap::new();
+    for s in sections {
+        per_mutex.entry(s.mutex.index() as u32).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for (m, mut list) in per_mutex {
+        // A mutex's sections are disjoint in time; order them by start.
+        list.sort_by_key(|s| (s.start_ns, s.tid.0));
+        let mut count = 0u64;
+        for pair in list.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a.tid != b.tid && !a.held_at_entry.iter().any(|h| b.held_at_entry.contains(h)) {
+                count += 1;
+            }
+        }
+        if count > 0 {
+            out.push((MutexId::new(m), count));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u32) -> ThreadId {
+        ThreadId::new(v)
+    }
+    fn m(v: u32) -> MutexId {
+        MutexId::new(v)
+    }
+    fn grant(t_ns: u64, tid: ThreadId, mutex: MutexId) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            replica: 0,
+            ev: TraceEvent::Sched(Decision::Grant {
+                tid,
+                mutex,
+                from_wait: false,
+            }),
+        }
+    }
+    fn release(t_ns: u64, tid: ThreadId, mutex: MutexId) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            replica: 0,
+            ev: TraceEvent::MutexReleased { tid, mutex },
+        }
+    }
+
+    #[test]
+    fn ab_ba_inversion_is_one_cycle() {
+        // t0: A then B (nested); later t1: B then A (nested).
+        let records = vec![
+            grant(0, t(0), m(0)),
+            grant(5, t(0), m(1)),
+            release(10, t(0), m(1)),
+            release(15, t(0), m(0)),
+            grant(20, t(1), m(1)),
+            grant(25, t(1), m(0)),
+            release(30, t(1), m(0)),
+            release(35, t(1), m(1)),
+        ];
+        let r = predict_races(&records, 0);
+        assert_eq!(r.sections.len(), 4);
+        assert_eq!(
+            r.edges,
+            vec![(m(0), m(1), 1), (m(1), m(0), 1)],
+            "both nesting orders observed"
+        );
+        assert_eq!(r.findings(), 1);
+        assert_eq!(r.cycles, vec![vec![m(0), m(1)]]);
+    }
+
+    #[test]
+    fn consistent_order_has_no_findings_but_counts_reorderable_pairs() {
+        // Both threads lock A then B — no cycle; the back-to-back
+        // same-mutex sections by different threads are reorderable.
+        let records = vec![
+            grant(0, t(0), m(0)),
+            grant(5, t(0), m(1)),
+            release(10, t(0), m(1)),
+            release(15, t(0), m(0)),
+            grant(20, t(1), m(0)),
+            grant(25, t(1), m(1)),
+            release(30, t(1), m(1)),
+            release(35, t(1), m(0)),
+        ];
+        let r = predict_races(&records, 0);
+        assert_eq!(r.findings(), 0);
+        // m0: t0's CS then t1's CS, neither holding anything at entry →
+        // reorderable. m1: both held m0 at entry → constrained.
+        assert_eq!(r.reorderable, vec![(m(0), 1)]);
+    }
+
+    #[test]
+    fn flat_locking_yields_no_edges_and_no_findings() {
+        let records = vec![
+            grant(0, t(0), m(4)),
+            release(5, t(0), m(4)),
+            grant(6, t(1), m(4)),
+            release(9, t(1), m(4)),
+        ];
+        let r = predict_races(&records, 0);
+        assert!(r.edges.is_empty());
+        assert_eq!(r.findings(), 0);
+        assert_eq!(r.reorderable, vec![(m(4), 1)]);
+    }
+
+    #[test]
+    fn three_way_cycle_detected_as_one_scc() {
+        // 0→1, 1→2, 2→0.
+        let records = vec![
+            grant(0, t(0), m(0)),
+            grant(1, t(0), m(1)),
+            release(2, t(0), m(1)),
+            release(3, t(0), m(0)),
+            grant(10, t(1), m(1)),
+            grant(11, t(1), m(2)),
+            release(12, t(1), m(2)),
+            release(13, t(1), m(1)),
+            grant(20, t(2), m(2)),
+            grant(21, t(2), m(0)),
+            release(22, t(2), m(0)),
+            release(23, t(2), m(2)),
+        ];
+        let r = predict_races(&records, 0);
+        assert_eq!(r.cycles, vec![vec![m(0), m(1), m(2)]]);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let records = vec![
+            grant(0, t(0), m(0)),
+            grant(5, t(0), m(1)),
+            release(10, t(0), m(1)),
+            release(15, t(0), m(0)),
+            grant(20, t(1), m(1)),
+            grant(25, t(1), m(0)),
+            release(30, t(1), m(0)),
+            release(35, t(1), m(1)),
+        ];
+        let a = predict_races(&records, 0).render();
+        let b = predict_races(&records, 0).render();
+        assert_eq!(a, b);
+        assert!(a.contains("lock-order cycles (potential deadlocks): 1"));
+        assert!(a.contains("cycle: m0 <-> m1"));
+    }
+}

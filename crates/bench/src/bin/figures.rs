@@ -7,6 +7,7 @@
 //! cargo run -p dmt-bench --release --bin figures -- openloop  # BENCH_openloop.json
 //! cargo run -p dmt-bench --release --bin figures -- faults    # BENCH_faults.json
 //! cargo run -p dmt-bench --release --bin figures -- obs       # BENCH_obs.json
+//! cargo run -p dmt-bench --release --bin figures -- contention # BENCH_contention.json + .folded
 //! cargo run -p dmt-bench --release --bin figures -- trace --out trace.json [--sched MAT]
 //! ```
 
@@ -216,6 +217,34 @@ fn faults_bench(quick: bool, csv: bool) {
     eprintln!("wrote {path}");
 }
 
+fn contention_bench(quick: bool, csv: bool) {
+    let grid = if quick {
+        ContentionGrid::quick()
+    } else {
+        ContentionGrid::default()
+    };
+    let report = contention_experiment(&grid);
+    for t in [contention_table(&report), autopilot_table(&report)] {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+    }
+    let j = contention_json(&grid, &report);
+    let path = artifact_path("BENCH_contention.json", quick);
+    std::fs::write(&path, &j).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+    let folded_path = artifact_path("CONTENTION_mat_openloop.folded", quick);
+    std::fs::write(&folded_path, &report.folded)
+        .unwrap_or_else(|e| panic!("write {folded_path}: {e}"));
+    eprintln!(
+        "wrote {folded_path} ({} frames) — feed to any flamegraph.pl-compatible renderer",
+        report.folded.lines().count()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `--out` and `--sched` take a value; skip it when locating the
@@ -281,13 +310,14 @@ fn main() {
         "openloop" => openloop_bench(quick, csv),
         "faults" => faults_bench(quick, csv),
         "obs" => obs_bench(quick, csv),
+        "contention" => contention_bench(quick, csv),
         "trace" => trace_export(out, sched, quick),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "known: fig1 fig1x fig2 fig3 fig4 analysis abl-mutexes \
                  abl-overhead abl-wan abl-passive determinism bench openloop \
-                 faults obs trace all"
+                 faults obs contention trace all"
             );
             std::process::exit(2);
         }
@@ -309,6 +339,7 @@ fn main() {
             "openloop",
             "faults",
             "obs",
+            "contention",
             "trace",
             "bench",
         ] {

@@ -25,6 +25,7 @@
 //! Parallel sweeps dispatch jobs longest-first but slot results by job
 //! index, so parallelism affects wall-clock only, never output bytes.
 
+pub mod contention;
 pub mod experiments;
 pub mod faults;
 pub mod obs;
@@ -32,6 +33,11 @@ pub mod openloop;
 pub mod table;
 pub mod ubench;
 
+pub use contention::{
+    autopilot_table, contention_experiment, contention_experiment_with_threads, contention_json,
+    contention_table, recommend, AutopilotRow, ContentionGrid, ContentionReport, PmatFeedbackRow,
+    ProfileRow, RaceRow,
+};
 pub use experiments::*;
 pub use faults::{
     faults_experiment, faults_experiment_with_threads, faults_json, faults_table, FaultGrid,

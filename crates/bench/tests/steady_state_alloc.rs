@@ -144,6 +144,48 @@ fn warm_substrate_paths_do_not_allocate() {
         ring_delta, 0,
         "warm admission-ring churn allocated {ring_delta} times"
     );
+
+    // --- Disabled tracer: the tracing-off record path is one branch
+    // and must never allocate — not even on the first call (this is
+    // the default engine configuration, so any allocation here taxes
+    // every untraced simulation).
+    let mut off = dmt_obs::Tracer::disabled();
+    let ev = || {
+        dmt_obs::TraceEvent::Sched(dmt_core::Decision::Grant {
+            tid: dmt_core::ThreadId::new(1),
+            mutex: MutexId::new(3),
+            from_wait: false,
+        })
+    };
+    let before = allocations();
+    for t in 0..10_000u64 {
+        off.record(t, 0, ev);
+    }
+    let off_delta = allocations() - before;
+    assert_eq!(
+        off_delta, 0,
+        "disabled tracer allocated {off_delta} times on the record path"
+    );
+    assert_eq!(off.written(), 0);
+
+    // --- Ring sink: the bounded last-N sink preallocates its ring at
+    // construction; steady-state accepts (including overwrites past
+    // the cap) must recycle those slots, never grow them.
+    let mut ring_tr = dmt_obs::Tracer::with_sink(Box::new(dmt_obs::RingSink::new(128)));
+    for t in 0..256u64 {
+        ring_tr.record(t, 0, ev); // warm: fill and wrap once
+    }
+    let before = allocations();
+    for t in 0..10_000u64 {
+        ring_tr.record(t, 0, ev);
+    }
+    let sink_delta = allocations() - before;
+    assert_eq!(
+        sink_delta, 0,
+        "warm ring-sink record path allocated {sink_delta} times"
+    );
+    assert_eq!(ring_tr.written(), 128, "ring retains exactly its cap");
+    assert_eq!(ring_tr.dropped(), 10_256 - 128);
     assert_eq!(
         pool.allocs(),
         1,

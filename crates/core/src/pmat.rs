@@ -30,7 +30,7 @@
 use crate::bookkeeping::{Bookkeeping, LockTable};
 use crate::event::{SchedAction, SchedEvent};
 use crate::ids::ThreadId;
-use crate::obs::{Decision, DepthSample, SchedOutput};
+use crate::obs::{ContentionHints, Decision, DepthSample, SchedOutput};
 use crate::scheduler::{Scheduler, SchedulerKind};
 use crate::slot::SlotMap;
 use crate::sync_core::{LockOutcome, SyncCore};
@@ -46,6 +46,10 @@ pub struct PmatScheduler {
     /// Gate-blocked lock requests awaiting the prediction check,
     /// indexed by thread id (slot index == age rank).
     pending: SlotMap<dmt_lang::MutexId>,
+    /// Observed-contention feedback: mutexes a profile marked hot lose
+    /// the prediction waiver in [`PmatScheduler::eligible`] and
+    /// serialise in age order. Empty by default (pure §4.3 behaviour).
+    hints: ContentionHints,
 }
 
 impl PmatScheduler {
@@ -55,7 +59,14 @@ impl PmatScheduler {
             book: Bookkeeping::new(table),
             queue: Vec::new(),
             pending: SlotMap::new(),
+            hints: ContentionHints::new(),
         }
+    }
+
+    /// Installs observed-contention feedback (builder style).
+    pub fn with_hints(mut self, hints: ContentionHints) -> Self {
+        self.hints = hints;
+        self
     }
 
     /// The §4.3 grant condition for `tid` requesting `mutex`. A
@@ -64,7 +75,19 @@ impl PmatScheduler {
     /// notify, which requires someone else to lock the monitor first —
     /// exempting waiters is what keeps the standard producer/consumer
     /// pattern live under PMAT.
+    ///
+    /// Contention feedback: when `mutex` is marked hot, the
+    /// predicted-and-disjoint waiver is withheld — every older queued
+    /// thread must be *waiting on this mutex* (or parked in its wait
+    /// set) before a younger one may take it, so grants on a hot mutex
+    /// follow admission age exactly (per-object SEQ). This only
+    /// tightens the rule: hinted PMAT admits a subset of unhinted
+    /// PMAT's grants at each step, and the liveness-critical wait-set
+    /// exemption is preserved, so no new deadlock is introduced — an
+    /// ineligible younger thread just waits for its elders, who are
+    /// themselves unconstrained at the head of the queue.
     fn eligible(&self, tid: ThreadId, mutex: dmt_lang::MutexId) -> bool {
+        let hot = self.hints.is_hot(mutex);
         self.queue.iter().take_while(|&&u| u < tid).all(|&u| {
             // A predecessor parked in this mutex's wait set cannot race
             // for it: it re-acquires only after a notify, which requires
@@ -72,7 +95,7 @@ impl PmatScheduler {
             // even for unpredicted waiters — without it the notifier
             // could never enter and the wait would never end.
             self.sync.is_waiting(u, mutex)
-                || (self.book.is_predicted(u) && !self.book.may_lock(u, mutex))
+                || (!hot && self.book.is_predicted(u) && !self.book.may_lock(u, mutex))
         })
     }
 
@@ -522,5 +545,72 @@ mod tests {
         // t0 re-acquires on the notifier's release.
         assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
         assert_eq!(s.sync_core().owner(m(3)), Some(t(0)));
+    }
+
+    #[test]
+    fn hot_hint_withdraws_the_prediction_waiver() {
+        // Unhinted: t0 announces m5, t1 may take m9 concurrently
+        // (disjoint predicted lock sets). Hinted hot m9: t1 must wait
+        // for its elder even though prediction proves disjointness.
+        let table = Arc::new(LockTable::new(vec![Some(vec![e(0)]), Some(vec![e(1)])]));
+        let mut hints = ContentionHints::new();
+        hints.mark_hot(m(9));
+        let mut s = PmatScheduler::new(table).with_hints(hints);
+        let mut out = SchedOutput::new();
+        s.on_event(&arrive(0), &mut out);
+        s.on_event(
+            &SchedEvent::RequestArrived {
+                tid: t(1),
+                method: MethodIdx::new(1),
+                request_seq: 1,
+                dummy: false,
+            },
+            &mut out,
+        );
+        out.clear();
+        s.on_event(&info(0, 0, 5), &mut out);
+        s.on_event(&lock(1, 1, 9), &mut out);
+        assert!(
+            out.actions.is_empty(),
+            "hot mutex serialises in age order despite disjoint prediction"
+        );
+        // Cold mutexes keep the waiver: the same shape on m10 grants.
+        s.on_event(&lock(0, 0, 5), &mut out);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(0))]);
+        out.clear();
+        // Elder finishes → the hot mutex flows to the next age rank.
+        s.on_event(&unlock(0, 0, 5), &mut out);
+        s.on_event(&finish(0), &mut out);
+        assert_eq!(out.actions, vec![SchedAction::Resume(t(1))]);
+        assert_eq!(s.sync_core().owner(m(9)), Some(t(1)));
+    }
+
+    #[test]
+    fn empty_hints_change_nothing() {
+        // The disjoint-lock-sets concurrency test, with explicit empty
+        // hints: behaviour must be identical to unhinted PMAT.
+        let table = Arc::new(LockTable::new(vec![Some(vec![e(0)]), Some(vec![e(1)])]));
+        let mut s = PmatScheduler::new(table).with_hints(ContentionHints::new());
+        let mut out = SchedOutput::new();
+        s.on_event(&arrive(0), &mut out);
+        s.on_event(
+            &SchedEvent::RequestArrived {
+                tid: t(1),
+                method: MethodIdx::new(1),
+                request_seq: 1,
+                dummy: false,
+            },
+            &mut out,
+        );
+        out.clear();
+        s.on_event(&info(0, 0, 10), &mut out);
+        s.on_event(&info(1, 1, 11), &mut out);
+        s.on_event(&lock(1, 1, 11), &mut out);
+        s.on_event(&lock(0, 0, 10), &mut out);
+        assert_eq!(
+            out.actions,
+            vec![SchedAction::Resume(t(1)), SchedAction::Resume(t(0))],
+            "empty hints must preserve Figure 3(b) concurrency"
+        );
     }
 }

@@ -20,7 +20,7 @@
 use crate::bookkeeping::LockTable;
 use crate::event::SchedEvent;
 use crate::ids::ReplicaId;
-use crate::obs::{DepthSample, SchedOutput};
+use crate::obs::{ContentionHints, DepthSample, SchedOutput};
 use crate::sync_core::SyncCore;
 use std::sync::Arc;
 
@@ -160,6 +160,8 @@ pub struct SchedConfig {
     pub leader: ReplicaId,
     pub lock_table: Arc<LockTable>,
     pub pds: PdsConfig,
+    /// Observed-contention feedback (PMAT). Empty = no feedback.
+    pub hints: ContentionHints,
 }
 
 impl SchedConfig {
@@ -170,6 +172,7 @@ impl SchedConfig {
             leader: ReplicaId::new(0),
             lock_table: Arc::new(LockTable::unanalyzed(0)),
             pds: PdsConfig::default(),
+            hints: ContentionHints::new(),
         }
     }
 
@@ -185,6 +188,11 @@ impl SchedConfig {
 
     pub fn with_leader(mut self, leader: ReplicaId) -> Self {
         self.leader = leader;
+        self
+    }
+
+    pub fn with_hints(mut self, hints: ContentionHints) -> Self {
+        self.hints = hints;
         self
     }
 }
@@ -246,7 +254,9 @@ pub fn make_scheduler(cfg: &SchedConfig) -> Box<dyn Scheduler> {
             crate::mat::MatMode::LastLock,
             cfg.lock_table.clone(),
         )),
-        SchedulerKind::Pmat => Box::new(crate::pmat::PmatScheduler::new(cfg.lock_table.clone())),
+        SchedulerKind::Pmat => Box::new(
+            crate::pmat::PmatScheduler::new(cfg.lock_table.clone()).with_hints(cfg.hints.clone()),
+        ),
     }
 }
 

@@ -181,6 +181,16 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
                     new_leader
                 );
             }
+            TraceEvent::MutexReleased { tid, mutex } => {
+                let _ = write!(
+                    line,
+                    "{{\"name\":\"mutex-released\",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"sched\",\"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{\"tid\":{},\"mutex\":{}}}}}",
+                    ts(r.t_ns),
+                    pid,
+                    tid.index(),
+                    mutex.index()
+                );
+            }
             TraceEvent::Depth(d) => {
                 let _ = write!(
                     line,
@@ -289,6 +299,14 @@ mod tests {
                 replica: 2,
                 ev: TraceEvent::ReplicaRecovered { from_seq: 17 },
             },
+            TraceRecord {
+                t_ns: 9500,
+                replica: 0,
+                ev: TraceEvent::MutexReleased {
+                    tid: t(0),
+                    mutex: MutexId::new(2),
+                },
+            },
         ];
         let a = chrome_trace_json(&records);
         let b = chrome_trace_json(&records);
@@ -306,6 +324,7 @@ mod tests {
         assert!(a.contains("\"name\":\"replica-crashed\""));
         assert!(a.contains("\"from_seq\":17"));
         assert!(a.contains("\"new_leader\":1"));
+        assert!(a.contains("\"name\":\"mutex-released\""));
         // Every record appears as one line.
         assert_eq!(a.lines().count(), records.len() + 2);
     }

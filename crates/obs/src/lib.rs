@@ -8,13 +8,22 @@
 //!   The engine routes its host-side perf counters, the group-comm
 //!   traffic counters, and the per-request latency histogram through it,
 //!   so every run exports one uniform `name → value` view.
-//! * [`trace`] — a structured trace recorder: a preallocated vector of
-//!   typed [`TraceRecord`]s (scheduler decisions, request lifecycle,
-//!   group-comm legs, queue-depth samples) stamped with virtual-ns time
-//!   and replica. Disabled tracing is one predictable branch and zero
-//!   allocations: the record closure is never called and the buffer
-//!   capacity stays 0 (asserted by tests here and guarded against the
-//!   pinned ns/event baseline in dmt-bench).
+//! * [`trace`] — a structured trace recorder: a bounded buffer of typed
+//!   [`TraceRecord`]s (scheduler decisions, request lifecycle,
+//!   group-comm legs, queue-depth samples, mutex releases) stamped with
+//!   virtual-ns time and replica. Disabled tracing is one predictable
+//!   branch and zero allocations: the record closure is never called and
+//!   the buffer capacity stays 0 (asserted by tests here and guarded
+//!   against the pinned ns/event baseline in dmt-bench). Enabled
+//!   tracing is bounded too: the buffer caps and counts drops, or a
+//!   pluggable [`sink::TraceSink`] streams records out instead.
+//! * [`sink`] — the streaming layer: a compact, byte-stable binary
+//!   codec for [`TraceRecord`] plus ring / bounded-file / null sinks,
+//!   so runs too large to buffer stream to disk with bounded memory.
+//! * [`profile`] — folds one replica's Defer/Grant/Release stream into
+//!   a per-mutex contention profile (defer counts by reason, wait/hold
+//!   histograms, waits-for edges) with a flamegraph-style collapsed
+//!   rendering and derived [`dmt_core::ContentionHints`].
 //! * [`chrome`] — exports a trace to the Chrome `chrome://tracing` /
 //!   Perfetto JSON array format for interactive inspection.
 //!
@@ -23,9 +32,16 @@
 //! on it, so the observer cannot perturb the observed.
 
 pub mod chrome;
+pub mod profile;
 pub mod registry;
+pub mod sink;
 pub mod trace;
 
 pub use chrome::chrome_trace_json;
+pub use profile::{ContentionProfile, LockEdge, MutexProfile, DEFER_REASONS};
 pub use registry::{CounterId, GaugeId, HistId, MetricsRegistry, MetricsSnapshot};
+pub use sink::{
+    decode_records, encode_record, FileSink, NullSink, RingSink, TraceSink, TraceSinkSpec,
+    DEFAULT_TRACE_CAP,
+};
 pub use trace::{TraceEvent, TraceRecord, Tracer};

@@ -1,0 +1,706 @@
+//! Streaming trace sinks and the compact binary record codec.
+//!
+//! The in-memory [`crate::Tracer`] buffer works for runs that fit in
+//! RAM; the ROADMAP's 1e5–1e6-client scale does not. This module makes
+//! the destination pluggable: a [`TraceSink`] accepts stamped
+//! [`TraceRecord`]s one at a time, and three implementations cover the
+//! operating points —
+//!
+//! * [`RingSink`] — a fixed-capacity in-memory ring that keeps the
+//!   *latest* records and counts what it overwrote (flight-recorder
+//!   mode: bounded memory, the tail of the run survives),
+//! * [`FileSink`] — streams the compact binary encoding to disk through
+//!   a preallocated buffer (bounded memory, whole run survives; write
+//!   errors drop records and are counted rather than panicking),
+//! * [`NullSink`] — encodes and discards (`/dev/null`): the cost-model
+//!   device for measuring encoding overhead without retention.
+//!
+//! The codec is a fixed little-endian layout — one tag byte, the
+//! virtual-ns stamp, the replica, then a per-variant payload — so the
+//! byte stream is a pure function of the record stream: two runs that
+//! trace identically encode identically, which is what lets file-backed
+//! traces participate in the byte-stability regression suite.
+//! [`decode_records`] inverts it exactly (round-trip tested).
+//!
+//! Steady-state cost discipline matches the rest of the workspace: every
+//! sink preallocates at construction and recycles from then on — the
+//! `steady_state_alloc` test in dmt-bench holds the ring and null sinks
+//! to zero allocations per record.
+
+use crate::trace::{TraceEvent, TraceRecord};
+use dmt_core::{Decision, DeferReason, DepthSample, ThreadId};
+use dmt_lang::MutexId;
+
+/// Upper bound of one encoded record (tag + stamp + replica + payload).
+/// Sinks use it to size flush headroom so a record never reallocates.
+pub const MAX_RECORD_BYTES: usize = 32;
+
+/// Default capacity of the engine's bounded in-memory trace buffer
+/// (records, not bytes). Beyond it, records are dropped and counted in
+/// the `trace.dropped` metric instead of growing without bound.
+pub const DEFAULT_TRACE_CAP: usize = 1 << 20;
+
+/// Where a traced run's records go. Clonable configuration (the engine
+/// config must stay `Clone`); the tracer builds the actual sink from it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceSinkSpec {
+    /// In-memory vector capped at `cap` records; overflow is dropped
+    /// and counted. The classic `RunResult::trace_records` path.
+    Buffer { cap: usize },
+    /// Fixed-capacity ring keeping the latest `cap` records
+    /// (flight-recorder mode); overwrites are counted as drops.
+    Ring { cap: usize },
+    /// Stream the binary encoding to `path` through a `buf_bytes`
+    /// buffer. `RunResult::trace_records` stays empty; the file is the
+    /// artifact.
+    File { path: String, buf_bytes: usize },
+    /// Encode and discard.
+    Null,
+}
+
+impl Default for TraceSinkSpec {
+    fn default() -> Self {
+        TraceSinkSpec::Buffer {
+            cap: DEFAULT_TRACE_CAP,
+        }
+    }
+}
+
+/// A destination for stamped trace records. Implementations must be
+/// allocation-free per accepted record once warm — the disabled-tracing
+/// hot path never reaches a sink at all.
+pub trait TraceSink: Send {
+    /// Offer one record. Sinks that cannot retain or persist it count
+    /// it in [`TraceSink::dropped`] instead of failing.
+    fn accept(&mut self, rec: &TraceRecord);
+
+    /// Records offered but not retained (ring overwrites, failed file
+    /// writes, buffer overflow).
+    fn dropped(&self) -> u64;
+
+    /// Records retained or persisted.
+    fn written(&self) -> u64;
+
+    /// Flush buffered state (end of run). Default: nothing buffered.
+    fn finish(&mut self) {}
+
+    /// Drain retained records back out, oldest first. Sinks that
+    /// persist elsewhere (file, null) return nothing.
+    fn take_records(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+}
+
+// --- codec -----------------------------------------------------------
+
+fn reason_code(r: DeferReason) -> u8 {
+    match r {
+        DeferReason::MutexBusy => 0,
+        DeferReason::OrderGate => 1,
+        DeferReason::Barrier => 2,
+        DeferReason::Token => 3,
+    }
+}
+
+fn reason_of(code: u8) -> Option<DeferReason> {
+    Some(match code {
+        0 => DeferReason::MutexBusy,
+        1 => DeferReason::OrderGate,
+        2 => DeferReason::Barrier,
+        3 => DeferReason::Token,
+        _ => return None,
+    })
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends the fixed-layout encoding of `rec` to `out`. Never more than
+/// [`MAX_RECORD_BYTES`] bytes; does not allocate beyond `out`'s own
+/// growth.
+pub fn encode_record(rec: &TraceRecord, out: &mut Vec<u8>) {
+    let tag_at = out.len();
+    out.push(0); // patched below
+    push_u64(out, rec.t_ns);
+    push_u32(out, rec.replica);
+    let tag: u8 = match rec.ev {
+        TraceEvent::Sched(d) => {
+            match d {
+                Decision::Admit { tid } => {
+                    out.push(0);
+                    push_u32(out, tid.0);
+                }
+                Decision::AdmitDefer { tid } => {
+                    out.push(1);
+                    push_u32(out, tid.0);
+                }
+                Decision::Grant {
+                    tid,
+                    mutex,
+                    from_wait,
+                } => {
+                    out.push(2);
+                    push_u32(out, tid.0);
+                    push_u32(out, mutex.index() as u32);
+                    out.push(from_wait as u8);
+                }
+                Decision::Defer { tid, mutex, reason } => {
+                    out.push(3);
+                    push_u32(out, tid.0);
+                    push_u32(out, mutex.index() as u32);
+                    out.push(reason_code(reason));
+                }
+                Decision::Predict {
+                    tid,
+                    mutex,
+                    granted,
+                } => {
+                    out.push(4);
+                    push_u32(out, tid.0);
+                    push_u32(out, mutex.index() as u32);
+                    out.push(granted as u8);
+                }
+                Decision::TokenGrant { tid } => {
+                    out.push(5);
+                    push_u32(out, tid.0);
+                }
+                Decision::TokenRelease { tid, last_lock } => {
+                    out.push(6);
+                    push_u32(out, tid.0);
+                    out.push(last_lock as u8);
+                }
+                Decision::Announce { tid, mutex, order } => {
+                    out.push(7);
+                    push_u32(out, tid.0);
+                    push_u32(out, mutex.index() as u32);
+                    push_u64(out, order);
+                }
+                Decision::RoundStart { pool, dummies } => {
+                    out.push(8);
+                    push_u32(out, pool);
+                    push_u32(out, dummies);
+                }
+            }
+            0
+        }
+        TraceEvent::GcSubmit { source } => {
+            push_u64(out, source);
+            1
+        }
+        TraceEvent::GcSequenced { seq } => {
+            push_u64(out, seq);
+            2
+        }
+        TraceEvent::GcDeliver { seq } => {
+            push_u64(out, seq);
+            3
+        }
+        TraceEvent::RequestArrived { tid, dummy } => {
+            push_u32(out, tid.0);
+            out.push(dummy as u8);
+            4
+        }
+        TraceEvent::RequestFinished { tid } => {
+            push_u32(out, tid.0);
+            5
+        }
+        TraceEvent::RequestReplied { tid } => {
+            push_u32(out, tid.0);
+            6
+        }
+        TraceEvent::Depth(d) => {
+            push_u32(out, d.admission);
+            push_u32(out, d.lock_queued);
+            push_u32(out, d.wait_set);
+            push_u32(out, d.sched_queue);
+            7
+        }
+        TraceEvent::ReplicaCrashed => 8,
+        TraceEvent::ReplicaRecovered { from_seq } => {
+            push_u64(out, from_seq);
+            9
+        }
+        TraceEvent::LeaderFailover { new_leader } => {
+            push_u32(out, new_leader);
+            10
+        }
+        TraceEvent::MutexReleased { tid, mutex } => {
+            push_u32(out, tid.0);
+            push_u32(out, mutex.index() as u32);
+            11
+        }
+    };
+    out[tag_at] = tag;
+}
+
+/// A malformed byte stream (truncated record or unknown tag).
+#[derive(Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the record that failed to parse.
+    pub at: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed trace record at byte {}", self.at)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.bytes.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.bytes.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+fn decode_one(c: &mut Cursor<'_>) -> Option<TraceRecord> {
+    let tag = c.u8()?;
+    let t_ns = c.u64()?;
+    let replica = c.u32()?;
+    let tid = |v: u32| ThreadId::new(v);
+    let mx = |v: u32| MutexId::new(v);
+    let ev = match tag {
+        0 => TraceEvent::Sched(match c.u8()? {
+            0 => Decision::Admit { tid: tid(c.u32()?) },
+            1 => Decision::AdmitDefer { tid: tid(c.u32()?) },
+            2 => Decision::Grant {
+                tid: tid(c.u32()?),
+                mutex: mx(c.u32()?),
+                from_wait: c.u8()? != 0,
+            },
+            3 => Decision::Defer {
+                tid: tid(c.u32()?),
+                mutex: mx(c.u32()?),
+                reason: reason_of(c.u8()?)?,
+            },
+            4 => Decision::Predict {
+                tid: tid(c.u32()?),
+                mutex: mx(c.u32()?),
+                granted: c.u8()? != 0,
+            },
+            5 => Decision::TokenGrant { tid: tid(c.u32()?) },
+            6 => Decision::TokenRelease {
+                tid: tid(c.u32()?),
+                last_lock: c.u8()? != 0,
+            },
+            7 => Decision::Announce {
+                tid: tid(c.u32()?),
+                mutex: mx(c.u32()?),
+                order: c.u64()?,
+            },
+            8 => Decision::RoundStart {
+                pool: c.u32()?,
+                dummies: c.u32()?,
+            },
+            _ => return None,
+        }),
+        1 => TraceEvent::GcSubmit { source: c.u64()? },
+        2 => TraceEvent::GcSequenced { seq: c.u64()? },
+        3 => TraceEvent::GcDeliver { seq: c.u64()? },
+        4 => TraceEvent::RequestArrived {
+            tid: tid(c.u32()?),
+            dummy: c.u8()? != 0,
+        },
+        5 => TraceEvent::RequestFinished { tid: tid(c.u32()?) },
+        6 => TraceEvent::RequestReplied { tid: tid(c.u32()?) },
+        7 => TraceEvent::Depth(DepthSample {
+            admission: c.u32()?,
+            lock_queued: c.u32()?,
+            wait_set: c.u32()?,
+            sched_queue: c.u32()?,
+        }),
+        8 => TraceEvent::ReplicaCrashed,
+        9 => TraceEvent::ReplicaRecovered { from_seq: c.u64()? },
+        10 => TraceEvent::LeaderFailover {
+            new_leader: c.u32()?,
+        },
+        11 => TraceEvent::MutexReleased {
+            tid: tid(c.u32()?),
+            mutex: mx(c.u32()?),
+        },
+        _ => return None,
+    };
+    Some(TraceRecord { t_ns, replica, ev })
+}
+
+/// Decodes a byte stream produced by [`encode_record`] calls.
+pub fn decode_records(bytes: &[u8]) -> Result<Vec<TraceRecord>, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let mut out = Vec::new();
+    while c.pos < bytes.len() {
+        let at = c.pos;
+        match decode_one(&mut c) {
+            Some(r) => out.push(r),
+            None => return Err(DecodeError { at }),
+        }
+    }
+    Ok(out)
+}
+
+// --- sinks -----------------------------------------------------------
+
+/// Fixed-capacity ring keeping the most recent records. Capacity is
+/// allocated once at construction; a full ring overwrites its oldest
+/// entry and counts the overwrite as a drop.
+pub struct RingSink {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    written: u64,
+}
+
+impl RingSink {
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingSink {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+            written: 0,
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn accept(&mut self, rec: &TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(*rec);
+        } else {
+            self.buf[self.head] = *rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+        self.written += 1;
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records currently resident (the ring retains at most `cap`).
+    fn written(&self) -> u64 {
+        self.written - self.dropped
+    }
+
+    fn take_records(&mut self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+/// Streams encoded records to a file through a preallocated buffer.
+/// A failed write marks the sink broken: the buffered records and every
+/// later offer are counted as dropped instead of panicking mid-run.
+pub struct FileSink {
+    file: std::fs::File,
+    buf: Vec<u8>,
+    /// Flush once the buffer reaches this many bytes.
+    watermark: usize,
+    /// Records currently encoded in `buf` (for drop accounting).
+    buf_records: u64,
+    written: u64,
+    bytes_written: u64,
+    dropped: u64,
+    broken: bool,
+}
+
+impl FileSink {
+    /// Default buffer: 256 KiB.
+    pub const DEFAULT_BUF_BYTES: usize = 256 * 1024;
+
+    pub fn create(path: &str, buf_bytes: usize) -> std::io::Result<Self> {
+        let watermark = buf_bytes.max(MAX_RECORD_BYTES);
+        Ok(FileSink {
+            file: std::fs::File::create(path)?,
+            // Headroom: `accept` appends one record before checking the
+            // watermark, so the buffer never reallocates.
+            buf: Vec::with_capacity(watermark + MAX_RECORD_BYTES),
+            watermark,
+            buf_records: 0,
+            written: 0,
+            bytes_written: 0,
+            dropped: 0,
+            broken: false,
+        })
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    fn flush_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        match self.file.write_all(&self.buf) {
+            Ok(()) => {
+                self.bytes_written += self.buf.len() as u64;
+                self.written += self.buf_records;
+            }
+            Err(_) => {
+                self.dropped += self.buf_records;
+                self.broken = true;
+            }
+        }
+        self.buf.clear();
+        self.buf_records = 0;
+    }
+}
+
+impl TraceSink for FileSink {
+    fn accept(&mut self, rec: &TraceRecord) {
+        if self.broken {
+            self.dropped += 1;
+            return;
+        }
+        encode_record(rec, &mut self.buf);
+        self.buf_records += 1;
+        if self.buf.len() >= self.watermark {
+            self.flush_buf();
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn written(&self) -> u64 {
+        self.written
+    }
+
+    fn finish(&mut self) {
+        self.flush_buf();
+        use std::io::Write;
+        let _ = self.file.flush();
+    }
+}
+
+/// Encodes into a reusable scratch buffer and discards: the `/dev/null`
+/// of trace sinks, pricing the codec without retention or I/O.
+pub struct NullSink {
+    scratch: Vec<u8>,
+    written: u64,
+    bytes: u64,
+}
+
+impl NullSink {
+    pub fn new() -> Self {
+        NullSink {
+            scratch: Vec::with_capacity(MAX_RECORD_BYTES),
+            written: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Total encoded bytes discarded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Default for NullSink {
+    fn default() -> Self {
+        NullSink::new()
+    }
+}
+
+impl TraceSink for NullSink {
+    fn accept(&mut self, rec: &TraceRecord) {
+        self.scratch.clear();
+        encode_record(rec, &mut self.scratch);
+        self.bytes += self.scratch.len() as u64;
+        self.written += 1;
+    }
+
+    fn dropped(&self) -> u64 {
+        0
+    }
+
+    fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u32) -> ThreadId {
+        ThreadId::new(v)
+    }
+    fn m(v: u32) -> MutexId {
+        MutexId::new(v)
+    }
+
+    /// One record of every event and decision variant.
+    fn all_variants() -> Vec<TraceRecord> {
+        let decisions = vec![
+            Decision::Admit { tid: t(1) },
+            Decision::AdmitDefer { tid: t(2) },
+            Decision::Grant {
+                tid: t(3),
+                mutex: m(4),
+                from_wait: true,
+            },
+            Decision::Defer {
+                tid: t(5),
+                mutex: m(6),
+                reason: DeferReason::OrderGate,
+            },
+            Decision::Predict {
+                tid: t(7),
+                mutex: m(8),
+                granted: false,
+            },
+            Decision::TokenGrant { tid: t(9) },
+            Decision::TokenRelease {
+                tid: t(10),
+                last_lock: true,
+            },
+            Decision::Announce {
+                tid: t(11),
+                mutex: m(12),
+                order: 1 << 40,
+            },
+            Decision::RoundStart {
+                pool: 13,
+                dummies: 2,
+            },
+        ];
+        let mut evs: Vec<TraceEvent> = decisions.into_iter().map(TraceEvent::Sched).collect();
+        evs.extend([
+            TraceEvent::GcSubmit { source: 77 },
+            TraceEvent::GcSequenced { seq: 1 },
+            TraceEvent::GcDeliver { seq: 1 },
+            TraceEvent::RequestArrived {
+                tid: t(0),
+                dummy: true,
+            },
+            TraceEvent::RequestFinished { tid: t(0) },
+            TraceEvent::RequestReplied { tid: t(0) },
+            TraceEvent::Depth(DepthSample {
+                admission: 1,
+                lock_queued: 2,
+                wait_set: 3,
+                sched_queue: 4,
+            }),
+            TraceEvent::ReplicaCrashed,
+            TraceEvent::ReplicaRecovered { from_seq: 9 },
+            TraceEvent::LeaderFailover { new_leader: 2 },
+            TraceEvent::MutexReleased {
+                tid: t(6),
+                mutex: m(3),
+            },
+        ]);
+        evs.into_iter()
+            .enumerate()
+            .map(|(i, ev)| TraceRecord {
+                t_ns: 1000 + i as u64,
+                replica: (i % 3) as u32,
+                ev,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_round_trips_every_variant() {
+        let records = all_variants();
+        let mut bytes = Vec::new();
+        for r in &records {
+            let before = bytes.len();
+            encode_record(r, &mut bytes);
+            assert!(bytes.len() - before <= MAX_RECORD_BYTES, "{r:?} too long");
+        }
+        let back = decode_records(&bytes).expect("decode");
+        assert_eq!(back, records);
+        // Byte-stable: same records, same bytes.
+        let mut again = Vec::new();
+        for r in &records {
+            encode_record(r, &mut again);
+        }
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_tags() {
+        let mut bytes = Vec::new();
+        encode_record(&all_variants()[0], &mut bytes);
+        let whole = bytes.len();
+        bytes.truncate(whole - 1);
+        assert_eq!(decode_records(&bytes), Err(DecodeError { at: 0 }));
+        assert!(decode_records(&[250, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn ring_keeps_the_latest_and_counts_overwrites() {
+        let mut s = RingSink::new(4);
+        let recs = all_variants();
+        for r in &recs[..7] {
+            s.accept(r);
+        }
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.written(), 4);
+        let kept = s.take_records();
+        assert_eq!(kept, recs[3..7].to_vec(), "ring must keep the tail");
+    }
+
+    #[test]
+    fn file_sink_persists_the_exact_encoding() {
+        let path = std::env::temp_dir().join(format!("dmt_sink_test_{}.bin", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        let recs = all_variants();
+        let mut s = FileSink::create(path_s, 64).expect("create");
+        for r in &recs {
+            s.accept(r);
+        }
+        s.finish();
+        assert_eq!(s.written(), recs.len() as u64);
+        assert_eq!(s.dropped(), 0);
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len() as u64, s.bytes_written());
+        assert_eq!(decode_records(&bytes).unwrap(), recs);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn null_sink_counts_without_retaining() {
+        let mut s = NullSink::new();
+        for r in all_variants() {
+            s.accept(&r);
+        }
+        assert_eq!(s.written(), all_variants().len() as u64);
+        assert!(s.bytes() > 0);
+        assert!(s.take_records().is_empty());
+    }
+}

@@ -49,10 +49,21 @@ pub struct EngineConfig {
     /// event gating costs.
     pub quiescent_delivery: bool,
     /// Record a structured trace (scheduler decisions, request
-    /// lifecycle, group-comm legs) into [`RunResult::trace_records`].
-    /// Off by default: the disabled path is branch-cheap and
-    /// allocation-free, pinned by the dmt-bench overhead guard.
+    /// lifecycle, group-comm legs, mutex releases) through
+    /// [`EngineConfig::trace_sink`] — by default a bounded in-memory
+    /// buffer drained into [`RunResult::trace_records`]. Off by
+    /// default: the disabled path is branch-cheap and allocation-free,
+    /// pinned by the dmt-bench overhead guard.
     pub trace: bool,
+    /// Where trace records go when [`EngineConfig::trace`] is on: a
+    /// bounded buffer (default), a flight-recorder ring, a streaming
+    /// binary file, or `/dev/null`. Overflow never OOMs — drops are
+    /// counted into the `trace.dropped` metric.
+    pub trace_sink: dmt_obs::TraceSinkSpec,
+    /// Observed-contention feedback handed to every replica's scheduler
+    /// (PMAT hot-mutex serialisation). Empty = no feedback. Identical
+    /// on all replicas by construction, so determinism is unaffected.
+    pub hints: dmt_core::ContentionHints,
     /// Sample queue depths ([`dmt_core::DepthSample`]) after every
     /// scheduler dispatch into the metrics registry (the `figures obs`
     /// experiment). Off by default for the same reason.
@@ -93,6 +104,8 @@ impl EngineConfig {
             detect_delay: SimDuration::from_millis(5),
             quiescent_delivery: false,
             trace: false,
+            trace_sink: dmt_obs::TraceSinkSpec::default(),
+            hints: dmt_core::ContentionHints::new(),
             sample_depths: false,
             batch_admission: true,
             faults: FaultPlan::default(),
@@ -110,6 +123,27 @@ impl EngineConfig {
 
     pub fn with_tracing(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables tracing through an explicit sink (ring / file / null /
+    /// re-capped buffer).
+    pub fn with_trace_sink(mut self, spec: dmt_obs::TraceSinkSpec) -> Self {
+        self.trace = true;
+        self.trace_sink = spec;
+        self
+    }
+
+    /// Enables tracing into an in-memory buffer capped at `cap`
+    /// records; overflow is dropped and counted in `trace.dropped`.
+    pub fn with_trace_cap(self, cap: usize) -> Self {
+        self.with_trace_sink(dmt_obs::TraceSinkSpec::Buffer { cap })
+    }
+
+    /// Installs observed-contention feedback for prediction-aware
+    /// schedulers (see [`dmt_core::ContentionHints`]).
+    pub fn with_hints(mut self, hints: dmt_core::ContentionHints) -> Self {
+        self.hints = hints;
         self
     }
 
@@ -498,7 +532,8 @@ impl Engine {
                 let sc = SchedConfig::new(cfg.scheduler, ReplicaId::new(i as u32))
                     .with_lock_table(scenario.lock_table.clone())
                     .with_pds(cfg.pds)
-                    .with_leader(ReplicaId::new(0));
+                    .with_leader(ReplicaId::new(0))
+                    .with_hints(cfg.hints.clone());
                 Rep {
                     sched: dmt_core::make_scheduler(&sc),
                     state: ObjectState::for_object(&scenario.program, scenario.this_mutex()),
@@ -530,7 +565,7 @@ impl Engine {
             total: metrics.histogram("depth.total"),
         });
         let tracer = if cfg.trace {
-            Tracer::enabled()
+            Tracer::from_spec(&cfg.trace_sink)
         } else {
             Tracer::disabled()
         };
@@ -770,6 +805,19 @@ impl Engine {
         let makespan_g = self.metrics.gauge("engine.makespan_ns");
         self.metrics
             .set_gauge(makespan_g, makespan.as_nanos() as i64);
+        // Trace accounting (only when tracing was on, so untraced runs
+        // keep byte-identical metric snapshots): what was retained or
+        // persisted, and what the bounded buffer/sink had to drop.
+        if self.cfg.trace {
+            self.tracer.finish();
+            for (name, v) in [
+                ("trace.recorded", self.tracer.written()),
+                ("trace.dropped", self.tracer.dropped()),
+            ] {
+                let id = self.metrics.counter(name);
+                self.metrics.set_counter(id, v);
+            }
+        }
         RunResult {
             traces: self.reps.iter().map(|r| r.trace.clone()).collect(),
             response_times: self.response_times,
@@ -1033,7 +1081,8 @@ impl Engine {
         let sc = SchedConfig::new(self.cfg.scheduler, ReplicaId::new(replica as u32))
             .with_lock_table(self.scenario.lock_table.clone())
             .with_pds(self.cfg.pds)
-            .with_leader(ReplicaId::new(self.leader as u32));
+            .with_leader(ReplicaId::new(self.leader as u32))
+            .with_hints(self.cfg.hints.clone());
         let rep = &mut self.reps[replica];
         // Harvest interpreter meters of the threads that died with the
         // crash before dropping their VMs, so perf totals stay complete.
@@ -1346,6 +1395,16 @@ impl Engine {
                         return;
                     }
                     Action::Unlock { sync_id, mutex } => {
+                        // Engine-level release stamp (closes the Grant
+                        // span for the contention profiler) — recorded
+                        // before the scheduler reacts, so the next
+                        // Grant on this mutex sorts after the release.
+                        let t = self.queue.now().as_nanos();
+                        self.tracer
+                            .record(t, replica as u32, || TraceEvent::MutexReleased {
+                                tid,
+                                mutex,
+                            });
                         self.dispatch(
                             replica,
                             SchedEvent::Unlocked {
@@ -1357,6 +1416,15 @@ impl Engine {
                     }
                     Action::Wait { mutex } => {
                         rep.blocked.insert(tid.index(), Blocked::Wait(mutex));
+                        // A wait surrenders the monitor: stamp the
+                        // release; re-acquisition arrives later as
+                        // Grant { from_wait: true }.
+                        let t = self.queue.now().as_nanos();
+                        self.tracer
+                            .record(t, replica as u32, || TraceEvent::MutexReleased {
+                                tid,
+                                mutex,
+                            });
                         self.dispatch(replica, SchedEvent::WaitCalled { tid, mutex });
                         self.unmark_if_blocked(replica, tid);
                         return;

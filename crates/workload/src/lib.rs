@@ -16,6 +16,10 @@
 //!   locking with nested monitors);
 //! * [`buffer`] — a bounded producer/consumer buffer exercising
 //!   condition variables under every scheduler;
+//! * [`inversion`] — a seeded AB/BA lock-order inversion (two constant
+//!   monitors acquired in opposite orders by two methods): run under
+//!   SEQ it completes benignly; its trace is the positive control for
+//!   the race-prediction pass in `dmt-analysis`;
 //! * [`openloop`] — the open-loop read/write-mix workload: clients
 //!   submit on deterministic Poisson arrival schedules (offered load in
 //!   requests per virtual second) instead of waiting for replies, over a
@@ -32,6 +36,7 @@ pub mod buffer;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod inversion;
 pub mod openloop;
 pub mod synth;
 

@@ -30,4 +30,12 @@ cargo run --release -p dmt-bench --bin figures -- --quick
 echo "== smoke: resilience goldens =="
 cargo test -q -p dmt-bench --test resilience
 
+# Contention-analytics goldens: BENCH_contention.json byte-identity
+# across worker counts/reruns, the race-prediction golden (the seeded
+# AB/BA inversion must be flagged, clean fig1 must stay silent), and
+# the deterministic trace.dropped counter. The tracing-disabled
+# ns/event guard stays in the workspace run (tests/trace_overhead.rs).
+echo "== smoke: contention determinism =="
+cargo test -q --release -p dmt-bench --test contention_determinism
+
 echo "tier1: OK"

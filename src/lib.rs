@@ -18,6 +18,7 @@
 //! | [`lang`] | dmt-lang | object-method AST, bytecode, interpreter |
 //! | [`analysis`] | dmt-analysis | lock analysis + `lockInfo`/`ignore` injection |
 //! | [`core`] | dmt-core | the schedulers and the bookkeeping module |
+//! | [`obs`] | dmt-obs | trace sinks, contention profiles, metrics, exporters |
 //! | [`groupcomm`] | dmt-groupcomm | total-order broadcast simulation |
 //! | [`replica`] | dmt-replica | cluster engine, determinism checker, replay |
 //! | [`workload`] | dmt-workload | the paper's benchmark + domain scenarios |
@@ -47,6 +48,7 @@ pub use dmt_analysis as analysis;
 pub use dmt_core as core;
 pub use dmt_groupcomm as groupcomm;
 pub use dmt_lang as lang;
+pub use dmt_obs as obs;
 pub use dmt_replica as replica;
 pub use dmt_rt as rt;
 pub use dmt_sim as sim;
