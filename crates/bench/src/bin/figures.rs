@@ -8,8 +8,13 @@
 //! cargo run -p dmt-bench --release --bin figures -- faults    # BENCH_faults.json
 //! cargo run -p dmt-bench --release --bin figures -- obs       # BENCH_obs.json
 //! cargo run -p dmt-bench --release --bin figures -- contention # BENCH_contention.json + .folded
+//! cargo run -p dmt-bench --release --bin figures -- shard     # BENCH_shard.json
 //! cargo run -p dmt-bench --release --bin figures -- trace --out trace.json [--sched MAT]
 //! ```
+//!
+//! `--shards N` routes every sweep's cluster runs through the sharded
+//! engine with `N` intra-run workers; tables and artifacts are
+//! byte-identical for every `N` (that is the point).
 
 use dmt_bench::*;
 use dmt_core::SchedulerKind;
@@ -24,21 +29,55 @@ fn json_escape(s: &str) -> String {
 fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
     let rows = engine_bench_experiment(client_counts, requests);
 
-    // Parallel-sweep wall-clock: the same Figure-1 table serially and
-    // with the sweep driver; the tables must be identical. Force at
-    // least two workers so the parallel path is exercised (and the
-    // recorded speedup is a real measurement) even on a single-core
-    // host, where `sweep_threads()` would degenerate to 1 and the
-    // "parallel" run would just be the serial run again.
+    // Sweep parallelism (across independent grid cells): the same
+    // Figure-1 table serially and with the sweep driver; the tables
+    // must be identical. Force at least two workers so the parallel
+    // path is exercised (and the recorded speedup is a real
+    // measurement) even on a single-core host, where `sweep_threads()`
+    // would degenerate to 1 and the "parallel" run would just be the
+    // serial run again.
     let threads = sweep_threads().max(2);
     let t0 = Instant::now();
-    let serial = fig1_experiment_with_threads(client_counts, requests, true, 1);
+    let serial = fig1_experiment_with_opts(client_counts, requests, true, 1, 1);
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
-    let parallel = fig1_experiment_with_threads(client_counts, requests, true, threads);
+    let parallel = fig1_experiment_with_opts(client_counts, requests, true, threads, 1);
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
     let identical = serial.to_string() == parallel.to_string();
     assert!(identical, "parallel sweep produced a different table");
+
+    // Intra-run parallelism (inside ONE sharded cluster run): the same
+    // partitioned open-loop workload with one shard worker and with
+    // `threads`; merged results must be identical, and the
+    // deterministic balance bound says what the partition would buy on
+    // real cores (the measured ratio is honest about this host).
+    let shard_groups = 8;
+    let p = dmt_workload::openloop::OpenLoopParams {
+        n_clients: if quick { 400 } else { 4_000 },
+        requests_per_client: 1,
+        ..dmt_workload::openloop::OpenLoopParams::default()
+    }
+    .with_offered_rps(if quick { 800.0 } else { 8_000.0 })
+    .with_read_fraction(0.9)
+    .with_seed(9001);
+    let shard_scs: Vec<_> = dmt_workload::openloop::sharded_scenarios(&p, shard_groups)
+        .iter()
+        .map(|pair| pair.for_kind(SchedulerKind::Mat))
+        .collect();
+    let shard_cfg = |w: usize| {
+        EngineConfig::new(SchedulerKind::Mat)
+            .with_seed(7)
+            .with_shards(w)
+    };
+    let shard_serial = dmt_replica::run_sharded(shard_scs.clone(), &shard_cfg(1), None);
+    let shard_parallel = dmt_replica::run_sharded(shard_scs, &shard_cfg(threads), None);
+    let shard_identical = shard_serial.completed_requests == shard_parallel.completed_requests
+        && shard_serial.makespan == shard_parallel.makespan
+        && shard_serial.events_per_group == shard_parallel.events_per_group;
+    assert!(shard_identical, "shard workers changed the merged result");
+    let shard_serial_ms = shard_serial.wall_ns as f64 / 1e6;
+    let shard_parallel_ms = shard_parallel.wall_ns as f64 / 1e6;
+    let balance_bound = shard_parallel.balance_bound(threads);
 
     let mut total = dmt_replica::PerfCounters::default();
     for r in &rows {
@@ -95,8 +134,12 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
         "  \"ns_per_event_improvement_pct\": {improvement:.1},\n"
     ));
     j.push_str(&format!(
-        "  \"parallel_sweep\": {{\"threads\": {threads}, \"serial_wall_ms\": {serial_ms:.1}, \"parallel_wall_ms\": {parallel_ms:.1}, \"speedup\": {:.2}, \"tables_identical\": {identical}}}\n",
+        "  \"sweep_parallelism\": {{\"threads\": {threads}, \"serial_wall_ms\": {serial_ms:.1}, \"parallel_wall_ms\": {parallel_ms:.1}, \"speedup\": {:.2}, \"tables_identical\": {identical}, \"note\": \"across independent sweep cells; each cluster run stays serial\"}},\n",
         serial_ms / parallel_ms.max(1e-9),
+    ));
+    j.push_str(&format!(
+        "  \"intra_run_parallelism\": {{\"n_groups\": {shard_groups}, \"shard_workers\": {threads}, \"serial_wall_ms\": {shard_serial_ms:.1}, \"parallel_wall_ms\": {shard_parallel_ms:.1}, \"measured_speedup\": {:.2}, \"balance_bound\": {balance_bound:.2}, \"results_identical\": {shard_identical}, \"note\": \"inside one sharded cluster run; balance_bound is the deterministic speedup bound (BENCH_shard.json has the full sweep), measured_speedup is whatever this host's cores allow\"}}\n",
+        shard_serial_ms / shard_parallel_ms.max(1e-9),
     ));
     j.push_str("}\n");
 
@@ -245,25 +288,51 @@ fn contention_bench(quick: bool, csv: bool) {
     );
 }
 
+fn shard_bench(quick: bool, csv: bool) {
+    let grid = if quick {
+        ShardGrid::quick()
+    } else {
+        ShardGrid::default()
+    };
+    let report = shard_experiment(&grid);
+    let t = shard_table(&report);
+    if csv {
+        println!("# {}", t.title);
+        print!("{}", t.to_csv());
+    } else {
+        println!("{t}");
+    }
+    let j = shard_json(&grid, &report);
+    let path = artifact_path("BENCH_shard.json", quick);
+    std::fs::write(&path, &j).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `--out` and `--sched` take a value; skip it when locating the
-    // experiment name.
+    // `--out`, `--sched` and `--shards` take a value; skip it when
+    // locating the experiment name.
     let mut what: Option<&str> = None;
     let mut out: Option<&str> = None;
     let mut sched: Option<&str> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--out" | "--sched" => {
+            "--out" | "--sched" | "--shards" => {
                 let Some(v) = args.get(i + 1) else {
                     eprintln!("{} needs a value", args[i]);
                     std::process::exit(2);
                 };
-                if args[i] == "--out" {
-                    out = Some(v.as_str());
-                } else {
-                    sched = Some(v.as_str());
+                match args[i].as_str() {
+                    "--out" => out = Some(v.as_str()),
+                    "--sched" => sched = Some(v.as_str()),
+                    _ => match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => set_sweep_shards(n),
+                        _ => {
+                            eprintln!("--shards needs a positive integer, got `{v}`");
+                            std::process::exit(2);
+                        }
+                    },
                 }
                 i += 2;
             }
@@ -311,13 +380,14 @@ fn main() {
         "faults" => faults_bench(quick, csv),
         "obs" => obs_bench(quick, csv),
         "contention" => contention_bench(quick, csv),
+        "shard" => shard_bench(quick, csv),
         "trace" => trace_export(out, sched, quick),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
                 "known: fig1 fig1x fig2 fig3 fig4 analysis abl-mutexes \
                  abl-overhead abl-wan abl-passive determinism bench openloop \
-                 faults obs contention trace all"
+                 faults obs contention shard trace all"
             );
             std::process::exit(2);
         }
@@ -340,6 +410,7 @@ fn main() {
             "faults",
             "obs",
             "contention",
+            "shard",
             "trace",
             "bench",
         ] {

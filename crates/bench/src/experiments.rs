@@ -8,7 +8,7 @@
 use crate::table::Table;
 use dmt_core::SchedulerKind;
 use dmt_groupcomm::NetConfig;
-use dmt_replica::{check_determinism, Engine, EngineConfig, PerfCounters};
+use dmt_replica::{check_determinism, run_sharded, Engine, EngineConfig, PerfCounters, RunResult};
 use dmt_sim::SimDuration;
 use dmt_workload::{bank, buffer, fig1, fig2, fig3};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -102,6 +102,39 @@ pub fn sweep_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Intra-run shard worker count used by the sweep wrappers that don't
+/// take an explicit one — set by the `figures --shards N` flag. This is
+/// *orthogonal* to [`sweep_threads`]: sweep workers parallelise across
+/// independent grid points, shard workers parallelise inside one
+/// sharded cluster run. Defaults to 1 (monolithic engine).
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the default intra-run shard worker count (the `--shards` flag).
+pub fn set_sweep_shards(n: usize) {
+    DEFAULT_SHARDS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current default intra-run shard worker count.
+pub fn sweep_shards() -> usize {
+    DEFAULT_SHARDS.load(Ordering::Relaxed)
+}
+
+/// Runs one cluster scenario under `cfg`, routing through the sharded
+/// engine when `cfg.shards > 1` and through the monolithic engine
+/// otherwise. A single scenario is a single shard group, and group 0 of
+/// the sharded engine is defined to be the monolithic engine (same
+/// seed, same queue discipline), so the returned [`RunResult`] is
+/// byte-for-byte the same either way — the sharded route just exercises
+/// the partition/merge machinery. `crates/bench/tests/shard_determinism.rs`
+/// pins that equivalence on the full fig1 and open-loop grids.
+pub fn run_engine(scenario: dmt_replica::Scenario, cfg: EngineConfig) -> RunResult {
+    if cfg.shards <= 1 {
+        return Engine::new(scenario, cfg).run();
+    }
+    let mut sharded = run_sharded(vec![scenario], &cfg, None);
+    sharded.groups.remove(0)
+}
+
 /// Baseline simulator throughput (ns/event) per scheduler on the
 /// Figure-1 sweep. Re-baselined 2026-08-06 to the dense-ID slot-table
 /// engine (the previous HashMap/BTreeSet baseline — SEQ 442, SAT 407,
@@ -178,6 +211,7 @@ fn fig1_point(
     n_clients: usize,
     requests_per_client: usize,
     kind: SchedulerKind,
+    shards: usize,
 ) -> dmt_replica::RunResult {
     let params = fig1::Fig1Params::default()
         .with_clients(n_clients)
@@ -187,8 +221,11 @@ fn fig1_point(
         ..params
     };
     let pair = fig1::scenario(&params);
-    let cfg = EngineConfig::new(kind).with_seed(7).with_cpu_jitter(0.05);
-    let res = Engine::new(pair.for_kind(kind), cfg).run();
+    let cfg = EngineConfig::new(kind)
+        .with_seed(7)
+        .with_cpu_jitter(0.05)
+        .with_shards(shards);
+    let res = run_engine(pair.for_kind(kind), cfg);
     assert!(!res.deadlocked, "{kind} stalled at {n_clients} clients");
     res
 }
@@ -216,6 +253,26 @@ pub fn fig1_experiment_with_threads(
     extended: bool,
     threads: usize,
 ) -> Table {
+    fig1_experiment_with_opts(
+        client_counts,
+        requests_per_client,
+        extended,
+        threads,
+        sweep_shards(),
+    )
+}
+
+/// [`fig1_experiment`] with explicit sweep-worker *and* shard-worker
+/// counts. The table is identical for every `(threads, shards)`
+/// combination — sweep workers only reorder wall-clock, and a
+/// single-group sharded run is defined to equal the monolithic engine.
+pub fn fig1_experiment_with_opts(
+    client_counts: &[usize],
+    requests_per_client: usize,
+    extended: bool,
+    threads: usize,
+    shards: usize,
+) -> Table {
     let kinds: Vec<SchedulerKind> = if extended {
         ALL_KINDS.to_vec()
     } else {
@@ -242,7 +299,7 @@ pub fn fig1_experiment_with_threads(
         |job| {
             let n = client_counts[job / kinds.len()];
             let kind = kinds[job % kinds.len()];
-            let mut res = fig1_point(n, requests_per_client, kind);
+            let mut res = fig1_point(n, requests_per_client, kind, shards);
             [
                 ms(res.response_times.mean()),
                 ms(res.response_times.percentile(50.0)),
@@ -287,8 +344,11 @@ pub fn engine_bench_experiment(
                 // noise (CI neighbours, cold caches) only ever inflates
                 // wall time, so the fastest of three repeats is the
                 // faithful cost estimate.
+                // Shards stay at 1: ns/event prices the monolithic hot
+                // path, and the sharded wrapper's merge would pollute
+                // the wall clock.
                 let perf = (0..3)
-                    .map(|_| fig1_point(n, requests_per_client, kind).perf)
+                    .map(|_| fig1_point(n, requests_per_client, kind, 1).perf)
                     .min_by_key(|p| p.wall_ns)
                     .expect("three repeats");
                 agg.merge(&perf);

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod faults;
 pub mod obs;
 pub mod openloop;
+pub mod shard;
 pub mod table;
 pub mod ubench;
 
@@ -45,7 +46,10 @@ pub use faults::{
 };
 pub use obs::{obs_experiment, obs_experiment_with_threads, obs_json, obs_table, ObsGrid, ObsRow};
 pub use openloop::{
-    openloop_experiment, openloop_experiment_with_threads, openloop_json, openloop_table,
-    OpenLoopGrid, OpenLoopRow,
+    openloop_experiment, openloop_experiment_with_opts, openloop_experiment_with_threads,
+    openloop_json, openloop_table, OpenLoopGrid, OpenLoopRow,
+};
+pub use shard::{
+    shard_experiment, shard_json, shard_table, RoutedReport, ShardGrid, ShardReport, ShardWorkerRow,
 };
 pub use table::Table;

@@ -10,10 +10,12 @@
 //! across reruns and across sweep worker counts; a regression test
 //! (`crates/bench/tests/openloop_determinism.rs`) holds it to that.
 
-use crate::experiments::{run_jobs_prioritized, sweep_threads, ALL_KINDS, FIG1_KINDS};
+use crate::experiments::{
+    run_engine, run_jobs_prioritized, sweep_shards, sweep_threads, ALL_KINDS, FIG1_KINDS,
+};
 use crate::table::Table;
 use dmt_core::SchedulerKind;
-use dmt_replica::{Engine, EngineConfig, RunResult};
+use dmt_replica::{EngineConfig, RunResult};
 use dmt_workload::openloop::{self, OpenLoopParams};
 
 /// The sweep grid. Defaults give 4 loads × 3 read mixes; `--quick`
@@ -89,6 +91,16 @@ pub struct OpenLoopRow {
 /// grid index, so the row order — and every byte derived from it — is
 /// independent of `threads`.
 pub fn openloop_experiment_with_threads(grid: &OpenLoopGrid, threads: usize) -> Vec<OpenLoopRow> {
+    openloop_experiment_with_opts(grid, threads, sweep_shards())
+}
+
+/// [`openloop_experiment_with_threads`] with an explicit intra-run shard
+/// worker count. Rows are identical for every `(threads, shards)` pair.
+pub fn openloop_experiment_with_opts(
+    grid: &OpenLoopGrid,
+    threads: usize,
+    shards: usize,
+) -> Vec<OpenLoopRow> {
     let kinds = grid.kinds();
     let points: Vec<(f64, f64)> = grid
         .offered_rps
@@ -104,7 +116,7 @@ pub fn openloop_experiment_with_threads(grid: &OpenLoopGrid, threads: usize) -> 
         |job| {
             let (rps, rf) = points[job / kinds.len()];
             let kind = kinds[job % kinds.len()];
-            let res = openloop_point(grid, rps, rf, kind);
+            let res = openloop_point(grid, rps, rf, kind, shards);
             assert!(
                 !res.deadlocked,
                 "{kind} stalled at {rps} req/s, {rf} read fraction"
@@ -134,7 +146,13 @@ pub fn openloop_experiment(grid: &OpenLoopGrid) -> Vec<OpenLoopRow> {
 }
 
 /// One grid point: a full cluster run, self-contained for any worker.
-fn openloop_point(grid: &OpenLoopGrid, rps: f64, rf: f64, kind: SchedulerKind) -> RunResult {
+fn openloop_point(
+    grid: &OpenLoopGrid,
+    rps: f64,
+    rf: f64,
+    kind: SchedulerKind,
+    shards: usize,
+) -> RunResult {
     let p = OpenLoopParams {
         n_clients: grid.n_clients,
         requests_per_client: grid.requests_per_client,
@@ -146,8 +164,11 @@ fn openloop_point(grid: &OpenLoopGrid, rps: f64, rf: f64, kind: SchedulerKind) -
     // draws; it must NOT depend on the scheduler (same offered stream).
     .with_seed(9000 + (rps as u64) * 31 + (rf * 100.0) as u64);
     let pair = openloop::scenario(&p);
-    let cfg = EngineConfig::new(kind).with_seed(7).with_cpu_jitter(0.05);
-    Engine::new(pair.for_kind(kind), cfg).run()
+    let cfg = EngineConfig::new(kind)
+        .with_seed(7)
+        .with_cpu_jitter(0.05)
+        .with_shards(shards);
+    run_engine(pair.for_kind(kind), cfg)
 }
 
 fn ms3(ns: u64) -> String {

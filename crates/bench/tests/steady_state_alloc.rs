@@ -196,4 +196,70 @@ fn warm_substrate_paths_do_not_allocate() {
         100,
         "every later cycle must reuse the pooled VM"
     );
+
+    // --- Shard merge scratch: the coordinator's latency merger is
+    // pre-sized at run start (`ShardMerger::with_capacity`), so
+    // re-merging per-group latency slices — the once-per-run merge the
+    // sharded engine performs — must recycle the scratch buffer, not
+    // grow it.
+    use dmt_replica::{RequestId, RequestLatency, ShardMerger};
+    use dmt_sim::SimTime;
+    let lat = |client: u32, req_no: u32, enq: u64, rep: u64| RequestLatency {
+        id: RequestId { client, req_no },
+        enqueued: SimTime::from_nanos(enq),
+        replied: SimTime::from_nanos(rep),
+    };
+    let groups: Vec<Vec<RequestLatency>> = (0..8u32)
+        .map(|g| {
+            (0..64u32)
+                .map(|i| {
+                    lat(
+                        g * 64 + i,
+                        0,
+                        (i as u64) * 17 + g as u64,
+                        (i as u64) * 17 + g as u64 + 1_000,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let total: usize = groups.iter().map(Vec::len).sum();
+    let mut merger = ShardMerger::with_capacity(total);
+    // Warm once (pre-sizing means even this should not reallocate, but
+    // the guard is about steady state).
+    let n = merger
+        .merge_latencies(groups.iter().map(Vec::as_slice))
+        .len();
+    assert_eq!(n, total);
+    let before = allocations();
+    for _ in 0..50 {
+        let merged = merger.merge_latencies(groups.iter().map(Vec::as_slice));
+        std::hint::black_box(merged.len());
+    }
+    let merge_delta = allocations() - before;
+    assert_eq!(
+        merge_delta, 0,
+        "warm shard latency merge allocated {merge_delta} times"
+    );
+
+    // --- Queue reset-reuse: per-shard calendar queues are handed back
+    // to the coordinator and reset between runs (`EventQueue::reset`);
+    // a reset queue must re-run a full schedule out of its existing
+    // slab/buckets/heap storage with zero fresh allocations.
+    let mut rng2 = SplitMix64::new(7);
+    let before = allocations();
+    for _ in 0..8 {
+        q.reset();
+        for i in 0..256u32 {
+            q.push_after(SimDuration::from_nanos(delay(&mut rng2)), i);
+        }
+        let acc = churn(&mut q, &mut rng2, 2_000);
+        std::hint::black_box(acc);
+        while q.pop().is_some() {}
+    }
+    let reset_delta = allocations() - before;
+    assert_eq!(
+        reset_delta, 0,
+        "reset-reuse queue churn allocated {reset_delta} times"
+    );
 }

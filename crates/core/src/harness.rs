@@ -352,6 +352,43 @@ impl Harness {
     }
 }
 
+/// Runs a set of independent harnesses — one scheduler instance each,
+/// one object-space partition each — on up to `workers` scoped threads,
+/// returning results in partition order. The worker count is pure
+/// parallelism: each [`Harness::run`] is a closed deterministic
+/// computation, and results are slotted by partition index, so the
+/// output is byte-identical for any `workers` value. This is the
+/// logical-step analogue of the virtual-time shard coordinator in
+/// dmt-replica.
+pub fn run_partitioned(shards: Vec<Harness>, workers: usize) -> Vec<HarnessResult> {
+    let n = shards.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return shards.into_iter().map(Harness::run).collect();
+    }
+    let k = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<Harness>> = Vec::new();
+    let mut it = shards.into_iter();
+    loop {
+        let chunk: Vec<Harness> = it.by_ref().take(k).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut results = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(Harness::run).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("harness shard worker panicked"));
+        }
+    });
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +437,40 @@ mod tests {
             // Every real thread took exactly one lock.
             let real_locks = res.lock_trace.len();
             assert_eq!(real_locks, 10, "{kind} lock count {real_locks}");
+        }
+    }
+
+    #[test]
+    fn partitioned_dispatch_is_worker_count_independent() {
+        // One scheduler instance per partition, any worker count →
+        // identical per-partition results in partition order.
+        let build = || -> Vec<Harness> {
+            (0..5usize)
+                .map(|p| {
+                    let program = counter();
+                    let cfg = SchedConfig::new(SchedulerKind::Mat, ReplicaId::new(0));
+                    let mut h =
+                        Harness::new(program.clone(), MutexId::new(0), make_scheduler(&cfg))
+                            .with_dummy_method(program.method_by_name("noop").unwrap());
+                    for i in 0..(3 + p) {
+                        h.submit_by_name("inc", RequestArgs::new(vec![Value::Int(i as i64 + 1)]));
+                    }
+                    h
+                })
+                .collect()
+        };
+        let serial = run_partitioned(build(), 1);
+        for workers in [2, 3, 5, 8] {
+            let par = run_partitioned(build(), workers);
+            assert_eq!(par.len(), serial.len());
+            for (p, (a, b)) in par.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    a.lock_trace, b.lock_trace,
+                    "partition {p}, workers {workers}"
+                );
+                assert_eq!(a.state.cells(), b.state.cells());
+                assert_eq!(a.finished_threads, b.finished_threads);
+            }
         }
     }
 

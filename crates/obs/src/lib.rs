@@ -32,12 +32,14 @@
 //! on it, so the observer cannot perturb the observed.
 
 pub mod chrome;
+pub mod merge;
 pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod trace;
 
 pub use chrome::chrome_trace_json;
+pub use merge::merge_group_traces;
 pub use profile::{ContentionProfile, LockEdge, MutexProfile, DEFER_REASONS};
 pub use registry::{CounterId, GaugeId, HistId, MetricsRegistry, MetricsSnapshot};
 pub use sink::{

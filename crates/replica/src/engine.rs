@@ -88,6 +88,36 @@ pub struct EngineConfig {
     /// replicas use the given base latency instead of `net.one_way`;
     /// everyone else — and, crucially, their RNG draws — is untouched.
     pub node_latency: Vec<(usize, SimDuration)>,
+    /// Worker-thread budget for sharded runs ([`crate::run_sharded`]).
+    /// Purely a *parallelism* knob: the object-space partition is fixed
+    /// by the scenario list, so results are byte-identical for any value
+    /// (the default `1` runs every shard on the calling thread).
+    pub shards: usize,
+    /// Cross-shard routing table for nested invocations whose target
+    /// service lives on another shard. `None` (the default, and always
+    /// the case for a monolithic [`Engine::run`]) keeps every nested
+    /// call local. Installed per group by the shard coordinator.
+    pub remote: Option<RemoteRouting>,
+}
+
+/// Where each nested-invocation service lives when the object space is
+/// partitioned into group engines, plus how a routed call executes on
+/// its home shard. Shared (via `Arc`) across every group's config so the
+/// table is identical everywhere by construction.
+#[derive(Clone, Debug)]
+pub struct RemoteRouting {
+    /// The group this engine instance simulates.
+    pub group: u32,
+    /// `service_home[s]` = home group of [`dmt_lang::ServiceId`] `s`.
+    pub service_home: std::sync::Arc<Vec<u32>>,
+    /// Method a routed call invokes on the home group's object.
+    pub method: MethodIdx,
+    /// One-way cross-shard link latency, applied to both the call and
+    /// the reply leg. Also the conservative-PDES lookahead: a message
+    /// sent at `t` cannot be delivered before `t + link`, which is what
+    /// lets shards advance an epoch in parallel without ever receiving
+    /// an event from their past.
+    pub link: SimDuration,
 }
 
 impl EngineConfig {
@@ -111,7 +141,17 @@ impl EngineConfig {
             faults: FaultPlan::default(),
             broken_dedup: false,
             node_latency: Vec::new(),
+            shards: 1,
+            remote: None,
         }
+    }
+
+    /// Sets the worker-thread budget for [`crate::run_sharded`]. Results
+    /// are byte-identical for every value; `1` (the default) keeps the
+    /// run on the calling thread.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Reference admission semantics: every admitted/resumed thread costs
@@ -433,6 +473,15 @@ enum Ev {
     TryRecover {
         replica: usize,
     },
+    /// A nested invocation routed in from another group engine arrives
+    /// at this shard (delivery instant = origin send time + cross-shard
+    /// link). Executes as a real request through the local total-order
+    /// layer; its first finish sends a [`crate::shard::ShardMsg`] reply.
+    RemoteCall {
+        from_group: u32,
+        tid: ThreadId,
+        call_no: u32,
+    },
 }
 
 /// Backoff between recovery attempts while the cluster is non-quiescent.
@@ -442,6 +491,26 @@ const RECOVERY_RETRY: SimDuration = SimDuration::from_millis(1);
 
 /// FIFO-source id space offset for clients (replicas use their index).
 const CLIENT_SRC: u64 = 1_000_000;
+
+/// FIFO-source id space offset for cross-shard calls (keyed by origin
+/// group, so each peer shard's calls stay in arrival order).
+const REMOTE_SRC: u64 = 2_000_000;
+
+/// `RequestId::client` sentinel for requests that materialise a routed
+/// cross-shard call; `req_no` then indexes [`Engine::remote_calls`]
+/// instead of a client script. Distinct from the dummy sentinel
+/// (`u32::MAX`, which never reaches completion accounting).
+const REMOTE_CLIENT: u32 = u32::MAX - 1;
+
+/// Target-side record of one routed-in call: where to send the reply,
+/// and whether the first replica already finished it (first-reply
+/// dedup, the remote analogue of `ReqState::first_finish`).
+struct RemoteCall {
+    from_group: u32,
+    tid: ThreadId,
+    call_no: u32,
+    done: bool,
+}
 
 struct ReqState {
     submitted: SimTime,
@@ -506,6 +575,28 @@ pub struct Engine {
     tracer: Tracer,
     /// Histogram handles for queue-depth sampling (None = sampling off).
     depth_ids: Option<DepthIds>,
+    /// Cross-shard messages generated this epoch, harvested by the shard
+    /// coordinator at the next virtual-time barrier. Always empty when
+    /// [`EngineConfig::remote`] is `None`.
+    outbox: Vec<crate::shard::ShardMsg>,
+    /// Routed-in calls executing locally, indexed by the `req_no` of
+    /// their materialised [`RequestId`] (client = `REMOTE_CLIENT`).
+    remote_calls: Vec<RemoteCall>,
+}
+
+/// An [`Engine`]'s calendar queue, detached for reuse: a shard worker
+/// threads one of these through consecutive group runs so the slab,
+/// bucket lists and heap scratch warmed by shard *k* serve shard *k+1*
+/// without reallocating. The wrapped queue is reset (events dropped,
+/// clock rewound to zero) on donation, so a reused queue's pop stream is
+/// byte-identical to a fresh one's.
+#[derive(Default)]
+pub struct EngineQueue(EventQueue<Ev>);
+
+impl EngineQueue {
+    pub fn new() -> Self {
+        EngineQueue(EventQueue::new())
+    }
 }
 
 /// Dense handles of the `depth.*` histograms (see [`MetricsRegistry`]).
@@ -520,6 +611,20 @@ struct DepthIds {
 
 impl Engine {
     pub fn new(scenario: Scenario, cfg: EngineConfig) -> Self {
+        Self::with_queue(scenario, cfg, EngineQueue::new())
+    }
+
+    /// Like [`Engine::new`], but reusing a donated calendar queue (see
+    /// [`EngineQueue`]). The queue is reset before use.
+    pub fn with_queue(scenario: Scenario, cfg: EngineConfig, queue: EngineQueue) -> Self {
+        let mut queue = queue.0;
+        queue.reset();
+        assert!(
+            cfg.remote.is_none() || (cfg.kill_at.is_none() && cfg.faults.events.is_empty()),
+            "cross-shard routing is incompatible with fault injection: \
+             failover re-issues pending nested calls from local state, \
+             which cannot cover calls executing on a peer shard"
+        );
         let mut rng = SplitMix64::new(cfg.seed);
         let n = cfg.n_replicas;
         let mut gc = GroupComm::new(cfg.n_replicas, cfg.net, rng.split(0).next_u64());
@@ -574,7 +679,7 @@ impl Engine {
         Engine {
             cfg,
             scenario,
-            queue: EventQueue::new(),
+            queue,
             gc,
             reps,
             req_state,
@@ -606,6 +711,8 @@ impl Engine {
             metrics,
             tracer,
             depth_ids,
+            outbox: Vec::new(),
+            remote_calls: Vec::new(),
         }
     }
 
@@ -679,10 +786,34 @@ impl Engine {
     }
 
     /// Runs the scenario to completion.
-    pub fn run(mut self) -> RunResult {
-        // Kick off the clients: closed-loop clients submit their first
-        // request now and chain on replies; open-loop clients get their
-        // whole arrival schedule queued up front.
+    pub fn run(self) -> RunResult {
+        self.run_returning_queue().0
+    }
+
+    /// [`Engine::run`], additionally handing back the calendar queue so
+    /// a shard worker can thread it through its next group run (see
+    /// [`EngineQueue`]).
+    pub fn run_returning_queue(mut self) -> (RunResult, EngineQueue) {
+        self.start();
+        let wall_start = std::time::Instant::now();
+        let cap = SimTime::ZERO + self.cfg.max_time;
+        let mut deadlocked = false;
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > cap {
+                deadlocked = true;
+                break;
+            }
+            self.process(ev);
+        }
+        self.perf.wall_ns = wall_start.elapsed().as_nanos() as u64;
+        self.finish(deadlocked)
+    }
+
+    /// Seeds the calendar queue: client submissions (closed-loop clients
+    /// submit their first request now and chain on replies; open-loop
+    /// clients get their whole arrival schedule queued up front), the
+    /// kill switch, and the fault plan.
+    pub(crate) fn start(&mut self) {
         self.client_pos = vec![0; self.scenario.clients.len()];
         let scripts: Vec<ClientScript> = self.scenario.clients.clone();
         for (c, script) in scripts.iter().enumerate() {
@@ -715,35 +846,80 @@ impl Engine {
             let at = self.cfg.faults.events[idx].at;
             self.queue.push_after(at, Ev::Fault { idx });
         }
+    }
 
-        let wall_start = std::time::Instant::now();
-        let cap = SimTime::ZERO + self.cfg.max_time;
-        let mut deadlocked = false;
-        while let Some((t, ev)) = self.queue.pop() {
-            if t > cap {
-                deadlocked = true;
-                break;
-            }
+    /// Handles one popped event and drains the admission batch: every
+    /// ring entry was gated on "no other event due now", so FIFO order
+    /// here is exactly the (time, seq) order the queue would have
+    /// produced — minus the per-thread zero-delay push/pop. Handlers may
+    /// append while we drain (cascading grants); the ring is always
+    /// empty by the time the caller pops the queue again.
+    fn process(&mut self, ev: Ev) {
+        self.perf.events += 1;
+        self.handle(ev);
+        while let Some((replica, tid)) = self.ready.pop_front() {
             self.perf.events += 1;
-            self.handle(ev);
-            // Drain the admission batch: every entry was gated on "no
-            // other event due now", so FIFO order here is exactly the
-            // (time, seq) order the queue would have produced — minus the
-            // per-thread zero-delay push/pop. Handlers may append while
-            // we drain (cascading grants); the ring is always empty by
-            // the time the loop condition pops the queue again.
-            while let Some((replica, tid)) = self.ready.pop_front() {
-                self.perf.events += 1;
-                self.perf.batched_steps += 1;
-                if self.reps[replica].alive {
-                    self.step_thread(replica, tid);
-                    if self.cfg.quiescent_delivery {
-                        self.try_drain(replica);
-                    }
+            self.perf.batched_steps += 1;
+            if self.reps[replica].alive {
+                self.step_thread(replica, tid);
+                if self.cfg.quiescent_delivery {
+                    self.try_drain(replica);
                 }
             }
         }
-        self.perf.wall_ns = wall_start.elapsed().as_nanos() as u64;
+    }
+
+    /// Epoch execution for the shard coordinator: processes every event
+    /// strictly before `limit` and stops with the queue intact.
+    /// Conservative-PDES safe: any cross-shard message generated here
+    /// carries a send time ≥ `now`, so its delivery (send + link) lands
+    /// at or after `limit` when `limit` is chosen as
+    /// `min_next_event + link` across the whole shard set.
+    pub(crate) fn run_until(&mut self, limit: SimTime) {
+        while self.queue.peek_time().is_some_and(|t| t < limit) {
+            let (_, ev) = self.queue.pop().expect("peeked non-empty");
+            self.process(ev);
+        }
+    }
+
+    /// Timestamp of this engine's next pending event.
+    pub(crate) fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Drains this epoch's cross-shard messages into the coordinator's
+    /// buffer (appended in generation order, which is virtual-time order
+    /// within a group).
+    pub(crate) fn take_outbox(&mut self, into: &mut Vec<crate::shard::ShardMsg>) {
+        into.append(&mut self.outbox);
+    }
+
+    /// Delivers a routed message from a peer shard at `msg.at + link`.
+    /// Only the coordinator calls this, between epochs, in the global
+    /// `(at, from_group)` order that makes queue seq assignment — and
+    /// therefore the whole run — independent of worker count.
+    pub(crate) fn inject(&mut self, msg: crate::shard::ShardMsg, link: SimDuration) {
+        let at = msg.at + link;
+        let ev = match msg.kind {
+            crate::shard::ShardMsgKind::Call => Ev::RemoteCall {
+                from_group: msg.from_group,
+                tid: msg.tid,
+                call_no: msg.call_no,
+            },
+            crate::shard::ShardMsgKind::Reply => Ev::NestedDone {
+                tid: msg.tid,
+                call_no: msg.call_no,
+                dur_ns: 0,
+            },
+        };
+        self.queue.push_at(at, ev);
+    }
+
+    /// Post-run accounting: sweeps meters, computes stuck threads and
+    /// state hashes, exports the metrics snapshot, and hands back the
+    /// queue for reuse. `deadlocked` is the run loop's verdict so far
+    /// (time-cap overrun); incomplete request accounting is added here.
+    pub(crate) fn finish(mut self, mut deadlocked: bool) -> (RunResult, EngineQueue) {
         for rep in &self.reps {
             self.perf.vm_allocs += rep.vm_pool.allocs();
             self.perf.vm_reuses += rep.vm_pool.reuses();
@@ -818,7 +994,7 @@ impl Engine {
                 self.metrics.set_counter(id, v);
             }
         }
-        RunResult {
+        let result = RunResult {
             traces: self.reps.iter().map(|r| r.trace.clone()).collect(),
             response_times: self.response_times,
             latency: self.latency,
@@ -836,7 +1012,15 @@ impl Engine {
             perf: self.perf,
             metrics: self.metrics.snapshot(),
             trace_records: self.tracer.into_records(),
-        }
+        };
+        (result, EngineQueue(self.queue))
+    }
+
+    /// Records host wall time for this engine's share of a sharded run
+    /// (the shard worker measures around `start`/`run_until`; the
+    /// monolithic [`Engine::run`] times itself).
+    pub(crate) fn set_wall_ns(&mut self, ns: u64) {
+        self.perf.wall_ns = ns;
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -957,6 +1141,42 @@ impl Engine {
             }
             Ev::TryRecover { replica } => {
                 self.try_recover(replica);
+            }
+            Ev::RemoteCall {
+                from_group,
+                tid,
+                call_no,
+            } => {
+                // Materialise the routed-in call as a real request: it
+                // goes through the local total-order layer like any
+                // client submission, so every replica of this group
+                // executes it deterministically. FIFO source is keyed by
+                // origin group, preserving each peer's arrival order.
+                let routing = self
+                    .cfg
+                    .remote
+                    .as_ref()
+                    .expect("remote call without routing");
+                let method = routing.method;
+                let idx = self.remote_calls.len() as u32;
+                self.remote_calls.push(RemoteCall {
+                    from_group,
+                    tid,
+                    call_no,
+                    done: false,
+                });
+                self.submit_to_gc(
+                    REMOTE_SRC + from_group as u64,
+                    GcMsg::Request {
+                        id: RequestId {
+                            client: REMOTE_CLIENT,
+                            req_no: idx,
+                        },
+                        method,
+                        args: RequestArgs::empty(),
+                        dummy: false,
+                    },
+                );
             }
             Ev::LeaderDetect { new_leader } => {
                 self.leader = new_leader;
@@ -1432,7 +1652,7 @@ impl Engine {
                     Action::Notify { mutex, all } => {
                         self.dispatch(replica, SchedEvent::NotifyCalled { tid, mutex, all });
                     }
-                    Action::Nested { service: _, dur_ns } => {
+                    Action::Nested { service, dur_ns } => {
                         let call_no = {
                             let i = tid.index();
                             if i >= rep.nested_issued.len() {
@@ -1458,14 +1678,36 @@ impl Engine {
                         }
                         self.dispatch(replica, SchedEvent::NestedStarted { tid });
                         if replica == self.designated() && !self.is_replied(tid, call_no) {
-                            self.queue.push_after(
-                                SimDuration::from_nanos(dur_ns),
-                                Ev::NestedDone {
-                                    tid,
-                                    call_no,
-                                    dur_ns,
-                                },
-                            );
+                            // A service homed on another shard turns the
+                            // invocation into a routed message instead of
+                            // a local timer; the reply comes back through
+                            // the coordinator as the same `NestedDone`.
+                            let remote_home = self.cfg.remote.as_ref().and_then(|r| {
+                                let home = r.service_home[service.index()];
+                                (home != r.group).then_some(home)
+                            });
+                            match remote_home {
+                                Some(home) => {
+                                    let from_group =
+                                        self.cfg.remote.as_ref().expect("checked").group;
+                                    self.outbox.push(crate::shard::ShardMsg {
+                                        at: self.queue.now(),
+                                        from_group,
+                                        to_group: home,
+                                        tid,
+                                        call_no,
+                                        kind: crate::shard::ShardMsgKind::Call,
+                                    });
+                                }
+                                None => self.queue.push_after(
+                                    SimDuration::from_nanos(dur_ns),
+                                    Ev::NestedDone {
+                                        tid,
+                                        call_no,
+                                        dur_ns,
+                                    },
+                                ),
+                            }
                         }
                         if buffered {
                             self.dispatch(replica, SchedEvent::NestedCompleted { tid });
@@ -1507,6 +1749,27 @@ impl Engine {
             TraceEvent::RequestFinished { tid }
         });
         self.dispatch(replica, SchedEvent::ThreadFinished { tid });
+        // A routed-in call finished: first finish answers the origin
+        // shard (the remote analogue of first-reply semantics below).
+        // The reply is a coordinator message, not a client reply — no
+        // latency sample, no closed-loop chaining.
+        if let Some(id) = req.filter(|id| id.client == REMOTE_CLIENT) {
+            let rc = &mut self.remote_calls[id.req_no as usize];
+            if !rc.done {
+                rc.done = true;
+                let (from_group, r_tid, r_call) = (rc.from_group, rc.tid, rc.call_no);
+                let group = self.cfg.remote.as_ref().expect("routed call").group;
+                self.outbox.push(crate::shard::ShardMsg {
+                    at: now,
+                    from_group: group,
+                    to_group: from_group,
+                    tid: r_tid,
+                    call_no: r_call,
+                    kind: crate::shard::ShardMsgKind::Reply,
+                });
+            }
+            return;
+        }
         // First-reply semantics: the fastest replica answers the client.
         if let Some(id) = req {
             let reply_leg = self.reply_latency();

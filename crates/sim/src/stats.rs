@@ -180,6 +180,17 @@ impl Histogram {
             self.samples.iter().sum::<f64>() / self.samples.len() as f64
         }
     }
+
+    /// Folds another histogram's samples into this one. Percentiles sort
+    /// lazily, so merge order never affects any query result — the merge
+    /// is commutative up to the (sorted) sample multiset.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
 }
 
 /// Sub-buckets per power-of-two octave (2^5). Values below `N_SUB` get

@@ -271,6 +271,33 @@ pub fn closed_scenario(p: &OpenLoopParams) -> ScenarioPair {
     crate::make_variants(&obj, closed_client_scripts(p), "noop")
 }
 
+/// Partitions the open-loop workload into `n_groups` group scenarios
+/// for `dmt_replica::run_sharded`: sharded key routing at the client
+/// edge. Global client `c` is routed to group `c % n_groups` (order
+/// preserved within a group), and each group owns a private copy of the
+/// store — the aggregate object space is `n_groups × n_mutexes` cells,
+/// every key local to its client's shard. The global script set is
+/// generated once from `p` and then dealt out, so the partition is a
+/// pure function of `(p, n_groups)`: the same clients submit the same
+/// requests at the same virtual instants whether the groups then run on
+/// one worker or many.
+///
+/// This is also the scaling path: with `n_clients` at 1e5+ the script
+/// generation stays linear and each group engine only ever holds its
+/// `1/n_groups` slice of the client population.
+pub fn sharded_scenarios(p: &OpenLoopParams, n_groups: usize) -> Vec<ScenarioPair> {
+    assert!(n_groups >= 1, "need at least one group");
+    let obj = build_object(p);
+    let mut per_group: Vec<Vec<ClientScript>> = vec![Vec::new(); n_groups];
+    for (c, s) in client_scripts(p).into_iter().enumerate() {
+        per_group[c % n_groups].push(s);
+    }
+    per_group
+        .into_iter()
+        .map(|clients| crate::make_variants(&obj, clients, "noop"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +371,39 @@ mod tests {
             assert_eq!(res.completed_requests, 12, "{kind}");
             assert_eq!(res.latency.count(), 12, "{kind}");
         }
+    }
+
+    #[test]
+    fn sharded_partition_preserves_the_global_workload() {
+        let p = OpenLoopParams {
+            n_clients: 10,
+            requests_per_client: 4,
+            ..Default::default()
+        };
+        // One group = the monolithic scenario, script for script.
+        let whole = scenario(&p);
+        let one = sharded_scenarios(&p, 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].plain.clients.len(), whole.plain.clients.len());
+        for (a, b) in one[0].plain.clients.iter().zip(&whole.plain.clients) {
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.arrivals, b.arrivals);
+        }
+        // Round-robin deal: group g's i-th client is global client
+        // g + i*n_groups, so the union over groups is the global set.
+        let groups = sharded_scenarios(&p, 3);
+        assert_eq!(groups.len(), 3);
+        let global = client_scripts(&p);
+        let mut seen = 0;
+        for (g, pair) in groups.iter().enumerate() {
+            for (i, cs) in pair.plain.clients.iter().enumerate() {
+                let c = g + i * 3;
+                assert_eq!(cs.requests, global[c].requests, "group {g} client {i}");
+                assert_eq!(cs.arrivals, global[c].arrivals);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, p.n_clients);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Cross-shard relay workload: the routed-path counterpart of
+//! [`crate::openloop::sharded_scenarios`].
+//!
+//! Every group hosts a `Relay` object whose client-facing method does
+//! some local locked work and then issues a nested invocation to the
+//! service homed on the *next* group (ring topology) — under
+//! `dmt_replica::run_sharded` with the matching [`routing`] table, that
+//! leg becomes a typed cross-shard message exchanged at a virtual-time
+//! barrier. The workload exists to exercise and price that path: every
+//! client request generates exactly one cross-shard call and one reply,
+//! so `shard_msgs == 2 × completed_requests` when the ring has more
+//! than one group.
+
+use crate::ScenarioPair;
+use dmt_lang::ast::{DurExpr, IntExpr, MutexExpr};
+use dmt_lang::{ObjectBuilder, RequestArgs, ServiceId};
+use dmt_replica::{ClientScript, ShardRouting};
+use dmt_sim::SimDuration;
+
+/// Parameters of the relay ring.
+#[derive(Clone, Copy, Debug)]
+pub struct RelayParams {
+    pub n_groups: usize,
+    pub clients_per_group: usize,
+    pub requests_per_client: usize,
+    /// Local locked compute before the cross-shard call, µs.
+    pub local_us: u64,
+    /// Locked compute a routed-in call performs on its home group, µs.
+    pub remote_us: u64,
+    /// One-way cross-shard link latency, µs (also the PDES lookahead).
+    pub link_us: u64,
+}
+
+impl Default for RelayParams {
+    fn default() -> Self {
+        RelayParams {
+            n_groups: 4,
+            clients_per_group: 2,
+            requests_per_client: 3,
+            local_us: 80,
+            remote_us: 30,
+            link_us: 200,
+        }
+    }
+}
+
+impl RelayParams {
+    pub fn total_requests(&self) -> usize {
+        self.n_groups * self.clients_per_group * self.requests_per_client
+    }
+}
+
+/// One scenario per group. Group `g`'s object calls service `(g+1) %
+/// n_groups`; method 0 (`relay`) is the client entry, method 1
+/// (`serve`) is what a routed-in call executes.
+pub fn scenarios(p: &RelayParams) -> Vec<ScenarioPair> {
+    (0..p.n_groups)
+        .map(|g| {
+            let mut ob = ObjectBuilder::new("Relay");
+            let cell = ob.cell();
+            let mut relay = ob.method("relay", 0);
+            relay.sync(MutexExpr::This, |b| {
+                b.compute(DurExpr::micros(p.local_us));
+                b.update(cell, IntExpr::Lit(1));
+            });
+            relay.nested(
+                ServiceId::new(((g + 1) % p.n_groups) as u32),
+                DurExpr::micros(p.remote_us),
+            );
+            relay.done();
+            let mut serve = ob.method("serve", 0);
+            serve.sync(MutexExpr::This, |b| {
+                b.compute(DurExpr::micros(p.remote_us));
+                b.update(cell, IntExpr::Lit(100));
+            });
+            serve.done();
+            let noop = ob.method("noop", 0);
+            noop.done();
+            let clients = (0..p.clients_per_group)
+                .map(|_| {
+                    ClientScript::closed(vec![
+                        (dmt_lang::MethodIdx::new(0), RequestArgs::empty());
+                        p.requests_per_client
+                    ])
+                })
+                .collect();
+            crate::make_variants(&ob.build(), clients, "noop")
+        })
+        .collect()
+}
+
+/// The matching routing table: service `s` is homed on group `s`, a
+/// routed call executes `serve`, and the link is `link_us`.
+pub fn routing(p: &RelayParams) -> ShardRouting {
+    ShardRouting {
+        service_home: std::sync::Arc::new((0..p.n_groups as u32).collect()),
+        method: dmt_lang::MethodIdx::new(1),
+        link: SimDuration::from_micros(p.link_us),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmt_core::SchedulerKind;
+    use dmt_replica::{run_sharded, EngineConfig};
+
+    #[test]
+    fn relay_ring_completes_and_prices_the_routed_path() {
+        let p = RelayParams::default();
+        let scs = scenarios(&p);
+        let plain: Vec<_> = scs.iter().map(|s| s.plain.clone()).collect();
+        let cfg = EngineConfig::new(SchedulerKind::Mat).with_seed(7);
+        let res = run_sharded(plain, &cfg, Some(routing(&p)));
+        assert!(!res.deadlocked);
+        assert_eq!(res.completed_requests, p.total_requests() as u64);
+        assert_eq!(res.shard_msgs, 2 * p.total_requests() as u64);
+        assert!(res.epochs > 0);
+    }
+}

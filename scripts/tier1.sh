@@ -38,4 +38,11 @@ cargo test -q -p dmt-bench --test resilience
 echo "== smoke: contention determinism =="
 cargo test -q --release -p dmt-bench --test contention_determinism
 
+# Sharded-engine goldens: fig1 and open-loop sweeps must be
+# byte-identical for every intra-run shard worker count (1 vs 2/4/8) ×
+# sweep worker count, and the BENCH_shard.json deterministic section
+# must be byte-stable across reruns.
+echo "== smoke: shard determinism =="
+cargo test -q --release -p dmt-bench --test shard_determinism
+
 echo "tier1: OK"
