@@ -109,10 +109,11 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
     j.push_str("  \"current\": {\n    \"per_kind\": [\n");
     for (i, r) in rows.iter().enumerate() {
         j.push_str(&format!(
-            "      {{\"kind\": \"{}\", \"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_steps\": {}, \"fused_steps\": {}, \"batched_steps\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}{}\n",
+            "      {{\"kind\": \"{}\", \"events\": {}, \"sched_events\": {}, \"sched_fanout\": {:.4}, \"sched_actions\": {}, \"vm_steps\": {}, \"fused_steps\": {}, \"batched_steps\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}{}\n",
             json_escape(r.kind.name()),
             r.perf.events,
             r.perf.sched_events,
+            r.perf.sched_fanout(),
             r.perf.sched_actions,
             r.perf.vm_steps,
             r.perf.fused_steps,
@@ -125,10 +126,10 @@ fn engine_bench(client_counts: &[usize], requests: usize, quick: bool) {
         ));
     }
     j.push_str(&format!(
-        "    ],\n    \"total\": {{\"events\": {}, \"sched_events\": {}, \"sched_actions\": {}, \"vm_steps\": {}, \"fused_steps\": {}, \"batched_steps\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}\n  }},\n",
-        total.events, total.sched_events, total.sched_actions, total.vm_steps, total.fused_steps,
-        total.batched_steps, total.vm_allocs, total.vm_reuses, total.wall_ns,
-        total.ns_per_event(),
+        "    ],\n    \"total\": {{\"events\": {}, \"sched_events\": {}, \"sched_fanout\": {:.4}, \"sched_actions\": {}, \"vm_steps\": {}, \"fused_steps\": {}, \"batched_steps\": {}, \"vm_allocs\": {}, \"vm_reuses\": {}, \"wall_ns\": {}, \"ns_per_event\": {:.1}}}\n  }},\n",
+        total.events, total.sched_events, total.sched_fanout(), total.sched_actions,
+        total.vm_steps, total.fused_steps, total.batched_steps, total.vm_allocs, total.vm_reuses,
+        total.wall_ns, total.ns_per_event(),
     ));
     j.push_str(&format!(
         "  \"ns_per_event_improvement_pct\": {improvement:.1},\n"

@@ -180,6 +180,79 @@ pub const POOLED_TOTAL_NS_PER_EVENT: f64 = 168.0;
 /// pooled-substrate cost now fails loudly.
 pub const THREADED_TOTAL_NS_PER_EVENT: f64 = 135.0;
 
+/// Events-weighted ns/event after the dispatch fan-out collapse landed
+/// (same-instant grant fusion in the step loop, in-place action
+/// application with no per-dispatch buffer moves, gated MAT
+/// bookkeeping, in-place admission, interleaved-pass measurement).
+/// Pinned 2026-08-08 from the full sweep (calm-window band ≈119–123
+/// ns/event, vs ≈129–133 for the previous commit's binary measured in
+/// the same windows; this host's noise bursts reach ≈200). Supersedes
+/// [`THREADED_TOTAL_NS_PER_EVENT`] as the pin behind the
+/// tracing-disabled overhead guard (`tests/trace_overhead.rs`): at the
+/// unchanged 2× release slack the limit drops 270 → 210 ns/event,
+/// below what the pre-fusion engine's noisy band could excuse.
+pub const FUSED_TOTAL_NS_PER_EVENT: f64 = 105.0;
+
+/// Ceiling on the scheduler-dispatch fan-out (`sched_events / events`,
+/// [`PerfCounters::sched_fanout`]) per scheduler, pinned from the full
+/// Figure-1 sweep. The ratio is a pure counter quotient — deterministic
+/// for a given grid — but quick grids weight admission-heavy warm-up
+/// more, so the pins carry a small margin above the larger of the full
+/// and quick grid values. `tests/fanout_guard.rs` holds every kind
+/// under its pin: a new dispatch leg on the hot path (the thing this
+/// ratio counts) fails loudly instead of hiding inside wall-clock
+/// noise.
+pub const MAX_SCHED_FANOUT: [(&str, f64); 5] = [
+    ("SEQ", 1.32),
+    ("SAT", 1.32),
+    ("LSA", 1.00),
+    ("PDS", 1.22),
+    ("MAT", 1.32),
+];
+
+/// Per-kind event counts recorded in the committed `BENCH_engine.json`,
+/// if one is readable: `[(kind name, events), ..]` from the
+/// `"current"."per_kind"` rows. Used only to order sweep dispatch
+/// (longest-first), so a missing or stale artifact degrades scheduling,
+/// never results. Parsed with a dumb scanner on purpose — the artifact
+/// is machine-written by `figures -- bench` with one row per line, and
+/// the bench crate has no JSON dependency to spend on a hint.
+pub fn recorded_kind_events() -> Option<Vec<(String, u64)>> {
+    let path = std::path::Path::new("BENCH_engine.json");
+    let text = std::fs::read_to_string(path)
+        .or_else(|_| {
+            // Tests run from the crate directory; the artifact lives at
+            // the workspace root.
+            std::fs::read_to_string(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_engine.json"
+            ))
+        })
+        .ok()?;
+    // Rows before the "current" section (the baseline table) hold
+    // ns/event pins, not counts; skip to the measured rows.
+    let current = &text[text.find("\"current\"")?..];
+    let mut rows = Vec::new();
+    for line in current.lines() {
+        let Some(k) = line.find("\"kind\": \"") else {
+            continue;
+        };
+        let kind = line[k + 9..].split('"').next()?.to_string();
+        let e = line.find("\"events\": ")?;
+        let events: u64 = line[e + 10..]
+            .split(|c: char| !c.is_ascii_digit())
+            .next()?
+            .parse()
+            .ok()?;
+        rows.push((kind, events));
+    }
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
 /// The five algorithms of the paper's Figure 1.
 pub const FIG1_KINDS: [SchedulerKind; 5] = [
     SchedulerKind::Seq,
@@ -292,10 +365,32 @@ pub fn fig1_experiment_with_opts(
     let n_jobs = client_counts.len() * kinds.len();
     // High-client points dominate the sweep's wall-clock; start them
     // first so they don't straggle (results still slot by job index).
+    // Client count alone ties every scheduler at one sweep point, and a
+    // tie falls back to kind order — which inverts the true cost order
+    // (LSA's control legs and PDS's dummies make them the long cells).
+    // When a previous bench artifact is around, its recorded per-kind
+    // event counts break the tie, so the longest-first order is the
+    // same in quick and full mode and independent of kind enumeration
+    // order. Priorities only reorder wall-clock — results still slot by
+    // job index — so a missing artifact just means the old ordering.
+    let recorded = recorded_kind_events();
+    let kind_weight = |kind: SchedulerKind| -> u64 {
+        recorded
+            .as_deref()
+            .and_then(|rows| {
+                rows.iter()
+                    .find(|(name, _)| name == kind.name())
+                    .map(|&(_, events)| events)
+            })
+            .unwrap_or(1)
+    };
     let cells = run_jobs_prioritized(
         n_jobs,
         threads,
-        |job| client_counts[job / kinds.len()],
+        |job| {
+            let clients = client_counts[job / kinds.len()] as u64;
+            clients * kind_weight(kinds[job % kinds.len()])
+        },
         |job| {
             let n = client_counts[job / kinds.len()];
             let kind = kinds[job % kinds.len()];
@@ -335,23 +430,41 @@ pub fn engine_bench_experiment(
     client_counts: &[usize],
     requests_per_client: usize,
 ) -> Vec<EngineBenchRow> {
+    // Runs are deterministic but the clock is not: scheduler noise
+    // (CI neighbours, cold caches) only ever inflates wall time, so the
+    // fastest repeat of each cell is the faithful cost estimate. On the
+    // noisy single-vCPU hosts this repo benches on, that noise arrives
+    // in multi-second bursts — back-to-back repeats of one cell all
+    // land inside the same burst, which is why a per-cell `(0..3)` retry
+    // loop routinely left cells 10%+ above their floor. Instead the
+    // whole (kind x clients) grid is swept in full passes and each cell
+    // keeps its fastest pass: consecutive visits to one cell are now a
+    // full grid apart, so a burst has to span the entire sweep to taint
+    // a cell's minimum.
+    // Shards stay at 1: ns/event prices the monolithic hot path, and
+    // the sharded wrapper's merge would pollute the wall clock.
+    const PASSES: usize = 5;
+    let mut best: Vec<Vec<Option<PerfCounters>>> =
+        vec![vec![None; client_counts.len()]; FIG1_KINDS.len()];
+    for _ in 0..PASSES {
+        for (ki, &kind) in FIG1_KINDS.iter().enumerate() {
+            for (ci, &n) in client_counts.iter().enumerate() {
+                let perf = fig1_point(n, requests_per_client, kind, 1).perf;
+                let slot = &mut best[ki][ci];
+                let faster = slot.as_ref().is_none_or(|b| perf.wall_ns < b.wall_ns);
+                if faster {
+                    *slot = Some(perf);
+                }
+            }
+        }
+    }
     FIG1_KINDS
         .iter()
-        .map(|&kind| {
+        .zip(best)
+        .map(|(&kind, cells)| {
             let mut agg = PerfCounters::default();
-            for &n in client_counts {
-                // Runs are deterministic but the clock is not: scheduler
-                // noise (CI neighbours, cold caches) only ever inflates
-                // wall time, so the fastest of three repeats is the
-                // faithful cost estimate.
-                // Shards stay at 1: ns/event prices the monolithic hot
-                // path, and the sharded wrapper's merge would pollute
-                // the wall clock.
-                let perf = (0..3)
-                    .map(|_| fig1_point(n, requests_per_client, kind, 1).perf)
-                    .min_by_key(|p| p.wall_ns)
-                    .expect("three repeats");
-                agg.merge(&perf);
+            for perf in cells {
+                agg.merge(&perf.expect("every cell measured"));
             }
             EngineBenchRow { kind, perf: agg }
         })

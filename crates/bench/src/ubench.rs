@@ -147,6 +147,16 @@ pub fn interp_profile() -> String {
     )
 }
 
+/// **interp --smoke** — the deterministic half of [`interp_bench`]:
+/// runs the corpus once per dispatch style and asserts the styles are
+/// observationally identical (same actions, step counts, state hash),
+/// printing only the byte-stable equivalence line. No timed batches, so
+/// it is fast enough for tier-1, where its job is catching semantic
+/// drift between the dispatch styles, not measuring them.
+pub fn interp_smoke() {
+    println!("{}", interp_profile());
+}
+
 /// **interp** — dispatch-style comparison: match-loop vs threaded vs
 /// threaded+fused on the Figure-1 request mix. Prints the byte-stable
 /// equivalence line first, then ns/op per style.

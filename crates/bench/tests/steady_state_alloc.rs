@@ -77,10 +77,21 @@ fn warm_substrate_paths_do_not_allocate() {
     // Warm-up grows the slab, bucket lists and heap scratch to their
     // steady-state footprint.
     churn(&mut q, &mut rng, 20_000);
-    let before = allocations();
-    let acc = churn(&mut q, &mut rng, 20_000);
-    let queue_delta = allocations() - before;
-    std::hint::black_box(acc);
+    // Min-of-3 windows here and below for the long measured stretches:
+    // the queue's own allocations are deterministic, but the counter is
+    // process-global and the libtest harness can allocate from another
+    // thread while the suite runs under load — stray counts only ever
+    // inflate a delta, so one clean window proves the claim (the same
+    // estimator argument as the wall-clock benches).
+    let queue_delta = (0..3)
+        .map(|_| {
+            let before = allocations();
+            let acc = churn(&mut q, &mut rng, 20_000);
+            std::hint::black_box(acc);
+            allocations() - before
+        })
+        .min()
+        .unwrap();
     assert_eq!(
         queue_delta, 0,
         "warm event-queue churn allocated {queue_delta} times"
@@ -231,12 +242,23 @@ fn warm_substrate_paths_do_not_allocate() {
         .merge_latencies(groups.iter().map(Vec::as_slice))
         .len();
     assert_eq!(n, total);
-    let before = allocations();
-    for _ in 0..50 {
-        let merged = merger.merge_latencies(groups.iter().map(Vec::as_slice));
-        std::hint::black_box(merged.len());
-    }
-    let merge_delta = allocations() - before;
+    // Min-of-3 windows: the merge loop is this test's longest
+    // pure-compute stretch, which makes it the likeliest landing spot
+    // for a stray allocation from the test harness's own threads when
+    // the suite runs under load. The merger's allocations are
+    // deterministic, stray counts only inflate, so a single clean
+    // window proves the claim.
+    let merge_delta = (0..3)
+        .map(|_| {
+            let before = allocations();
+            for _ in 0..50 {
+                let merged = merger.merge_latencies(groups.iter().map(Vec::as_slice));
+                std::hint::black_box(merged.len());
+            }
+            allocations() - before
+        })
+        .min()
+        .unwrap();
     assert_eq!(
         merge_delta, 0,
         "warm shard latency merge allocated {merge_delta} times"
@@ -247,19 +269,71 @@ fn warm_substrate_paths_do_not_allocate() {
     // a reset queue must re-run a full schedule out of its existing
     // slab/buckets/heap storage with zero fresh allocations.
     let mut rng2 = SplitMix64::new(7);
-    let before = allocations();
-    for _ in 0..8 {
-        q.reset();
-        for i in 0..256u32 {
-            q.push_after(SimDuration::from_nanos(delay(&mut rng2)), i);
-        }
-        let acc = churn(&mut q, &mut rng2, 2_000);
-        std::hint::black_box(acc);
-        while q.pop().is_some() {}
-    }
-    let reset_delta = allocations() - before;
+    let reset_delta = (0..3)
+        .map(|_| {
+            let before = allocations();
+            for _ in 0..8 {
+                q.reset();
+                for i in 0..256u32 {
+                    q.push_after(SimDuration::from_nanos(delay(&mut rng2)), i);
+                }
+                let acc = churn(&mut q, &mut rng2, 2_000);
+                std::hint::black_box(acc);
+                while q.pop().is_some() {}
+            }
+            allocations() - before
+        })
+        .min()
+        .unwrap();
     assert_eq!(
         reset_delta, 0,
         "reset-reuse queue churn allocated {reset_delta} times"
+    );
+
+    // --- Fused fast path: the same-instant grant fusion in the step
+    // loop replaces a queue push + pop + `process`-drain re-entry with
+    // an inline ring pop, so a whole engine run with fusion on must
+    // allocate *no more* than the reference run (`without_fastpath`) of
+    // the identical scenario — the fast path is a pure storage-reuse
+    // shortcut. Compared as full-run deltas rather than a warm inner
+    // loop because an `Engine` is built per run; the reference run
+    // bounds what the scenario itself allocates.
+    let params = dmt_workload::fig1::Fig1Params::default()
+        .with_clients(3)
+        .with_seed(11);
+    let pair = dmt_workload::fig1::scenario(&params);
+    let cfg = dmt_replica::EngineConfig::new(dmt_core::SchedulerKind::Seq).with_seed(7);
+    let run = |cfg: dmt_replica::EngineConfig| {
+        let scenario = pair.for_kind(dmt_core::SchedulerKind::Seq);
+        let before = allocations();
+        let res = dmt_replica::Engine::new(scenario, cfg).run();
+        (allocations() - before, res)
+    };
+    // Warm once: the first run pays lazy global initialisation (stdio,
+    // histogram tables) that belongs to neither path. Then min-of-3 per
+    // mode: a run's own allocations are deterministic, but the counter
+    // is process-global and the libtest harness can allocate
+    // concurrently under a loaded suite — stray counts only ever
+    // inflate a delta, so the minimum is the faithful one (same
+    // estimator argument as the wall-clock benches).
+    run(cfg.clone());
+    let measure = |cfg: &dmt_replica::EngineConfig| {
+        let (mut allocs, res) = run(cfg.clone());
+        for _ in 0..2 {
+            allocs = allocs.min(run(cfg.clone()).0);
+        }
+        (allocs, res)
+    };
+    let (fused_allocs, fused_res) = measure(&cfg);
+    let (reference_allocs, reference_res) = measure(&cfg.clone().without_fastpath());
+    assert!(
+        fused_res.perf.fused_grants > 0,
+        "fused run never took the fast path"
+    );
+    assert_eq!(reference_res.perf.fused_grants, 0);
+    assert!(
+        fused_allocs <= reference_allocs,
+        "fused fast path allocated {fused_allocs} times, more than the \
+         {reference_allocs} of the reference path on the same scenario"
     );
 }

@@ -42,6 +42,9 @@ pub use bookkeeping::{Bookkeeping, EntryState, LockTable, StaticSyncEntry};
 pub use event::{CtrlMsg, SchedAction, SchedEvent};
 pub use ids::{ReplicaId, ThreadId};
 pub use obs::{ContentionHints, Decision, DeferReason, DepthSample, SchedOutput};
-pub use scheduler::{make_scheduler, PdsConfig, SchedConfig, Scheduler, SchedulerKind};
+pub use scheduler::{
+    make_scheduler, make_scheduler_inline, AnyScheduler, PdsConfig, SchedConfig, Scheduler,
+    SchedulerKind,
+};
 pub use slot::{DenseSet, SlotMap};
 pub use sync_core::{Grant, LockOutcome, SyncCore};

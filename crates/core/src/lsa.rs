@@ -149,24 +149,28 @@ impl LsaScheduler {
         }
         // Fold pending fresh requests for this mutex into the monitor
         // queue in thread-age order — ascending slot order *is* age order
-        // (only relevant right after failover).
-        for i in 0..self.pending.bound() {
-            if self.pending.get(i) != Some(&mutex) {
-                continue;
-            }
-            let tid = ThreadId::new(i as u32);
-            self.pending.remove(i);
-            match self.sync.lock(tid, mutex) {
-                LockOutcome::Acquired => {
-                    self.announce(tid, mutex, out);
-                    out.decision(|| Decision::Grant {
-                        tid,
-                        mutex,
-                        from_wait: false,
-                    });
-                    out.push(SchedAction::Resume(tid));
+        // (only relevant right after failover). On the steady-state
+        // leader `pending` is empty — fresh requests are handled
+        // directly in `on_event` — so skip the slot scan entirely.
+        if !self.pending.is_empty() {
+            for i in 0..self.pending.bound() {
+                if self.pending.get(i) != Some(&mutex) {
+                    continue;
                 }
-                LockOutcome::Queued => {}
+                let tid = ThreadId::new(i as u32);
+                self.pending.remove(i);
+                match self.sync.lock(tid, mutex) {
+                    LockOutcome::Acquired => {
+                        self.announce(tid, mutex, out);
+                        out.decision(|| Decision::Grant {
+                            tid,
+                            mutex,
+                            from_wait: false,
+                        });
+                        out.push(SchedAction::Resume(tid));
+                    }
+                    LockOutcome::Queued => {}
+                }
             }
         }
         if self.sync.is_free(mutex) {

@@ -98,6 +98,14 @@ impl MatScheduler {
         self.queue.front().copied()
     }
 
+    /// Plain mode never consults the bookkeeping (`no_more_locks` is
+    /// only read behind the `LastLock` gate in `drop_if_lock_done`), so
+    /// maintaining it there is pure overhead.
+    #[inline]
+    fn keeps_books(&self) -> bool {
+        self.mode == MatMode::LastLock
+    }
+
     fn remove_from_queue(&mut self, tid: ThreadId) {
         if let Some(pos) = self.queue.iter().position(|&t| t == tid) {
             self.queue.remove(pos);
@@ -210,7 +218,9 @@ impl Scheduler for MatScheduler {
     fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
         match *ev {
             SchedEvent::RequestArrived { tid, method, .. } => {
-                self.book.on_request(tid, method);
+                if self.keeps_books() {
+                    self.book.on_request(tid, method);
+                }
                 self.queue.push_back(tid);
                 out.decision(|| Decision::Admit { tid });
                 out.push(SchedAction::Admit(tid));
@@ -224,7 +234,9 @@ impl Scheduler for MatScheduler {
                 sync_id,
                 mutex,
             } => {
-                self.book.on_lock(tid, sync_id, mutex);
+                if self.keeps_books() {
+                    self.book.on_lock(tid, sync_id, mutex);
+                }
                 self.gated.insert(tid.index(), mutex);
                 if self.primary() == Some(tid) {
                     self.exercise_head(out);
@@ -242,7 +254,9 @@ impl Scheduler for MatScheduler {
                 sync_id,
                 mutex,
             } => {
-                self.book.on_unlock(tid, sync_id, mutex);
+                if self.keeps_books() {
+                    self.book.on_unlock(tid, sync_id, mutex);
+                }
                 if let Some(g) = self.sync.unlock(tid, mutex) {
                     if g.from_wait {
                         // Notified waiter re-acquired: re-enter the queue
@@ -302,7 +316,9 @@ impl Scheduler for MatScheduler {
                 debug_assert!(self.sync.holds_none(tid));
                 debug_assert!(!self.gated.contains(tid.index()));
                 self.remove_from_queue(tid);
-                self.book.on_finish(tid);
+                if self.keeps_books() {
+                    self.book.on_finish(tid);
+                }
                 self.exercise_head(out);
             }
             SchedEvent::LockInfo {
@@ -310,10 +326,14 @@ impl Scheduler for MatScheduler {
                 sync_id,
                 mutex,
             } => {
-                self.book.on_lock_info(tid, sync_id, mutex);
+                if self.keeps_books() {
+                    self.book.on_lock_info(tid, sync_id, mutex);
+                }
             }
             SchedEvent::SyncIgnored { tid, sync_id } => {
-                self.book.on_ignore(tid, sync_id);
+                if self.keeps_books() {
+                    self.book.on_ignore(tid, sync_id);
+                }
                 // An ignore can retire the final table entry.
                 self.drop_if_lock_done(tid, out);
             }

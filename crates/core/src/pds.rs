@@ -257,14 +257,21 @@ impl PdsScheduler {
     }
 
     /// One grant sweep: every collected member with quota, age order.
+    ///
+    /// A single forward pass over the (age-sorted) pool: granting a
+    /// member moves it to `Running`/`CoreBlocked`, never back to
+    /// `Collected`, so no member behind the scan point can become a
+    /// candidate again mid-sweep — one pass visits exactly the members a
+    /// restart-from-the-front search would, in the same order.
     fn sweep_grants(&mut self, out: &mut SchedOutput) -> bool {
         let mut granted_any = false;
-        loop {
-            let candidate = self.pool.iter().copied().find(|&m| {
-                self.mref(m).st == St::Collected
-                    && self.mref(m).grants_used < self.cfg.locks_per_round
-            });
-            let Some(tid) = candidate else { break };
+        for i in 0..self.pool.len() {
+            let tid = self.pool[i];
+            if self.mref(tid).st != St::Collected
+                || self.mref(tid).grants_used >= self.cfg.locks_per_round
+            {
+                continue;
+            }
             let mutex = self
                 .member(tid)
                 .pending
@@ -309,10 +316,18 @@ impl PdsScheduler {
             if self.sweep_grants(out) {
                 return;
             }
-            let exhausted_exist = self.pool.iter().any(|&m| {
-                self.mref(m).st == St::Collected
-                    && self.mref(m).grants_used >= self.cfg.locks_per_round
-            });
+            // The sweep granted nothing, so every Collected member has
+            // exhausted its quota — "an exhausted member exists" is
+            // exactly "any Collected member exists", which the
+            // incremental counter already tracks.
+            let exhausted_exist = self.pool_collected > 0;
+            debug_assert_eq!(
+                exhausted_exist,
+                self.pool.iter().any(|&m| {
+                    self.mref(m).st == St::Collected
+                        && self.mref(m).grants_used >= self.cfg.locks_per_round
+                })
+            );
             if exhausted_exist {
                 for &m in &self.pool {
                     self.threads

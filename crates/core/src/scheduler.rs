@@ -238,26 +238,102 @@ pub trait Scheduler: Send {
     fn kick(&mut self, _out: &mut SchedOutput) {}
 }
 
-/// Instantiates the decision module selected by `cfg`.
-pub fn make_scheduler(cfg: &SchedConfig) -> Box<dyn Scheduler> {
+/// The decision modules as one concrete sum type.
+///
+/// The replica engine stores this instead of `Box<dyn Scheduler>` so the
+/// per-event `on_event` call is a direct jump over inlineable arms
+/// rather than a virtual dispatch through a vtable — one of the hot-path
+/// cuts behind the dmt-bench ns/event guard. `MAT` and `MAT-LL` share
+/// the [`crate::mat::MatScheduler`] variant (the mode is a constructor
+/// argument); [`Scheduler::kind`] still distinguishes them.
+pub enum AnyScheduler {
+    Free(crate::free::FreeScheduler),
+    Seq(crate::seq::SeqScheduler),
+    Sat(crate::sat::SatScheduler),
+    Lsa(crate::lsa::LsaScheduler),
+    Pds(crate::pds::PdsScheduler),
+    Mat(crate::mat::MatScheduler),
+    Pmat(crate::pmat::PmatScheduler),
+}
+
+macro_rules! each_sched {
+    ($self:expr, $s:ident => $e:expr) => {
+        match $self {
+            AnyScheduler::Free($s) => $e,
+            AnyScheduler::Seq($s) => $e,
+            AnyScheduler::Sat($s) => $e,
+            AnyScheduler::Lsa($s) => $e,
+            AnyScheduler::Pds($s) => $e,
+            AnyScheduler::Mat($s) => $e,
+            AnyScheduler::Pmat($s) => $e,
+        }
+    };
+}
+
+impl Scheduler for AnyScheduler {
+    #[inline]
+    fn kind(&self) -> SchedulerKind {
+        each_sched!(self, s => s.kind())
+    }
+
+    #[inline]
+    fn on_event(&mut self, ev: &SchedEvent, out: &mut SchedOutput) {
+        each_sched!(self, s => s.on_event(ev, out))
+    }
+
+    #[inline]
+    fn sync_core(&self) -> &SyncCore {
+        each_sched!(self, s => s.sync_core())
+    }
+
+    #[inline]
+    fn depths(&self) -> DepthSample {
+        each_sched!(self, s => s.depths())
+    }
+
+    #[inline]
+    fn global_order_deterministic(&self) -> bool {
+        each_sched!(self, s => s.global_order_deterministic())
+    }
+
+    fn on_leader_change(&mut self, new_leader: ReplicaId) {
+        each_sched!(self, s => s.on_leader_change(new_leader))
+    }
+
+    fn kick(&mut self, out: &mut SchedOutput) {
+        each_sched!(self, s => s.kick(out))
+    }
+}
+
+/// Instantiates the decision module selected by `cfg` as the concrete
+/// sum type (statically dispatched — the hot-path form).
+pub fn make_scheduler_inline(cfg: &SchedConfig) -> AnyScheduler {
     match cfg.kind {
-        SchedulerKind::Free => Box::new(crate::free::FreeScheduler::new()),
-        SchedulerKind::Seq => Box::new(crate::seq::SeqScheduler::new()),
-        SchedulerKind::Sat => Box::new(crate::sat::SatScheduler::new()),
-        SchedulerKind::Lsa => Box::new(crate::lsa::LsaScheduler::new(cfg.replica, cfg.leader)),
-        SchedulerKind::Pds => Box::new(crate::pds::PdsScheduler::new(cfg.pds)),
-        SchedulerKind::Mat => Box::new(crate::mat::MatScheduler::new(
+        SchedulerKind::Free => AnyScheduler::Free(crate::free::FreeScheduler::new()),
+        SchedulerKind::Seq => AnyScheduler::Seq(crate::seq::SeqScheduler::new()),
+        SchedulerKind::Sat => AnyScheduler::Sat(crate::sat::SatScheduler::new()),
+        SchedulerKind::Lsa => {
+            AnyScheduler::Lsa(crate::lsa::LsaScheduler::new(cfg.replica, cfg.leader))
+        }
+        SchedulerKind::Pds => AnyScheduler::Pds(crate::pds::PdsScheduler::new(cfg.pds)),
+        SchedulerKind::Mat => AnyScheduler::Mat(crate::mat::MatScheduler::new(
             crate::mat::MatMode::Plain,
             cfg.lock_table.clone(),
         )),
-        SchedulerKind::MatLL => Box::new(crate::mat::MatScheduler::new(
+        SchedulerKind::MatLL => AnyScheduler::Mat(crate::mat::MatScheduler::new(
             crate::mat::MatMode::LastLock,
             cfg.lock_table.clone(),
         )),
-        SchedulerKind::Pmat => Box::new(
+        SchedulerKind::Pmat => AnyScheduler::Pmat(
             crate::pmat::PmatScheduler::new(cfg.lock_table.clone()).with_hints(cfg.hints.clone()),
         ),
     }
+}
+
+/// Instantiates the decision module selected by `cfg` as a trait object
+/// (for drivers that store heterogeneous schedulers, e.g. `dmt-rt`).
+pub fn make_scheduler(cfg: &SchedConfig) -> Box<dyn Scheduler> {
+    Box::new(make_scheduler_inline(cfg))
 }
 
 #[cfg(test)]

@@ -97,8 +97,11 @@ pub struct GroupComm<M> {
     /// arrivals of an already-delivered sequence number are re-delivered —
     /// a deliberately broken mode for adversarial testing.
     dedup: bool,
-    /// Latest sequencer-arrival instant per FIFO source.
-    fifo_horizon: BTreeMap<u64, dmt_sim::SimTime>,
+    /// Latest sequencer-arrival instant per FIFO source, sorted by
+    /// source id. Source ids are few and reused (replica indices plus a
+    /// handful of synthetic client/remote ids), so a sorted vec with
+    /// binary search beats a tree map on the submit hot path.
+    fifo_horizon: Vec<(u64, dmt_sim::SimTime)>,
 }
 
 impl<M: Clone> GroupComm<M> {
@@ -117,7 +120,7 @@ impl<M: Clone> GroupComm<M> {
                 .collect(),
             stats: NetStats::default(),
             dedup: true,
-            fifo_horizon: BTreeMap::new(),
+            fifo_horizon: Vec::new(),
         }
     }
 
@@ -206,12 +209,16 @@ impl<M: Clone> GroupComm<M> {
     pub fn submit_delay_fifo(&mut self, source: u64, now: dmt_sim::SimTime) -> SimDuration {
         self.stats.submissions += 1;
         let mut arrival = now + self.hop_latency();
-        if let Some(&last) = self.fifo_horizon.get(&source) {
-            if arrival <= last {
-                arrival = last + SimDuration::from_nanos(1);
+        match self.fifo_horizon.binary_search_by_key(&source, |e| e.0) {
+            Ok(i) => {
+                let last = self.fifo_horizon[i].1;
+                if arrival <= last {
+                    arrival = last + SimDuration::from_nanos(1);
+                }
+                self.fifo_horizon[i].1 = arrival;
             }
+            Err(i) => self.fifo_horizon.insert(i, (source, arrival)),
         }
-        self.fifo_horizon.insert(source, arrival);
         arrival - now
     }
 

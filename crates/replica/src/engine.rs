@@ -75,6 +75,14 @@ pub struct EngineConfig {
     /// FIFO order — so it defaults to on; [`Self::without_batching`]
     /// exists for the differential tests and the dispatch-cost figures.
     pub batch_admission: bool,
+    /// Use the calendar queue's front-slot fast path: an event pushed
+    /// strictly earlier than everything pending skips the slab entirely
+    /// and pops O(1) (see `dmt-sim`'s queue docs and DESIGN.md's
+    /// same-timestamp fusion invariant). Outcome-identical by
+    /// construction — the slot entry is the unique `(time, seq)` minimum
+    /// — so it defaults to on; [`Self::without_fastpath`] is the
+    /// reference mode for the fused-vs-reference differential tests.
+    pub fastpath: bool,
     /// Deterministic failure schedule (crashes, recoveries, message-layer
     /// adversaries), injected as ordinary calendar-queue events at run
     /// start. Empty by default. See [`FaultPlan`] and DESIGN.md §11.
@@ -138,6 +146,7 @@ impl EngineConfig {
             hints: dmt_core::ContentionHints::new(),
             sample_depths: false,
             batch_admission: true,
+            fastpath: true,
             faults: FaultPlan::default(),
             broken_dedup: false,
             node_latency: Vec::new(),
@@ -158,6 +167,14 @@ impl EngineConfig {
     /// its own zero-delay calendar-queue event.
     pub fn without_batching(mut self) -> Self {
         self.batch_admission = false;
+        self
+    }
+
+    /// Reference dispatch semantics: every event goes through the slab
+    /// calendar queue (front-slot fusion off). Used by the differential
+    /// tests that pin fused == reference output byte for byte.
+    pub fn without_fastpath(mut self) -> Self {
+        self.fastpath = false;
         self
     }
 
@@ -275,6 +292,12 @@ pub struct PerfCounters {
     /// [`Self::events`] (it replaces exactly one queue pop), keeping
     /// ns/event comparable across batching modes.
     pub batched_steps: u64,
+    /// Ring steps executed inline by the same-instant grant fusion in
+    /// `step_thread` (a subset of [`Self::batched_steps`]): the granted
+    /// thread kept stepping instead of bouncing through the `process`
+    /// drain. Host-cost accounting only — the fused step is still one
+    /// event, so every model-visible counter is unchanged.
+    pub fused_grants: u64,
 }
 
 impl PerfCounters {
@@ -283,6 +306,20 @@ impl PerfCounters {
             0.0
         } else {
             self.wall_ns as f64 / self.events as f64
+        }
+    }
+
+    /// Scheduler-dispatch fan-out: scheduler events raised per simulation
+    /// event. Every extra dispatch leg a code path grows (an admission
+    /// round trip, a control-message echo) lands here, so the bench
+    /// artifacts record it per scheduler and a guard pins its ceiling —
+    /// a fan-out regression is a determinism-preserving change that
+    /// would otherwise hide inside wall-clock noise.
+    pub fn sched_fanout(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.sched_events as f64 / self.events as f64
         }
     }
 
@@ -296,6 +333,7 @@ impl PerfCounters {
         self.vm_steps += other.vm_steps;
         self.fused_steps += other.fused_steps;
         self.batched_steps += other.batched_steps;
+        self.fused_grants += other.fused_grants;
     }
 }
 
@@ -407,7 +445,9 @@ struct PendingRequest {
 /// `tid.index()` — no hashing on the per-event path (see DESIGN.md,
 /// dense-ID invariant).
 struct Rep {
-    sched: Box<dyn Scheduler>,
+    /// The concrete scheduler sum type: `on_event` is a direct
+    /// (inlineable) match instead of a vtable call.
+    sched: dmt_core::AnyScheduler,
     state: ObjectState,
     vms: SlotMap<ThreadVm>,
     /// Reset-on-reuse free list: finished threads return their VM here,
@@ -575,6 +615,9 @@ pub struct Engine {
     tracer: Tracer,
     /// Histogram handles for queue-depth sampling (None = sampling off).
     depth_ids: Option<DepthIds>,
+    /// `tracer.is_enabled() || depth_ids.is_some()`, cached so the
+    /// per-dispatch observation side-channel costs one branch when off.
+    observe: bool,
     /// Cross-shard messages generated this epoch, harvested by the shard
     /// coordinator at the next virtual-time barrier. Always empty when
     /// [`EngineConfig::remote`] is `None`.
@@ -619,6 +662,7 @@ impl Engine {
     pub fn with_queue(scenario: Scenario, cfg: EngineConfig, queue: EngineQueue) -> Self {
         let mut queue = queue.0;
         queue.reset();
+        queue.set_fastpath(cfg.fastpath);
         assert!(
             cfg.remote.is_none() || (cfg.kill_at.is_none() && cfg.faults.events.is_empty()),
             "cross-shard routing is incompatible with fault injection: \
@@ -640,7 +684,7 @@ impl Engine {
                     .with_leader(ReplicaId::new(0))
                     .with_hints(cfg.hints.clone());
                 Rep {
-                    sched: dmt_core::make_scheduler(&sc),
+                    sched: dmt_core::make_scheduler_inline(&sc),
                     state: ObjectState::for_object(&scenario.program, scenario.this_mutex()),
                     vms: SlotMap::new(),
                     vm_pool: VmPool::new(),
@@ -676,6 +720,7 @@ impl Engine {
         };
         let mut scratch = SchedOutput::new();
         scratch.set_recording(cfg.trace);
+        let observe = tracer.is_enabled() || depth_ids.is_some();
         Engine {
             cfg,
             scenario,
@@ -711,6 +756,7 @@ impl Engine {
             metrics,
             tracer,
             depth_ids,
+            observe,
             outbox: Vec::new(),
             remote_calls: Vec::new(),
         }
@@ -1310,7 +1356,7 @@ impl Engine {
             self.perf.vm_steps += vm.steps();
             self.perf.fused_steps += vm.fused_steps();
         }
-        rep.sched = dmt_core::make_scheduler(&sc);
+        rep.sched = dmt_core::make_scheduler_inline(&sc);
         rep.state = donor_state;
         rep.next_tid = donor_next_tid;
         rep.nested_issued = donor_nested;
@@ -1359,6 +1405,31 @@ impl Engine {
 
     /// A thread that stayed blocked after its event leaves the runnable
     /// set (a synchronous grant re-inserted it via `Resume` already).
+    /// Same-instant grant fusion: a dispatch from `step_thread` that
+    /// synchronously resumed the stepping thread put it at the front of
+    /// the ready ring, where the `process` drain would pop it next and
+    /// re-enter `step_thread` with identical state. Popping it here and
+    /// continuing the step loop skips that round trip; the ring entry is
+    /// still accounted as the batched-step event it would have been, so
+    /// every counter stays byte-identical. Disabled by
+    /// [`EngineConfig::without_fastpath`] (the reference path for the
+    /// fusion differential tests) and under quiescent delivery, whose
+    /// drain hook runs between ring steps.
+    #[inline]
+    fn fused_continue(&mut self, replica: usize, tid: ThreadId) -> bool {
+        if self.cfg.fastpath
+            && !self.cfg.quiescent_delivery
+            && self.ready.front() == Some(&(replica, tid))
+        {
+            self.ready.pop_front();
+            self.perf.events += 1;
+            self.perf.batched_steps += 1;
+            self.perf.fused_grants += 1;
+            return true;
+        }
+        false
+    }
+
     fn unmark_if_blocked(&mut self, replica: usize, tid: ThreadId) {
         let rep = &mut self.reps[replica];
         if rep.blocked.contains(tid.index()) {
@@ -1450,13 +1521,29 @@ impl Engine {
     /// re-enters `dispatch`, so taking it out of `self` is safe.
     fn dispatch(&mut self, replica: usize, ev: SchedEvent) {
         self.perf.sched_events += 1;
-        let mut out = std::mem::take(&mut self.scratch);
-        debug_assert!(out.actions.is_empty());
-        self.reps[replica].sched.on_event(&ev, &mut out);
-        self.observe_dispatch(replica, &out);
-        self.apply_actions(replica, &mut out);
-        out.clear();
-        self.scratch = out;
+        if self.observe || self.scratch.is_recording() {
+            // Observation path: the buffer is moved out so the tracing
+            // side-channel can borrow the engine mutably alongside it.
+            let mut out = std::mem::take(&mut self.scratch);
+            debug_assert!(out.actions.is_empty());
+            self.reps[replica].sched.on_event(&ev, &mut out);
+            self.observe_dispatch(replica, &out);
+            if !out.actions.is_empty() {
+                self.apply_actions(replica, &mut out);
+            }
+            out.clear();
+            self.scratch = out;
+            return;
+        }
+        // Hot path: the scheduler writes into the resident scratch
+        // buffer and the actions are applied in place — no buffer moves
+        // per dispatch. Disjoint field borrows make this legal, and
+        // `apply_scratch_actions` documents why the walk is stable.
+        debug_assert!(self.scratch.actions.is_empty());
+        self.reps[replica].sched.on_event(&ev, &mut self.scratch);
+        if !self.scratch.actions.is_empty() {
+            self.apply_scratch_actions(replica);
+        }
     }
 
     /// Tracing/sampling side-channel of one dispatch: stamps the
@@ -1489,80 +1576,94 @@ impl Engine {
         let actions = &mut out.actions;
         self.perf.sched_actions += actions.len() as u64;
         for a in actions.drain(..) {
-            match a {
-                SchedAction::Admit(tid) => {
-                    let rep = &mut self.reps[replica];
-                    let req = rep
-                        .request_info
-                        .remove(tid.index())
-                        .expect("admit without request");
-                    let was = rep.blocked.remove(tid.index());
-                    debug_assert_eq!(was, Some(Blocked::Admission));
-                    let vm =
-                        rep.vm_pool
-                            .acquire(self.scenario.program.clone(), req.method, &req.args);
-                    rep.vms.insert(tid.index(), vm);
-                    // Remember the request id for completion accounting.
-                    rep.request_info.insert(
-                        tid.index(),
-                        PendingRequest {
-                            method: req.method,
-                            args: RequestArgs::empty(),
-                            id: req.id,
-                        },
-                    );
-                    rep.running.insert(tid.index());
-                    self.schedule_step(replica, tid);
-                }
-                SchedAction::Resume(tid) => {
-                    let rep = &mut self.reps[replica];
-                    match rep.blocked.remove(tid.index()) {
-                        Some(Blocked::Lock(m)) | Some(Blocked::Wait(m)) => {
-                            rep.trace.record_grant(tid, m);
-                        }
-                        Some(Blocked::Nested) => {}
-                        Some(Blocked::Admission) => panic!("Resume before Admit for {tid}"),
-                        Some(Blocked::Faulted(f)) => panic!("Resume for faulted thread {tid}: {f}"),
-                        None => panic!("Resume for running thread {tid}"),
+            self.apply_one(replica, a);
+        }
+    }
+
+    /// [`apply_actions`] over the in-place scratch buffer: `apply_one`
+    /// never re-enters `dispatch`, so the action list is stable and can
+    /// be walked by index (`SchedAction` is `Copy`) without moving the
+    /// buffer out of `self` first.
+    fn apply_scratch_actions(&mut self, replica: usize) {
+        self.perf.sched_actions += self.scratch.actions.len() as u64;
+        let mut i = 0;
+        while i < self.scratch.actions.len() {
+            let a = self.scratch.actions[i];
+            i += 1;
+            self.apply_one(replica, a);
+        }
+        self.scratch.actions.clear();
+    }
+
+    fn apply_one(&mut self, replica: usize, a: SchedAction) {
+        match a {
+            SchedAction::Admit(tid) => {
+                let rep = &mut self.reps[replica];
+                // The entry stays in place for completion accounting;
+                // only the args are consumed by the VM start.
+                let req = rep
+                    .request_info
+                    .get_mut(tid.index())
+                    .expect("admit without request");
+                let method = req.method;
+                let args = std::mem::take(&mut req.args);
+                let was = rep.blocked.remove(tid.index());
+                debug_assert_eq!(was, Some(Blocked::Admission));
+                let vm = rep
+                    .vm_pool
+                    .acquire(self.scenario.program.clone(), method, &args);
+                rep.vms.insert(tid.index(), vm);
+                rep.running.insert(tid.index());
+                self.schedule_step(replica, tid);
+            }
+            SchedAction::Resume(tid) => {
+                let rep = &mut self.reps[replica];
+                match rep.blocked.remove(tid.index()) {
+                    Some(Blocked::Lock(m)) | Some(Blocked::Wait(m)) => {
+                        rep.trace.record_grant(tid, m);
                     }
-                    rep.running.insert(tid.index());
-                    self.schedule_step(replica, tid);
+                    Some(Blocked::Nested) => {}
+                    Some(Blocked::Admission) => panic!("Resume before Admit for {tid}"),
+                    Some(Blocked::Faulted(f)) => panic!("Resume for faulted thread {tid}: {f}"),
+                    None => panic!("Resume for running thread {tid}"),
                 }
-                SchedAction::Broadcast(msg) => {
-                    self.ctrl_messages += 1;
-                    self.submit_to_gc(
-                        replica as u64,
-                        GcMsg::Ctrl {
-                            from: ReplicaId::new(replica as u32),
-                            msg,
-                        },
-                    );
-                }
-                SchedAction::RequestDummy => {
-                    // Every replica's request is materialised: replicas'
-                    // pool states drift under jitter, so one replica may
-                    // legitimately need a filler the others do not.
-                    // Excess dummies are no-ops everywhere — the "higher
-                    // communication overhead" the paper prices in.
-                    let Some(method) = self.scenario.dummy_method else {
-                        panic!("scheduler requested a dummy but the scenario has no dummy method");
-                    };
-                    self.dummy_requests += 1;
-                    let id = RequestId {
-                        client: u32::MAX,
-                        req_no: self.dummy_counter,
-                    };
-                    self.dummy_counter += 1;
-                    self.submit_to_gc(
-                        replica as u64,
-                        GcMsg::Request {
-                            id,
-                            method,
-                            args: RequestArgs::empty(),
-                            dummy: true,
-                        },
-                    );
-                }
+                rep.running.insert(tid.index());
+                self.schedule_step(replica, tid);
+            }
+            SchedAction::Broadcast(msg) => {
+                self.ctrl_messages += 1;
+                self.submit_to_gc(
+                    replica as u64,
+                    GcMsg::Ctrl {
+                        from: ReplicaId::new(replica as u32),
+                        msg,
+                    },
+                );
+            }
+            SchedAction::RequestDummy => {
+                // Every replica's request is materialised: replicas'
+                // pool states drift under jitter, so one replica may
+                // legitimately need a filler the others do not.
+                // Excess dummies are no-ops everywhere — the "higher
+                // communication overhead" the paper prices in.
+                let Some(method) = self.scenario.dummy_method else {
+                    panic!("scheduler requested a dummy but the scenario has no dummy method");
+                };
+                self.dummy_requests += 1;
+                let id = RequestId {
+                    client: u32::MAX,
+                    req_no: self.dummy_counter,
+                };
+                self.dummy_counter += 1;
+                self.submit_to_gc(
+                    replica as u64,
+                    GcMsg::Request {
+                        id,
+                        method,
+                        args: RequestArgs::empty(),
+                        dummy: true,
+                    },
+                );
             }
         }
     }
@@ -1612,6 +1713,9 @@ impl Engine {
                             },
                         );
                         self.unmark_if_blocked(replica, tid);
+                        if self.fused_continue(replica, tid) {
+                            continue;
+                        }
                         return;
                     }
                     Action::Unlock { sync_id, mutex } => {
@@ -1647,6 +1751,9 @@ impl Engine {
                             });
                         self.dispatch(replica, SchedEvent::WaitCalled { tid, mutex });
                         self.unmark_if_blocked(replica, tid);
+                        if self.fused_continue(replica, tid) {
+                            continue;
+                        }
                         return;
                     }
                     Action::Notify { mutex, all } => {
@@ -1713,6 +1820,9 @@ impl Engine {
                             self.dispatch(replica, SchedEvent::NestedCompleted { tid });
                         }
                         self.unmark_if_blocked(replica, tid);
+                        if self.fused_continue(replica, tid) {
+                            continue;
+                        }
                         return;
                     }
                     Action::LockInfo { sync_id, mutex } => {

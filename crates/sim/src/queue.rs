@@ -32,7 +32,23 @@
 //!   drained into the buckets — in sorted order, so every transfer is a
 //!   tail append.
 //!
-//! Ordering is decided *only* by `(time, seq)` comparisons in both tiers,
+//! * **Front slot.** One entry lives outside the slab entirely: a push
+//!   that is *strictly earlier* than every pending entry parks in a
+//!   dedicated `(at, seq, event)` slot instead of touching a bucket.
+//!   Because every later push carries a larger sequence number, a slot
+//!   entry is the unique `(time, seq)` minimum for as long as it stays
+//!   there, so `pop` may return it without consulting the slab at all —
+//!   the same-timestamp fusion invariant DESIGN.md documents. A later
+//!   push that beats the slot demotes the old occupant into the slab
+//!   with its *original* sequence number (the sorted bucket insert
+//!   handles non-monotone sequences), so ordering is unaffected.
+//! * **Exact next-event cache.** `next_at` tracks the earliest pending
+//!   timestamp in the slab + overflow tiers and is maintained on every
+//!   push and pop, so `peek_time` — which the engine's admission-batching
+//!   gate calls once per decision — is O(1) instead of a bitmap rescan,
+//!   and the slot-fill test above is a single compare.
+//!
+//! Ordering is decided *only* by `(time, seq)` comparisons in all tiers,
 //! so the FIFO tie-break contract of the old heap is preserved exactly;
 //! the differential test at the bottom of this file drives both
 //! implementations with the same SplitMix64-generated schedules and
@@ -98,6 +114,21 @@ pub struct EventQueue<E> {
     n_overflow: usize,
     /// Reused scratch for the pairing heap's two-pass merge.
     pair_scratch: Vec<u32>,
+    /// Front slot: a pushed event strictly earlier than every pending
+    /// entry bypasses the slab. Invariant while occupied: `(slot_at,
+    /// slot_seq)` is the unique global `(time, seq)` minimum, so `pop`
+    /// takes it unconditionally and slab pops never interleave with an
+    /// occupied slot.
+    slot: Option<E>,
+    slot_at: u64,
+    slot_seq: u64,
+    /// Earliest `at` pending in the slab + overflow tiers (`u64::MAX`
+    /// when both are empty). Exact at all times; the slot is *not*
+    /// included.
+    next_at: u64,
+    /// `false` routes every push through the slab (reference semantics
+    /// for the fused-vs-reference differential tests).
+    fastpath: bool,
     seq: u64,
     now: SimTime,
 }
@@ -121,9 +152,29 @@ impl<E> EventQueue<E> {
             overflow: NIL,
             n_overflow: 0,
             pair_scratch: Vec::new(),
+            slot: None,
+            slot_at: 0,
+            slot_seq: 0,
+            next_at: u64::MAX,
+            fastpath: true,
             seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    /// Enables/disables the front-slot fast path. Pop order is identical
+    /// either way (differentially tested); `false` is the reference mode
+    /// where every event goes through the slab.
+    pub fn set_fastpath(&mut self, on: bool) {
+        if !on {
+            // Flush a resident slot entry into the slab so ordering state
+            // is consistent before the slow-only regime begins.
+            if let Some(ev) = self.slot.take() {
+                let (at, seq) = (self.slot_at, self.slot_seq);
+                self.insert_slab(at, seq, ev);
+            }
+        }
+        self.fastpath = on;
     }
 
     /// Current virtual time: the timestamp of the last popped event.
@@ -134,7 +185,7 @@ impl<E> EventQueue<E> {
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.in_buckets + self.n_overflow
+        self.in_buckets + self.n_overflow + usize::from(self.slot.is_some())
     }
 
     #[inline]
@@ -191,9 +242,45 @@ impl<E> EventQueue<E> {
         let at_ns = at.as_nanos();
         let seq = self.seq;
         self.seq += 1;
-        let idx = self.alloc(at_ns, seq, event);
-        debug_assert!(at_ns >= self.win_start, "push behind the calendar window");
-        if at_ns - self.win_start < WINDOW_NS {
+        if self.fastpath && at_ns < self.next_at {
+            match self.slot {
+                // Strictly earlier than everything pending: the new entry
+                // is the unique (time, seq) minimum — park it in the slot.
+                None => {
+                    self.slot = Some(event);
+                    self.slot_at = at_ns;
+                    self.slot_seq = seq;
+                    return;
+                }
+                // Beats the resident slot entry too: demote the old
+                // occupant into the slab with its original sequence
+                // number (sorted insert handles the non-monotone seq).
+                Some(_) if at_ns < self.slot_at => {
+                    let prev = self.slot.take().expect("matched Some");
+                    let (pat, pseq) = (self.slot_at, self.slot_seq);
+                    self.slot = Some(event);
+                    self.slot_at = at_ns;
+                    self.slot_seq = seq;
+                    self.insert_slab(pat, pseq, prev);
+                    return;
+                }
+                // Same instant as (or later than) the slot: the slot's
+                // smaller seq keeps it first; this entry goes to the slab.
+                Some(_) => {}
+            }
+        }
+        self.insert_slab(at_ns, seq, event);
+    }
+
+    /// Inserts into the bucket window or the overflow heap, maintaining
+    /// the exact `next_at` cache.
+    fn insert_slab(&mut self, at: u64, seq: u64, event: E) {
+        let idx = self.alloc(at, seq, event);
+        debug_assert!(at >= self.win_start, "push behind the calendar window");
+        if at < self.next_at {
+            self.next_at = at;
+        }
+        if at - self.win_start < WINDOW_NS {
             self.insert_bucket(idx);
         } else {
             self.overflow = self.meld(self.overflow, idx);
@@ -272,6 +359,16 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Ties pop in insertion order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        // Slot first: while occupied it is the unique (time, seq) minimum
+        // (filled strictly earlier than everything pending; later pushes
+        // carry larger seqs), so no slab consultation is needed.
+        if let Some(event) = self.slot.take() {
+            debug_assert!(self.slot_at <= self.next_at);
+            let at = SimTime::from_nanos(self.slot_at);
+            debug_assert!(at >= self.now);
+            self.now = at;
+            return Some((at, event));
+        }
         if self.in_buckets == 0 {
             if self.overflow == NIL {
                 return None;
@@ -292,21 +389,34 @@ impl<E> EventQueue<E> {
         }
         self.in_buckets -= 1;
         self.release(idx);
+        // Re-derive the next-event cache from the removal point: the new
+        // head of this bucket, else the next occupied bucket, else the
+        // overflow root (always later than anything in the window).
+        self.next_at = if next != NIL {
+            self.nodes[next as usize].at
+        } else if self.in_buckets > 0 {
+            let nb = self.first_occupied(b + 1).expect("in_buckets > 0");
+            self.cursor = nb;
+            self.nodes[self.buckets[nb].head as usize].at
+        } else if self.overflow != NIL {
+            self.nodes[self.overflow as usize].at
+        } else {
+            u64::MAX
+        };
         debug_assert!(at >= self.now);
         self.now = at;
         Some((at, event))
     }
 
-    /// Timestamp of the next event without popping it.
+    /// Timestamp of the next event without popping it. O(1): the slot is
+    /// the minimum while occupied, and `next_at` is maintained exactly.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        if self.in_buckets > 0 {
-            let b = self.first_occupied(self.cursor).expect("in_buckets > 0");
-            return Some(SimTime::from_nanos(
-                self.nodes[self.buckets[b].head as usize].at,
-            ));
+        if self.slot.is_some() {
+            return Some(SimTime::from_nanos(self.slot_at));
         }
-        if self.overflow != NIL {
-            return Some(SimTime::from_nanos(self.nodes[self.overflow as usize].at));
+        if self.next_at != u64::MAX {
+            return Some(SimTime::from_nanos(self.next_at));
         }
         None
     }
@@ -327,6 +437,8 @@ impl<E> EventQueue<E> {
         self.in_buckets = 0;
         self.overflow = NIL;
         self.n_overflow = 0;
+        self.slot = None;
+        self.next_at = u64::MAX;
         self.seq = 0;
     }
 
@@ -730,6 +842,92 @@ mod tests {
             "slab grew to {} despite churn",
             q.nodes.len()
         );
+    }
+
+    #[test]
+    fn front_slot_demotion_preserves_order() {
+        // 100 parks in the slot; 50 demotes it; 70 lands in the slab
+        // (later than the new slot entry, earlier than the demoted one).
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_nanos(100), "c");
+        q.push_at(SimTime::from_nanos(50), "a");
+        q.push_at(SimTime::from_nanos(70), "b");
+        assert_eq!(q.len(), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn front_slot_same_instant_tie_is_fifo() {
+        // First push at t=7 parks in the slot; the second (same instant,
+        // larger seq) must go to the slab and pop second.
+        let mut q = EventQueue::new();
+        q.push_at(SimTime::from_nanos(7), 0);
+        q.push_at(SimTime::from_nanos(7), 1);
+        q.push_at(SimTime::from_nanos(7), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn front_slot_peek_matches_pop() {
+        let mut rng = SplitMix64::new(0xbead);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..500 {
+            let d = SimDuration::from_nanos(rng.next_below(400_000));
+            q.push_after(d, i);
+            if rng.next_below(3) != 0 {
+                let peeked = q.peek_time();
+                let popped = q.pop();
+                assert_eq!(peeked, popped.map(|(t, _)| t));
+            }
+        }
+        while let Some((t, _)) = {
+            let peeked = q.peek_time();
+            let p = q.pop();
+            assert_eq!(peeked, p.as_ref().map(|&(t, _)| t));
+            p
+        } {
+            let _ = t;
+        }
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn fastpath_off_matches_fastpath_on() {
+        // The reference mode (`set_fastpath(false)`) must produce the
+        // byte-identical pop stream, including a mid-run flip with a
+        // resident slot entry.
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0xfa57 + seed);
+            let mut fast: EventQueue<u64> = EventQueue::new();
+            let mut slow: EventQueue<u64> = EventQueue::new();
+            slow.set_fastpath(false);
+            for i in 0..400 {
+                let d = SimDuration::from_nanos(match rng.next_below(4) {
+                    0 => 0,
+                    1 => rng.next_below(BUCKET_NS),
+                    2 => rng.next_below(WINDOW_NS),
+                    _ => rng.next_below(50_000_000),
+                });
+                fast.push_after(d, i);
+                slow.push_after(d, i);
+                if rng.next_below(2) == 0 {
+                    assert_eq!(fast.pop(), slow.pop(), "seed {seed}");
+                }
+                if i == 200 {
+                    fast.set_fastpath(false);
+                }
+                assert_eq!(fast.len(), slow.len());
+            }
+            loop {
+                let a = fast.pop();
+                assert_eq!(a, slow.pop(), "seed {seed}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     /// One op of the differential schedule.

@@ -23,6 +23,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "== smoke: figures --quick =="
 cargo run --release -p dmt-bench --bin figures -- --quick
 
+# Interpreter dispatch-style equivalence (match vs threaded vs fused):
+# one corpus pass per style with the assertions on, no timed batches.
+echo "== smoke: interp dispatch equivalence =="
+cargo bench -p dmt-bench --bench interp -- --smoke
+
+# Artifact staleness: regenerate figures_output.txt and every committed
+# figures artifact in a scratch directory and fail on any diff outside
+# the documented timing lines (see scripts/check_artifacts.sh). Catches
+# the classic drift where a code change moves counters, tables or JSON
+# structure but the committed artifacts still show the old run.
+echo "== gate: artifact staleness =="
+./scripts/check_artifacts.sh
+
 # Fast resilience subset: the fault-suite goldens (re-convergence,
 # BENCH_faults.json byte-identity across worker counts, the broken-
 # transport negative control). The #[ignore]d full grid stays out of
